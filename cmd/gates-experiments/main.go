@@ -1,0 +1,142 @@
+// Command gates-experiments regenerates the tables and figures of the GATES
+// paper's evaluation (Section 5) and the ablation studies DESIGN.md defines.
+//
+// Usage:
+//
+//	gates-experiments [-exp all|fig5|fig6|fig7|fig8|fig9|ablations] [-quick] [-scale N] [-seed N]
+//
+// Absolute times are virtual seconds on the emulated grid; the shapes (who
+// wins, by what factor, where adaptation converges) are the reproduction
+// target. See EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/gates-middleware/gates/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "which artifact to regenerate: all, fig5, fig6, fig7, fig8, fig9, ablations, ext")
+		quick   = flag.Bool("quick", false, "shrink workloads ~4x (shapes survive, absolute numbers shift)")
+		scale   = flag.Float64("scale", 0, "virtual seconds per wall second (0 = per-experiment default)")
+		seed    = flag.Int64("seed", 0, "workload seed (0 = default)")
+		jsonOut = flag.String("json", "", "also write a machine-readable report (implies -exp all) to this file")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "gates-experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "gates-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func writeJSON(path string, cfg experiments.Config) error {
+	rep, err := experiments.RunAll(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}
+
+func run(exp string, cfg experiments.Config) error {
+	out := os.Stdout
+	wantAll := exp == "all"
+
+	if wantAll || exp == "fig5" {
+		res, err := experiments.Figure5(cfg)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+	}
+	if wantAll || exp == "fig6" || exp == "fig7" {
+		res, err := experiments.Figure67(cfg)
+		if err != nil {
+			return err
+		}
+		if wantAll || exp == "fig6" {
+			res.RenderTime(out)
+			fmt.Fprintln(out)
+		}
+		if wantAll || exp == "fig7" {
+			res.RenderAccuracy(out)
+			fmt.Fprintln(out)
+		}
+	}
+	if wantAll || exp == "fig8" {
+		res, err := experiments.Figure8(cfg)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+	}
+	if wantAll || exp == "fig9" {
+		res, err := experiments.Figure9(cfg)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+	}
+	if wantAll || exp == "ablations" {
+		studies := []func(experiments.Config) (*experiments.AblationResult, error){
+			experiments.AblationDownstreamSign,
+			experiments.AblationPhi2,
+			experiments.AblationWeights,
+			experiments.AblationWindow,
+			experiments.AblationInterval,
+			experiments.AblationCongestionPriority,
+		}
+		for _, study := range studies {
+			res, err := study(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(out)
+			fmt.Fprintln(out)
+		}
+	}
+	if wantAll || exp == "ext" {
+		scaling, err := experiments.ExtScalingSources(cfg)
+		if err != nil {
+			return err
+		}
+		scaling.Render(out)
+		fmt.Fprintln(out)
+		hier, err := experiments.ExtHierarchy(cfg)
+		if err != nil {
+			return err
+		}
+		hier.Render(out)
+		fmt.Fprintln(out)
+	}
+	switch exp {
+	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "ext":
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

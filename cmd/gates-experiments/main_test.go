@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/gates-middleware/gates/internal/experiments"
+)
+
+func TestRunSingleFigure(t *testing.T) {
+	if err := run("fig5", experiments.Config{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("fig99", experiments.Config{Quick: true}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+const steeringXML = `
+<application name="smoke">
+  <stage id="sim" code="compsteer/sim" source="true"><nearSource>mesh</nearSource></stage>
+  <stage id="sampler" code="compsteer/sampler"><nearSource>mesh</nearSource></stage>
+  <stage id="analysis" code="compsteer/analyzer"/>
+  <connection from="sim" to="sampler"/>
+  <connection from="sampler" to="analysis"/>
+</application>`
+
+func TestRunLiteralConfig(t *testing.T) {
+	// 300 virtual seconds of comp-steer at 20000x: well under a second.
+	if err := run(steeringXML, 20_000, 100_000, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadConfig(t *testing.T) {
+	if err := run(`<application name="x"/>`, 20_000, 100_000, 0); err == nil {
+		t.Fatal("invalid descriptor launched")
+	}
+}
+
+func TestRunUnknownCode(t *testing.T) {
+	xml := `<application name="x"><stage id="a" code="no/such" source="true"/></application>`
+	if err := run(xml, 20_000, 100_000, 0); err == nil {
+		t.Fatal("unknown stage code launched")
+	}
+}

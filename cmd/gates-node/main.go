@@ -1,0 +1,154 @@
+// Command gates-node hosts one pipeline stage behind a real TCP endpoint —
+// the genuinely distributed deployment mode. A node listens for packets from
+// upstream nodes, runs its stage code on them, and either forwards results
+// to the next node or terminates the pipeline.
+//
+// A two-machine comp-steer deployment looks like:
+//
+//	# analysis machine
+//	gates-node -listen :7002 -stage compsteer/analyzer
+//
+//	# sampler machine (also generates the simulated stream)
+//	gates-node -listen :7001 -stage compsteer/sampler -forward host2:7002 -source compsteer/sim
+//
+// Load exceptions travel back over the same connections, so the sampler
+// adapts exactly as it does in the emulated experiments.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/adapt"
+	"github.com/gates-middleware/gates/internal/builtin"
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/pipeline"
+	"github.com/gates-middleware/gates/internal/service"
+	"github.com/gates-middleware/gates/internal/transport"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "", "TCP address to accept upstream packets on (omit for a source-only node)")
+		stage   = flag.String("stage", "", "repository code of the stage to host (required)")
+		source  = flag.String("source", "", "repository code of a co-located source feeding the stage")
+		forward = flag.String("forward", "", "downstream node address to forward output to")
+		expect  = flag.Int("expect", 1, "number of upstream end-of-stream markers to wait for")
+		scale   = flag.Float64("scale", 1, "virtual seconds per wall second")
+	)
+	flag.Parse()
+	if *stage == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*listen, *stage, *source, *forward, *expect, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "gates-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, stageCode, sourceCode, forward string, expect int, scale float64) error {
+	var clk clock.Clock = clock.NewReal()
+	if scale > 1 {
+		clk = clock.NewScaled(scale)
+	}
+	repo := service.NewRepository()
+	if err := builtin.Register(repo); err != nil {
+		return err
+	}
+	procFactory, ok := repo.Processor(stageCode)
+	if !ok {
+		return fmt.Errorf("stage code %q not in repository (codes: %v)", stageCode, repo.Codes())
+	}
+
+	eng := pipeline.New(clk)
+
+	// Local stage hosting the user code. When upstream nodes feed this
+	// host over TCP, its load exceptions are broadcast back to them on
+	// the same connections (the §4 control plane across machines); srv
+	// is bound below once listening starts.
+	var srv *transport.Server
+	hostCfg := pipeline.StageConfig{
+		OnObserve: func(_ *pipeline.Stage, _ time.Time, obs adapt.Observation) {
+			if srv != nil && obs.Exception != adapt.ExceptionNone {
+				srv.Broadcast(transport.ExceptionMessage(obs.Exception))
+			}
+		},
+	}
+	host, err := eng.AddProcessorStage("host", 0, procFactory(0), hostCfg)
+	if err != nil {
+		return err
+	}
+
+	// Upstream: either a network ingress or a co-located source.
+	switch {
+	case sourceCode != "":
+		srcFactory, ok := repo.Source(sourceCode)
+		if !ok {
+			return fmt.Errorf("source code %q not in repository", sourceCode)
+		}
+		src, err := eng.AddSourceStage("source", 0, srcFactory(0), pipeline.StageConfig{})
+		if err != nil {
+			return err
+		}
+		if err := eng.Connect(src, host, nil); err != nil {
+			return err
+		}
+	case listen != "":
+		ingress := transport.NewIngress(expect, 256)
+		ingress.OnException = func(e adapt.Exception) {
+			host.Controller().OnDownstreamException(e)
+		}
+		srv, err = transport.Listen(listen, ingress.Deliver)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Println("listening on", srv.Addr())
+		in, err := eng.AddSourceStage("ingress", 0, ingress, pipeline.StageConfig{})
+		if err != nil {
+			return err
+		}
+		if err := eng.Connect(in, host, nil); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -listen or -source to feed the stage")
+	}
+
+	// Downstream: a network egress, when configured.
+	if forward != "" {
+		cli, err := transport.Dial(forward)
+		if err != nil {
+			return err
+		}
+		defer cli.Close()
+		// Exceptions the downstream host broadcasts back drive this
+		// node's adaptation, exactly as an in-process neighbor would.
+		go cli.ReadLoop(func(m transport.Message) {
+			if m.Kind == transport.KindException {
+				host.Controller().OnDownstreamException(m.Exception)
+			}
+		})
+		eg, err := eng.AddProcessorStage("egress", 0, transport.NewEgress(cli), pipeline.StageConfig{DisableAdaptation: true})
+		if err != nil {
+			return err
+		}
+		if err := eng.Connect(host, eg, nil); err != nil {
+			return err
+		}
+	}
+
+	if err := eng.Run(context.Background()); err != nil {
+		return err
+	}
+	for _, st := range eng.Stages() {
+		s := st.Stats()
+		fmt.Printf("%s/%d: in=%d items out=%d pkts %d bytes\n",
+			st.ID(), st.Instance(), s.ItemsIn, s.PacketsOut, s.BytesOut)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// freePort reserves a TCP port for the downstream node.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func TestTwoNodePipeline(t *testing.T) {
+	addr := freePort(t)
+	downstream := make(chan error, 1)
+	go func() {
+		// Analysis host: receives sampled mesh data over TCP. Scale 500
+		// keeps adaptation epochs above timer granularity so the
+		// cross-machine control plane has time to act.
+		downstream <- run(addr, "compsteer/analyzer", "", "", 1, 500)
+	}()
+	// Give the listener a moment to bind.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("downstream node never listened")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Sampler host: co-located simulation source, forwards over TCP.
+	if err := run("", "compsteer/sampler", "compsteer/sim", addr, 1, 500); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-downstream:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("downstream node never finished")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "no/such", "", "", 1, 1); err == nil || !strings.Contains(err.Error(), "not in repository") {
+		t.Fatalf("unknown stage = %v", err)
+	}
+	if err := run("", "compsteer/analyzer", "", "", 1, 1); err == nil {
+		t.Fatal("node with no input accepted")
+	}
+	if err := run("", "compsteer/sampler", "no/such-src", "", 1, 1); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+}

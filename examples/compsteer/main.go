@@ -1,0 +1,109 @@
+// Comp-steer: the paper's second application template — data-stream
+// processing for computational steering (§5.1).
+//
+// A simulation generates intermediate mesh values; a sampler forwards a
+// fraction of them to an analysis stage on another machine. The sampling
+// rate is the adjustment parameter: this example runs the §5.4 processing-
+// constraint scenario at three analysis costs and prints how the middleware
+// drives the rate toward the highest sustainable value.
+//
+// Run with:
+//
+//	go run ./examples/compsteer
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	gates "github.com/gates-middleware/gates"
+	"github.com/gates-middleware/gates/internal/apps/compsteer"
+	"github.com/gates-middleware/gates/internal/metrics"
+)
+
+const appXML = `
+<application name="comp-steer">
+  <stage id="sim" code="app/sim" source="true"><nearSource>mesh</nearSource></stage>
+  <stage id="sampler" code="app/sampler"><nearSource>mesh</nearSource></stage>
+  <stage id="analysis" code="app/analyzer"/>
+  <connection from="sim" to="sampler"/>
+  <connection from="sampler" to="analysis"/>
+</application>`
+
+func main() {
+	fmt.Println("comp-steer: sampling-rate self-adaptation under a processing constraint")
+	fmt.Println("generation 160 B/s, initial rate 0.13, 300 virtual seconds")
+	for _, costMs := range []int{5, 10, 20} {
+		trace := run(costMs)
+		sustainable := 1000.0 / float64(costMs) / 160.0
+		if sustainable > 1 {
+			sustainable = 1
+		}
+		fmt.Printf("\nanalysis cost %d ms/byte (sustainable rate %.2f):\n", costMs, sustainable)
+		for _, p := range trace.Downsample(8) {
+			fmt.Printf("  t=%4.0fs rate=%.2f\n", p.T.Seconds(), p.V)
+		}
+	}
+}
+
+func run(costMs int) *metrics.TimeSeries {
+	g, err := gates.NewGrid(gates.GridOptions{TimeScale: 300})
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(g.AddNode(gates.Node{Name: "sim-node", CPUPower: 2, MemoryMB: 2048, Slots: 2, Sources: []string{"mesh"}}))
+	must(g.AddNode(gates.Node{Name: "analysis-node", CPUPower: 2, MemoryMB: 2048}))
+	g.SetDefaultLink(gates.LinkConfig{}) // processing, not the network, is the constraint
+
+	must(g.RegisterSource("app/sim", func(int) gates.Source {
+		return &compsteer.SimulationSource{GenRate: 160, Duration: 300 * time.Second, PacketBytes: 16}
+	}))
+	must(g.RegisterProcessor("app/sampler", func(int) gates.Processor {
+		return &compsteer.Sampler{}
+	}))
+	must(g.RegisterProcessor("app/analyzer", func(int) gates.Processor {
+		return &compsteer.Analyzer{CostPerByte: time.Duration(costMs) * time.Millisecond}
+	}))
+
+	trace := metrics.NewTimeSeriesAt(g.Clock().Now())
+	tuning := func(stage string, _ int) gates.StageConfig {
+		switch stage {
+		case "sim":
+			return gates.StageConfig{DisableAdaptation: true, ComputeQuantum: 100 * time.Millisecond}
+		case "sampler":
+			return gates.StageConfig{
+				QueueCapacity: 100,
+				AdaptInterval: 500 * time.Millisecond,
+				AdjustEvery:   2,
+				OnAdjust: func(_ *gates.Stage, now time.Time, adjs []gates.Adjustment) {
+					for _, a := range adjs {
+						trace.Record(now, a.New)
+					}
+				},
+			}
+		default:
+			return gates.StageConfig{
+				QueueCapacity:  50,
+				AdaptInterval:  500 * time.Millisecond,
+				AdjustEvery:    2,
+				ComputeQuantum: 200 * time.Millisecond,
+			}
+		}
+	}
+	app, err := g.Launch(context.Background(), appXML, tuning)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := app.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	return trace
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Count-samps: the paper's first application template — a distributed
+// version of the Gibbons–Matias counting samples problem (§5.1).
+//
+// Four sub-streams of integers arrive at four grid nodes; the query is "the
+// top 10 most frequently occurring values and their frequencies, at any
+// time". The example deploys both versions of §5.2 from XML descriptors —
+// centralized (ship everything to the central machine) and distributed
+// (summarize near each source) — and compares execution time and accuracy,
+// reproducing the Figure 5 trade-off.
+//
+// Run with:
+//
+//	go run ./examples/countsamps
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	gates "github.com/gates-middleware/gates"
+	"github.com/gates-middleware/gates/internal/apps/countsamps"
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/metrics"
+	"github.com/gates-middleware/gates/internal/workload"
+)
+
+const centralizedXML = `
+<application name="count-samps-centralized">
+  <stage id="stream" code="app/stream" source="true" instances="4">
+    <nearSource>stream-1</nearSource><nearSource>stream-2</nearSource>
+    <nearSource>stream-3</nearSource><nearSource>stream-4</nearSource>
+  </stage>
+  <stage id="central" code="app/raw"><requirement minCPU="2"/></stage>
+  <connection from="stream" to="central"/>
+</application>`
+
+const distributedXML = `
+<application name="count-samps-distributed">
+  <stage id="stream" code="app/stream" source="true" instances="4">
+    <nearSource>stream-1</nearSource><nearSource>stream-2</nearSource>
+    <nearSource>stream-3</nearSource><nearSource>stream-4</nearSource>
+  </stage>
+  <stage id="summarize" code="app/summarize" instances="4">
+    <nearSource>stream-1</nearSource><nearSource>stream-2</nearSource>
+    <nearSource>stream-3</nearSource><nearSource>stream-4</nearSource>
+  </stage>
+  <stage id="central" code="app/merge"><requirement minCPU="2"/></stage>
+  <connection from="stream" to="summarize" fanout="pairwise"/>
+  <connection from="summarize" to="central"/>
+</application>`
+
+func main() {
+	// Workload: four 25,000-integer Zipf sub-streams and their merged
+	// ground truth.
+	streams := make([][]int, 4)
+	parts := make([]map[int]int, 4)
+	for i := range streams {
+		streams[i] = workload.Take(workload.NewZipf(int64(i)*31+5, 1.5, 50_000), 25_000)
+		parts[i] = workload.Counts(streams[i])
+	}
+	truth := workload.MergeCounts(parts...)
+
+	cost := countsamps.DefaultCostModel()
+	fmt.Println("count-samps: top-10 frequent values from 4 distributed sub-streams (100 KB/s links)")
+	fmt.Printf("%-12s %14s %10s\n", "version", "exec time (s)", "accuracy")
+	for _, version := range []struct {
+		name string
+		xml  string
+	}{
+		{"centralized", centralizedXML},
+		{"distributed", distributedXML},
+	} {
+		secs, acc := run(version.xml, streams, truth, cost)
+		fmt.Printf("%-12s %14.1f %10.1f\n", version.name, secs, acc.Score())
+	}
+}
+
+func run(xml string, streams [][]int, truth map[int]int, cost countsamps.CostModel) (float64, metrics.Accuracy) {
+	g, err := gates.NewGrid(gates.GridOptions{TimeScale: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		must(g.AddNode(gates.Node{
+			Name: fmt.Sprintf("src-%d", i), CPUPower: 1, MemoryMB: 512, Slots: 2,
+			Sources: []string{fmt.Sprintf("stream-%d", i)},
+		}))
+	}
+	must(g.AddNode(gates.Node{Name: "central", CPUPower: 4, MemoryMB: 4096, Slots: 4}))
+	g.SetDefaultLink(gates.LinkConfig{Bandwidth: 100 * gates.KBps, Quantum: time.Second})
+
+	raw := &countsamps.RawCounter{Cost: cost, Seed: 11}
+	merge := &countsamps.SummaryMerger{Cost: cost}
+	must(g.RegisterSource("app/stream", func(i int) gates.Source {
+		return &countsamps.StreamSource{Values: streams[i], Batch: 25, ItemWireSize: cost.ItemWireSize}
+	}))
+	must(g.RegisterProcessor("app/summarize", func(i int) gates.Processor {
+		return countsamps.NewSummarizer(countsamps.SummarizerConfig{Cost: cost, SummarySize: 100, Seed: int64(i) + 1000})
+	}))
+	must(g.RegisterProcessor("app/raw", func(int) gates.Processor { return raw }))
+	must(g.RegisterProcessor("app/merge", func(int) gates.Processor { return merge }))
+
+	tuning := func(stage string, _ int) gates.StageConfig {
+		return gates.StageConfig{ComputeQuantum: time.Second, DisableAdaptation: stage == "stream"}
+	}
+	sw := clock.NewStopwatch(g.Clock())
+	app, err := g.Launch(context.Background(), xml, tuning)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := app.Wait(); err != nil {
+		log.Fatal(err)
+	}
+	var reported []workload.ValueCount
+	if _, centralized := app.Stages["summarize"]; !centralized {
+		reported = raw.TopK(10)
+	} else {
+		reported = merge.TopK(10)
+	}
+	return sw.Elapsed().Seconds(), metrics.TopKAccuracy(truth, reported, 10)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Intrusion detection: the online network-intrusion motivating application
+// of the paper's §2, built as a two-stage GATES pipeline.
+//
+// Connection logs at four sites are filtered near their sources (each site
+// keeps a counting-samples watchlist of its top talkers) and a central
+// detector correlates the watchlists: hosts with an excessive aggregate
+// rate, or reported by several sites at once, are flagged. The example
+// injects a flooding attacker at site 2 and a low-and-slow scanner visible
+// at every site, then prints the alerts.
+//
+// Run with:
+//
+//	go run ./examples/intrusion
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	gates "github.com/gates-middleware/gates"
+	"github.com/gates-middleware/gates/internal/apps/intrusion"
+)
+
+const appXML = `
+<application name="intrusion-detect">
+  <stage id="log" code="app/log" source="true" instances="4">
+    <nearSource>site-1</nearSource><nearSource>site-2</nearSource>
+    <nearSource>site-3</nearSource><nearSource>site-4</nearSource>
+  </stage>
+  <stage id="filter" code="app/filter" instances="4">
+    <nearSource>site-1</nearSource><nearSource>site-2</nearSource>
+    <nearSource>site-3</nearSource><nearSource>site-4</nearSource>
+  </stage>
+  <stage id="detector" code="app/detector"><requirement minCPU="2"/></stage>
+  <connection from="log" to="filter" fanout="pairwise"/>
+  <connection from="filter" to="detector"/>
+</application>`
+
+const (
+	flooder = 0xBADF00D
+	scanner = 0x5CA77E2
+)
+
+func main() {
+	g, err := gates.NewGrid(gates.GridOptions{TimeScale: 5000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		must(g.AddNode(gates.Node{
+			Name: fmt.Sprintf("site-%d", i), CPUPower: 1, MemoryMB: 1024, Slots: 2,
+			Sources: []string{fmt.Sprintf("site-%d", i)},
+		}))
+	}
+	must(g.AddNode(gates.Node{Name: "soc", CPUPower: 4, MemoryMB: 4096}))
+	g.SetDefaultLink(gates.LinkConfig{Bandwidth: 100 * gates.KBps})
+
+	det := intrusion.NewDetector(intrusion.DetectorConfig{RateThreshold: 900, SpreadThreshold: 3})
+	must(g.RegisterSource("app/log", func(site int) gates.Source {
+		src := &intrusion.LogSource{
+			Site: site, Background: 8000, Hosts: 3000, Seed: int64(site + 1),
+			AttackerSrc: scanner, AttackRecords: 250, // the distributed scan trickles everywhere
+		}
+		if site == 1 {
+			src.AttackerSrc = flooder // site 2 also hosts the flood
+			src.AttackRecords = 1200
+		}
+		return src
+	}))
+	must(g.RegisterProcessor("app/filter", func(site int) gates.Processor {
+		return intrusion.NewSiteFilter(intrusion.SiteFilterConfig{Seed: int64(site + 40)})
+	}))
+	must(g.RegisterProcessor("app/detector", func(int) gates.Processor { return det }))
+
+	app, err := g.Launch(context.Background(), appXML, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := app.Wait(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("analyzed logs from %d sites; alerts:\n", det.Sites())
+	for _, a := range det.Alerts() {
+		fmt.Printf("  host %08x  rule=%-6s  sites=%d  est. records=%.0f", a.Host, a.Reason, a.Sites, a.Estimated)
+		switch a.Host {
+		case flooder:
+			fmt.Print("   <- injected flood at site 2")
+		case scanner:
+			fmt.Print("   <- injected distributed scan")
+		}
+		fmt.Println()
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Quickstart: a minimal two-stage GATES application built directly on the
+// public API.
+//
+// A feed source produces readings faster than the analyzer can process
+// them; the analyzer exposes a sampling-rate adjustment parameter, and the
+// middleware lowers it until the pipeline keeps up — then the program prints
+// what the middleware chose.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	gates "github.com/gates-middleware/gates"
+)
+
+// feed emits one reading every 10 virtual milliseconds for five minutes.
+type feed struct{}
+
+func (feed) Run(ctx *gates.Context, out *gates.Emitter) error {
+	const interval = 10 * time.Millisecond
+	for i := 0; i < 30000; i++ {
+		ctx.ChargeCompute(interval)
+		if err := out.EmitValue(float64(i), 16); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// analyzer processes a tunable fraction of readings, each costing 25
+// virtual milliseconds — 2.5x the arrival interval, so full-rate analysis
+// cannot keep up and the middleware must settle near 0.4.
+type analyzer struct {
+	rate     *gates.Param
+	credit   float64
+	analyzed int
+}
+
+func (a *analyzer) Init(ctx *gates.Context) error {
+	p, err := ctx.SpecifyParam(gates.ParamSpec{
+		Name:      "sampling-rate",
+		Initial:   1.0,
+		Min:       0.05,
+		Max:       1.0,
+		Step:      0.01,
+		Direction: gates.IncreaseSlowsProcessing,
+	})
+	if err != nil {
+		return err
+	}
+	a.rate = p
+	return nil
+}
+
+func (a *analyzer) Process(ctx *gates.Context, pkt *gates.Packet, _ *gates.Emitter) error {
+	a.credit += a.rate.Value() // getSuggestedValue()
+	if a.credit < 1 {
+		return nil
+	}
+	a.credit--
+	a.analyzed++
+	ctx.ChargeCompute(25 * time.Millisecond)
+	return nil
+}
+
+func (a *analyzer) Finish(*gates.Context, *gates.Emitter) error { return nil }
+
+// sustainableRate asks the §4.1 queueing model what the middleware should
+// converge to: readings arrive at 100/s, analysis serves at 40/s.
+func sustainableRate() float64 {
+	n := gates.NewQueuingNetwork()
+	n.AddStation(gates.QueuingStation{Name: "analyze", ServiceRate: 40})
+	n.AddStation(gates.QueuingStation{Name: "feed"})
+	n.SetArrival("feed", 100)
+	n.Route("feed", "analyze", 1)
+	r, err := n.SustainableFraction("feed")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func main() {
+	// 500 virtual seconds per wall second: the one-minute run takes
+	// ~0.1s of real time.
+	g, err := gates.NewGrid(gates.GridOptions{TimeScale: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng := g.NewEngine()
+	start := g.Clock().Now()
+	an := &analyzer{}
+	src, err := eng.AddSourceStage("feed", 0, feed{}, gates.StageConfig{
+		DisableAdaptation: true,
+		ComputeQuantum:    100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var trace []string
+	sink, err := eng.AddProcessorStage("analyze", 0, an, gates.StageConfig{
+		QueueCapacity:  100,
+		AdaptInterval:  500 * time.Millisecond,
+		ComputeQuantum: 100 * time.Millisecond,
+		OnAdjust: func(st *gates.Stage, now time.Time, adjs []gates.Adjustment) {
+			for _, adj := range adjs {
+				if len(trace)%40 == 0 {
+					trace = append(trace, fmt.Sprintf("  t=%4.0fs rate=%.2f", now.Sub(start).Seconds(), adj.New))
+				} else {
+					trace = append(trace, "")
+				}
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Connect(src, sink, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("quickstart: 100 readings/s feed vs 40 readings/s analyzer")
+	if err := eng.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range trace {
+		if line != "" {
+			fmt.Println(line)
+		}
+	}
+	fmt.Printf("analyzer processed %d of 30000 readings; middleware settled on rate %.2f (model says %.2f is sustainable)\n",
+		an.analyzed, an.rate.Value(), sustainableRate())
+}

@@ -1,0 +1,273 @@
+// Package gates is a Go implementation of GATES (Grid-based Adaptive
+// Execution on Streams), the middleware for processing distributed data
+// streams described in Chen, Reddy & Agrawal, "GATES: A Grid-Based
+// Middleware for Processing Distributed Data Streams" (HPDC 2004).
+//
+// A GATES application is a pipeline of stages deployed across grid nodes:
+// stages near each stream's source reduce data volume early, and downstream
+// stages compute global results. Each stage may expose one or more
+// adjustment parameters — a sampling rate, a summary size — whose values the
+// middleware tunes at runtime so that the analysis is as accurate as
+// possible while still keeping up with the arrival rate (the paper's
+// self-adaptation algorithm, Section 4).
+//
+// # Quick start
+//
+//	g, _ := gates.NewGrid(gates.GridOptions{TimeScale: 1000})
+//	g.AddNode(gates.Node{Name: "edge", CPUPower: 1, MemoryMB: 512, Sources: []string{"feed"}})
+//	g.AddNode(gates.Node{Name: "hub", CPUPower: 4, MemoryMB: 4096})
+//	g.SetDefaultLink(gates.LinkConfig{Bandwidth: 100 * gates.KBps})
+//	g.RegisterSource("my/source", func(i int) gates.Source { return mySource(i) })
+//	g.RegisterProcessor("my/analyze", func(i int) gates.Processor { return newAnalyzer() })
+//	app, _ := g.Launch(ctx, configXML, nil)
+//	err := app.Wait()
+//
+// The package is a facade over the implementation packages: the stage engine
+// (internal/pipeline), the Section 4 algorithm (internal/adapt), the
+// simulated grid fabric (internal/grid), the link emulator
+// (internal/netsim), and the Launcher/Deployer machinery (internal/service).
+// Everything a downstream user needs is re-exported here.
+package gates
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/adapt"
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/grid"
+	"github.com/gates-middleware/gates/internal/monitor"
+	"github.com/gates-middleware/gates/internal/netsim"
+	"github.com/gates-middleware/gates/internal/pipeline"
+	"github.com/gates-middleware/gates/internal/queuing"
+	"github.com/gates-middleware/gates/internal/service"
+)
+
+// Core processing API (the paper's StreamProcessor model).
+type (
+	// Processor is the packet-driven stage interface: Init, Process,
+	// Finish. Register adjustment parameters from Init via
+	// Context.SpecifyParam.
+	Processor = pipeline.Processor
+	// Source is the generating-stage interface for stages with no
+	// inputs.
+	Source = pipeline.Source
+	// Context is the middleware surface handed to user code.
+	Context = pipeline.Context
+	// Emitter sends packets downstream.
+	Emitter = pipeline.Emitter
+	// Packet is the unit of data between stages.
+	Packet = pipeline.Packet
+	// Stage is a deployed stage instance.
+	Stage = pipeline.Stage
+	// StageConfig tunes one stage instance (queue capacity, adaptation
+	// interval, hooks).
+	StageConfig = pipeline.StageConfig
+	// Engine is the in-process execution fabric, available directly for
+	// programs that wire stages without the XML/deployment layer.
+	Engine = pipeline.Engine
+)
+
+// Self-adaptation API (the paper's specifyPara/getSuggestedValue).
+type (
+	// ParamSpec declares an adjustment parameter.
+	ParamSpec = adapt.ParamSpec
+	// Param is a live adjustment parameter; Value is the middleware's
+	// current suggestion.
+	Param = adapt.Param
+	// AdaptOptions carries the Section 4 algorithm constants.
+	AdaptOptions = adapt.Options
+	// Adjustment records one parameter update.
+	Adjustment = adapt.Adjustment
+	// Observation is one queue-load sample.
+	Observation = adapt.Observation
+)
+
+// Parameter directions.
+const (
+	// IncreaseSpeedsProcessing marks a parameter whose increase makes the
+	// stage faster and less accurate.
+	IncreaseSpeedsProcessing = adapt.IncreaseSpeedsProcessing
+	// IncreaseSlowsProcessing marks a parameter whose increase makes the
+	// stage slower and more accurate (sampling rates, summary sizes).
+	IncreaseSlowsProcessing = adapt.IncreaseSlowsProcessing
+)
+
+// Fabric types.
+type (
+	// Node is a grid compute resource.
+	Node = grid.Node
+	// Requirement constrains stage placement.
+	Requirement = grid.Requirement
+	// LinkConfig describes an emulated network link.
+	LinkConfig = netsim.LinkConfig
+	// Link is an emulated network link.
+	Link = netsim.Link
+	// AppConfig is a parsed XML application descriptor.
+	AppConfig = service.AppConfig
+	// StageTuning customizes deployed instances per (stage, instance).
+	StageTuning = service.StageTuning
+	// App is a launched application.
+	App = service.Application
+)
+
+// Bandwidth constants (bytes per virtual second), matching the paper's four
+// network configurations.
+const (
+	KBps = netsim.KBps
+	MBps = netsim.MBps
+)
+
+// Clock is the virtual time base (see GridOptions.TimeScale).
+type Clock = clock.Clock
+
+// GridOptions configures a Grid environment.
+type GridOptions struct {
+	// TimeScale compresses time: virtual seconds per wall second. Zero
+	// or 1 runs in real time. Experiments use hundreds; the paper's
+	// multi-minute runs then complete in seconds with every rate ratio
+	// preserved.
+	TimeScale float64
+}
+
+// Grid is the top-level environment: a simulated grid fabric (resource
+// directory + emulated network), an application repository, and the
+// Launcher/Deployer pair. It plays the role Globus 3.0 and the GATES
+// services play in the paper's deployment.
+type Grid struct {
+	clk  clock.Clock
+	dir  *grid.Directory
+	net  *netsim.Network
+	repo *service.Repository
+}
+
+// NewGrid returns an empty grid environment.
+func NewGrid(opts GridOptions) (*Grid, error) {
+	var clk clock.Clock
+	switch {
+	case opts.TimeScale < 0:
+		return nil, fmt.Errorf("gates: negative TimeScale %v", opts.TimeScale)
+	case opts.TimeScale == 0 || opts.TimeScale == 1:
+		clk = clock.NewReal()
+	default:
+		clk = clock.NewScaled(opts.TimeScale)
+	}
+	return &Grid{
+		clk:  clk,
+		dir:  grid.NewDirectory(),
+		net:  netsim.NewNetwork(clk),
+		repo: service.NewRepository(),
+	}, nil
+}
+
+// Clock returns the environment's time base; stage code receives the same
+// clock through its Context.
+func (g *Grid) Clock() Clock { return g.clk }
+
+// AddNode registers a compute node with the resource directory.
+func (g *Grid) AddNode(n Node) error {
+	if err := g.dir.Register(n); err != nil {
+		return err
+	}
+	g.net.AddNode(n.Name)
+	return nil
+}
+
+// Nodes lists the registered nodes.
+func (g *Grid) Nodes() []Node { return g.dir.List() }
+
+// SetDefaultLink sets the link used between any node pair without an
+// explicit link.
+func (g *Grid) SetDefaultLink(cfg LinkConfig) { g.net.SetDefaultLink(cfg) }
+
+// ConnectNodes installs a directed link between two nodes and returns it.
+func (g *Grid) ConnectNodes(from, to string, cfg LinkConfig) *Link {
+	return g.net.Connect(from, to, cfg)
+}
+
+// NetworkBytes reports the total payload carried across all emulated links.
+func (g *Grid) NetworkBytes() int64 { return g.net.TotalBytes() }
+
+// RegisterProcessor publishes a processor stage code in the application
+// repository under the given code name.
+func (g *Grid) RegisterProcessor(code string, f func(instance int) Processor) error {
+	return g.repo.RegisterProcessor(code, f)
+}
+
+// RegisterSource publishes a source stage code in the application
+// repository.
+func (g *Grid) RegisterSource(code string, f func(instance int) Source) error {
+	return g.repo.RegisterSource(code, f)
+}
+
+// Launch fetches the application descriptor at locator (an http(s) URL, a
+// file path, or a literal XML document), deploys it across the grid, and
+// starts it. tuning may be nil.
+func (g *Grid) Launch(ctx context.Context, locator string, tuning StageTuning) (*App, error) {
+	l, err := g.launcher()
+	if err != nil {
+		return nil, err
+	}
+	return l.Launch(ctx, locator, tuning)
+}
+
+// LaunchConfig deploys and starts an already parsed descriptor.
+func (g *Grid) LaunchConfig(ctx context.Context, cfg *AppConfig, tuning StageTuning) (*App, error) {
+	l, err := g.launcher()
+	if err != nil {
+		return nil, err
+	}
+	return l.LaunchConfig(ctx, cfg, tuning)
+}
+
+func (g *Grid) launcher() (*service.Launcher, error) {
+	d, err := service.NewDeployer(g.clk, g.dir, g.repo, g.net)
+	if err != nil {
+		return nil, err
+	}
+	return service.NewLauncher(d)
+}
+
+// NewEngine returns a bare stage engine on the grid's clock for programs
+// that wire stages directly, without the XML descriptor and deployment
+// machinery.
+func (g *Grid) NewEngine() *Engine { return pipeline.New(g.clk) }
+
+// Monitor is the runtime observation service: it samples watched stages
+// (queue occupancy, d̃, λ/μ rates, parameter values) and links on a fixed
+// virtual interval — the paper's "the system monitors the arrival rate at
+// each source, the available computing resources ... and the available
+// network bandwidth".
+type Monitor = monitor.Monitor
+
+// NewMonitor returns a monitor on the grid's clock sampling every interval
+// of virtual time. Watch an application with mon.WatchStages(app.Stages),
+// then run mon.Start in a goroutine.
+func (g *Grid) NewMonitor(interval time.Duration) *Monitor {
+	return monitor.New(g.clk, interval)
+}
+
+// ParseConfig parses an XML application descriptor.
+func ParseConfig(xml string) (*AppConfig, error) {
+	return service.ParseConfigString(xml)
+}
+
+// ErrNoMatch is returned when no grid node satisfies a stage's requirement.
+var ErrNoMatch = grid.ErrNoMatch
+
+// Analytic model of §4.1 — every stage a server, every input buffer its
+// queue. Build the network your pipeline induces, solve it, and ask for the
+// sustainable fraction to know where the middleware should converge before
+// you run anything.
+type (
+	// QueuingNetwork is an open feed-forward queueing network.
+	QueuingNetwork = queuing.Network
+	// QueuingStation is one server in the network.
+	QueuingStation = queuing.Station
+	// QueuingSolution holds solved arrival rates and utilizations.
+	QueuingSolution = queuing.Solution
+)
+
+// NewQueuingNetwork returns an empty analytic network.
+func NewQueuingNetwork() *QueuingNetwork { return queuing.New() }

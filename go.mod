@@ -1,0 +1,3 @@
+module github.com/gates-middleware/gates
+
+go 1.22

@@ -1,0 +1,114 @@
+package adapt
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Direction states how an adjustment parameter relates to processing speed,
+// the last argument of the paper's specifyPara API. The middleware uses it
+// to map the canonical ΔP (positive = process faster, lose accuracy) onto
+// the parameter's own units.
+type Direction int
+
+const (
+	// IncreaseSpeedsProcessing (+1): raising the value makes the stage
+	// faster and less accurate (e.g. a skip factor).
+	IncreaseSpeedsProcessing Direction = 1
+	// IncreaseSlowsProcessing (−1): raising the value makes the stage
+	// slower and more accurate (e.g. a sampling rate or summary size).
+	IncreaseSlowsProcessing Direction = -1
+)
+
+// String returns the direction name.
+func (d Direction) String() string {
+	switch d {
+	case IncreaseSpeedsProcessing:
+		return "+speed"
+	case IncreaseSlowsProcessing:
+		return "-speed"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// ParamSpec describes one adjustment parameter, mirroring
+// specifyPara(init_value, min_value, max_value, increment, direction).
+type ParamSpec struct {
+	// Name identifies the parameter in reports and traces.
+	Name string
+	// Initial is the starting value.
+	Initial float64
+	// Min and Max bound the acceptable range.
+	Min, Max float64
+	// Step is the adjustment granularity (the API's increment).
+	Step float64
+	// Direction states the value's relation to processing speed.
+	Direction Direction
+}
+
+// Validate reports the first violated constraint, or nil.
+func (s ParamSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("adapt: parameter needs a name")
+	case s.Min >= s.Max:
+		return fmt.Errorf("adapt: parameter %q: Min %v must be < Max %v", s.Name, s.Min, s.Max)
+	case s.Initial < s.Min || s.Initial > s.Max:
+		return fmt.Errorf("adapt: parameter %q: Initial %v outside [%v,%v]", s.Name, s.Initial, s.Min, s.Max)
+	case s.Step <= 0:
+		return fmt.Errorf("adapt: parameter %q: Step must be positive", s.Name)
+	case s.Direction != IncreaseSpeedsProcessing && s.Direction != IncreaseSlowsProcessing:
+		return fmt.Errorf("adapt: parameter %q: Direction must be ±1", s.Name)
+	}
+	return nil
+}
+
+// Param is a live adjustment parameter. The processing code reads the
+// middleware's current suggestion with Value (the paper's
+// getSuggestedValue()); only the adaptation controller writes it. Param is
+// safe for concurrent use.
+type Param struct {
+	spec ParamSpec
+
+	mu    sync.Mutex
+	value float64
+}
+
+// NewParam returns a parameter initialized to its spec's Initial value.
+func NewParam(spec ParamSpec) (*Param, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Param{spec: spec, value: spec.Initial}, nil
+}
+
+// Spec returns the immutable specification.
+func (p *Param) Spec() ParamSpec { return p.spec }
+
+// Value returns the middleware's current suggested value — the paper's
+// getSuggestedValue().
+func (p *Param) Value() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.value
+}
+
+// Set forces the value (clamped to [Min,Max]). It exists for tests and for
+// non-adaptive baseline versions of applications.
+func (p *Param) Set(v float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.value = clamp(v, p.spec.Min, p.spec.Max)
+}
+
+// adjust moves the parameter by deltaCanonical (positive = speed up) scaled
+// by the spec's Step and Direction, clamped to the legal range. It returns
+// old and new values.
+func (p *Param) adjust(deltaCanonical float64) (old, new float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old = p.value
+	p.value = clamp(p.value+float64(p.spec.Direction)*deltaCanonical*p.spec.Step, p.spec.Min, p.spec.Max)
+	return old, p.value
+}

@@ -1,0 +1,83 @@
+package adapt
+
+import "math"
+
+// Phi1 is the long-term load factor φ1(t1,t2) = (t1−t2)/(t1+t2), defined as
+// 0 when no observation has been classified yet. t1 counts over-load
+// classifications, t2 under-load. The result lies in [-1,1]: +1 means the
+// queue has only ever been over-loaded, −1 only ever under-loaded.
+func Phi1(t1, t2 float64) float64 {
+	if t1 < 0 || t2 < 0 {
+		panic("adapt: Phi1 counters must be non-negative")
+	}
+	if t1+t2 == 0 {
+		return 0
+	}
+	return (t1 - t2) / (t1 + t2)
+}
+
+// Phi2Exp is the windowed load factor φ2(w) = sign(w)·e^(|w|−W) where w is
+// the net over-load count inside the last W observations (|w| ≤ W). The
+// printed formula in the paper does not keep the stated [-1,1] range for
+// w < 0; this variant does: it is ±1 when the whole window agrees and decays
+// exponentially toward 0 as the window becomes mixed.
+func Phi2Exp(w, window int) float64 {
+	if window < 1 {
+		panic("adapt: Phi2Exp window must be >= 1")
+	}
+	if w == 0 {
+		return 0
+	}
+	mag := math.Exp(float64(iabs(w) - window))
+	if w < 0 {
+		return -mag
+	}
+	return mag
+}
+
+// Phi2Lin is the linear variant φ2(w) = w/W.
+func Phi2Lin(w, window int) float64 {
+	if window < 1 {
+		panic("adapt: Phi2Lin window must be >= 1")
+	}
+	v := float64(w) / float64(window)
+	return clamp(v, -1, 1)
+}
+
+// Phi3 is the recent-average load factor:
+//
+//	φ3(d̄) = (d̄−D)/D      if d̄ < D
+//	φ3(d̄) = (d̄−D)/(C−D)  if d̄ ≥ D
+//
+// It is −1 for an empty queue, 0 at the expected length D, and +1 at
+// capacity C.
+func Phi3(dbar float64, expected, capacity int) float64 {
+	if expected < 1 || capacity <= expected {
+		panic("adapt: Phi3 requires 1 <= D < C")
+	}
+	d, c := float64(expected), float64(capacity)
+	var v float64
+	if dbar < d {
+		v = (dbar - d) / d
+	} else {
+		v = (dbar - d) / (c - d)
+	}
+	return clamp(v, -1, 1)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func iabs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

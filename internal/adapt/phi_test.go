@@ -1,0 +1,129 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPhi1(t *testing.T) {
+	cases := []struct {
+		t1, t2 float64
+		want   float64
+	}{
+		{0, 0, 0},
+		{10, 0, 1},
+		{0, 10, -1},
+		{5, 5, 0},
+		{3, 1, 0.5},
+	}
+	for _, c := range cases {
+		if got := Phi1(c.t1, c.t2); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Phi1(%v,%v) = %v, want %v", c.t1, c.t2, got, c.want)
+		}
+	}
+}
+
+func TestPhi1PanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Phi1(-1,0) did not panic")
+		}
+	}()
+	Phi1(-1, 0)
+}
+
+func TestPhi2ExpSaturation(t *testing.T) {
+	const W = 8
+	if got := Phi2Exp(W, W); got != 1 {
+		t.Errorf("Phi2Exp(W,W) = %v, want 1", got)
+	}
+	if got := Phi2Exp(-W, W); got != -1 {
+		t.Errorf("Phi2Exp(-W,W) = %v, want -1", got)
+	}
+	if got := Phi2Exp(0, W); got != 0 {
+		t.Errorf("Phi2Exp(0,W) = %v, want 0", got)
+	}
+	// Monotone in w for w > 0.
+	prev := 0.0
+	for w := 1; w <= W; w++ {
+		got := Phi2Exp(w, W)
+		if got <= prev {
+			t.Fatalf("Phi2Exp not increasing at w=%d: %v <= %v", w, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPhi2Lin(t *testing.T) {
+	if got := Phi2Lin(4, 8); got != 0.5 {
+		t.Errorf("Phi2Lin(4,8) = %v, want 0.5", got)
+	}
+	if got := Phi2Lin(-8, 8); got != -1 {
+		t.Errorf("Phi2Lin(-8,8) = %v, want -1", got)
+	}
+}
+
+func TestPhi2Panics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Phi2Exp(1, 0) },
+		func() { Phi2Lin(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("zero window did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPhi3Anchors(t *testing.T) {
+	const D, C = 25, 100
+	if got := Phi3(0, D, C); got != -1 {
+		t.Errorf("Phi3(0) = %v, want -1", got)
+	}
+	if got := Phi3(D, D, C); got != 0 {
+		t.Errorf("Phi3(D) = %v, want 0", got)
+	}
+	if got := Phi3(C, D, C); got != 1 {
+		t.Errorf("Phi3(C) = %v, want 1", got)
+	}
+	// Piecewise slopes: below D uses /D, above uses /(C-D).
+	if got := Phi3(D/2.0, D, C); math.Abs(got+0.5) > 1e-12 {
+		t.Errorf("Phi3(D/2) = %v, want -0.5", got)
+	}
+	mid := float64(D) + float64(C-D)/2
+	if got := Phi3(mid, D, C); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Phi3(midpoint) = %v, want 0.5", got)
+	}
+}
+
+func TestPhi3Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Phi3 with D >= C did not panic")
+		}
+	}()
+	Phi3(1, 10, 10)
+}
+
+// Property: every load factor stays in [-1, 1] for arbitrary legal inputs.
+func TestPhiRangeProperty(t *testing.T) {
+	inRange := func(v float64) bool { return v >= -1 && v <= 1 && !math.IsNaN(v) }
+	f := func(a, b uint32, wRaw int16, windowRaw uint8, dbarRaw uint16) bool {
+		window := int(windowRaw%64) + 1
+		w := int(wRaw) % (window + 1)
+		const D, C = 16, 64
+		dbar := float64(dbarRaw % (C + 1))
+		return inRange(Phi1(float64(a), float64(b))) &&
+			inRange(Phi2Exp(w, window)) &&
+			inRange(Phi2Lin(w, window)) &&
+			inRange(Phi3(dbar, D, C))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

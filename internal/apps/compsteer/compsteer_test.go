@@ -1,0 +1,220 @@
+package compsteer
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/adapt"
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/metrics"
+	"github.com/gates-middleware/gates/internal/netsim"
+	"github.com/gates-middleware/gates/internal/pipeline"
+)
+
+func TestSimulationSourceVolume(t *testing.T) {
+	clk := clock.NewScaled(2000)
+	e := pipeline.New(clk)
+	src, _ := e.AddSourceStage("sim", 0, &SimulationSource{
+		GenRate: 160, Duration: 10 * time.Second, PacketBytes: 16,
+	}, pipeline.StageConfig{DisableAdaptation: true, ComputeQuantum: 500 * time.Millisecond})
+	ana := &Analyzer{}
+	sink, _ := e.AddProcessorStage("analysis", 0, ana, pipeline.StageConfig{DisableAdaptation: true})
+	e.Connect(src, sink, nil)
+	sw := clock.NewStopwatch(clk)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// 160 B/s for 10 s = 1600 B in 16-byte packets = 100 packets.
+	if got := ana.BytesAnalyzed(); got != 1600 {
+		t.Fatalf("analyzer saw %d bytes, want 1600", got)
+	}
+	if elapsed := sw.Elapsed(); elapsed < 9*time.Second {
+		t.Fatalf("generation finished in %v virtual, want ~10s of pacing", elapsed)
+	}
+}
+
+func TestSimulationSourceRejectsBadRate(t *testing.T) {
+	e := pipeline.New(clock.NewScaled(2000))
+	src, _ := e.AddSourceStage("sim", 0, &SimulationSource{GenRate: 0, Duration: time.Second}, pipeline.StageConfig{})
+	sink, _ := e.AddProcessorStage("analysis", 0, &Analyzer{}, pipeline.StageConfig{})
+	e.Connect(src, sink, nil)
+	if err := e.Run(context.Background()); err == nil {
+		t.Fatal("zero GenRate accepted")
+	}
+}
+
+func TestSamplerThinsAtFixedRate(t *testing.T) {
+	clk := clock.NewScaled(5000)
+	e := pipeline.New(clk)
+	src, _ := e.AddSourceStage("sim", 0, &SimulationSource{
+		GenRate: 1600, Duration: 10 * time.Second, PacketBytes: 16,
+	}, pipeline.StageConfig{DisableAdaptation: true, ComputeQuantum: 500 * time.Millisecond})
+	sampler := &Sampler{Spec: adapt.ParamSpec{
+		Name: ParamName, Initial: 0.25, Min: 0.25, Max: 0.2500001, Step: 0.01,
+		Direction: adapt.IncreaseSlowsProcessing,
+	}}
+	smp, _ := e.AddProcessorStage("sampler", 0, sampler, pipeline.StageConfig{DisableAdaptation: true})
+	ana := &Analyzer{}
+	sink, _ := e.AddProcessorStage("analysis", 0, ana, pipeline.StageConfig{DisableAdaptation: true})
+	e.Connect(src, smp, nil)
+	e.Connect(smp, sink, nil)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// 1000 packets in, pinned rate 0.25 -> 250 forwarded.
+	if got := ana.BytesAnalyzed(); got != 250*16 {
+		t.Fatalf("analyzer saw %d bytes, want %d", got, 250*16)
+	}
+	if r := sampler.Rate(); r < 0.2 || r > 0.3 {
+		t.Fatalf("pinned rate drifted to %v", r)
+	}
+}
+
+func TestSamplerRateBeforeInit(t *testing.T) {
+	if (&Sampler{}).Rate() != 0 {
+		t.Fatal("uninitialized sampler has a rate")
+	}
+}
+
+// runSteering executes one comp-steer configuration and returns the
+// sampling-rate trace — the harness behind the Figure 8/9 checks.
+func runSteering(t *testing.T, genRate int, packetBytes int, costPerByte time.Duration,
+	linkBW int64, initial float64, duration time.Duration, scale float64) *metrics.TimeSeries {
+	t.Helper()
+	clk := clock.NewScaled(scale)
+	e := pipeline.New(clk)
+
+	// The source's compute quantum stays well under the adaptation
+	// interval: coarser batching would inject artificial packet bursts
+	// whose queue spikes alias with the load classifier.
+	src, _ := e.AddSourceStage("sim", 0, &SimulationSource{
+		GenRate: genRate, Duration: duration, PacketBytes: packetBytes,
+	}, pipeline.StageConfig{DisableAdaptation: true, ComputeQuantum: 100 * time.Millisecond})
+
+	spec := DefaultSamplerSpec()
+	spec.Initial = initial
+	sampler := &Sampler{Spec: spec}
+	trace := metrics.NewTimeSeries()
+	smp, _ := e.AddProcessorStage("sampler", 0, sampler, pipeline.StageConfig{
+		QueueCapacity: 100,
+		AdaptInterval: 500 * time.Millisecond,
+		AdjustEvery:   2,
+		OnAdjust: func(_ *pipeline.Stage, now time.Time, adjs []adapt.Adjustment) {
+			for _, a := range adjs {
+				trace.Record(now, a.New)
+			}
+		},
+	})
+
+	ana, _ := e.AddProcessorStage("analysis", 0, &Analyzer{CostPerByte: costPerByte}, pipeline.StageConfig{
+		QueueCapacity:  50,
+		AdaptInterval:  500 * time.Millisecond,
+		AdjustEvery:    2,
+		ComputeQuantum: 200 * time.Millisecond,
+	})
+
+	e.Connect(src, smp, nil)
+	var link *netsim.Link
+	if linkBW > 0 {
+		link = netsim.NewLink(clk, netsim.LinkConfig{Bandwidth: linkBW, Quantum: 100 * time.Millisecond})
+	}
+	e.Connect(smp, ana, link)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// TestProcessingConstraintConvergence is the in-package miniature of
+// Figure 8: with analysis costing 20 ms/byte against 160 B/s generation the
+// rate must settle near 1000/(20·160) ≈ 0.31; with 1 ms/byte processing is
+// no constraint and the rate must climb to ≈ 1.
+func TestProcessingConstraintConvergence(t *testing.T) {
+	heavy := runSteering(t, 160, 16, 20*time.Millisecond, 0, 0.13, 240*time.Second, 300)
+	if got := heavy.WindowMean(150*time.Second, 240*time.Second); got < 0.15 || got > 0.5 {
+		t.Fatalf("20 ms/byte converged to %.3f, want ≈ 0.31", got)
+	}
+	light := runSteering(t, 160, 16, 1*time.Millisecond, 0, 0.13, 240*time.Second, 300)
+	if got := light.WindowMean(150*time.Second, 240*time.Second); got < 0.85 {
+		t.Fatalf("1 ms/byte converged to %.3f, want ≈ 1", got)
+	}
+}
+
+// TestNetworkConstraintConvergence is the in-package miniature of Figure 9:
+// generation at 40 KB/s over a 10 KB/s link must settle near 0.25, starting
+// from 0.01.
+func TestNetworkConstraintConvergence(t *testing.T) {
+	trace := runSteering(t, 40_000, 500, 0, 10*netsim.KBps, 0.01, 240*time.Second, 300)
+	if got := trace.WindowMean(150*time.Second, 240*time.Second); got < 0.15 || got > 0.4 {
+		t.Fatalf("40 KB/s over 10 KB/s converged to %.3f, want ≈ 0.25", got)
+	}
+}
+
+// TestSteeringLoopDetectsHotRegion runs the full steering loop: the
+// simulation develops a feature in one grid region, the analyzer detects it
+// through the sampled stream, and the steering sink accumulates refinement
+// commands for the right region.
+func TestSteeringLoopDetectsHotRegion(t *testing.T) {
+	clk := clock.NewScaled(5000)
+	e := pipeline.New(clk)
+	src, _ := e.AddSourceStage("sim", 0, &SimulationSource{
+		GenRate: 1600, Duration: 60 * time.Second, PacketBytes: 16,
+		Regions: 8, HotRegion: 5, Seed: 9,
+	}, pipeline.StageConfig{DisableAdaptation: true, ComputeQuantum: 200 * time.Millisecond})
+	sampler := &Sampler{Spec: adapt.ParamSpec{
+		Name: ParamName, Initial: 0.5, Min: 0.5, Max: 0.5000001, Step: 0.01,
+		Direction: adapt.IncreaseSlowsProcessing,
+	}}
+	smp, _ := e.AddProcessorStage("sampler", 0, sampler, pipeline.StageConfig{DisableAdaptation: true})
+	ana := &Analyzer{FeatureThreshold: 4.5} // background ~N(0,1); feature adds +3 to every value
+	anaSt, _ := e.AddProcessorStage("analysis", 0, ana, pipeline.StageConfig{DisableAdaptation: true})
+	steer := NewSteering()
+	steerSt, _ := e.AddProcessorStage("steering", 0, steer, pipeline.StageConfig{DisableAdaptation: true})
+	e.Connect(src, smp, nil)
+	e.Connect(smp, anaSt, nil)
+	e.Connect(anaSt, steerSt, nil)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if ana.FeaturesDetected() == 0 || steer.Commands() == 0 {
+		t.Fatal("no features detected despite the injected hot region")
+	}
+	if got := steer.MostRefined(); got != 5 {
+		t.Fatalf("most refined region = %d, want the hot region 5", got)
+	}
+	// The hot region must dominate: random N(0,1) excursions past 4.5
+	// are vanishingly rare, so stray commands stay far below.
+	hot := steer.Refinements(5)
+	for r := 0; r < 8; r++ {
+		if r != 5 && steer.Refinements(r) > hot/4 {
+			t.Fatalf("region %d collected %d commands vs hot region's %d", r, steer.Refinements(r), hot)
+		}
+	}
+}
+
+func TestSteeringRejectsWrongType(t *testing.T) {
+	e := pipeline.New(clock.NewScaled(5000))
+	bad, _ := e.AddSourceStage("bad", 0, badValueSource{}, pipeline.StageConfig{})
+	st, _ := e.AddProcessorStage("steering", 0, NewSteering(), pipeline.StageConfig{})
+	e.Connect(bad, st, nil)
+	if err := e.Run(context.Background()); err == nil {
+		t.Fatal("steering accepted a non-command packet")
+	}
+}
+
+func TestSteeringEmpty(t *testing.T) {
+	s := NewSteering()
+	if s.MostRefined() != -1 {
+		t.Fatal("empty steering has a most-refined region")
+	}
+	if s.Commands() != 0 || s.Refinements(3) != 0 {
+		t.Fatal("empty steering has counts")
+	}
+}
+
+type badValueSource struct{}
+
+func (badValueSource) Run(_ *pipeline.Context, out *pipeline.Emitter) error {
+	return out.EmitValue(3.14, 8)
+}

@@ -1,0 +1,349 @@
+// Package intrusion implements the paper's online network-intrusion
+// detection motivating application (§2): connection-request logs are
+// analyzed in a distributed fashion — one filtering stage near each site's
+// log source, and a global detector that correlates the per-site reports to
+// flag scanning hosts.
+//
+// The per-site stage keeps a counting-samples sketch of connection counts
+// per source host and periodically forwards its top talkers; the size of
+// that watchlist is the stage's adjustment parameter (a bigger watchlist is
+// more accurate and more expensive to ship). The global detector raises an
+// alert for any host whose aggregate connection rate crosses a threshold or
+// that appears in the watchlists of several sites at once — the signature of
+// a distributed scan.
+package intrusion
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/adapt"
+	"github.com/gates-middleware/gates/internal/apps/countsamps"
+	"github.com/gates-middleware/gates/internal/pipeline"
+	"github.com/gates-middleware/gates/internal/workload"
+)
+
+// Conn is one connection-request log record.
+type Conn struct {
+	// Src identifies the connecting host.
+	Src uint32
+	// Port is the destination port.
+	Port uint16
+}
+
+// ConnBatch is the unit shipped between stages: a chunk of log records from
+// one site.
+type ConnBatch struct {
+	Site    int
+	Records []Conn
+}
+
+// LogSource generates a site's connection log: background traffic from many
+// hosts, plus an optional attacker that floods connections during a window
+// of the stream.
+type LogSource struct {
+	// Site is this source's site ordinal.
+	Site int
+	// Background is how many background records to generate.
+	Background int
+	// Hosts is the background host population size.
+	Hosts int
+	// AttackerSrc, when non-zero, injects AttackRecords records from this
+	// host interleaved through the middle third of the stream.
+	AttackerSrc   uint32
+	AttackRecords int
+	// BatchSize is records per packet (default 50).
+	BatchSize int
+	// Seed makes the log reproducible.
+	Seed int64
+	// PerRecordCost paces generation (virtual time per record).
+	PerRecordCost time.Duration
+}
+
+// Run implements pipeline.Source.
+func (s *LogSource) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
+	if s.Hosts < 1 {
+		return fmt.Errorf("intrusion: LogSource needs a host population")
+	}
+	batch := s.BatchSize
+	if batch < 1 {
+		batch = 50
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	total := s.Background + s.AttackRecords
+	attackStart, attackEnd := total/3, 2*total/3
+	attackLeft := s.AttackRecords
+
+	records := make([]Conn, 0, batch)
+	flush := func() error {
+		if len(records) == 0 {
+			return nil
+		}
+		cp := make([]Conn, len(records))
+		copy(cp, records)
+		records = records[:0]
+		return out.Emit(&pipeline.Packet{
+			Value:    &ConnBatch{Site: s.Site, Records: cp},
+			Items:    len(cp),
+			WireSize: len(cp) * 16,
+		})
+	}
+	for i := 0; i < total; i++ {
+		var c Conn
+		inWindow := i >= attackStart && i < attackEnd
+		if s.AttackerSrc != 0 && inWindow && attackLeft > 0 && rng.Float64() < 0.5 {
+			attackLeft--
+			c = Conn{Src: s.AttackerSrc, Port: uint16(rng.Intn(1024))}
+		} else {
+			c = Conn{Src: uint32(rng.Intn(s.Hosts) + 1), Port: uint16(rng.Intn(65535))}
+		}
+		if s.PerRecordCost > 0 {
+			ctx.ChargeCompute(s.PerRecordCost)
+		}
+		records = append(records, c)
+		if len(records) >= batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// SiteReport is a site filter's periodic output: the site's current top
+// talkers.
+type SiteReport struct {
+	Site    int
+	Span    uint64
+	Talkers []workload.ValueCount // Value = host, Count = estimated records
+}
+
+// WireSize models the report's size on the network.
+func (r *SiteReport) WireSize() int { return len(r.Talkers)*12 + 24 }
+
+// SiteFilterConfig configures a per-site filtering stage.
+type SiteFilterConfig struct {
+	// FlushEvery forwards a report after this many records (default 500).
+	FlushEvery int
+	// Watchlist is the fixed top-k size forwarded. Ignored when Adaptive.
+	Watchlist int
+	// Adaptive exposes the watchlist size as an adjustment parameter
+	// (initial 20, range [5, 100], step 1).
+	Adaptive bool
+	// SketchFootprint bounds the per-site sketch (default 256).
+	SketchFootprint int
+	// PerRecordCost is the filtering cost per record.
+	PerRecordCost time.Duration
+	// Seed makes the sketch reproducible.
+	Seed int64
+}
+
+func (c *SiteFilterConfig) fill() {
+	if c.FlushEvery == 0 {
+		c.FlushEvery = 500
+	}
+	if c.Watchlist == 0 {
+		c.Watchlist = 20
+	}
+	if c.SketchFootprint == 0 {
+		c.SketchFootprint = 256
+	}
+}
+
+// SiteFilter is the near-source stage: it sketches per-host connection
+// counts and periodically reports the site's top talkers.
+type SiteFilter struct {
+	cfg    SiteFilterConfig
+	sketch *countsamps.Sketch
+	param  *adapt.Param
+	site   int
+	since  int
+}
+
+// NewSiteFilter returns a site filter processor.
+func NewSiteFilter(cfg SiteFilterConfig) *SiteFilter {
+	cfg.fill()
+	return &SiteFilter{cfg: cfg}
+}
+
+// Init implements pipeline.Processor.
+func (f *SiteFilter) Init(ctx *pipeline.Context) error {
+	f.sketch = countsamps.NewSketch(f.cfg.SketchFootprint, f.cfg.Seed+int64(ctx.Instance()))
+	if f.cfg.Adaptive {
+		p, err := ctx.SpecifyParam(adapt.ParamSpec{
+			Name:      "watchlist-size",
+			Initial:   20,
+			Min:       5,
+			Max:       100,
+			Step:      1,
+			Direction: adapt.IncreaseSlowsProcessing,
+		})
+		if err != nil {
+			return err
+		}
+		f.param = p
+	}
+	return nil
+}
+
+func (f *SiteFilter) watchlist() int {
+	if f.param != nil {
+		return int(f.param.Value())
+	}
+	return f.cfg.Watchlist
+}
+
+// Process implements pipeline.Processor.
+func (f *SiteFilter) Process(ctx *pipeline.Context, pkt *pipeline.Packet, out *pipeline.Emitter) error {
+	batch, ok := pkt.Value.(*ConnBatch)
+	if !ok {
+		return fmt.Errorf("intrusion: site filter got %T, want *ConnBatch", pkt.Value)
+	}
+	f.site = batch.Site
+	for _, c := range batch.Records {
+		f.sketch.Observe(int(c.Src))
+		f.since++
+		if f.since >= f.cfg.FlushEvery {
+			if err := f.flush(out); err != nil {
+				return err
+			}
+		}
+	}
+	if f.cfg.PerRecordCost > 0 {
+		ctx.ChargeCompute(time.Duration(len(batch.Records)) * f.cfg.PerRecordCost)
+	}
+	return nil
+}
+
+// Finish implements pipeline.Processor.
+func (f *SiteFilter) Finish(_ *pipeline.Context, out *pipeline.Emitter) error {
+	return f.flush(out)
+}
+
+func (f *SiteFilter) flush(out *pipeline.Emitter) error {
+	f.since = 0
+	rep := &SiteReport{
+		Site:    f.site,
+		Span:    f.sketch.Observed(),
+		Talkers: f.sketch.TopK(f.watchlist()),
+	}
+	return out.Emit(&pipeline.Packet{
+		Value:    rep,
+		Items:    len(rep.Talkers),
+		WireSize: rep.WireSize(),
+	})
+}
+
+// Alert flags a suspicious host.
+type Alert struct {
+	// Host is the flagged source address.
+	Host uint32
+	// Sites is how many sites reported the host among their top talkers.
+	Sites int
+	// Estimated is the aggregate estimated record count.
+	Estimated float64
+	// Reason describes which rule fired.
+	Reason string
+}
+
+// DetectorConfig tunes the global detector.
+type DetectorConfig struct {
+	// RateThreshold flags any host whose aggregate estimated count
+	// exceeds this many records (default 400).
+	RateThreshold float64
+	// SpreadThreshold flags any host reported by at least this many
+	// sites (default 3).
+	SpreadThreshold int
+}
+
+func (c *DetectorConfig) fill() {
+	if c.RateThreshold == 0 {
+		c.RateThreshold = 400
+	}
+	if c.SpreadThreshold == 0 {
+		c.SpreadThreshold = 3
+	}
+}
+
+// Detector is the central stage: it correlates site reports and raises
+// alerts. It is safe to query concurrently.
+type Detector struct {
+	cfg DetectorConfig
+
+	mu      sync.Mutex
+	reports map[int]*SiteReport // latest per site
+}
+
+// NewDetector returns a detector processor.
+func NewDetector(cfg DetectorConfig) *Detector {
+	cfg.fill()
+	return &Detector{cfg: cfg, reports: make(map[int]*SiteReport)}
+}
+
+// Init implements pipeline.Processor.
+func (d *Detector) Init(*pipeline.Context) error { return nil }
+
+// Process implements pipeline.Processor.
+func (d *Detector) Process(_ *pipeline.Context, pkt *pipeline.Packet, _ *pipeline.Emitter) error {
+	rep, ok := pkt.Value.(*SiteReport)
+	if !ok {
+		return fmt.Errorf("intrusion: detector got %T, want *SiteReport", pkt.Value)
+	}
+	d.mu.Lock()
+	if prev, dup := d.reports[rep.Site]; !dup || prev.Span <= rep.Span {
+		d.reports[rep.Site] = rep
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// Finish implements pipeline.Processor.
+func (d *Detector) Finish(*pipeline.Context, *pipeline.Emitter) error { return nil }
+
+// Alerts evaluates the detection rules over the latest per-site reports.
+func (d *Detector) Alerts() []Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	agg := make(map[uint32]*Alert)
+	for _, rep := range d.reports {
+		for _, t := range rep.Talkers {
+			host := uint32(t.Value)
+			a, ok := agg[host]
+			if !ok {
+				a = &Alert{Host: host}
+				agg[host] = a
+			}
+			a.Sites++
+			a.Estimated += t.Count
+		}
+	}
+	var out []Alert
+	for _, a := range agg {
+		switch {
+		case a.Estimated >= d.cfg.RateThreshold:
+			a.Reason = "rate"
+		case a.Sites >= d.cfg.SpreadThreshold:
+			a.Reason = "spread"
+		default:
+			continue
+		}
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Estimated != out[j].Estimated {
+			return out[i].Estimated > out[j].Estimated
+		}
+		return out[i].Host < out[j].Host
+	})
+	return out
+}
+
+// Sites reports how many sites have delivered reports.
+func (d *Detector) Sites() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.reports)
+}

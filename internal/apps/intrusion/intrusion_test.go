@@ -1,0 +1,203 @@
+package intrusion
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/pipeline"
+	"github.com/gates-middleware/gates/internal/workload"
+)
+
+// buildApp wires sites log sources through site filters into one detector.
+func buildApp(t *testing.T, sites int, attacker uint32, attackSites []int) (*pipeline.Engine, *Detector) {
+	t.Helper()
+	e := pipeline.New(clock.NewScaled(20000))
+	det := NewDetector(DetectorConfig{RateThreshold: 400, SpreadThreshold: 3})
+	dst, err := e.AddProcessorStage("detector", 0, det, pipeline.StageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacks := map[int]bool{}
+	for _, s := range attackSites {
+		attacks[s] = true
+	}
+	for i := 0; i < sites; i++ {
+		src := &LogSource{
+			Site: i, Background: 5000, Hosts: 2000, Seed: int64(i + 1),
+		}
+		if attacks[i] {
+			src.AttackerSrc = attacker
+			src.AttackRecords = 800
+		}
+		ss, err := e.AddSourceStage("log", i, src, pipeline.StageConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf, err := e.AddProcessorStage("filter", i, NewSiteFilter(SiteFilterConfig{
+			Seed: int64(i + 100),
+		}), pipeline.StageConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Connect(ss, sf, nil)
+		e.Connect(sf, dst, nil)
+	}
+	return e, det
+}
+
+func TestAttackRaisesRateAlert(t *testing.T) {
+	e, det := buildApp(t, 4, 0xBADF00D, []int{1})
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if det.Sites() != 4 {
+		t.Fatalf("detector heard from %d sites, want 4", det.Sites())
+	}
+	alerts := det.Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("no alert for an 800-record flood")
+	}
+	if alerts[0].Host != 0xBADF00D {
+		t.Fatalf("top alert is host %x, want the attacker", alerts[0].Host)
+	}
+	if alerts[0].Reason != "rate" {
+		t.Fatalf("alert reason %q, want rate", alerts[0].Reason)
+	}
+}
+
+func TestDistributedScanRaisesSpreadAlert(t *testing.T) {
+	// The same host sends a sub-rate-threshold trickle at every site: the
+	// spread rule must catch it.
+	e := pipeline.New(clock.NewScaled(20000))
+	det := NewDetector(DetectorConfig{RateThreshold: 1e9, SpreadThreshold: 3})
+	dst, _ := e.AddProcessorStage("detector", 0, det, pipeline.StageConfig{})
+	for i := 0; i < 4; i++ {
+		src := &LogSource{
+			Site: i, Background: 3000, Hosts: 2000,
+			AttackerSrc: 0xC0FFEE, AttackRecords: 300, Seed: int64(i + 1),
+		}
+		ss, _ := e.AddSourceStage("log", i, src, pipeline.StageConfig{})
+		sf, _ := e.AddProcessorStage("filter", i, NewSiteFilter(SiteFilterConfig{Seed: int64(i)}), pipeline.StageConfig{})
+		e.Connect(ss, sf, nil)
+		e.Connect(sf, dst, nil)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	alerts := det.Alerts()
+	found := false
+	for _, a := range alerts {
+		if a.Host == 0xC0FFEE {
+			found = true
+			if a.Reason != "spread" {
+				t.Fatalf("attacker flagged by %q, want spread", a.Reason)
+			}
+			if a.Sites < 3 {
+				t.Fatalf("attacker seen at %d sites, want >= 3", a.Sites)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("distributed scanner not flagged; alerts: %v", alerts)
+	}
+}
+
+func TestQuietLogsRaiseNoAlerts(t *testing.T) {
+	e, det := buildApp(t, 4, 0, nil)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Background hosts send ~2.5 records each across 2000 hosts: far from
+	// both thresholds.
+	if alerts := det.Alerts(); len(alerts) != 0 {
+		t.Fatalf("background-only run produced alerts: %v", alerts)
+	}
+}
+
+func TestLogSourceValidation(t *testing.T) {
+	e := pipeline.New(clock.NewScaled(20000))
+	ss, _ := e.AddSourceStage("log", 0, &LogSource{Hosts: 0, Background: 10}, pipeline.StageConfig{})
+	sf, _ := e.AddProcessorStage("filter", 0, NewSiteFilter(SiteFilterConfig{}), pipeline.StageConfig{})
+	det, _ := e.AddProcessorStage("detector", 0, NewDetector(DetectorConfig{}), pipeline.StageConfig{})
+	e.Connect(ss, sf, nil)
+	e.Connect(sf, det, nil)
+	if err := e.Run(context.Background()); err == nil {
+		t.Fatal("zero host population accepted")
+	}
+}
+
+func TestWrongTypesRejected(t *testing.T) {
+	e := pipeline.New(clock.NewScaled(20000))
+	bad, _ := e.AddSourceStage("bad", 0, badSource{}, pipeline.StageConfig{})
+	sf, _ := e.AddProcessorStage("filter", 0, NewSiteFilter(SiteFilterConfig{}), pipeline.StageConfig{})
+	det, _ := e.AddProcessorStage("detector", 0, NewDetector(DetectorConfig{}), pipeline.StageConfig{})
+	e.Connect(bad, sf, nil)
+	e.Connect(sf, det, nil)
+	if err := e.Run(context.Background()); err == nil {
+		t.Fatal("site filter accepted a non-ConnBatch packet")
+	}
+
+	e2 := pipeline.New(clock.NewScaled(20000))
+	bad2, _ := e2.AddSourceStage("bad", 0, badSource{}, pipeline.StageConfig{})
+	det2, _ := e2.AddProcessorStage("detector", 0, NewDetector(DetectorConfig{}), pipeline.StageConfig{})
+	e2.Connect(bad2, det2, nil)
+	if err := e2.Run(context.Background()); err == nil {
+		t.Fatal("detector accepted a non-SiteReport packet")
+	}
+}
+
+func TestAdaptiveWatchlistRegistered(t *testing.T) {
+	e := pipeline.New(clock.NewScaled(20000))
+	src := &LogSource{Site: 0, Background: 2000, Hosts: 500, Seed: 3}
+	ss, _ := e.AddSourceStage("log", 0, src, pipeline.StageConfig{})
+	sf, _ := e.AddProcessorStage("filter", 0, NewSiteFilter(SiteFilterConfig{Adaptive: true, Seed: 4}), pipeline.StageConfig{})
+	det, _ := e.AddProcessorStage("detector", 0, NewDetector(DetectorConfig{}), pipeline.StageConfig{})
+	e.Connect(ss, sf, nil)
+	e.Connect(sf, det, nil)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := sf.Controller().Param("watchlist-size")
+	if !ok {
+		t.Fatal("watchlist-size parameter not registered")
+	}
+	if v := p.Value(); v < 5 || v > 100 {
+		t.Fatalf("watchlist size %v escaped its bounds", v)
+	}
+}
+
+func TestSiteReportWireSize(t *testing.T) {
+	if got := (&SiteReport{}).WireSize(); got != 24 {
+		t.Fatalf("empty report WireSize = %d, want 24", got)
+	}
+	rep := &SiteReport{Talkers: make([]workload.ValueCount, 10)}
+	if got := rep.WireSize(); got != 144 {
+		t.Fatalf("10-talker report WireSize = %d, want 144", got)
+	}
+}
+
+func TestLogSourcePacing(t *testing.T) {
+	clk := clock.NewScaled(5000)
+	e := pipeline.New(clk)
+	src := &LogSource{Site: 0, Background: 1000, Hosts: 100, Seed: 1, PerRecordCost: 10 * time.Millisecond}
+	ss, _ := e.AddSourceStage("log", 0, src, pipeline.StageConfig{ComputeQuantum: 200 * time.Millisecond})
+	sf, _ := e.AddProcessorStage("filter", 0, NewSiteFilter(SiteFilterConfig{Seed: 2}), pipeline.StageConfig{})
+	det, _ := e.AddProcessorStage("detector", 0, NewDetector(DetectorConfig{}), pipeline.StageConfig{})
+	e.Connect(ss, sf, nil)
+	e.Connect(sf, det, nil)
+	sw := clock.NewStopwatch(clk)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Elapsed() < 9*time.Second {
+		t.Fatalf("1000 records at 10ms each finished in %v, want ~10s", sw.Elapsed())
+	}
+}
+
+type badSource struct{}
+
+func (badSource) Run(_ *pipeline.Context, out *pipeline.Emitter) error {
+	return out.EmitValue(42, 8)
+}

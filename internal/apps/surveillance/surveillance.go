@@ -1,0 +1,276 @@
+// Package surveillance implements the paper's computer-vision motivating
+// application (§2): multiple cameras shooting a set of scenes from different
+// perspectives, with per-camera feature extraction too expensive for a
+// single desktop ("real-time analysis of the capture of more than three
+// digital cameras is not possible on current desktops").
+//
+// A Camera source emits frames containing the pixel positions of the
+// objects it can see. A per-camera Extractor stage pays a per-frame compute
+// cost to turn frames into compact detections, dropping frames under an
+// adjustable frame-sampling rate — the stage's adjustment parameter. A
+// central Fusion stage correlates detections: objects reported by multiple
+// cameras within a time window are merged into tracks.
+package surveillance
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/adapt"
+	"github.com/gates-middleware/gates/internal/pipeline"
+)
+
+// Frame is one camera capture: the scene objects visible to the camera.
+type Frame struct {
+	Camera int
+	Seq    int
+	// Objects holds the true object ids visible in this frame (the
+	// simulated scene's ground truth, which extraction recovers).
+	Objects []int
+	// Bytes is the frame's wire size (raw frames are heavy).
+	Bytes int
+}
+
+// Camera generates frames at a fixed rate for a fixed virtual duration.
+// Each frame sees a subset of the scene's objects, chosen by coverage.
+type Camera struct {
+	// ID is the camera ordinal.
+	ID int
+	// FPS is frames per virtual second (default 10).
+	FPS int
+	// Duration is the capture length.
+	Duration time.Duration
+	// SceneObjects is the number of distinct objects in the scene.
+	SceneObjects int
+	// Coverage is the probability a given object is visible in a frame.
+	Coverage float64
+	// FrameBytes is the wire size per frame (default 4096).
+	FrameBytes int
+	// Seed makes the capture reproducible.
+	Seed int64
+}
+
+// Run implements pipeline.Source.
+func (c *Camera) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
+	if c.SceneObjects < 1 || c.Coverage <= 0 || c.Coverage > 1 {
+		return fmt.Errorf("surveillance: camera %d needs objects and coverage in (0,1]", c.ID)
+	}
+	fps := c.FPS
+	if fps <= 0 {
+		fps = 10
+	}
+	fb := c.FrameBytes
+	if fb <= 0 {
+		fb = 4096
+	}
+	interval := time.Second / time.Duration(fps)
+	frames := int(c.Duration / interval)
+	rng := rand.New(rand.NewSource(c.Seed))
+	for i := 0; i < frames; i++ {
+		select {
+		case <-ctx.Done():
+			return nil
+		default:
+		}
+		ctx.ChargeCompute(interval)
+		var objs []int
+		for o := 0; o < c.SceneObjects; o++ {
+			if rng.Float64() < c.Coverage {
+				objs = append(objs, o)
+			}
+		}
+		pkt := &pipeline.Packet{
+			Value:    &Frame{Camera: c.ID, Seq: i, Objects: objs, Bytes: fb},
+			Items:    1,
+			WireSize: fb,
+		}
+		if err := out.Emit(pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Detections is an extractor's per-frame output: which objects one camera
+// saw, in a compact representation.
+type Detections struct {
+	Camera  int
+	Seq     int
+	Objects []int
+}
+
+// WireSize models the compact detection record on the network.
+func (d *Detections) WireSize() int { return len(d.Objects)*8 + 16 }
+
+// ExtractorConfig tunes a per-camera feature-extraction stage.
+type ExtractorConfig struct {
+	// CostPerFrame is the extraction compute cost (default 60 ms — the
+	// "can't do more than three cameras on one desktop" regime at
+	// 10 fps per camera; 4 cameras × 10 fps × 60 ms = 2.4 s of work per
+	// second).
+	CostPerFrame time.Duration
+	// Adaptive exposes the frame-sampling rate as an adjustment
+	// parameter (initial 1.0, range [0.05, 1], step 0.01).
+	Adaptive bool
+	// FixedRate is the frame-sampling rate when not adaptive
+	// (default 1.0).
+	FixedRate float64
+}
+
+func (c *ExtractorConfig) fill() {
+	if c.CostPerFrame == 0 {
+		c.CostPerFrame = 60 * time.Millisecond
+	}
+	if c.FixedRate == 0 {
+		c.FixedRate = 1
+	}
+}
+
+// Extractor converts frames to detections, skipping frames per the sampling
+// rate before paying the extraction cost.
+type Extractor struct {
+	cfg    ExtractorConfig
+	param  *adapt.Param
+	credit float64
+
+	frames, analyzed uint64
+}
+
+// NewExtractor returns an extractor processor.
+func NewExtractor(cfg ExtractorConfig) *Extractor {
+	cfg.fill()
+	return &Extractor{cfg: cfg}
+}
+
+// Init implements pipeline.Processor.
+func (x *Extractor) Init(ctx *pipeline.Context) error {
+	if !x.cfg.Adaptive {
+		return nil
+	}
+	p, err := ctx.SpecifyParam(adapt.ParamSpec{
+		Name:      "frame-rate",
+		Initial:   1.0,
+		Min:       0.05,
+		Max:       1.0,
+		Step:      0.01,
+		Direction: adapt.IncreaseSlowsProcessing,
+	})
+	if err != nil {
+		return err
+	}
+	x.param = p
+	return nil
+}
+
+func (x *Extractor) rate() float64 {
+	if x.param != nil {
+		return x.param.Value()
+	}
+	return x.cfg.FixedRate
+}
+
+// Process implements pipeline.Processor.
+func (x *Extractor) Process(ctx *pipeline.Context, pkt *pipeline.Packet, out *pipeline.Emitter) error {
+	frame, ok := pkt.Value.(*Frame)
+	if !ok {
+		return fmt.Errorf("surveillance: extractor got %T, want *Frame", pkt.Value)
+	}
+	x.frames++
+	x.credit += x.rate()
+	if x.credit < 1 {
+		return nil // frame skipped under the sampling rate
+	}
+	x.credit--
+	x.analyzed++
+	ctx.ChargeCompute(x.cfg.CostPerFrame)
+	det := &Detections{Camera: frame.Camera, Seq: frame.Seq, Objects: frame.Objects}
+	return out.Emit(&pipeline.Packet{Value: det, Items: 1, WireSize: det.WireSize()})
+}
+
+// Finish implements pipeline.Processor.
+func (x *Extractor) Finish(*pipeline.Context, *pipeline.Emitter) error { return nil }
+
+// Frames returns (received, analyzed) frame counts. Read after the run.
+func (x *Extractor) Frames() (received, analyzed uint64) { return x.frames, x.analyzed }
+
+// Track is a fused object track.
+type Track struct {
+	// Object is the tracked object id.
+	Object int
+	// Cameras is how many distinct cameras detected the object.
+	Cameras int
+	// Sightings is the total detection count.
+	Sightings int
+}
+
+// Fusion is the central stage: it merges detections from all cameras into
+// per-object tracks. It is safe to query concurrently.
+type Fusion struct {
+	mu      sync.Mutex
+	cams    map[int]map[int]bool // object -> camera set
+	counts  map[int]int          // object -> sightings
+	packets uint64
+}
+
+// NewFusion returns a fusion processor.
+func NewFusion() *Fusion {
+	return &Fusion{cams: make(map[int]map[int]bool), counts: make(map[int]int)}
+}
+
+// Init implements pipeline.Processor.
+func (f *Fusion) Init(*pipeline.Context) error { return nil }
+
+// Process implements pipeline.Processor.
+func (f *Fusion) Process(_ *pipeline.Context, pkt *pipeline.Packet, _ *pipeline.Emitter) error {
+	det, ok := pkt.Value.(*Detections)
+	if !ok {
+		return fmt.Errorf("surveillance: fusion got %T, want *Detections", pkt.Value)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.packets++
+	for _, o := range det.Objects {
+		set := f.cams[o]
+		if set == nil {
+			set = make(map[int]bool)
+			f.cams[o] = set
+		}
+		set[det.Camera] = true
+		f.counts[o]++
+	}
+	return nil
+}
+
+// Finish implements pipeline.Processor.
+func (f *Fusion) Finish(*pipeline.Context, *pipeline.Emitter) error { return nil }
+
+// Tracks returns the fused tracks, most-sighted first.
+func (f *Fusion) Tracks() []Track {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Track, 0, len(f.counts))
+	for o, n := range f.counts {
+		out = append(out, Track{Object: o, Cameras: len(f.cams[o]), Sightings: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sightings != out[j].Sightings {
+			return out[i].Sightings > out[j].Sightings
+		}
+		return out[i].Object < out[j].Object
+	})
+	return out
+}
+
+// MultiViewTracks counts objects confirmed by at least minCameras cameras.
+func (f *Fusion) MultiViewTracks(minCameras int) int {
+	n := 0
+	for _, tr := range f.Tracks() {
+		if tr.Cameras >= minCameras {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,166 @@
+package surveillance
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/adapt"
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/metrics"
+	"github.com/gates-middleware/gates/internal/pipeline"
+)
+
+func TestCameraEmitsFrames(t *testing.T) {
+	e := pipeline.New(clock.NewScaled(2000))
+	cam := &Camera{ID: 0, FPS: 10, Duration: 5 * time.Second, SceneObjects: 8, Coverage: 0.5, Seed: 1}
+	src, _ := e.AddSourceStage("cam", 0, cam, pipeline.StageConfig{DisableAdaptation: true, ComputeQuantum: 200 * time.Millisecond})
+	x := NewExtractor(ExtractorConfig{CostPerFrame: 1})
+	xt, _ := e.AddProcessorStage("extract", 0, x, pipeline.StageConfig{DisableAdaptation: true})
+	fu := NewFusion()
+	fs, _ := e.AddProcessorStage("fuse", 0, fu, pipeline.StageConfig{DisableAdaptation: true})
+	e.Connect(src, xt, nil)
+	e.Connect(xt, fs, nil)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	recv, analyzed := x.Frames()
+	if recv != 50 {
+		t.Fatalf("extractor received %d frames, want 50", recv)
+	}
+	if analyzed != recv {
+		t.Fatalf("full-rate extractor analyzed %d of %d frames", analyzed, recv)
+	}
+	if len(fu.Tracks()) == 0 {
+		t.Fatal("fusion produced no tracks")
+	}
+}
+
+func TestCameraValidation(t *testing.T) {
+	e := pipeline.New(clock.NewScaled(2000))
+	cam := &Camera{ID: 0, Duration: time.Second, SceneObjects: 0, Coverage: 0.5}
+	src, _ := e.AddSourceStage("cam", 0, cam, pipeline.StageConfig{})
+	fs, _ := e.AddProcessorStage("fuse", 0, NewFusion(), pipeline.StageConfig{})
+	e.Connect(src, fs, nil)
+	if err := e.Run(context.Background()); err == nil {
+		t.Fatal("camera with no objects accepted")
+	}
+}
+
+func TestExtractorFixedRateSkipsFrames(t *testing.T) {
+	e := pipeline.New(clock.NewScaled(2000))
+	cam := &Camera{ID: 0, FPS: 20, Duration: 5 * time.Second, SceneObjects: 4, Coverage: 1, Seed: 2}
+	src, _ := e.AddSourceStage("cam", 0, cam, pipeline.StageConfig{DisableAdaptation: true, ComputeQuantum: 200 * time.Millisecond})
+	x := NewExtractor(ExtractorConfig{CostPerFrame: 1, FixedRate: 0.25})
+	xt, _ := e.AddProcessorStage("extract", 0, x, pipeline.StageConfig{DisableAdaptation: true})
+	fs, _ := e.AddProcessorStage("fuse", 0, NewFusion(), pipeline.StageConfig{DisableAdaptation: true})
+	e.Connect(src, xt, nil)
+	e.Connect(xt, fs, nil)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	recv, analyzed := x.Frames()
+	if recv != 100 || analyzed != 25 {
+		t.Fatalf("rate 0.25 analyzed %d of %d frames, want 25 of 100", analyzed, recv)
+	}
+}
+
+func TestFusionCorrelatesAcrossCameras(t *testing.T) {
+	e := pipeline.New(clock.NewScaled(2000))
+	fu := NewFusion()
+	fs, _ := e.AddProcessorStage("fuse", 0, fu, pipeline.StageConfig{DisableAdaptation: true})
+	for cid := 0; cid < 4; cid++ {
+		cam := &Camera{ID: cid, FPS: 10, Duration: 3 * time.Second,
+			SceneObjects: 6, Coverage: 0.9, Seed: int64(cid + 1)}
+		src, _ := e.AddSourceStage("cam", cid, cam, pipeline.StageConfig{DisableAdaptation: true, ComputeQuantum: 200 * time.Millisecond})
+		xt, _ := e.AddProcessorStage("extract", cid, NewExtractor(ExtractorConfig{CostPerFrame: 1}), pipeline.StageConfig{DisableAdaptation: true})
+		e.Connect(src, xt, nil)
+		e.Connect(xt, fs, nil)
+	}
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// With 90% coverage over 30 frames, every object is multi-view.
+	if got := fu.MultiViewTracks(4); got != 6 {
+		t.Fatalf("MultiViewTracks(4) = %d, want 6", got)
+	}
+	tracks := fu.Tracks()
+	for i := 1; i < len(tracks); i++ {
+		if tracks[i].Sightings > tracks[i-1].Sightings {
+			t.Fatal("tracks not sorted by sightings")
+		}
+	}
+}
+
+func TestWrongTypesRejected(t *testing.T) {
+	e := pipeline.New(clock.NewScaled(2000))
+	bad, _ := e.AddSourceStage("bad", 0, badSource{}, pipeline.StageConfig{})
+	xt, _ := e.AddProcessorStage("extract", 0, NewExtractor(ExtractorConfig{}), pipeline.StageConfig{})
+	fs, _ := e.AddProcessorStage("fuse", 0, NewFusion(), pipeline.StageConfig{})
+	e.Connect(bad, xt, nil)
+	e.Connect(xt, fs, nil)
+	if err := e.Run(context.Background()); err == nil {
+		t.Fatal("extractor accepted a non-Frame packet")
+	}
+
+	e2 := pipeline.New(clock.NewScaled(2000))
+	bad2, _ := e2.AddSourceStage("bad", 0, badSource{}, pipeline.StageConfig{})
+	fs2, _ := e2.AddProcessorStage("fuse", 0, NewFusion(), pipeline.StageConfig{})
+	e2.Connect(bad2, fs2, nil)
+	if err := e2.Run(context.Background()); err == nil {
+		t.Fatal("fusion accepted a non-Detections packet")
+	}
+}
+
+// TestAdaptiveExtractorShedsLoad is the surveillance variant of the paper's
+// processing-constraint experiment: a 600 ms/frame extractor against a
+// 10 fps camera can only analyze ~1/6 of the stream in real time, so the
+// adaptive frame rate must fall well below 1.
+func TestAdaptiveExtractorShedsLoad(t *testing.T) {
+	clk := clock.NewScaled(300)
+	e := pipeline.New(clk)
+	cam := &Camera{ID: 0, FPS: 10, Duration: 240 * time.Second,
+		SceneObjects: 8, Coverage: 0.5, Seed: 3}
+	src, _ := e.AddSourceStage("cam", 0, cam, pipeline.StageConfig{DisableAdaptation: true, ComputeQuantum: 100 * time.Millisecond})
+	x := NewExtractor(ExtractorConfig{Adaptive: true, CostPerFrame: 600 * time.Millisecond})
+	trace := metrics.NewTimeSeries()
+	xt, _ := e.AddProcessorStage("extract", 0, x, pipeline.StageConfig{
+		QueueCapacity:  60,
+		AdaptInterval:  500 * time.Millisecond,
+		AdjustEvery:    2,
+		ComputeQuantum: 120 * time.Millisecond,
+		OnAdjust: func(_ *pipeline.Stage, now time.Time, adjs []adapt.Adjustment) {
+			for _, a := range adjs {
+				trace.Record(now, a.New)
+			}
+		},
+	})
+	fs, _ := e.AddProcessorStage("fuse", 0, NewFusion(), pipeline.StageConfig{
+		AdaptInterval: 500 * time.Millisecond, AdjustEvery: 2,
+	})
+	e.Connect(src, xt, nil)
+	e.Connect(xt, fs, nil)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got := trace.WindowMean(150*time.Second, 240*time.Second)
+	if got > 0.5 {
+		t.Fatalf("adaptive frame rate settled at %.2f, want well below 1 (capacity is ~0.17)", got)
+	}
+	if got < 0.05 {
+		t.Fatalf("adaptive frame rate collapsed to %.2f", got)
+	}
+}
+
+func TestDetectionsWireSize(t *testing.T) {
+	d := &Detections{Objects: []int{1, 2, 3}}
+	if got := d.WireSize(); got != 40 {
+		t.Fatalf("WireSize = %d, want 40", got)
+	}
+}
+
+type badSource struct{}
+
+func (badSource) Run(_ *pipeline.Context, out *pipeline.Emitter) error {
+	return out.EmitValue("frame?", 8)
+}

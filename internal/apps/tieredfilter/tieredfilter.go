@@ -1,0 +1,328 @@
+// Package tieredfilter implements the paper's first motivating application
+// (§2): real-time filtering of instrument data in tiers, modeled on the
+// CERN large hadron collider pipeline — "the data is continuous or
+// streaming in nature ... the storage capacities will require that the data
+// is filtered by a factor of 10^6 to 10^7. Thus, it is important that the
+// crucial information is extracted by real-time analysis".
+//
+// Detector sources emit collision events, rare "signal" events hidden in an
+// exponential background. Tier-1 filters near each detector cut on the
+// event energy; a tier-2 filter cuts on a second reconstructed feature;
+// a collector pays a heavy per-event reconstruction cost for whatever
+// survives. Each filter's selection threshold is an adjustment parameter
+// with the +speed direction: raising it discards more data, relieving
+// everything downstream at the price of signal recall. The middleware
+// drives the thresholds to the lowest sustainable values.
+package tieredfilter
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/adapt"
+	"github.com/gates-middleware/gates/internal/pipeline"
+)
+
+// Event is one collision event.
+type Event struct {
+	// ID is unique per source.
+	ID uint64
+	// Energy is the tier-1 discriminating feature: background energies
+	// are Exp(1)-distributed, signal energies are 4+Exp(1).
+	Energy float64
+	// Quality is the tier-2 feature: background Exp(1), signal 3+Exp(1).
+	Quality float64
+	// Signal is the ground truth (carried for evaluation only; a real
+	// detector would not know).
+	Signal bool
+}
+
+// EventBatch is the unit shipped between stages.
+type EventBatch struct {
+	Detector int
+	Events   []Event
+}
+
+// DetectorSource generates one detector's event stream.
+type DetectorSource struct {
+	// Detector is this source's ordinal.
+	Detector int
+	// Events is how many events to emit.
+	Events int
+	// SignalFraction is the rate of injected signal events
+	// (default 0.002).
+	SignalFraction float64
+	// BatchSize is events per packet (default 100).
+	BatchSize int
+	// EventWireSize is bytes per event on the wire (default 64 — raw
+	// detector hits are bulky).
+	EventWireSize int
+	// PerEventCost paces generation.
+	PerEventCost time.Duration
+	// Seed makes the stream reproducible.
+	Seed int64
+
+	mu      sync.Mutex
+	signals uint64
+}
+
+// Signals reports how many signal events this source injected. Read after
+// the run.
+func (s *DetectorSource) Signals() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.signals
+}
+
+// Run implements pipeline.Source.
+func (s *DetectorSource) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
+	if s.Events <= 0 {
+		return fmt.Errorf("tieredfilter: detector %d has no events to emit", s.Detector)
+	}
+	frac := s.SignalFraction
+	if frac == 0 {
+		frac = 0.002
+	}
+	batch := s.BatchSize
+	if batch <= 0 {
+		batch = 100
+	}
+	wire := s.EventWireSize
+	if wire <= 0 {
+		wire = 64
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	events := make([]Event, 0, batch)
+	flush := func() error {
+		if len(events) == 0 {
+			return nil
+		}
+		cp := make([]Event, len(events))
+		copy(cp, events)
+		events = events[:0]
+		return out.Emit(&pipeline.Packet{
+			Value:    &EventBatch{Detector: s.Detector, Events: cp},
+			Items:    len(cp),
+			WireSize: len(cp) * wire,
+		})
+	}
+	for i := 0; i < s.Events; i++ {
+		ev := Event{
+			ID:      uint64(s.Detector)<<40 | uint64(i),
+			Energy:  rng.ExpFloat64(),
+			Quality: rng.ExpFloat64(),
+		}
+		if rng.Float64() < frac {
+			ev.Signal = true
+			ev.Energy = 4 + rng.ExpFloat64()
+			ev.Quality = 3 + rng.ExpFloat64()
+		}
+		s.mu.Lock()
+		if ev.Signal {
+			s.signals++
+		}
+		s.mu.Unlock()
+		if s.PerEventCost > 0 {
+			ctx.ChargeCompute(s.PerEventCost)
+		}
+		events = append(events, ev)
+		if len(events) >= batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// Feature selects which event feature a filter tier cuts on.
+type Feature int
+
+const (
+	// ByEnergy is the tier-1 cut.
+	ByEnergy Feature = iota
+	// ByQuality is the tier-2 cut.
+	ByQuality
+)
+
+// FilterConfig configures one filter tier.
+type FilterConfig struct {
+	// Feature is the cut variable.
+	Feature Feature
+	// FixedThreshold is the cut when not adaptive.
+	FixedThreshold float64
+	// Adaptive exposes the threshold as an adjustment parameter: name
+	// "threshold", range [Min,Max], +speed direction (raising it
+	// discards more and speeds the pipeline up).
+	Adaptive bool
+	// Min, Max bound the adaptive threshold (defaults 0.5 and 8).
+	Min, Max float64
+	// Initial seeds the adaptive threshold (default Min).
+	Initial float64
+	// PerEventCost is the inspection cost per incoming event.
+	PerEventCost time.Duration
+	// OutWireSize is bytes per surviving event (default 64).
+	OutWireSize int
+}
+
+func (c *FilterConfig) fill() {
+	if c.Max == 0 {
+		c.Max = 8
+	}
+	if c.Min == 0 {
+		c.Min = 0.5
+	}
+	if c.Initial == 0 {
+		c.Initial = c.Min
+	}
+	if c.OutWireSize == 0 {
+		c.OutWireSize = 64
+	}
+}
+
+// Filter is one filtering tier.
+type Filter struct {
+	cfg   FilterConfig
+	param *adapt.Param
+
+	in, out uint64
+}
+
+// NewFilter returns a filter processor.
+func NewFilter(cfg FilterConfig) *Filter {
+	cfg.fill()
+	return &Filter{cfg: cfg}
+}
+
+// Init implements pipeline.Processor.
+func (f *Filter) Init(ctx *pipeline.Context) error {
+	if !f.cfg.Adaptive {
+		return nil
+	}
+	p, err := ctx.SpecifyParam(adapt.ParamSpec{
+		Name:      "threshold",
+		Initial:   f.cfg.Initial,
+		Min:       f.cfg.Min,
+		Max:       f.cfg.Max,
+		Step:      0.05,
+		Direction: adapt.IncreaseSpeedsProcessing,
+	})
+	if err != nil {
+		return err
+	}
+	f.param = p
+	return nil
+}
+
+// Threshold returns the current cut value.
+func (f *Filter) Threshold() float64 {
+	if f.param != nil {
+		return f.param.Value()
+	}
+	return f.cfg.FixedThreshold
+}
+
+// Counts reports (inspected, passed) event counts. Read after the run.
+func (f *Filter) Counts() (in, out uint64) { return f.in, f.out }
+
+// Process implements pipeline.Processor.
+func (f *Filter) Process(ctx *pipeline.Context, pkt *pipeline.Packet, out *pipeline.Emitter) error {
+	batch, ok := pkt.Value.(*EventBatch)
+	if !ok {
+		return fmt.Errorf("tieredfilter: filter got %T, want *EventBatch", pkt.Value)
+	}
+	cut := f.Threshold()
+	kept := make([]Event, 0, len(batch.Events)/4+1)
+	for _, ev := range batch.Events {
+		v := ev.Energy
+		if f.cfg.Feature == ByQuality {
+			v = ev.Quality
+		}
+		if v >= cut {
+			kept = append(kept, ev)
+		}
+	}
+	f.in += uint64(len(batch.Events))
+	f.out += uint64(len(kept))
+	if f.cfg.PerEventCost > 0 {
+		ctx.ChargeCompute(time.Duration(len(batch.Events)) * f.cfg.PerEventCost)
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return out.Emit(&pipeline.Packet{
+		Value:    &EventBatch{Detector: batch.Detector, Events: kept},
+		Items:    len(kept),
+		WireSize: len(kept) * f.cfg.OutWireSize,
+	})
+}
+
+// Finish implements pipeline.Processor.
+func (f *Filter) Finish(*pipeline.Context, *pipeline.Emitter) error { return nil }
+
+// Collector is the terminal stage: it "reconstructs" every surviving event
+// at a heavy per-event cost and tallies recall.
+type Collector struct {
+	// PerEventCost is the reconstruction cost per kept event.
+	PerEventCost time.Duration
+
+	mu     sync.Mutex
+	kept   uint64
+	signal uint64
+}
+
+// Init implements pipeline.Processor.
+func (c *Collector) Init(*pipeline.Context) error { return nil }
+
+// Process implements pipeline.Processor.
+func (c *Collector) Process(ctx *pipeline.Context, pkt *pipeline.Packet, _ *pipeline.Emitter) error {
+	batch, ok := pkt.Value.(*EventBatch)
+	if !ok {
+		return fmt.Errorf("tieredfilter: collector got %T, want *EventBatch", pkt.Value)
+	}
+	c.mu.Lock()
+	for _, ev := range batch.Events {
+		c.kept++
+		if ev.Signal {
+			c.signal++
+		}
+	}
+	c.mu.Unlock()
+	if c.PerEventCost > 0 {
+		ctx.ChargeCompute(time.Duration(len(batch.Events)) * c.PerEventCost)
+	}
+	return nil
+}
+
+// Finish implements pipeline.Processor.
+func (c *Collector) Finish(*pipeline.Context, *pipeline.Emitter) error { return nil }
+
+// Kept reports how many events survived to the collector.
+func (c *Collector) Kept() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.kept
+}
+
+// Recall returns the fraction of injected signal events that survived.
+func (c *Collector) Recall(totalSignal uint64) float64 {
+	if totalSignal == 0 {
+		return 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return float64(c.signal) / float64(totalSignal)
+}
+
+// Reduction returns the end-to-end data reduction factor
+// (generated / kept); +Inf when nothing survived.
+func (c *Collector) Reduction(totalEvents uint64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.kept == 0 {
+		return float64(totalEvents) // effectively infinite; avoid Inf in tables
+	}
+	return float64(totalEvents) / float64(c.kept)
+}

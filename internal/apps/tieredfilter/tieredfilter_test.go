@@ -1,0 +1,221 @@
+package tieredfilter
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/pipeline"
+)
+
+// buildPipeline wires detectors -> tier1 (per detector) -> tier2 -> collector.
+func buildPipeline(t *testing.T, detectors int, events int,
+	t1, t2 FilterConfig, collectorCost time.Duration, scale float64,
+	tune func(stage string) pipeline.StageConfig) (*pipeline.Engine, []*DetectorSource, []*Filter, *Filter, *Collector) {
+	t.Helper()
+	e := pipeline.New(clock.NewScaled(scale))
+	cfg := func(stage string) pipeline.StageConfig {
+		if tune != nil {
+			return tune(stage)
+		}
+		return pipeline.StageConfig{DisableAdaptation: true}
+	}
+	col := &Collector{PerEventCost: collectorCost}
+	colSt, err := e.AddProcessorStage("collector", 0, col, cfg("collector"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier2 := NewFilter(t2)
+	t2St, err := e.AddProcessorStage("tier2", 0, tier2, cfg("tier2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Connect(t2St, colSt, nil); err != nil {
+		t.Fatal(err)
+	}
+	var sources []*DetectorSource
+	var tier1s []*Filter
+	for d := 0; d < detectors; d++ {
+		src := &DetectorSource{Detector: d, Events: events, Seed: int64(d + 1)}
+		srcSt, err := e.AddSourceStage("detector", d, src, cfg("detector"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := NewFilter(t1)
+		fSt, err := e.AddProcessorStage("tier1", d, f, cfg("tier1"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Connect(srcSt, fSt, nil)
+		e.Connect(fSt, t2St, nil)
+		sources = append(sources, src)
+		tier1s = append(tier1s, f)
+	}
+	return e, sources, tier1s, tier2, col
+}
+
+func totals(sources []*DetectorSource, events int) (totalEvents, totalSignal uint64) {
+	for _, s := range sources {
+		totalSignal += s.Signals()
+	}
+	return uint64(len(sources) * events), totalSignal
+}
+
+func TestFixedThresholdsReduceAndRecall(t *testing.T) {
+	const events = 50_000
+	e, sources, tier1s, tier2, col := buildPipeline(t, 4, events,
+		FilterConfig{Feature: ByEnergy, FixedThreshold: 3},
+		FilterConfig{Feature: ByQuality, FixedThreshold: 2.5},
+		0, 100_000, nil)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	totalEvents, totalSignal := totals(sources, events)
+	if totalSignal == 0 {
+		t.Fatal("no signal injected")
+	}
+	// Energy >= 3 keeps e^-3 ≈ 5% of background and all signal
+	// (signal energy = 4+Exp > 4 > 3).
+	in1, out1 := tier1s[0].Counts()
+	if in1 != events {
+		t.Fatalf("tier1 inspected %d, want %d", in1, events)
+	}
+	frac := float64(out1) / float64(in1)
+	if frac < 0.03 || frac > 0.09 {
+		t.Fatalf("tier1 pass fraction %.3f, want ~e^-3", frac)
+	}
+	// Quality >= 2.5 keeps e^-2.5 ≈ 8% of remaining background, signal
+	// quality = 3+Exp > 3 passes entirely.
+	if rec := col.Recall(totalSignal); rec != 1.0 {
+		t.Fatalf("recall %.3f, want 1.0 (cuts are below the signal floor)", rec)
+	}
+	red := col.Reduction(totalEvents)
+	// Background reduction ≈ e^3 × e^2.5 ≈ 245, diluted by kept signal.
+	if red < 50 || red > 500 {
+		t.Fatalf("reduction factor %.0f outside the expected band", red)
+	}
+	_, out2 := tier2.Counts()
+	if out2 != col.Kept() {
+		t.Fatalf("tier2 passed %d but collector kept %d", out2, col.Kept())
+	}
+}
+
+func TestAggressiveThresholdLosesSignal(t *testing.T) {
+	const events = 50_000
+	e, sources, _, _, col := buildPipeline(t, 2, events,
+		FilterConfig{Feature: ByEnergy, FixedThreshold: 6}, // above much of the signal
+		FilterConfig{Feature: ByQuality, FixedThreshold: 0.5},
+		0, 100_000, nil)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, totalSignal := totals(sources, events)
+	rec := col.Recall(totalSignal)
+	// Signal energy 4+Exp ≥ 6 with probability e^-2 ≈ 0.135.
+	if rec > 0.3 {
+		t.Fatalf("recall %.3f with a cut at 6, want heavy signal loss", rec)
+	}
+}
+
+func TestWrongTypeRejected(t *testing.T) {
+	e := pipeline.New(clock.NewScaled(10000))
+	bad, _ := e.AddSourceStage("bad", 0, badSource{}, pipeline.StageConfig{})
+	f, _ := e.AddProcessorStage("tier1", 0, NewFilter(FilterConfig{}), pipeline.StageConfig{})
+	col, _ := e.AddProcessorStage("collector", 0, &Collector{}, pipeline.StageConfig{})
+	e.Connect(bad, f, nil)
+	e.Connect(f, col, nil)
+	if err := e.Run(context.Background()); err == nil {
+		t.Fatal("filter accepted a non-EventBatch packet")
+	}
+
+	e2 := pipeline.New(clock.NewScaled(10000))
+	bad2, _ := e2.AddSourceStage("bad", 0, badSource{}, pipeline.StageConfig{})
+	col2, _ := e2.AddProcessorStage("collector", 0, &Collector{}, pipeline.StageConfig{})
+	e2.Connect(bad2, col2, nil)
+	if err := e2.Run(context.Background()); err == nil {
+		t.Fatal("collector accepted a non-EventBatch packet")
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	e := pipeline.New(clock.NewScaled(10000))
+	src, _ := e.AddSourceStage("d", 0, &DetectorSource{Events: 0}, pipeline.StageConfig{})
+	col, _ := e.AddProcessorStage("collector", 0, &Collector{}, pipeline.StageConfig{})
+	e.Connect(src, col, nil)
+	if err := e.Run(context.Background()); err == nil {
+		t.Fatal("empty detector accepted")
+	}
+}
+
+func TestCollectorEdgeCases(t *testing.T) {
+	c := &Collector{}
+	if c.Recall(0) != 1 {
+		t.Fatal("recall with no signal should be 1")
+	}
+	if got := c.Reduction(1000); got != 1000 {
+		t.Fatalf("reduction with nothing kept = %v, want totalEvents", got)
+	}
+}
+
+// TestAdaptiveThresholdRisesUnderLoad is the tiered-filter version of the
+// paper's processing-constraint experiment, exercising the
+// IncreaseSpeedsProcessing direction: a heavy collector cannot reconstruct
+// everything tier-2 passes at the low initial threshold, so the middleware
+// must raise the threshold until the pipeline keeps up.
+func TestAdaptiveThresholdRisesUnderLoad(t *testing.T) {
+	const events = 30_000
+	t2cfg := FilterConfig{
+		Feature: ByQuality, Adaptive: true,
+		Min: 0.5, Max: 6, Initial: 0.5,
+	}
+	tune := func(stage string) pipeline.StageConfig {
+		switch stage {
+		case "detector":
+			// ~1000 events per virtual second per detector.
+			return pipeline.StageConfig{DisableAdaptation: true, ComputeQuantum: 100 * time.Millisecond}
+		case "tier2":
+			return pipeline.StageConfig{
+				QueueCapacity: 60,
+				AdaptInterval: 500 * time.Millisecond,
+				AdjustEvery:   2,
+			}
+		case "collector":
+			return pipeline.StageConfig{
+				QueueCapacity:  60,
+				AdaptInterval:  500 * time.Millisecond,
+				AdjustEvery:    2,
+				ComputeQuantum: 200 * time.Millisecond,
+			}
+		default:
+			return pipeline.StageConfig{DisableAdaptation: true}
+		}
+	}
+	e, sources, _, t2f, col := buildPipeline(t, 2, events,
+		FilterConfig{Feature: ByEnergy, FixedThreshold: 2}, // ~13.5% pass tier1
+		t2cfg,
+		// Reconstruction at 30 ms/event: sustainable collector arrival is
+		// ~33 events/s, far below what threshold 0.5 would pass.
+		30*time.Millisecond, 300, tune)
+	// Pace the detectors so the run spans real adaptation epochs.
+	for _, s := range sources {
+		s.PerEventCost = time.Millisecond
+	}
+	_ = t2f
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	final := t2f.Threshold()
+	if final <= 1.0 {
+		t.Fatalf("adaptive threshold stayed at %.2f under an overloaded collector, want a rise", final)
+	}
+	if col.Kept() == 0 {
+		t.Fatal("nothing survived at all")
+	}
+}
+
+type badSource struct{}
+
+func (badSource) Run(_ *pipeline.Context, out *pipeline.Emitter) error {
+	return out.EmitValue("not events", 8)
+}

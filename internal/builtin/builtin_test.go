@@ -1,0 +1,212 @@
+package builtin
+
+import (
+	"context"
+	"testing"
+
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/service"
+)
+
+func TestRegisterInstallsAllCodes(t *testing.T) {
+	repo := service.NewRepository()
+	if err := Register(repo); err != nil {
+		t.Fatal(err)
+	}
+	wantProcessors := []string{
+		"countsamps/summarize", "countsamps/merge", "countsamps/raw",
+		"compsteer/sampler", "compsteer/analyzer",
+		"intrusion/filter", "intrusion/detector",
+		"surveillance/extract", "surveillance/fusion",
+		"tieredfilter/tier1", "tieredfilter/tier2", "tieredfilter/collector",
+	}
+	for _, code := range wantProcessors {
+		f, ok := repo.Processor(code)
+		if !ok {
+			t.Errorf("processor %q missing", code)
+			continue
+		}
+		if f(0) == nil {
+			t.Errorf("processor %q factory returned nil", code)
+		}
+	}
+	wantSources := []string{
+		"workload/zipf", "compsteer/sim", "intrusion/log", "surveillance/camera",
+		"tieredfilter/detector",
+	}
+	for _, code := range wantSources {
+		f, ok := repo.Source(code)
+		if !ok {
+			t.Errorf("source %q missing", code)
+			continue
+		}
+		if f(0) == nil {
+			t.Errorf("source %q factory returned nil", code)
+		}
+	}
+}
+
+func TestRegisterTwiceFails(t *testing.T) {
+	repo := service.NewRepository()
+	if err := Register(repo); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(repo); err == nil {
+		t.Fatal("double registration accepted")
+	}
+}
+
+func TestFabricSupportsBuiltinApps(t *testing.T) {
+	clk := clock.NewScaled(20_000)
+	dir, net, err := Fabric(clk, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir.List()) != 5 {
+		t.Fatalf("fabric has %d nodes, want 5", len(dir.List()))
+	}
+	if net.Nodes() == 0 {
+		t.Fatal("network knows no nodes")
+	}
+	repo := service.NewRepository()
+	if err := Register(repo); err != nil {
+		t.Fatal(err)
+	}
+	dep, err := service.NewDeployer(clk, dir, repo, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	launcher, err := service.NewLauncher(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The comp-steer descriptor must deploy and run on the demo fabric.
+	app, err := launcher.Launch(context.Background(), `
+<application name="smoke">
+  <stage id="sim" code="compsteer/sim" source="true"><nearSource>mesh</nearSource></stage>
+  <stage id="sampler" code="compsteer/sampler"><nearSource>mesh</nearSource></stage>
+  <stage id="analysis" code="compsteer/analyzer"/>
+  <connection from="sim" to="sampler"/>
+  <connection from="sampler" to="analysis"/>
+</application>`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := app.Stage("analysis", 0)
+	if !ok || st.Stats().PacketsIn == 0 {
+		t.Fatal("analysis stage received nothing")
+	}
+}
+
+// TestEveryBuiltinAppLaunches deploys and drains one descriptor per
+// built-in application on the demo fabric — the launcher soak test.
+func TestEveryBuiltinAppLaunches(t *testing.T) {
+	apps := map[string]string{
+		"countsamps": `
+<application name="countsamps">
+  <stage id="stream" code="workload/zipf" source="true" instances="4">
+    <nearSource>stream-1</nearSource><nearSource>stream-2</nearSource>
+    <nearSource>stream-3</nearSource><nearSource>stream-4</nearSource>
+  </stage>
+  <stage id="summarize" code="countsamps/summarize" instances="4">
+    <nearSource>stream-1</nearSource><nearSource>stream-2</nearSource>
+    <nearSource>stream-3</nearSource><nearSource>stream-4</nearSource>
+  </stage>
+  <stage id="merge" code="countsamps/merge"><requirement minCPU="2"/></stage>
+  <connection from="stream" to="summarize" fanout="pairwise"/>
+  <connection from="summarize" to="merge"/>
+</application>`,
+		"compsteer": `
+<application name="compsteer">
+  <stage id="sim" code="compsteer/sim" source="true"><nearSource>mesh</nearSource></stage>
+  <stage id="sampler" code="compsteer/sampler"><nearSource>mesh</nearSource></stage>
+  <stage id="analysis" code="compsteer/analyzer"/>
+  <connection from="sim" to="sampler"/>
+  <connection from="sampler" to="analysis"/>
+</application>`,
+		"intrusion": `
+<application name="intrusion">
+  <stage id="log" code="intrusion/log" source="true" instances="4">
+    <nearSource>site-1</nearSource><nearSource>site-2</nearSource>
+    <nearSource>site-3</nearSource><nearSource>site-4</nearSource>
+  </stage>
+  <stage id="filter" code="intrusion/filter" instances="4">
+    <nearSource>site-1</nearSource><nearSource>site-2</nearSource>
+    <nearSource>site-3</nearSource><nearSource>site-4</nearSource>
+  </stage>
+  <stage id="detector" code="intrusion/detector"><requirement minCPU="2"/></stage>
+  <connection from="log" to="filter" fanout="pairwise"/>
+  <connection from="filter" to="detector"/>
+</application>`,
+		"surveillance": `
+<application name="surveillance">
+  <stage id="camera" code="surveillance/camera" source="true" instances="4">
+    <nearSource>camera-1</nearSource><nearSource>camera-2</nearSource>
+    <nearSource>camera-3</nearSource><nearSource>camera-4</nearSource>
+  </stage>
+  <stage id="extract" code="surveillance/extract" instances="4">
+    <nearSource>camera-1</nearSource><nearSource>camera-2</nearSource>
+    <nearSource>camera-3</nearSource><nearSource>camera-4</nearSource>
+  </stage>
+  <stage id="fusion" code="surveillance/fusion"><requirement minCPU="2"/></stage>
+  <connection from="camera" to="extract" fanout="pairwise"/>
+  <connection from="extract" to="fusion"/>
+</application>`,
+		"tieredfilter": `
+<application name="tieredfilter">
+  <stage id="detector" code="tieredfilter/detector" source="true" instances="4">
+    <nearSource>stream-1</nearSource><nearSource>stream-2</nearSource>
+    <nearSource>stream-3</nearSource><nearSource>stream-4</nearSource>
+  </stage>
+  <stage id="tier1" code="tieredfilter/tier1" instances="4">
+    <nearSource>stream-1</nearSource><nearSource>stream-2</nearSource>
+    <nearSource>stream-3</nearSource><nearSource>stream-4</nearSource>
+  </stage>
+  <stage id="tier2" code="tieredfilter/tier2"/>
+  <stage id="collector" code="tieredfilter/collector"><requirement minCPU="2"/></stage>
+  <connection from="detector" to="tier1" fanout="pairwise"/>
+  <connection from="tier1" to="tier2"/>
+  <connection from="tier2" to="collector"/>
+</application>`,
+	}
+	for name, xml := range apps {
+		name, xml := name, xml
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			clk := clock.NewScaled(30_000)
+			dir, net, err := Fabric(clk, 1_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			repo := service.NewRepository()
+			if err := Register(repo); err != nil {
+				t.Fatal(err)
+			}
+			dep, err := service.NewDeployer(clk, dir, repo, net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			launcher, err := service.NewLauncher(dep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			app, err := launcher.Launch(context.Background(), xml, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := app.Wait(); err != nil {
+				t.Fatal(err)
+			}
+			for id, insts := range app.Stages {
+				for _, st := range insts {
+					if st.Err() != nil {
+						t.Errorf("stage %s/%d: %v", id, st.Instance(), st.Err())
+					}
+				}
+			}
+		})
+	}
+}

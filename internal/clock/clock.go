@@ -1,0 +1,243 @@
+// Package clock provides the time base used by every GATES component.
+//
+// The paper's experiments ran in wall-clock time on a physical cluster with
+// injected network delay. To make the reproduction fast and repeatable, all
+// time-dependent code in this repository (link emulation, per-item compute
+// cost, adaptation intervals) is written against the Clock interface rather
+// than the time package directly. Three implementations are provided:
+//
+//   - Real: wall-clock time, for running examples "at paper speed".
+//   - Scaled: virtual time that advances k times faster than wall time, so a
+//     250-virtual-second experiment completes in 250/k real seconds while
+//     preserving every rate ratio (bandwidth vs. compute vs. arrival).
+//   - Manual: a fully deterministic clock for unit tests; time only moves
+//     when the test calls Advance.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time base the middleware needs. Durations passed to a
+// Clock are in virtual time; how long they take in wall time depends on the
+// implementation.
+type Clock interface {
+	// Now returns the current virtual time.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d of virtual time.
+	// Non-positive durations return immediately.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the virtual time once d of
+	// virtual time has elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Epoch is the virtual-time origin used by the Scaled and Manual clocks.
+// A fixed origin keeps experiment traces comparable across runs.
+var Epoch = time.Date(2004, time.June, 7, 0, 0, 0, 0, time.UTC) // HPDC 2004 week
+
+// Real is a Clock backed directly by the time package.
+type Real struct{}
+
+// NewReal returns a wall-clock Clock.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time {
+	if d <= 0 {
+		ch := make(chan time.Time, 1)
+		ch <- time.Now()
+		return ch
+	}
+	return time.After(d)
+}
+
+// Scaled is a Clock whose virtual time advances Scale times faster than wall
+// time. Scale = 1000 runs a 1000-virtual-second experiment in one real
+// second. The zero value is not usable; construct with NewScaled.
+type Scaled struct {
+	scale float64
+	start time.Time // wall-time anchor
+}
+
+// NewScaled returns a Clock that advances scale virtual seconds per real
+// second. scale must be positive; NewScaled panics otherwise, because a
+// silent fallback would corrupt every measurement built on top of it.
+func NewScaled(scale float64) *Scaled {
+	if scale <= 0 {
+		panic("clock: NewScaled requires a positive scale")
+	}
+	return &Scaled{scale: scale, start: time.Now()}
+}
+
+// Scale returns the virtual-seconds-per-real-second factor.
+func (s *Scaled) Scale() float64 { return s.scale }
+
+// Now implements Clock.
+func (s *Scaled) Now() time.Time {
+	elapsed := time.Since(s.start)
+	return Epoch.Add(time.Duration(float64(elapsed) * s.scale))
+}
+
+// Sleep implements Clock. It sleeps d/scale of wall time.
+func (s *Scaled) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(d) / s.scale))
+}
+
+// After implements Clock.
+func (s *Scaled) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- s.Now()
+		return ch
+	}
+	go func() {
+		s.Sleep(d)
+		ch <- s.Now()
+	}()
+	return ch
+}
+
+// Manual is a deterministic Clock for tests. Virtual time stands still until
+// Advance or AdvanceTo is called; sleepers whose deadlines are reached are
+// woken in deadline order. The zero value is not usable; construct with
+// NewManual.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*manualWaiter
+}
+
+type manualWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewManual returns a Manual clock positioned at Epoch.
+func NewManual() *Manual {
+	return &Manual{now: Epoch}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Sleep implements Clock. It blocks until the clock has been advanced past
+// the deadline by another goroutine.
+func (m *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-m.After(d)
+}
+
+// After implements Clock.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	m.waiters = append(m.waiters, &manualWaiter{deadline: m.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves virtual time forward by d, waking every sleeper whose
+// deadline falls within the advance. It panics on negative d: time cannot
+// run backwards.
+func (m *Manual) Advance(d time.Duration) {
+	if d < 0 {
+		panic("clock: Manual.Advance with negative duration")
+	}
+	m.mu.Lock()
+	m.advanceToLocked(m.now.Add(d))
+	m.mu.Unlock()
+}
+
+// AdvanceTo moves virtual time forward to t. Moving to a time at or before
+// the current time is a no-op.
+func (m *Manual) AdvanceTo(t time.Time) {
+	m.mu.Lock()
+	m.advanceToLocked(t)
+	m.mu.Unlock()
+}
+
+func (m *Manual) advanceToLocked(t time.Time) {
+	if !t.After(m.now) {
+		return
+	}
+	m.now = t
+	kept := m.waiters[:0]
+	for _, w := range m.waiters {
+		if !w.deadline.After(m.now) {
+			w.ch <- m.now
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	// Zero the tail so released waiters can be collected.
+	for i := len(kept); i < len(m.waiters); i++ {
+		m.waiters[i] = nil
+	}
+	m.waiters = kept
+}
+
+// Waiters reports how many goroutines are currently blocked in Sleep/After.
+// Tests use it to synchronize before advancing.
+func (m *Manual) Waiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters)
+}
+
+// NextDeadline returns the earliest pending sleeper deadline and true, or the
+// zero time and false when no goroutine is waiting. A test event loop can
+// repeatedly AdvanceTo(NextDeadline()) to drain all timed work
+// deterministically.
+func (m *Manual) NextDeadline() (time.Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.waiters) == 0 {
+		return time.Time{}, false
+	}
+	min := m.waiters[0].deadline
+	for _, w := range m.waiters[1:] {
+		if w.deadline.Before(min) {
+			min = w.deadline
+		}
+	}
+	return min, true
+}
+
+// Stopwatch measures elapsed virtual time on any Clock.
+type Stopwatch struct {
+	clk   Clock
+	start time.Time
+}
+
+// NewStopwatch starts a stopwatch on clk.
+func NewStopwatch(clk Clock) Stopwatch {
+	return Stopwatch{clk: clk, start: clk.Now()}
+}
+
+// Elapsed returns the virtual time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration { return s.clk.Now().Sub(s.start) }

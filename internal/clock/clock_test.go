@@ -1,0 +1,240 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRealNowAdvances(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := c.Now()
+	if !b.After(a) {
+		t.Fatalf("real clock did not advance: %v then %v", a, b)
+	}
+}
+
+func TestRealSleepNonPositive(t *testing.T) {
+	c := NewReal()
+	start := time.Now()
+	c.Sleep(-time.Second)
+	c.Sleep(0)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("non-positive Sleep blocked")
+	}
+}
+
+func TestRealAfterImmediate(t *testing.T) {
+	c := NewReal()
+	select {
+	case <-c.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestScaledPanicsOnBadScale(t *testing.T) {
+	for _, s := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewScaled(%v) did not panic", s)
+				}
+			}()
+			NewScaled(s)
+		}()
+	}
+}
+
+func TestScaledSleepCompressesTime(t *testing.T) {
+	c := NewScaled(1000) // 1000 virtual seconds per real second
+	start := time.Now()
+	c.Sleep(500 * time.Millisecond) // 0.5 virtual ms -> 0.5 real us... no: 0.5ms/1000
+	if real := time.Since(start); real > 100*time.Millisecond {
+		t.Fatalf("scaled sleep took %v real time, want well under 100ms", real)
+	}
+}
+
+func TestScaledNowTracksScale(t *testing.T) {
+	c := NewScaled(100)
+	a := c.Now()
+	time.Sleep(10 * time.Millisecond)
+	b := c.Now()
+	virt := b.Sub(a)
+	// 10 real ms at 100x should be ~1 virtual second; allow generous slack
+	// for scheduler jitter.
+	if virt < 500*time.Millisecond || virt > 10*time.Second {
+		t.Fatalf("virtual elapsed %v, want about 1s", virt)
+	}
+}
+
+func TestScaledAfterFires(t *testing.T) {
+	c := NewScaled(1000)
+	select {
+	case <-c.After(time.Second): // 1ms real
+	case <-time.After(2 * time.Second):
+		t.Fatal("scaled After never fired")
+	}
+}
+
+func TestManualNowFrozen(t *testing.T) {
+	c := NewManual()
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("manual clock starts at %v, want Epoch %v", c.Now(), Epoch)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if !c.Now().Equal(Epoch) {
+		t.Fatal("manual clock advanced without Advance")
+	}
+}
+
+func TestManualSleepWakesOnAdvance(t *testing.T) {
+	c := NewManual()
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(10 * time.Second)
+		close(done)
+	}()
+	// Wait until the sleeper is registered.
+	for c.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("sleeper woke before Advance")
+	default:
+	}
+	c.Advance(9 * time.Second)
+	select {
+	case <-done:
+		t.Fatal("sleeper woke too early")
+	case <-time.After(10 * time.Millisecond):
+	}
+	c.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("sleeper never woke")
+	}
+}
+
+func TestManualAdvanceWakesInOrder(t *testing.T) {
+	c := NewManual()
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i, d := range []time.Duration{3 * time.Second, time.Second, 2 * time.Second} {
+		wg.Add(1)
+		go func(i int, d time.Duration) {
+			defer wg.Done()
+			c.Sleep(d)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i, d)
+	}
+	for c.Waiters() != 3 {
+		time.Sleep(time.Millisecond)
+	}
+	// Advance step by step so wake order is observable.
+	for i := 0; i < 3; i++ {
+		dl, ok := c.NextDeadline()
+		if !ok {
+			break
+		}
+		c.AdvanceTo(dl)
+		time.Sleep(5 * time.Millisecond) // let the woken goroutine record itself
+	}
+	wg.Wait()
+	want := []int{1, 2, 0} // 1s, 2s, 3s sleepers
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestManualAdvanceToPastIsNoop(t *testing.T) {
+	c := NewManual()
+	c.Advance(time.Hour)
+	now := c.Now()
+	c.AdvanceTo(now.Add(-time.Minute))
+	if !c.Now().Equal(now) {
+		t.Fatal("AdvanceTo moved time backwards")
+	}
+}
+
+func TestManualAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewManual().Advance(-time.Second)
+}
+
+func TestManualAfterZero(t *testing.T) {
+	c := NewManual()
+	select {
+	case ts := <-c.After(0):
+		if !ts.Equal(Epoch) {
+			t.Fatalf("After(0) delivered %v, want Epoch", ts)
+		}
+	default:
+		t.Fatal("After(0) did not fire synchronously")
+	}
+}
+
+func TestManualNextDeadlineEmpty(t *testing.T) {
+	c := NewManual()
+	if _, ok := c.NextDeadline(); ok {
+		t.Fatal("NextDeadline reported a deadline on an idle clock")
+	}
+}
+
+func TestStopwatchManual(t *testing.T) {
+	c := NewManual()
+	sw := NewStopwatch(c)
+	c.Advance(42 * time.Second)
+	if got := sw.Elapsed(); got != 42*time.Second {
+		t.Fatalf("Elapsed = %v, want 42s", got)
+	}
+}
+
+// Property: advancing a Manual clock by any sequence of non-negative steps
+// yields a monotonically non-decreasing Now.
+func TestManualMonotonicProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := NewManual()
+		prev := c.Now()
+		for _, s := range steps {
+			c.Advance(time.Duration(s) * time.Millisecond)
+			now := c.Now()
+			if now.Before(prev) {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Scaled clock's virtual elapsed time is never negative.
+func TestScaledNonNegativeProperty(t *testing.T) {
+	f := func(scaleRaw uint8) bool {
+		scale := float64(scaleRaw%100) + 1
+		c := NewScaled(scale)
+		a := c.Now()
+		b := c.Now()
+		return !b.Before(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

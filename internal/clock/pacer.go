@@ -1,0 +1,74 @@
+package clock
+
+import "time"
+
+// Pacer batches many small virtual-time charges into fewer real sleeps.
+//
+// Real timers have roughly 0.1 ms granularity. When an experiment compresses
+// time (a Scaled clock), a per-item compute cost of a few virtual
+// milliseconds maps to a real sleep far below that granularity, and naive
+// per-item sleeping destroys every rate ratio the experiment depends on. A
+// Pacer instead accrues owed virtual time and sleeps only once the debt
+// reaches its quantum, so the long-run rate is exact and the number of timer
+// operations is bounded.
+//
+// A Pacer is owned by a single goroutine (one per stage instance); it is not
+// safe for concurrent use.
+type Pacer struct {
+	clk     Clock
+	quantum time.Duration
+	owed    time.Duration
+	charged time.Duration
+}
+
+// NewPacer returns a pacer that sleeps each time the accumulated charge
+// reaches quantum. A non-positive quantum disables batching (every charge
+// sleeps immediately).
+func NewPacer(clk Clock, quantum time.Duration) *Pacer {
+	if clk == nil {
+		panic("clock: NewPacer requires a clock")
+	}
+	return &Pacer{clk: clk, quantum: quantum}
+}
+
+// Charge records d of virtual work and sleeps if the accumulated debt has
+// reached the quantum. Non-positive d is a no-op.
+//
+// Sleeps are overshoot-compensating: the pacer measures how much virtual
+// time the sleep actually took and credits any excess against future
+// charges. Real timers overshoot by scheduler granularity; under an
+// aggressively compressed clock that overshoot is magnified into many
+// virtual seconds and would otherwise silently throttle the goroutine far
+// below its configured rate.
+func (p *Pacer) Charge(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.charged += d
+	p.owed += d
+	if p.quantum <= 0 || p.owed >= p.quantum {
+		p.pay()
+	}
+}
+
+// Flush sleeps any outstanding debt. Call at end-of-stream so the final
+// partial quantum is still paid.
+func (p *Pacer) Flush() {
+	if p.owed > 0 {
+		p.pay()
+	}
+}
+
+func (p *Pacer) pay() {
+	start := p.clk.Now()
+	p.clk.Sleep(p.owed)
+	p.owed -= p.clk.Now().Sub(start)
+	if p.owed > 0 {
+		// Undersleep (coarse manual advances): drop the remainder
+		// rather than carrying debt the caller already waited for.
+		p.owed = 0
+	}
+}
+
+// Charged returns the total virtual time charged through the pacer.
+func (p *Pacer) Charged() time.Duration { return p.charged }

@@ -1,0 +1,108 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPacerRequiresClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPacer(nil) did not panic")
+		}
+	}()
+	NewPacer(nil, time.Second)
+}
+
+func TestPacerBatchesBelowQuantum(t *testing.T) {
+	clk := NewManual()
+	p := NewPacer(clk, 10*time.Second)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 9; i++ {
+			p.Charge(time.Second) // 9s accumulated, under the quantum
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("sub-quantum charges slept on a frozen clock")
+	}
+	if p.Charged() != 9*time.Second {
+		t.Fatalf("Charged = %v, want 9s", p.Charged())
+	}
+}
+
+func TestPacerSleepsAtQuantum(t *testing.T) {
+	clk := NewManual()
+	p := NewPacer(clk, 3*time.Second)
+	done := make(chan struct{})
+	go func() {
+		p.Charge(time.Second)
+		p.Charge(time.Second)
+		p.Charge(time.Second) // reaches quantum: sleeps 3s
+		close(done)
+	}()
+	for clk.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("quantum-reaching charge did not sleep")
+	default:
+	}
+	clk.Advance(3 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("pacer sleep never woke")
+	}
+}
+
+func TestPacerFlushPaysRemainder(t *testing.T) {
+	clk := NewManual()
+	p := NewPacer(clk, time.Hour)
+	p.Charge(5 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		p.Flush()
+		close(done)
+	}()
+	for clk.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Flush never completed")
+	}
+	// A second Flush with nothing owed must not block.
+	p.Flush()
+}
+
+func TestPacerZeroQuantumSleepsImmediately(t *testing.T) {
+	clk := NewManual()
+	p := NewPacer(clk, 0)
+	done := make(chan struct{})
+	go func() {
+		p.Charge(time.Second)
+		close(done)
+	}()
+	for clk.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(time.Second)
+	<-done
+}
+
+func TestPacerIgnoresNonPositive(t *testing.T) {
+	clk := NewManual()
+	p := NewPacer(clk, 0)
+	p.Charge(0)
+	p.Charge(-time.Second)
+	if p.Charged() != 0 {
+		t.Fatalf("Charged = %v, want 0", p.Charged())
+	}
+}

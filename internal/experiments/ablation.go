@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/adapt"
+)
+
+// AblationRow is one variant's outcome in an ablation study.
+type AblationRow struct {
+	// Variant names the setting under study.
+	Variant string
+	// Expected is the analytically sustainable sampling factor.
+	Expected float64
+	// Converged is the settled value the variant reached.
+	Converged float64
+	// Wobble is the standard deviation of the sampling factor over the
+	// convergence window — the stability of the control loop.
+	Wobble float64
+}
+
+// AblationResult is a small comparison table over algorithm variants.
+type AblationResult struct {
+	// Name identifies the study.
+	Name string
+	// Scenario describes the workload the variants ran against.
+	Scenario string
+	// Rows holds one row per variant.
+	Rows []AblationRow
+}
+
+// Render prints the comparison.
+func (r *AblationResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "Ablation: %s (%s)\n", r.Name, r.Scenario)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Variant\tExpected\tConverged\tWobble")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\n", row.Variant, row.Expected, row.Converged, row.Wobble)
+	}
+	tw.Flush()
+}
+
+// ablationScenarioAt runs the Figure 8 processing-constraint workload with
+// an explicit observation interval.
+func ablationScenarioAt(cfg Config, variant string, interval time.Duration, mutate func(*adapt.Options)) (AblationRow, error) {
+	run, err := runCompSteer(steerParams{
+		cfg:           cfg,
+		genRate:       160,
+		packetBytes:   16,
+		costPerByte:   20 * time.Millisecond,
+		initialRate:   0.13,
+		duration:      300 * time.Second,
+		adaptOverride: mutate,
+		adaptInterval: interval,
+	})
+	if err != nil {
+		return AblationRow{}, fmt.Errorf("ablation %s: %w", variant, err)
+	}
+	from := 300 * time.Second * 6 / 10
+	return AblationRow{
+		Variant:   variant,
+		Expected:  0.3125,
+		Converged: run.Converged,
+		Wobble:    windowStd(run, from, 300*time.Second),
+	}, nil
+}
+
+// ablationScenario runs the Figure 8 processing-constraint workload
+// (20 ms/byte against 160 B/s; sustainable factor 0.3125) under a mutated
+// option set and summarizes the outcome.
+func ablationScenario(cfg Config, variant string, mutate func(*adapt.Options)) (AblationRow, error) {
+	return ablationScenarioAt(cfg, variant, 0, mutate)
+}
+
+func windowStd(run *steerResult, from, to time.Duration) float64 {
+	var vals []float64
+	for _, p := range run.Trace.Points() {
+		if p.T >= from && p.T <= to {
+			vals = append(vals, p.V)
+		}
+	}
+	if len(vals) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(len(vals))
+	var ss float64
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(vals)))
+}
+
+// AblationDownstreamSign compares the Equation 4 sign conventions: the
+// reinforcing orientation (default; reproduces Figures 8–9) against the
+// literal subtraction as printed in the paper.
+func AblationDownstreamSign(cfg Config) (*AblationResult, error) {
+	res := &AblationResult{
+		Name:     "Equation 4 downstream-term sign",
+		Scenario: "Figure 8 workload, 20 ms/byte, sustainable factor 0.3125",
+	}
+	variants := []struct {
+		name string
+		sign adapt.SignConvention
+	}{
+		{"reinforcing (default)", adapt.SignReinforcing},
+		{"literal (as printed)", adapt.SignLiteral},
+	}
+	for _, v := range variants {
+		sign := v.sign
+		row, err := ablationScenario(cfg, v.name, func(o *adapt.Options) { o.DownstreamSign = sign })
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AblationPhi2 compares the two φ2 implementations (the printed formula is
+// ambiguous; see DESIGN.md).
+func AblationPhi2(cfg Config) (*AblationResult, error) {
+	res := &AblationResult{
+		Name:     "phi2 variant",
+		Scenario: "Figure 8 workload, 20 ms/byte, sustainable factor 0.3125",
+	}
+	variants := []struct {
+		name string
+		kind adapt.Phi2Kind
+	}{
+		{"exponential (default)", adapt.Phi2Exponential},
+		{"linear w/W", adapt.Phi2Linear},
+	}
+	for _, v := range variants {
+		kind := v.kind
+		row, err := ablationScenario(cfg, v.name, func(o *adapt.Options) { o.Phi2 = kind })
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AblationWeights sweeps the (P1, P2, P3) load-factor weights, including the
+// degenerate single-factor settings.
+func AblationWeights(cfg Config) (*AblationResult, error) {
+	res := &AblationResult{
+		Name:     "load-factor weights (P1, P2, P3)",
+		Scenario: "Figure 8 workload, 20 ms/byte, sustainable factor 0.3125",
+	}
+	variants := []struct {
+		name       string
+		p1, p2, p3 float64
+	}{
+		{"0.2/0.3/0.5 (default)", 0.2, 0.3, 0.5},
+		{"phi1 only", 1, 0, 0},
+		{"phi2 only", 0, 1, 0},
+		{"phi3 only", 0, 0, 1},
+	}
+	for _, v := range variants {
+		p1, p2, p3 := v.p1, v.p2, v.p3
+		row, err := ablationScenario(cfg, v.name, func(o *adapt.Options) {
+			o.P1, o.P2, o.P3 = p1, p2, p3
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AblationWindow sweeps the observation window W.
+func AblationWindow(cfg Config) (*AblationResult, error) {
+	res := &AblationResult{
+		Name:     "window size W",
+		Scenario: "Figure 8 workload, 20 ms/byte, sustainable factor 0.3125",
+	}
+	for _, w := range []int{4, 16, 64} {
+		w := w
+		name := fmt.Sprintf("W=%d", w)
+		if w == 16 {
+			name += " (default)"
+		}
+		row, err := ablationScenario(cfg, name, func(o *adapt.Options) { o.Window = w })
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AblationInterval sweeps the observation interval: how often the
+// controller samples the queue and (every second tick) adjusts. Faster
+// observation converges sooner but reacts to noise; slow observation is
+// calm but sluggish.
+func AblationInterval(cfg Config) (*AblationResult, error) {
+	res := &AblationResult{
+		Name:     "observation interval",
+		Scenario: "Figure 8 workload, 20 ms/byte, sustainable factor 0.3125",
+	}
+	for _, iv := range []time.Duration{100 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second} {
+		name := iv.String()
+		if iv == 500*time.Millisecond {
+			name += " (default)"
+		}
+		row, err := ablationScenarioAt(cfg, name, iv, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AblationCongestionPriority compares the congestion-priority gating (the
+// stabilization this implementation adds; see DESIGN.md) against the
+// ungated law.
+func AblationCongestionPriority(cfg Config) (*AblationResult, error) {
+	res := &AblationResult{
+		Name:     "congestion-priority gating",
+		Scenario: "Figure 8 workload, 20 ms/byte, sustainable factor 0.3125",
+	}
+	variants := []struct {
+		name    string
+		disable bool
+	}{
+		{"gated (default)", false},
+		{"ungated", true},
+	}
+	for _, v := range variants {
+		disable := v.disable
+		row, err := ablationScenario(cfg, v.name, func(o *adapt.Options) {
+			o.DisableCongestionPriority = disable
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationDownstreamSign(t *testing.T) {
+	skipUnderRace(t)
+	res, err := AblationDownstreamSign(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	t.Logf("\n%s", buf.String())
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	def := res.Rows[0]
+	if def.Converged < def.Expected-0.2 || def.Converged > def.Expected+0.2 {
+		t.Errorf("default sign converged to %.3f, want near %.3f", def.Converged, def.Expected)
+	}
+}
+
+func TestAblationPhi2(t *testing.T) {
+	skipUnderRace(t)
+	res, err := AblationPhi2(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		// Both variants keep the loop stable in this scenario; the
+		// study records their relative wobble.
+		if row.Converged < 0.05 || row.Converged > 1 {
+			t.Errorf("%s: converged %.3f out of plausible range", row.Variant, row.Converged)
+		}
+	}
+}
+
+func TestAblationWeightsAndWindow(t *testing.T) {
+	skipUnderRace(t)
+	w, err := AblationWeights(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Rows) != 4 {
+		t.Fatalf("weights rows = %d", len(w.Rows))
+	}
+	win, err := AblationWindow(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(win.Rows) != 3 {
+		t.Fatalf("window rows = %d", len(win.Rows))
+	}
+	var buf bytes.Buffer
+	w.Render(&buf)
+	win.Render(&buf)
+	if !strings.Contains(buf.String(), "W=16 (default)") {
+		t.Error("render missing default window row")
+	}
+}
+
+func TestAblationCongestionPriority(t *testing.T) {
+	skipUnderRace(t)
+	res, err := AblationCongestionPriority(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	def := res.Rows[0]
+	if def.Converged < def.Expected-0.2 || def.Converged > def.Expected+0.2 {
+		t.Errorf("gated variant converged to %.3f, want near %.3f", def.Converged, def.Expected)
+	}
+}
+
+func TestAblationInterval(t *testing.T) {
+	skipUnderRace(t)
+	res, err := AblationInterval(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Converged < 0.05 || row.Converged > 0.8 {
+			t.Errorf("%s: converged %.3f implausible", row.Variant, row.Converged)
+		}
+	}
+}

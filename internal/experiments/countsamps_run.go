@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/apps/countsamps"
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/grid"
+	"github.com/gates-middleware/gates/internal/metrics"
+	"github.com/gates-middleware/gates/internal/netsim"
+	"github.com/gates-middleware/gates/internal/pipeline"
+	"github.com/gates-middleware/gates/internal/service"
+)
+
+// csMode selects the count-samps application version.
+type csMode int
+
+const (
+	csCentralized csMode = iota // forward raw items, count centrally
+	csDistributed               // fixed-size summaries at each source
+	csAdaptive                  // middleware-tuned summary size
+)
+
+// csParams configures one count-samps run.
+type csParams struct {
+	cfg         Config
+	mode        csMode
+	summarySize int   // fixed n for csDistributed
+	bandwidth   int64 // source->central link bandwidth
+	trials      int   // sketch-seed trials averaged (default 1)
+	sources     int   // sub-stream count (default 4, the paper's setup)
+}
+
+func (p csParams) srcCount() int {
+	if p.sources < 1 {
+		return 4
+	}
+	return p.sources
+}
+
+// csResult is one run's measurements.
+type csResult struct {
+	// Elapsed is the virtual execution time.
+	Elapsed time.Duration
+	// Acc is the top-10 accuracy against the merged ground truth.
+	Acc metrics.Accuracy
+	// FinalSummarySize is the adaptive parameter's last value (adaptive
+	// runs only; averaged over the four sources).
+	FinalSummarySize float64
+	// NetworkBytes is the total volume carried source->central.
+	NetworkBytes int64
+}
+
+// csItems returns items per sub-stream (the paper's 25,000).
+func (p csParams) csItems() int {
+	if p.cfg.Quick {
+		return 6_000
+	}
+	return 25_000
+}
+
+// runCountSamps measures one count-samps configuration, averaging over
+// sketch-seed trials: the counting-samples sketch is randomized, a borderline
+// member of the true top-10 can fall either way in a single run, and the
+// paper's Figure 5 reports *average* performance and accuracy.
+func runCountSamps(p csParams) (*csResult, error) {
+	trials := p.trials
+	if trials < 1 {
+		trials = 1
+	}
+	var agg csResult
+	for trial := 0; trial < trials; trial++ {
+		r, err := runCountSampsOnce(p, int64(trial))
+		if err != nil {
+			return nil, err
+		}
+		agg.Elapsed += r.Elapsed
+		agg.Acc.Membership += r.Acc.Membership
+		agg.Acc.Frequency += r.Acc.Frequency
+		agg.FinalSummarySize += r.FinalSummarySize
+		agg.NetworkBytes += r.NetworkBytes
+	}
+	agg.Elapsed /= time.Duration(trials)
+	agg.Acc.Membership /= float64(trials)
+	agg.Acc.Frequency /= float64(trials)
+	agg.FinalSummarySize /= float64(trials)
+	agg.NetworkBytes /= int64(trials)
+	return &agg, nil
+}
+
+// runCountSampsOnce deploys and executes one count-samps configuration
+// through the full middleware stack and measures it.
+func runCountSampsOnce(p csParams, trial int64) (*csResult, error) {
+	scale := p.cfg.scale(2000)
+	clk := clock.NewScaled(scale)
+	cost := countsamps.DefaultCostModel()
+	m := p.srcCount()
+	streams, truth := zipfStreams(p.cfg.seed(), m, p.csItems())
+
+	// Grid fabric: one stream-hosting node per sub-stream and a central
+	// node, with the experiment's bandwidth on every cross-node link
+	// (the paper's "each of these machines was connected to a central
+	// machine").
+	dir := grid.NewDirectory()
+	for i := 0; i < m; i++ {
+		if err := dir.Register(grid.Node{
+			Name: fmt.Sprintf("src-%d", i+1), CPUPower: 1, MemoryMB: 512, Slots: 2,
+			Sources: []string{fmt.Sprintf("stream-%d", i+1)},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := dir.Register(grid.Node{Name: "central", CPUPower: 4, MemoryMB: 4096, Slots: 4}); err != nil {
+		return nil, err
+	}
+	net := netsim.NewNetwork(clk)
+	net.SetDefaultLink(netsim.LinkConfig{Bandwidth: p.bandwidth, Quantum: time.Second})
+
+	// Application repository: the three stage codes.
+	repo := service.NewRepository()
+	rawCounter := &countsamps.RawCounter{Cost: cost, Seed: p.cfg.seed() + trial*104729}
+	merger := &countsamps.SummaryMerger{Cost: cost}
+	if err := repo.RegisterSource("countsamps/stream", func(inst int) pipeline.Source {
+		return &countsamps.StreamSource{Values: streams[inst], Batch: 25, ItemWireSize: cost.ItemWireSize}
+	}); err != nil {
+		return nil, err
+	}
+	if err := repo.RegisterProcessor("countsamps/summarize", func(inst int) pipeline.Processor {
+		return countsamps.NewSummarizer(countsamps.SummarizerConfig{
+			Cost:        cost,
+			FlushEvery:  1000,
+			SummarySize: p.summarySize,
+			Adaptive:    p.mode == csAdaptive,
+			Seed:        p.cfg.seed() + trial*104729 + int64(inst),
+		})
+	}); err != nil {
+		return nil, err
+	}
+	if err := repo.RegisterProcessor("countsamps/merge", func(int) pipeline.Processor {
+		return merger
+	}); err != nil {
+		return nil, err
+	}
+	if err := repo.RegisterProcessor("countsamps/raw", func(int) pipeline.Processor {
+		return rawCounter
+	}); err != nil {
+		return nil, err
+	}
+
+	cfg := countSampsConfig(p.mode, m)
+	dep, err := service.NewDeployer(clk, dir, repo, net)
+	if err != nil {
+		return nil, err
+	}
+	launcher, err := service.NewLauncher(dep)
+	if err != nil {
+		return nil, err
+	}
+
+	tuning := func(stageID string, instance int) pipeline.StageConfig {
+		switch stageID {
+		case "stream":
+			return pipeline.StageConfig{
+				DisableAdaptation: true,
+				ComputeQuantum:    time.Second,
+			}
+		case "summarize":
+			return pipeline.StageConfig{
+				QueueCapacity:  50,
+				AdaptInterval:  2 * time.Second,
+				AdjustEvery:    2,
+				ComputeQuantum: time.Second,
+			}
+		default: // central stage
+			return pipeline.StageConfig{
+				QueueCapacity:  200,
+				AdaptInterval:  2 * time.Second,
+				AdjustEvery:    2,
+				ComputeQuantum: time.Second,
+			}
+		}
+	}
+
+	sw := clock.NewStopwatch(clk)
+	app, err := launcher.LaunchConfig(context.Background(), cfg, tuning)
+	if err != nil {
+		return nil, err
+	}
+	if err := app.Wait(); err != nil {
+		return nil, err
+	}
+
+	res := &csResult{Elapsed: sw.Elapsed(), NetworkBytes: net.TotalBytes()}
+	switch p.mode {
+	case csCentralized:
+		res.Acc = metrics.TopKAccuracy(truth, rawCounter.TopK(10), 10)
+	default:
+		res.Acc = metrics.TopKAccuracy(truth, merger.TopK(10), 10)
+	}
+	if p.mode == csAdaptive {
+		var sum float64
+		n := 0
+		for _, st := range app.Stages["summarize"] {
+			if param, ok := st.Controller().Param("summary-size"); ok {
+				sum += param.Value()
+				n++
+			}
+		}
+		if n > 0 {
+			res.FinalSummarySize = sum / float64(n)
+		}
+	}
+	return res, nil
+}
+
+// countSampsConfig builds the application descriptor for a version — the
+// XML the paper's application developer would write.
+func countSampsConfig(mode csMode, sources int) *service.AppConfig {
+	near := make([]string, sources)
+	for i := range near {
+		near[i] = fmt.Sprintf("stream-%d", i+1)
+	}
+	cfg := &service.AppConfig{
+		Name: "count-samps",
+		Stages: []service.StageDef{{
+			ID: "stream", Code: "countsamps/stream", Source: true,
+			Instances: sources, NearSources: near,
+		}},
+	}
+	if mode == csCentralized {
+		cfg.Stages = append(cfg.Stages, service.StageDef{
+			ID: "central", Code: "countsamps/raw",
+			Requirement: service.ReqDef{MinCPU: 2},
+		})
+		cfg.Connections = []service.ConnDef{{From: "stream", To: "central"}}
+		return cfg
+	}
+	cfg.Stages = append(cfg.Stages,
+		service.StageDef{
+			ID: "summarize", Code: "countsamps/summarize",
+			Instances: sources, NearSources: near,
+		},
+		service.StageDef{
+			ID: "central", Code: "countsamps/merge",
+			Requirement: service.ReqDef{MinCPU: 2},
+		},
+	)
+	cfg.Connections = []service.ConnDef{
+		{From: "stream", To: "summarize", Fanout: service.FanoutPairwise},
+		{From: "summarize", To: "central"},
+	}
+	return cfg
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// skipUnderRace skips wall-clock-calibrated experiment tests when the race
+// detector (with its ~10x CPU overhead) would distort virtual timing.
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("timing-calibrated experiment; skipped under -race")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	skipUnderRace(t)
+	res, err := Figure5(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cen, dis := res.Centralized(), res.Distributed()
+	t.Logf("centralized: %.1fs / %.1f; distributed: %.1fs / %.1f",
+		cen.Seconds, cen.Accuracy, dis.Seconds, dis.Accuracy)
+
+	// Shape criteria (DESIGN.md E1): distributed strictly faster;
+	// accuracy loss small; neither perfect.
+	if dis.Seconds >= cen.Seconds {
+		t.Errorf("distributed (%.1fs) not faster than centralized (%.1fs)", dis.Seconds, cen.Seconds)
+	}
+	if cen.Accuracy < 90 || cen.Accuracy >= 100 {
+		t.Errorf("centralized accuracy %.1f outside (90,100)", cen.Accuracy)
+	}
+	if dis.Accuracy < cen.Accuracy-10 {
+		t.Errorf("distributed accuracy %.1f lost more than 10 points vs %.1f", dis.Accuracy, cen.Accuracy)
+	}
+	// Magnitudes: the cost model is calibrated to the paper's 257.5 s and
+	// 180.8 s; allow wide slack for emulation overheads.
+	if cen.Seconds < 200 || cen.Seconds > 340 {
+		t.Errorf("centralized time %.1fs far from the calibrated 257.5s", cen.Seconds)
+	}
+	if dis.Seconds < 150 || dis.Seconds > 260 {
+		t.Errorf("distributed time %.1fs far from the calibrated 180.8s", dis.Seconds)
+	}
+
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Centralized") || !strings.Contains(buf.String(), "Distributed") {
+		t.Error("Render missing rows")
+	}
+}
+
+func TestFigure67Shape(t *testing.T) {
+	skipUnderRace(t)
+	res, err := Figure67(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.RenderTime(&buf)
+	res.RenderAccuracy(&buf)
+	t.Logf("\n%s", buf.String())
+
+	// E2: at the tightest bandwidth, time grows with summary size.
+	t40, _ := res.Cell("40", 1_000)
+	t160, _ := res.Cell("160", 1_000)
+	if t160.Seconds <= t40.Seconds {
+		t.Errorf("at 1KB/s, summary=160 (%.1fs) not slower than summary=40 (%.1fs)", t160.Seconds, t40.Seconds)
+	}
+	// Time shrinks (or stays flat) as bandwidth grows, per version.
+	for _, v := range Fig67Versions {
+		lo, _ := res.Cell(v, 1_000)
+		hi, _ := res.Cell(v, 1_000_000)
+		if hi.Seconds > lo.Seconds*1.1 {
+			t.Errorf("version %s: time rose with bandwidth (%.1fs -> %.1fs)", v, lo.Seconds, hi.Seconds)
+		}
+	}
+	// E3: accuracy grows with summary size (at an unconstrained
+	// bandwidth, where all versions ship everything they maintain).
+	a40, _ := res.Cell("40", 1_000_000)
+	a160, _ := res.Cell("160", 1_000_000)
+	if a160.Accuracy < a40.Accuracy-2 {
+		t.Errorf("summary=160 accuracy %.1f below summary=40 accuracy %.1f", a160.Accuracy, a40.Accuracy)
+	}
+	// Adaptive is the trade-off winner (paper: "never had very low
+	// accuracy, nor had very high execution times"): its accuracy never
+	// sinks to the weakest fixed version's, and its time never balloons —
+	// note it may run somewhat longer than summary=160 at mid bandwidths
+	// because its range extends to 240 and it spends slack on accuracy.
+	for _, bw := range Fig67Bandwidths {
+		ad, _ := res.Cell("adaptive", bw)
+		worstTime, worstAcc := 0.0, 101.0
+		for _, v := range Fig67Versions[:4] {
+			c, _ := res.Cell(v, bw)
+			if c.Seconds > worstTime {
+				worstTime = c.Seconds
+			}
+			if c.Accuracy < worstAcc {
+				worstAcc = c.Accuracy
+			}
+		}
+		if ad.Seconds > worstTime*1.5 {
+			t.Errorf("bw=%d: adaptive (%.1fs) far beyond the slowest fixed version (%.1fs)", bw, ad.Seconds, worstTime)
+		}
+		if ad.Accuracy < worstAcc+2 {
+			t.Errorf("bw=%d: adaptive accuracy %.1f not above the least accurate fixed version %.1f", bw, ad.Accuracy, worstAcc)
+		}
+	}
+	// At the tightest bandwidth the adaptive version must beat the
+	// slowest fixed version outright — that is the trade-off headline.
+	ad1, _ := res.Cell("adaptive", 1_000)
+	worst1, _ := res.Cell("160", 1_000)
+	if ad1.Seconds >= worst1.Seconds {
+		t.Errorf("at 1KB/s adaptive (%.1fs) not faster than summary=160 (%.1fs)", ad1.Seconds, worst1.Seconds)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	skipUnderRace(t)
+	res, err := Figure8(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	t.Logf("\n%s", buf.String())
+
+	if len(res.Series) != len(Fig8Costs) {
+		t.Fatalf("got %d series, want %d", len(res.Series), len(Fig8Costs))
+	}
+	// E4: ≈1 where processing is no constraint; monotonically smaller as
+	// cost grows; each within a band of the sustainable rate.
+	for _, s := range res.Series {
+		if s.Converged < s.Expected-0.17 || s.Converged > s.Expected+0.17 {
+			t.Errorf("%s: converged %.3f not within ±0.17 of expected %.3f", s.Label, s.Converged, s.Expected)
+		}
+	}
+	for i := 1; i < len(res.Series); i++ {
+		if res.Series[i].Converged > res.Series[i-1].Converged+0.08 {
+			t.Errorf("ordering violated: %s (%.3f) above %s (%.3f)",
+				res.Series[i].Label, res.Series[i].Converged,
+				res.Series[i-1].Label, res.Series[i-1].Converged)
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	skipUnderRace(t)
+	res, err := Figure9(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	t.Logf("\n%s", buf.String())
+
+	// E5: climbs from 0.01 to min(1, bandwidth/genrate).
+	for _, s := range res.Series {
+		tol := 0.17
+		if s.Expected < 0.3 {
+			tol = 0.1
+		}
+		if s.Converged < s.Expected-tol || s.Converged > s.Expected+tol {
+			t.Errorf("%s: converged %.3f not within ±%.2f of expected %.3f", s.Label, s.Converged, tol, s.Expected)
+		}
+		if first, ok := s.Trace.At(0); ok && first > 0.2 {
+			t.Errorf("%s: trace did not start near the initial 0.01 (first %.2f)", s.Label, first)
+		}
+	}
+	for i := 1; i < len(res.Series); i++ {
+		if res.Series[i].Converged > res.Series[i-1].Converged+0.08 {
+			t.Errorf("ordering violated at %s", res.Series[i].Label)
+		}
+	}
+}

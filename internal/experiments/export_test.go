@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunAllReportJSON(t *testing.T) {
+	skipUnderRace(t)
+	if testing.Short() {
+		t.Skip("full report in -short mode")
+	}
+	rep, err := RunAll(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Figure5) != 2 || len(back.Figure6) != 5 || len(back.Figure7) != 5 {
+		t.Fatalf("figure sections incomplete: %d/%d/%d", len(back.Figure5), len(back.Figure6), len(back.Figure7))
+	}
+	if len(back.Figure8) != 5 || len(back.Figure9) != 5 {
+		t.Fatalf("convergence sections incomplete")
+	}
+	for _, s := range back.Figure8 {
+		if len(s.Trace) == 0 {
+			t.Fatalf("series %s has no trace", s.Label)
+		}
+	}
+	if len(back.Ablations) != 6 || len(back.Scaling) != 4 || len(back.Hierarchy) != 3 {
+		t.Fatalf("ablation/extension sections incomplete")
+	}
+	if !back.Quick || back.Seed == 0 {
+		t.Fatal("report metadata missing")
+	}
+}

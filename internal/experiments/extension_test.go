@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExtScalingSourcesShape(t *testing.T) {
+	skipUnderRace(t)
+	res, err := ExtScalingSources(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	t.Logf("\n%s", buf.String())
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	// The paper's prediction: the distributed advantage grows with the
+	// number of sources.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Speedup <= res.Rows[i-1].Speedup {
+			t.Errorf("speedup not increasing: %d sources %.2fx, %d sources %.2fx",
+				res.Rows[i-1].Sources, res.Rows[i-1].Speedup,
+				res.Rows[i].Sources, res.Rows[i].Speedup)
+		}
+	}
+	// Centralized time grows roughly linearly with sources; distributed
+	// stays near the per-source floor.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if last.CentralizedS < first.CentralizedS*4 {
+		t.Errorf("centralized time grew only %.1fx over 8x sources",
+			last.CentralizedS/first.CentralizedS)
+	}
+	if last.DistributedS > first.DistributedS*2 {
+		t.Errorf("distributed time grew %.1fx over 8x sources, want ~flat",
+			last.DistributedS/first.DistributedS)
+	}
+}
+
+func TestExtHierarchyShape(t *testing.T) {
+	skipUnderRace(t)
+	res, err := ExtHierarchy(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	t.Logf("\n%s", buf.String())
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	flat, hier, auto := res.Rows[0], res.Rows[1], res.Rows[2]
+	if !strings.Contains(flat.Topology, "flat") || !strings.Contains(hier.Topology, "hierarchical") {
+		t.Fatalf("row order unexpected: %v", res.Rows)
+	}
+	// The regional stage must cut WAN volume hard and finish faster.
+	if hier.WANBytes*2 >= flat.WANBytes {
+		t.Errorf("hierarchical WAN bytes %d not well below flat %d", hier.WANBytes, flat.WANBytes)
+	}
+	if hier.Seconds >= flat.Seconds {
+		t.Errorf("hierarchical (%.1fs) not faster than flat (%.1fs)", hier.Seconds, flat.Seconds)
+	}
+	// Aggregating regionally must not wreck the answer.
+	if hier.Accuracy < flat.Accuracy-10 {
+		t.Errorf("hierarchical accuracy %.1f lost too much vs flat %.1f", hier.Accuracy, flat.Accuracy)
+	}
+	// The topology-aware planner, given no hints, must find a placement
+	// as good as the hand-hinted one (same WAN reduction, similar time).
+	if auto.WANBytes > hier.WANBytes*3/2 {
+		t.Errorf("auto-placed WAN bytes %d well above hinted %d", auto.WANBytes, hier.WANBytes)
+	}
+	if auto.Seconds > flat.Seconds {
+		t.Errorf("auto-placed (%.1fs) not faster than flat (%.1fs)", auto.Seconds, flat.Seconds)
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Fig5Row is one line of the Figure 5 table.
+type Fig5Row struct {
+	Style    string
+	Seconds  float64
+	Accuracy float64 // 0-100, the paper's scale
+}
+
+// Fig5Result reproduces Figure 5: "Benefits of Distributed Processing:
+// 4 Sub-streams" — centralized vs distributed count-samps at 100 KB/s.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// Figure5 runs the experiment of §5.2: four sources × 25,000 integers,
+// 100 KB/s links to the central machine, top-10 frequent-items query;
+// version one forwards everything, version two forwards 100-item summaries.
+func Figure5(cfg Config) (*Fig5Result, error) {
+	cen, err := runCountSamps(csParams{cfg: cfg, mode: csCentralized, bandwidth: 100_000, trials: 3})
+	if err != nil {
+		return nil, fmt.Errorf("figure5 centralized: %w", err)
+	}
+	dis, err := runCountSamps(csParams{cfg: cfg, mode: csDistributed, summarySize: 100, bandwidth: 100_000, trials: 3})
+	if err != nil {
+		return nil, fmt.Errorf("figure5 distributed: %w", err)
+	}
+	return &Fig5Result{Rows: []Fig5Row{
+		{Style: "Centralized", Seconds: secondsOf(cen.Elapsed), Accuracy: cen.Acc.Score()},
+		{Style: "Distributed", Seconds: secondsOf(dis.Elapsed), Accuracy: dis.Acc.Score()},
+	}}, nil
+}
+
+// Centralized and Distributed return the named rows.
+func (r *Fig5Result) Centralized() Fig5Row { return r.row("Centralized") }
+
+// Distributed returns the distributed row.
+func (r *Fig5Result) Distributed() Fig5Row { return r.row("Distributed") }
+
+func (r *Fig5Result) row(style string) Fig5Row {
+	for _, row := range r.Rows {
+		if row.Style == style {
+			return row
+		}
+	}
+	return Fig5Row{}
+}
+
+// Render prints the table in the paper's format.
+func (r *Fig5Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5: Benefits of Distributed Processing (4 sub-streams, 100 KB/s)")
+	fmt.Fprintln(w, "  [paper: Centralized 257.5 s / 99, Distributed 180.8 s / 97]")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Processing Style\tAvg Performance (sec)\tAvg Accuracy")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\n", row.Style, row.Seconds, row.Accuracy)
+	}
+	tw.Flush()
+}

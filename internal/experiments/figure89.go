@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/metrics"
+	"github.com/gates-middleware/gates/internal/queuing"
+)
+
+// ConvergenceSeries is one line of a Figure 8/9-style plot: how the
+// middleware-chosen sampling factor evolves for one configuration.
+type ConvergenceSeries struct {
+	// Label names the configuration ("8 ms/byte", "40 KB/s", ...).
+	Label string
+	// Expected is the sustainable sampling factor predicted by the §4.1
+	// queueing-network model (internal/queuing).
+	Expected float64
+	// Converged is the measured settled value.
+	Converged float64
+	// Trace is the full sampling-factor series.
+	Trace *metrics.TimeSeries
+}
+
+// Fig8Costs are the five analysis costs of §5.4, in ms/byte.
+var Fig8Costs = []int{1, 5, 8, 10, 20}
+
+// Fig8Result reproduces Figure 8: sampling-factor convergence under a
+// processing constraint (generation 160 B/s, initial factor 0.13).
+type Fig8Result struct {
+	Series []ConvergenceSeries
+}
+
+// Figure8 runs §5.4: five comp-steer versions whose post-processing costs
+// 1, 5, 8, 10 and 20 ms/byte against a 160 B/s stream. The paper's factors
+// converge to 1, 1, .65, .55 and .31.
+func Figure8(cfg Config) (*Fig8Result, error) {
+	res := &Fig8Result{}
+	for _, costMs := range Fig8Costs {
+		run, err := runCompSteer(steerParams{
+			cfg:         cfg,
+			genRate:     160,
+			packetBytes: 16,
+			costPerByte: time.Duration(costMs) * time.Millisecond,
+			initialRate: 0.13,
+			duration:    300 * time.Second,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure8 cost=%dms: %w", costMs, err)
+		}
+		expected, err := steeringModel(160, 1000/float64(costMs), 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, ConvergenceSeries{
+			Label:     fmt.Sprintf("%d ms/byte", costMs),
+			Expected:  expected,
+			Converged: run.Converged,
+			Trace:     run.Trace,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the convergence table.
+func (r *Fig8Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 8: Self-adaptation for a processing constraint (gen 160 B/s, initial 0.13)")
+	fmt.Fprintln(w, "  [paper: converges to 1, 1, .65, .55, .31]")
+	renderConvergence(w, r.Series)
+}
+
+// Fig9GenRates are the five generation rates of §5.5, in KB/s.
+var Fig9GenRates = []int{5, 10, 20, 40, 80}
+
+// Fig9Result reproduces Figure 9: sampling-factor convergence under a
+// network constraint (10 KB/s link, initial factor 0.01).
+type Fig9Result struct {
+	Series []ConvergenceSeries
+}
+
+// Figure9 runs §5.5: data generated at 5/10/20/40/80 KB/s, sampled, and
+// sent over a 10 KB/s link. The sustainable factors are 1, 1, .5, .25 and
+// .125.
+func Figure9(cfg Config) (*Fig9Result, error) {
+	res := &Fig9Result{}
+	for _, genKB := range Fig9GenRates {
+		run, err := runCompSteer(steerParams{
+			cfg:         cfg,
+			genRate:     genKB * 1000,
+			packetBytes: 500,
+			linkBW:      10_000,
+			initialRate: 0.01,
+			duration:    300 * time.Second,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure9 gen=%dKB/s: %w", genKB, err)
+		}
+		expected, err := steeringModel(float64(genKB)*1000, math.Inf(1), 10_000)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, ConvergenceSeries{
+			Label:     fmt.Sprintf("%d KB/s", genKB),
+			Expected:  expected,
+			Converged: run.Converged,
+			Trace:     run.Trace,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the convergence table.
+func (r *Fig9Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 9: Self-adaptation for a network constraint (10 KB/s link, initial 0.01)")
+	fmt.Fprintln(w, "  [paper: converges to ~1, 1, .5, .25, .125]")
+	renderConvergence(w, r.Series)
+}
+
+// steeringModel builds the §4.1 queueing network of a comp-steer run —
+// generator → sampler → (link) → analysis — and asks it for the sustainable
+// sampling factor. linkBW of 0 means an unconstrained link.
+func steeringModel(genRate, analysisRate float64, linkBW float64) (float64, error) {
+	n := queuing.New()
+	if err := n.AddStation(queuing.Station{Name: "sampler"}); err != nil {
+		return 0, err
+	}
+	prev := "sampler"
+	if linkBW > 0 {
+		if err := n.AddStation(queuing.Station{Name: "link", ServiceRate: linkBW}); err != nil {
+			return 0, err
+		}
+		if err := n.Route(prev, "link", 1); err != nil {
+			return 0, err
+		}
+		prev = "link"
+	}
+	if err := n.AddStation(queuing.Station{Name: "analysis", ServiceRate: analysisRate}); err != nil {
+		return 0, err
+	}
+	if prev != "sampler" {
+		if err := n.Route(prev, "analysis", 1); err != nil {
+			return 0, err
+		}
+	} else if err := n.Route("sampler", "analysis", 1); err != nil {
+		return 0, err
+	}
+	if err := n.SetArrival("sampler", genRate); err != nil {
+		return 0, err
+	}
+	return n.SustainableFraction("sampler")
+}
+
+// renderConvergence prints settled values plus a downsampled trace per
+// series.
+func renderConvergence(w io.Writer, series []ConvergenceSeries) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Version\tExpected\tConverged")
+	for _, s := range series {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\n", s.Label, s.Expected, s.Converged)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "Sampling factor over time:")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "t(s)")
+	for _, s := range series {
+		fmt.Fprintf(tw, "\t%s", s.Label)
+	}
+	fmt.Fprintln(tw)
+	const samples = 12
+	// Use the longest trace to define the time axis.
+	var axis []time.Duration
+	for _, s := range series {
+		pts := s.Trace.Downsample(samples)
+		if len(pts) > len(axis) {
+			axis = axis[:0]
+			for _, p := range pts {
+				axis = append(axis, p.T)
+			}
+		}
+	}
+	for _, t := range axis {
+		fmt.Fprintf(tw, "%.0f", t.Seconds())
+		for _, s := range series {
+			if v, ok := s.Trace.At(t); ok {
+				fmt.Fprintf(tw, "\t%.2f", v)
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

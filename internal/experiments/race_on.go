@@ -1,0 +1,12 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// experiment shape tests assert against the Figure 5 timing calibration,
+// which assumes production-build CPU overhead; the race detector's ~10x
+// instrumentation cost distorts the virtual-time ratios those assertions
+// encode, so they skip themselves under -race (the algorithmic and
+// concurrency coverage lives in the package unit tests, which do run under
+// -race).
+const raceEnabled = true

@@ -1,0 +1,297 @@
+// Package grid simulates the grid fabric GATES was built on.
+//
+// The paper relies on Globus 3.0 / OGSA for exactly two things: discovering
+// compute resources and matching them against the requirements of each
+// application stage ("the Deployer ... consults with a grid resource manager
+// to find the nodes where the resources required by the individual stages
+// are available"). This package reproduces that behavior with an in-process
+// resource directory (the index-service analog): nodes register with their
+// attributes (site, CPU power, memory, hosted data sources, instance slots),
+// and a planner assigns stage instances to nodes honoring requirements and
+// the paper's locality rule — "the first stage is applied near sources of
+// individual streams".
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Node describes one compute resource registered with the directory.
+type Node struct {
+	// Name uniquely identifies the node.
+	Name string
+	// Site is the administrative domain the node belongs to.
+	Site string
+	// CPUPower is the node's relative compute speed; 1.0 is the baseline
+	// machine of the paper's cluster.
+	CPUPower float64
+	// MemoryMB is the memory available to stage instances.
+	MemoryMB int
+	// Slots is how many stage instances the node can host concurrently.
+	// Zero means one.
+	Slots int
+	// Sources lists the names of data sources that arrive at (or adjacent
+	// to) this node; the planner uses it for the near-source rule.
+	Sources []string
+}
+
+func (n Node) slots() int {
+	if n.Slots <= 0 {
+		return 1
+	}
+	return n.Slots
+}
+
+func (n Node) hostsSource(src string) bool {
+	for _, s := range n.Sources {
+		if s == src {
+			return true
+		}
+	}
+	return false
+}
+
+// Requirement constrains which nodes may host a stage instance.
+type Requirement struct {
+	// MinCPUPower is the minimum relative CPU power.
+	MinCPUPower float64
+	// MinMemoryMB is the minimum free memory.
+	MinMemoryMB int
+	// Site, when non-empty, restricts candidates to one administrative
+	// domain.
+	Site string
+	// NearSource, when non-empty, expresses a strong preference (not a
+	// hard constraint) for the node hosting the named data source.
+	NearSource string
+}
+
+// Errors returned by the directory and planner.
+var (
+	ErrDuplicateNode = errors.New("grid: node already registered")
+	ErrUnknownNode   = errors.New("grid: unknown node")
+	ErrNoMatch       = errors.New("grid: no node satisfies the requirement")
+)
+
+// Directory is the resource index: the OGSA index-service analog that the
+// Deployer consults. It is safe for concurrent use.
+type Directory struct {
+	mu    sync.RWMutex
+	nodes map[string]*nodeState
+}
+
+type nodeState struct {
+	node  Node
+	used  int // allocated instance slots
+	memMB int // allocated memory
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{nodes: make(map[string]*nodeState)}
+}
+
+// Register adds a node. Node names must be unique and non-empty.
+func (d *Directory) Register(n Node) error {
+	if n.Name == "" {
+		return errors.New("grid: node name must be non-empty")
+	}
+	if n.CPUPower <= 0 {
+		return fmt.Errorf("grid: node %q must have positive CPU power", n.Name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.nodes[n.Name]; dup {
+		return fmt.Errorf("%w: %s", ErrDuplicateNode, n.Name)
+	}
+	d.nodes[n.Name] = &nodeState{node: n}
+	return nil
+}
+
+// Deregister removes a node from the directory.
+func (d *Directory) Deregister(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.nodes[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	delete(d.nodes, name)
+	return nil
+}
+
+// Lookup returns the node with the given name.
+func (d *Directory) Lookup(name string) (Node, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	st, ok := d.nodes[name]
+	if !ok {
+		return Node{}, false
+	}
+	return st.node, true
+}
+
+// List returns all registered nodes sorted by name.
+func (d *Directory) List() []Node {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Node, 0, len(d.nodes))
+	for _, st := range d.nodes {
+		out = append(out, st.node)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// satisfiesLocked reports whether node st can host one more instance under
+// req, considering current allocations.
+func (st *nodeState) satisfies(req Requirement) bool {
+	n := st.node
+	if n.CPUPower < req.MinCPUPower {
+		return false
+	}
+	if n.MemoryMB-st.memMB < req.MinMemoryMB {
+		return false
+	}
+	if req.Site != "" && n.Site != req.Site {
+		return false
+	}
+	return st.used < n.slots()
+}
+
+// score ranks candidate nodes; higher is better. The near-source bonus
+// dominates, then free capacity, then raw CPU power.
+func (st *nodeState) score(req Requirement) float64 {
+	s := 0.0
+	if req.NearSource != "" && st.node.hostsSource(req.NearSource) {
+		s += 1e6
+	}
+	s += float64(st.node.slots()-st.used) * 100
+	s += st.node.CPUPower
+	return s
+}
+
+// Query returns the nodes currently able to host an instance with the given
+// requirement, best candidate first. Ties break by node name so planning is
+// deterministic.
+func (d *Directory) Query(req Requirement) []Node {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	type cand struct {
+		node  Node
+		score float64
+	}
+	var cands []cand
+	for _, st := range d.nodes {
+		if st.satisfies(req) {
+			cands = append(cands, cand{st.node, st.score(req)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].node.Name < cands[j].node.Name
+	})
+	out := make([]Node, len(cands))
+	for i, c := range cands {
+		out[i] = c.node
+	}
+	return out
+}
+
+// Allocate reserves one instance slot (and the requirement's memory) on the
+// named node. It fails if the node no longer satisfies the requirement.
+func (d *Directory) Allocate(name string, req Requirement) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.nodes[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, name)
+	}
+	if !st.satisfies(req) {
+		return fmt.Errorf("%w: %s cannot host the instance", ErrNoMatch, name)
+	}
+	st.used++
+	st.memMB += req.MinMemoryMB
+	return nil
+}
+
+// Release returns one instance slot (and the requirement's memory) to the
+// named node. Releasing an unknown node is a no-op.
+func (d *Directory) Release(name string, req Requirement) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.nodes[name]
+	if !ok {
+		return
+	}
+	if st.used > 0 {
+		st.used--
+	}
+	if st.memMB >= req.MinMemoryMB {
+		st.memMB -= req.MinMemoryMB
+	} else {
+		st.memMB = 0
+	}
+}
+
+// Allocated reports the number of instance slots in use on the named node.
+func (d *Directory) Allocated(name string) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if st, ok := d.nodes[name]; ok {
+		return st.used
+	}
+	return 0
+}
+
+// InstanceRequest asks the planner for one stage instance.
+type InstanceRequest struct {
+	// StageID identifies the pipeline stage.
+	StageID string
+	// Instance is the ordinal of this instance within the stage.
+	Instance int
+	// Req constrains the placement, including the near-source preference.
+	Req Requirement
+}
+
+// Placement is the planner's decision for one instance.
+type Placement struct {
+	StageID  string
+	Instance int
+	Node     string
+}
+
+// Plan assigns every requested instance to a node, reserving capacity as it
+// goes, and returns the placements in request order. On failure it releases
+// everything it reserved and returns ErrNoMatch wrapped with the failing
+// request.
+//
+// Requests are matched greedily in order; the caller should list
+// source-side (first-stage) instances first so that the near-source rule is
+// honored before general capacity fills up, mirroring the paper's
+// deployment order.
+func (d *Directory) Plan(reqs []InstanceRequest) ([]Placement, error) {
+	placements := make([]Placement, 0, len(reqs))
+	rollback := func() {
+		for i, p := range placements {
+			d.Release(p.Node, reqs[i].Req)
+		}
+	}
+	for _, r := range reqs {
+		cands := d.Query(r.Req)
+		if len(cands) == 0 {
+			rollback()
+			return nil, fmt.Errorf("%w: stage %s instance %d", ErrNoMatch, r.StageID, r.Instance)
+		}
+		node := cands[0]
+		if err := d.Allocate(node.Name, r.Req); err != nil {
+			rollback()
+			return nil, err
+		}
+		placements = append(placements, Placement{StageID: r.StageID, Instance: r.Instance, Node: node.Name})
+	}
+	return placements, nil
+}

@@ -1,0 +1,315 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func newTestDirectory(t *testing.T) *Directory {
+	t.Helper()
+	d := NewDirectory()
+	nodes := []Node{
+		{Name: "src-1", Site: "osu", CPUPower: 1.0, MemoryMB: 512, Sources: []string{"stream-1"}},
+		{Name: "src-2", Site: "osu", CPUPower: 1.0, MemoryMB: 512, Sources: []string{"stream-2"}},
+		{Name: "src-3", Site: "cern", CPUPower: 1.0, MemoryMB: 512, Sources: []string{"stream-3"}},
+		{Name: "src-4", Site: "cern", CPUPower: 1.0, MemoryMB: 512, Sources: []string{"stream-4"}},
+		{Name: "central", Site: "osu", CPUPower: 4.0, MemoryMB: 4096, Slots: 4},
+	}
+	for _, n := range nodes {
+		if err := d.Register(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func TestRegisterValidation(t *testing.T) {
+	d := NewDirectory()
+	if err := d.Register(Node{Name: "", CPUPower: 1}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := d.Register(Node{Name: "x", CPUPower: 0}); err == nil {
+		t.Fatal("zero CPU power accepted")
+	}
+	if err := d.Register(Node{Name: "x", CPUPower: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register(Node{Name: "x", CPUPower: 1}); !errors.Is(err, ErrDuplicateNode) {
+		t.Fatalf("duplicate register = %v, want ErrDuplicateNode", err)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	d := newTestDirectory(t)
+	if err := d.Deregister("src-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Lookup("src-1"); ok {
+		t.Fatal("deregistered node still visible")
+	}
+	if err := d.Deregister("src-1"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("double deregister = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	d := newTestDirectory(t)
+	list := d.List()
+	if len(list) != 5 {
+		t.Fatalf("List returned %d nodes, want 5", len(list))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].Name >= list[i].Name {
+			t.Fatalf("List not sorted: %q before %q", list[i-1].Name, list[i].Name)
+		}
+	}
+}
+
+func TestQueryFiltersRequirements(t *testing.T) {
+	d := newTestDirectory(t)
+	if got := d.Query(Requirement{MinCPUPower: 2}); len(got) != 1 || got[0].Name != "central" {
+		t.Fatalf("MinCPUPower=2 query = %v, want only central", got)
+	}
+	if got := d.Query(Requirement{Site: "cern"}); len(got) != 2 {
+		t.Fatalf("site query returned %d nodes, want 2", len(got))
+	}
+	if got := d.Query(Requirement{MinMemoryMB: 100000}); len(got) != 0 {
+		t.Fatalf("impossible memory query returned %v", got)
+	}
+}
+
+func TestQueryNearSourcePreference(t *testing.T) {
+	d := newTestDirectory(t)
+	got := d.Query(Requirement{NearSource: "stream-3"})
+	if len(got) == 0 || got[0].Name != "src-3" {
+		t.Fatalf("near-source query ranked %v first, want src-3", got)
+	}
+}
+
+func TestAllocateConsumesCapacity(t *testing.T) {
+	d := newTestDirectory(t)
+	req := Requirement{}
+	if err := d.Allocate("src-1", req); err != nil {
+		t.Fatal(err)
+	}
+	if d.Allocated("src-1") != 1 {
+		t.Fatalf("Allocated = %d, want 1", d.Allocated("src-1"))
+	}
+	// src-1 has one slot; second allocation must fail.
+	if err := d.Allocate("src-1", req); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("over-allocation = %v, want ErrNoMatch", err)
+	}
+	d.Release("src-1", req)
+	if err := d.Allocate("src-1", req); err != nil {
+		t.Fatalf("allocate after release: %v", err)
+	}
+}
+
+func TestAllocateMemoryAccounting(t *testing.T) {
+	d := NewDirectory()
+	d.Register(Node{Name: "n", CPUPower: 1, MemoryMB: 1000, Slots: 4})
+	req := Requirement{MinMemoryMB: 600}
+	if err := d.Allocate("n", req); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Allocate("n", req); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("memory over-allocation = %v, want ErrNoMatch", err)
+	}
+	if err := d.Allocate("n", Requirement{MinMemoryMB: 400}); err != nil {
+		t.Fatalf("fitting allocation rejected: %v", err)
+	}
+}
+
+func TestAllocateUnknownNode(t *testing.T) {
+	d := NewDirectory()
+	if err := d.Allocate("ghost", Requirement{}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Allocate(ghost) = %v, want ErrUnknownNode", err)
+	}
+	d.Release("ghost", Requirement{}) // must not panic
+}
+
+func TestPlanPlacesFirstStageNearSources(t *testing.T) {
+	d := newTestDirectory(t)
+	var reqs []InstanceRequest
+	for i := 1; i <= 4; i++ {
+		reqs = append(reqs, InstanceRequest{
+			StageID:  "sampler",
+			Instance: i - 1,
+			Req:      Requirement{NearSource: fmt.Sprintf("stream-%d", i)},
+		})
+	}
+	reqs = append(reqs, InstanceRequest{StageID: "merge", Instance: 0, Req: Requirement{MinCPUPower: 2}})
+	placements, err := d.Plan(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"src-1", "src-2", "src-3", "src-4", "central"}
+	for i, p := range placements {
+		if p.Node != want[i] {
+			t.Fatalf("placement[%d] = %s, want %s (all: %v)", i, p.Node, want[i], placements)
+		}
+	}
+}
+
+func TestPlanRollsBackOnFailure(t *testing.T) {
+	d := newTestDirectory(t)
+	reqs := []InstanceRequest{
+		{StageID: "a", Instance: 0, Req: Requirement{NearSource: "stream-1"}},
+		{StageID: "b", Instance: 0, Req: Requirement{MinCPUPower: 99}}, // impossible
+	}
+	if _, err := d.Plan(reqs); !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("Plan = %v, want ErrNoMatch", err)
+	}
+	if d.Allocated("src-1") != 0 {
+		t.Fatal("failed Plan leaked an allocation")
+	}
+}
+
+func TestPlanSpreadsAcrossSlots(t *testing.T) {
+	d := NewDirectory()
+	d.Register(Node{Name: "big", CPUPower: 2, MemoryMB: 8192, Slots: 3})
+	d.Register(Node{Name: "small", CPUPower: 1, MemoryMB: 512})
+	reqs := make([]InstanceRequest, 4)
+	for i := range reqs {
+		reqs[i] = InstanceRequest{StageID: "s", Instance: i}
+	}
+	placements, err := d.Plan(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, p := range placements {
+		counts[p.Node]++
+	}
+	if counts["big"] != 3 || counts["small"] != 1 {
+		t.Fatalf("placement spread = %v, want big:3 small:1", counts)
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	reqs := []InstanceRequest{
+		{StageID: "s", Instance: 0},
+		{StageID: "s", Instance: 1},
+	}
+	var first []Placement
+	for trial := 0; trial < 5; trial++ {
+		d := newTestDirectory(t)
+		got, err := d.Plan(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trial == 0 {
+			first = got
+			continue
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d differs: %v vs %v", trial, got, first)
+			}
+		}
+	}
+}
+
+// Property: allocations never exceed a node's slot count, no matter the
+// allocate/release script.
+func TestAllocationBoundProperty(t *testing.T) {
+	f := func(script []bool, slotsRaw uint8) bool {
+		slots := int(slotsRaw%4) + 1
+		d := NewDirectory()
+		d.Register(Node{Name: "n", CPUPower: 1, MemoryMB: 1024, Slots: slots})
+		for _, alloc := range script {
+			if alloc {
+				d.Allocate("n", Requirement{})
+			} else {
+				d.Release("n", Requirement{})
+			}
+			got := d.Allocated("n")
+			if got < 0 || got > slots {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanTopologyPrefersFastLinks(t *testing.T) {
+	d := NewDirectory()
+	// Two sites; the consumer can fit anywhere.
+	d.Register(Node{Name: "a-1", Site: "a", CPUPower: 1, MemoryMB: 512})
+	d.Register(Node{Name: "a-hub", Site: "a", CPUPower: 2, MemoryMB: 2048, Slots: 2})
+	d.Register(Node{Name: "b-1", Site: "b", CPUPower: 1, MemoryMB: 512})
+	d.Register(Node{Name: "b-hub", Site: "b", CPUPower: 2, MemoryMB: 2048, Slots: 2})
+	bw := func(from, to string) int64 {
+		if from[0] == to[0] {
+			return 0 // same site: free
+		}
+		return 1000 // slow WAN
+	}
+	// Producer pinned to site b by requirement; consumer unpinned.
+	reqs := []InstanceRequest{
+		{StageID: "produce", Instance: 0, Req: Requirement{Site: "b"}},
+		{StageID: "consume", Instance: 0},
+	}
+	edges := []InstanceEdge{{From: 0, To: 1}}
+	placements, err := d.PlanTopology(reqs, edges, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placements[1].Node[0] != 'b' {
+		t.Fatalf("consumer placed on %s, want site b near its producer", placements[1].Node)
+	}
+}
+
+func TestPlanTopologyNearSourceStillWins(t *testing.T) {
+	// A hard near-source hint must beat the bandwidth pull.
+	d := NewDirectory()
+	d.Register(Node{Name: "a-1", Site: "a", CPUPower: 1, MemoryMB: 512, Sources: []string{"feed"}})
+	d.Register(Node{Name: "b-1", Site: "b", CPUPower: 4, MemoryMB: 4096, Slots: 2})
+	bw := func(from, to string) int64 { return 1000 }
+	reqs := []InstanceRequest{
+		{StageID: "peer", Instance: 0, Req: Requirement{Site: "b"}},
+		{StageID: "src", Instance: 0, Req: Requirement{NearSource: "feed"}},
+	}
+	edges := []InstanceEdge{{From: 0, To: 1, Volume: 5}}
+	placements, err := d.PlanTopology(reqs, edges, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placements[1].Node != "a-1" {
+		t.Fatalf("near-source stage placed on %s, want a-1", placements[1].Node)
+	}
+}
+
+func TestPlanTopologyValidation(t *testing.T) {
+	d := NewDirectory()
+	d.Register(Node{Name: "n", CPUPower: 1, MemoryMB: 512})
+	reqs := []InstanceRequest{{StageID: "s", Instance: 0}}
+	if _, err := d.PlanTopology(reqs, []InstanceEdge{{From: 0, To: 5}}, func(_, _ string) int64 { return 0 }); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	// nil bandwidth falls back to plain Plan.
+	placements, err := d.PlanTopology(reqs, nil, nil)
+	if err != nil || len(placements) != 1 {
+		t.Fatalf("nil-bw fallback = %v, %v", placements, err)
+	}
+}
+
+func TestPlanTopologyRollsBack(t *testing.T) {
+	d := NewDirectory()
+	d.Register(Node{Name: "n", CPUPower: 1, MemoryMB: 512})
+	reqs := []InstanceRequest{
+		{StageID: "a", Instance: 0},
+		{StageID: "b", Instance: 0, Req: Requirement{MinCPUPower: 99}},
+	}
+	if _, err := d.PlanTopology(reqs, nil, func(_, _ string) int64 { return 0 }); err == nil {
+		t.Fatal("impossible request accepted")
+	}
+	if d.Allocated("n") != 0 {
+		t.Fatal("failed topology plan leaked an allocation")
+	}
+}

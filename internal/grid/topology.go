@@ -1,0 +1,120 @@
+package grid
+
+import (
+	"fmt"
+)
+
+// InstanceEdge declares that two requested instances communicate: From and
+// To index into the request slice handed to PlanTopology. Volume weights
+// the edge's relative traffic (zero means 1).
+type InstanceEdge struct {
+	From, To int
+	Volume   float64
+}
+
+// BandwidthFunc reports the available bandwidth in bytes per second between
+// two nodes. Zero means the pair communicates for free (same node or an
+// unconstrained link).
+type BandwidthFunc func(from, to string) int64
+
+// commPenaltyScale converts traffic-per-bandwidth into score units. It is
+// chosen so a unit-volume edge over a 1 KB/s link (penalty 1e5) outweighs
+// slot/CPU tie-breakers (~100s) but never a near-source hard hint (1e6):
+// the paper's locality rule stays authoritative, bandwidth breaks the
+// remaining freedom.
+const commPenaltyScale = 1e8
+
+// PlanTopology assigns every requested instance to a node like Plan, but
+// additionally charges each candidate node for the traffic the instance
+// would exchange with already-placed peers over constrained links. It
+// extends the §3.2 "consults with a grid resource manager to find the
+// nodes where the resources ... are available" step with the §3.1 goal of
+// keeping early stages near the data: communicating instances gravitate to
+// the same site when the wide-area links are slow.
+//
+// Placement remains greedy in request order (list source-side stages
+// first); failures roll back reservations like Plan.
+func (d *Directory) PlanTopology(reqs []InstanceRequest, edges []InstanceEdge, bw BandwidthFunc) ([]Placement, error) {
+	if bw == nil {
+		return d.Plan(reqs)
+	}
+	for _, e := range edges {
+		if e.From < 0 || e.From >= len(reqs) || e.To < 0 || e.To >= len(reqs) {
+			return nil, fmt.Errorf("grid: edge %d->%d outside the %d requests", e.From, e.To, len(reqs))
+		}
+	}
+	// peers[i] lists (other request index, volume) for every edge at i.
+	type peer struct {
+		idx    int
+		volume float64
+	}
+	peers := make([][]peer, len(reqs))
+	for _, e := range edges {
+		v := e.Volume
+		if v <= 0 {
+			v = 1
+		}
+		peers[e.From] = append(peers[e.From], peer{e.To, v})
+		peers[e.To] = append(peers[e.To], peer{e.From, v})
+	}
+
+	placements := make([]Placement, 0, len(reqs))
+	nodeOf := make(map[int]string, len(reqs))
+	rollback := func() {
+		for i, p := range placements {
+			d.Release(p.Node, reqs[i].Req)
+		}
+	}
+	for i, r := range reqs {
+		cands := d.Query(r.Req)
+		if len(cands) == 0 {
+			rollback()
+			return nil, fmt.Errorf("%w: stage %s instance %d", ErrNoMatch, r.StageID, r.Instance)
+		}
+		best := ""
+		bestScore := 0.0
+		for _, cand := range cands {
+			score := d.scoreOf(cand.Name, r.Req)
+			for _, p := range peers[i] {
+				peerNode, placed := nodeOf[p.idx]
+				if !placed {
+					continue
+				}
+				score -= commPenalty(cand.Name, peerNode, p.volume, bw)
+			}
+			if best == "" || score > bestScore {
+				best, bestScore = cand.Name, score
+			}
+		}
+		if err := d.Allocate(best, r.Req); err != nil {
+			rollback()
+			return nil, err
+		}
+		placements = append(placements, Placement{StageID: r.StageID, Instance: r.Instance, Node: best})
+		nodeOf[i] = best
+	}
+	return placements, nil
+}
+
+// scoreOf computes the base placement score for a node under the current
+// allocation state.
+func (d *Directory) scoreOf(name string, req Requirement) float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	st, ok := d.nodes[name]
+	if !ok {
+		return 0
+	}
+	return st.score(req)
+}
+
+func commPenalty(a, b string, volume float64, bw BandwidthFunc) float64 {
+	if a == b {
+		return 0
+	}
+	width := bw(a, b)
+	if width <= 0 {
+		return 0
+	}
+	return volume * commPenaltyScale / float64(width)
+}

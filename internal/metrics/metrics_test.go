@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/workload"
+)
+
+func truth() map[int]int {
+	return map[int]int{1: 100, 2: 90, 3: 80, 4: 70, 5: 60, 6: 10, 7: 5}
+}
+
+func TestTopKAccuracyPerfect(t *testing.T) {
+	reported := []workload.ValueCount{
+		{Value: 1, Count: 100}, {Value: 2, Count: 90}, {Value: 3, Count: 80},
+		{Value: 4, Count: 70}, {Value: 5, Count: 60},
+	}
+	a := TopKAccuracy(truth(), reported, 5)
+	if a.Membership != 1 || a.Frequency != 1 || a.Score() != 100 {
+		t.Fatalf("perfect report scored %+v", a)
+	}
+}
+
+func TestTopKAccuracyMissingValues(t *testing.T) {
+	reported := []workload.ValueCount{
+		{Value: 1, Count: 100}, {Value: 2, Count: 90},
+	}
+	a := TopKAccuracy(truth(), reported, 5)
+	if a.Membership != 0.4 {
+		t.Fatalf("membership = %v, want 0.4", a.Membership)
+	}
+	if a.Frequency != 0.4 { // two perfect frequencies out of five
+		t.Fatalf("frequency = %v, want 0.4", a.Frequency)
+	}
+}
+
+func TestTopKAccuracyFrequencyError(t *testing.T) {
+	reported := []workload.ValueCount{
+		{Value: 1, Count: 50}, // 50% off
+	}
+	a := TopKAccuracy(map[int]int{1: 100}, reported, 1)
+	if a.Membership != 1 || a.Frequency != 0.5 {
+		t.Fatalf("accuracy = %+v, want membership 1, frequency 0.5", a)
+	}
+	// Wildly over-reported frequency floors at 0.
+	a = TopKAccuracy(map[int]int{1: 100}, []workload.ValueCount{{Value: 1, Count: 500}}, 1)
+	if a.Frequency != 0 {
+		t.Fatalf("over-report frequency = %v, want 0", a.Frequency)
+	}
+}
+
+func TestTopKAccuracyOnlyTopKReportedCounts(t *testing.T) {
+	// Values past position k in the report must be ignored.
+	reported := []workload.ValueCount{
+		{Value: 99, Count: 1000}, // wrong value in top spot
+		{Value: 1, Count: 100},   // correct, but beyond k=1
+	}
+	a := TopKAccuracy(map[int]int{1: 100}, reported, 1)
+	if a.Membership != 0 {
+		t.Fatalf("membership = %v, want 0", a.Membership)
+	}
+}
+
+func TestTopKAccuracyEmptyTruth(t *testing.T) {
+	a := TopKAccuracy(map[int]int{}, nil, 10)
+	if a.Membership != 1 || a.Frequency != 1 {
+		t.Fatalf("empty truth scored %+v, want perfect", a)
+	}
+}
+
+func TestAccuracyString(t *testing.T) {
+	a := Accuracy{Membership: 1, Frequency: 0.9}
+	if got := a.String(); got == "" {
+		t.Fatal("empty String")
+	}
+	if a.Score() != 95 {
+		t.Fatalf("Score = %v, want 95", a.Score())
+	}
+}
+
+// Property: accuracy components always lie in [0,1].
+func TestAccuracyRangeProperty(t *testing.T) {
+	f := func(truthRaw, repRaw []uint8) bool {
+		truth := map[int]int{}
+		for i, v := range truthRaw {
+			truth[i%16] += int(v)%50 + 1
+		}
+		var rep []workload.ValueCount
+		for i, v := range repRaw {
+			rep = append(rep, workload.ValueCount{Value: i % 16, Count: float64(v)})
+		}
+		a := TopKAccuracy(truth, rep, 10)
+		return a.Membership >= 0 && a.Membership <= 1 && a.Frequency >= 0 && a.Frequency <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeriesRecordAndPoints(t *testing.T) {
+	s := NewTimeSeries()
+	epoch := time.Date(2004, 6, 7, 0, 0, 0, 0, time.UTC)
+	s.Record(epoch, 0.1)
+	s.Record(epoch.Add(time.Second), 0.2)
+	s.Record(epoch.Add(2*time.Second), 0.3)
+	pts := s.Points()
+	if len(pts) != 3 || s.Len() != 3 {
+		t.Fatalf("Points = %v", pts)
+	}
+	if pts[0].T != 0 || pts[1].T != time.Second || pts[2].T != 2*time.Second {
+		t.Fatalf("relative times wrong: %v", pts)
+	}
+	last, ok := s.Last()
+	if !ok || last.V != 0.3 {
+		t.Fatalf("Last = %v,%v", last, ok)
+	}
+}
+
+func TestTimeSeriesExplicitEpoch(t *testing.T) {
+	epoch := time.Date(2004, 6, 7, 0, 0, 0, 0, time.UTC)
+	s := NewTimeSeriesAt(epoch)
+	s.Record(epoch.Add(5*time.Second), 1)
+	if pts := s.Points(); pts[0].T != 5*time.Second {
+		t.Fatalf("explicit epoch not honored: %v", pts)
+	}
+}
+
+func TestTimeSeriesEmpty(t *testing.T) {
+	s := NewTimeSeries()
+	if _, ok := s.Last(); ok {
+		t.Fatal("Last on empty series reported a point")
+	}
+	if got := s.TailMean(0.5); got != 0 {
+		t.Fatalf("TailMean on empty = %v", got)
+	}
+	if _, ok := s.At(time.Second); ok {
+		t.Fatal("At on empty series reported a value")
+	}
+}
+
+func TestTailMean(t *testing.T) {
+	s := NewTimeSeries()
+	epoch := time.Now()
+	for i, v := range []float64{0, 0, 0, 0, 1, 1, 1, 1} {
+		s.Record(epoch.Add(time.Duration(i)*time.Second), v)
+	}
+	if got := s.TailMean(0.5); got != 1 {
+		t.Fatalf("TailMean(0.5) = %v, want 1", got)
+	}
+	if got := s.TailMean(1); got != 0.5 {
+		t.Fatalf("TailMean(1) = %v, want 0.5", got)
+	}
+}
+
+func TestTailMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TailMean(0) did not panic")
+		}
+	}()
+	NewTimeSeries().TailMean(0)
+}
+
+func TestDownsample(t *testing.T) {
+	s := NewTimeSeries()
+	epoch := time.Now()
+	for i := 0; i < 100; i++ {
+		s.Record(epoch.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	down := s.Downsample(10)
+	if len(down) != 10 {
+		t.Fatalf("Downsample returned %d points", len(down))
+	}
+	if down[0].V != 0 || down[9].V != 99 {
+		t.Fatalf("Downsample endpoints %v..%v, want 0..99", down[0].V, down[9].V)
+	}
+	short := NewTimeSeries()
+	short.Record(epoch, 1)
+	if got := short.Downsample(10); len(got) != 1 {
+		t.Fatalf("short Downsample = %v", got)
+	}
+}
+
+func TestAt(t *testing.T) {
+	s := NewTimeSeries()
+	epoch := time.Now()
+	s.Record(epoch, 1)
+	s.Record(epoch.Add(10*time.Second), 2)
+	if v, ok := s.At(5 * time.Second); !ok || v != 1 {
+		t.Fatalf("At(5s) = %v,%v", v, ok)
+	}
+	if v, ok := s.At(10 * time.Second); !ok || v != 2 {
+		t.Fatalf("At(10s) = %v,%v", v, ok)
+	}
+	if _, ok := s.At(-time.Second); ok {
+		t.Fatal("At before epoch reported a value")
+	}
+}

@@ -1,0 +1,270 @@
+// Package monitor implements the observation side of the middleware that
+// §1 of the paper describes: "the system monitors the arrival rate at each
+// source, the available computing resources and memory, and the available
+// network bandwidth".
+//
+// A Monitor periodically samples every watched stage — queue occupancy, the
+// adaptation state (d̃), current parameter values, and arrival/consumption
+// rates λ and μ derived from the stage's item counters — plus the byte
+// counts of watched links. Snapshots accumulate into per-stage histories,
+// and Render prints a dashboard. The experiments use the same counters
+// implicitly; the Monitor packages them for operators and for the
+// gates-launcher -monitor flag.
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/netsim"
+	"github.com/gates-middleware/gates/internal/pipeline"
+)
+
+// StageSample is one observation of one stage instance.
+type StageSample struct {
+	// At is the virtual time of the sample.
+	At time.Time
+	// Stage and Instance identify the stage.
+	Stage    string
+	Instance int
+	// Node is where the instance runs.
+	Node string
+	// QueueLen is the input-buffer occupancy d.
+	QueueLen int
+	// DTilde is the stage's long-term average queue size factor.
+	DTilde float64
+	// ItemsIn and ItemsOut are the lifetime counters at sample time.
+	ItemsIn, ItemsOut uint64
+	// ArrivalRate (λ) and ServiceRate (μ) are items per virtual second
+	// since the previous sample; zero on the first sample.
+	ArrivalRate, ServiceRate float64
+	// Params holds the current value of every adjustment parameter.
+	Params map[string]float64
+}
+
+// LinkSample is one observation of one link.
+type LinkSample struct {
+	At    time.Time
+	Name  string
+	Bytes int64
+	// Throughput is bytes per virtual second since the previous sample.
+	Throughput float64
+}
+
+// Snapshot is one synchronized pass over everything watched.
+type Snapshot struct {
+	At     time.Time
+	Stages []StageSample
+	Links  []LinkSample
+}
+
+// Monitor samples watched stages and links on a fixed virtual interval.
+// Construct with New, add subjects with Watch*, then run Start in a
+// goroutine (or call Sample directly for on-demand observation).
+type Monitor struct {
+	clk      clock.Clock
+	interval time.Duration
+
+	mu      sync.Mutex
+	stages  []*pipeline.Stage
+	links   map[string]*netsim.Link
+	prev    map[string]StageSample // keyed by stage/instance
+	prevLnk map[string]LinkSample
+	history []Snapshot
+	maxHist int
+}
+
+// New returns a monitor sampling every interval of virtual time.
+func New(clk clock.Clock, interval time.Duration) *Monitor {
+	if clk == nil {
+		panic("monitor: New requires a clock")
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	return &Monitor{
+		clk:      clk,
+		interval: interval,
+		links:    make(map[string]*netsim.Link),
+		prev:     make(map[string]StageSample),
+		prevLnk:  make(map[string]LinkSample),
+		maxHist:  1024,
+	}
+}
+
+// WatchStage adds one stage instance.
+func (m *Monitor) WatchStage(st *pipeline.Stage) {
+	if st == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stages = append(m.stages, st)
+}
+
+// WatchStages adds every instance of a deployment's stage map.
+func (m *Monitor) WatchStages(stages map[string][]*pipeline.Stage) {
+	ids := make([]string, 0, len(stages))
+	for id := range stages {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		for _, st := range stages[id] {
+			m.WatchStage(st)
+		}
+	}
+}
+
+// WatchLink adds a named link.
+func (m *Monitor) WatchLink(name string, l *netsim.Link) {
+	if l == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.links[name] = l
+}
+
+// Sample takes one synchronized snapshot now and appends it to the history.
+func (m *Monitor) Sample() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.clk.Now()
+	snap := Snapshot{At: now}
+	for _, st := range m.stages {
+		key := fmt.Sprintf("%s/%d", st.ID(), st.Instance())
+		stats := st.Stats()
+		s := StageSample{
+			At:       now,
+			Stage:    st.ID(),
+			Instance: st.Instance(),
+			Node:     st.Node(),
+			QueueLen: st.QueueLen(),
+			DTilde:   st.Controller().DTilde(),
+			ItemsIn:  stats.ItemsIn,
+			ItemsOut: stats.ItemsOut,
+			Params:   make(map[string]float64),
+		}
+		for _, p := range st.Controller().Params() {
+			s.Params[p.Spec().Name] = p.Value()
+		}
+		if prev, ok := m.prev[key]; ok {
+			if dt := now.Sub(prev.At).Seconds(); dt > 0 {
+				s.ArrivalRate = float64(stats.ItemsIn-prev.ItemsIn) / dt
+				s.ServiceRate = float64(stats.ItemsOut-prev.ItemsOut) / dt
+			}
+		}
+		m.prev[key] = s
+		snap.Stages = append(snap.Stages, s)
+	}
+	names := make([]string, 0, len(m.links))
+	for name := range m.links {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bytes := m.links[name].Stats().Bytes
+		ls := LinkSample{At: now, Name: name, Bytes: bytes}
+		if prev, ok := m.prevLnk[name]; ok {
+			if dt := now.Sub(prev.At).Seconds(); dt > 0 {
+				ls.Throughput = float64(bytes-prev.Bytes) / dt
+			}
+		}
+		m.prevLnk[name] = ls
+		snap.Links = append(snap.Links, ls)
+	}
+	m.history = append(m.history, snap)
+	if len(m.history) > m.maxHist {
+		m.history = m.history[len(m.history)-m.maxHist:]
+	}
+	return snap
+}
+
+// Start samples on the monitor's interval until stop is closed or the
+// context-free loop is told to end. It is intended to run in its own
+// goroutine alongside an application.
+func (m *Monitor) Start(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-m.clk.After(m.interval):
+			m.Sample()
+		}
+	}
+}
+
+// Latest returns the most recent snapshot (zero value when none taken).
+func (m *Monitor) Latest() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.history) == 0 {
+		return Snapshot{}
+	}
+	return m.history[len(m.history)-1]
+}
+
+// History returns all retained snapshots in order.
+func (m *Monitor) History() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Snapshot, len(m.history))
+	copy(out, m.history)
+	return out
+}
+
+// StageSeries extracts one stage instance's samples across the history.
+func (m *Monitor) StageSeries(stage string, instance int) []StageSample {
+	var out []StageSample
+	for _, snap := range m.History() {
+		for _, s := range snap.Stages {
+			if s.Stage == stage && s.Instance == instance {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// Render prints the latest snapshot as a dashboard.
+func (m *Monitor) Render(w io.Writer) {
+	snap := m.Latest()
+	if len(snap.Stages) == 0 && len(snap.Links) == 0 {
+		fmt.Fprintln(w, "monitor: no samples")
+		return
+	}
+	fmt.Fprintf(w, "monitor snapshot @ %s\n", snap.At.Format("15:04:05.000"))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "stage\tnode\tqueue\td~\tλ/s\tμ/s\tparams")
+	for _, s := range snap.Stages {
+		params := ""
+		names := make([]string, 0, len(s.Params))
+		for name := range s.Params {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for i, name := range names {
+			if i > 0 {
+				params += " "
+			}
+			params += fmt.Sprintf("%s=%.3g", name, s.Params[name])
+		}
+		fmt.Fprintf(tw, "%s/%d\t%s\t%d\t%.1f\t%.1f\t%.1f\t%s\n",
+			s.Stage, s.Instance, s.Node, s.QueueLen, s.DTilde, s.ArrivalRate, s.ServiceRate, params)
+	}
+	tw.Flush()
+	if len(snap.Links) > 0 {
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "link\tbytes\tB/s")
+		for _, l := range snap.Links {
+			fmt.Fprintf(tw, "%s\t%d\t%.0f\n", l.Name, l.Bytes, l.Throughput)
+		}
+		tw.Flush()
+	}
+}

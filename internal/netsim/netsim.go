@@ -1,0 +1,282 @@
+// Package netsim emulates the network configurations used in the paper's
+// evaluation.
+//
+// The authors ran all experiments inside one cluster and "introduced delay in
+// the networks to create execution configurations with different bandwidths"
+// (1 KB/s, 10 KB/s, 100 KB/s, 1 MB/s). This package reproduces that setup: a
+// Link imposes transfer time n/bandwidth (plus propagation latency) in
+// virtual time on every payload of n bytes, using a token bucket so that
+// concurrent senders on one link share its capacity, exactly as competing
+// streams shared their injected-delay links.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+// Common bandwidth constants, in bytes per (virtual) second, matching the
+// paper's four network configurations.
+const (
+	KBps   int64 = 1000
+	MBps   int64 = 1000 * KBps
+	BW1K         = 1 * KBps   // 1 KB/s configuration
+	BW10K        = 10 * KBps  // 10 KB/s configuration
+	BW100K       = 100 * KBps // 100 KB/s configuration
+	BW1M         = 1 * MBps   // 1 MB/s configuration
+)
+
+// LinkConfig describes one emulated link.
+type LinkConfig struct {
+	// Bandwidth is the link capacity in bytes per virtual second.
+	// Zero means unlimited (no transmission delay).
+	Bandwidth int64
+	// Latency is the one-way propagation delay added to every transfer.
+	Latency time.Duration
+	// Burst is the token-bucket depth in bytes: how much an idle link can
+	// absorb instantly. Zero selects a default of one bandwidth-second
+	// (min 2 KiB), which keeps short-term pacing tight while letting a
+	// handful of packets start without a stall.
+	Burst int64
+	// Quantum batches pacing sleeps: a sender blocks only once its owed
+	// transmission time reaches Quantum (the backlog persists in the
+	// shaper either way, so the average rate is exact). Batching exists
+	// because real timers have ~0.1 ms granularity: with a heavily
+	// compressed virtual clock, per-packet sleeps of a few virtual
+	// milliseconds would map to unsleepable nanoseconds. Zero sleeps on
+	// every transfer.
+	Quantum time.Duration
+}
+
+func (c LinkConfig) burst() int64 {
+	if c.Burst > 0 {
+		return c.Burst
+	}
+	b := c.Bandwidth
+	if b < 2<<10 {
+		b = 2 << 10
+	}
+	return b
+}
+
+// LinkStats is a snapshot of a link's accounting.
+type LinkStats struct {
+	// Bytes is the total payload volume carried.
+	Bytes int64
+	// Messages is the number of Transfer calls completed.
+	Messages int64
+	// Waited is the cumulative virtual time senders spent blocked on this
+	// link (transmission pacing only, excluding fixed latency).
+	Waited time.Duration
+}
+
+// Link is a shared, emulated network link. Transfer blocks the caller for
+// the virtual time the payload would occupy the link. A Link is safe for
+// concurrent use; concurrent senders serialize through the same shaper and
+// therefore share the bandwidth.
+//
+// The shaper uses the virtual-finish-time model: nextFree is the virtual
+// instant the link finishes transmitting everything accepted so far. An
+// idle link accrues at most Burst bytes of credit.
+type Link struct {
+	cfg LinkConfig
+	clk clock.Clock
+
+	mu       sync.Mutex
+	nextFree time.Time
+	stats    LinkStats
+}
+
+// NewLink returns a link driven by clk. A nil clock panics: links without a
+// time base cannot pace anything.
+func NewLink(clk clock.Clock, cfg LinkConfig) *Link {
+	if clk == nil {
+		panic("netsim: NewLink requires a clock")
+	}
+	if cfg.Bandwidth < 0 {
+		panic(fmt.Sprintf("netsim: negative bandwidth %d", cfg.Bandwidth))
+	}
+	l := &Link{cfg: cfg, clk: clk}
+	if cfg.Bandwidth > 0 {
+		// Start with full burst credit.
+		l.nextFree = clk.Now().Add(-l.burstWindow())
+	}
+	return l
+}
+
+// burstWindow is the idle credit expressed as time: Burst bytes at line
+// rate.
+func (l *Link) burstWindow() time.Duration {
+	return time.Duration(float64(l.cfg.burst()) / float64(l.cfg.Bandwidth) * float64(time.Second))
+}
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Transfer blocks for the virtual time needed to carry n payload bytes and
+// returns the pacing delay owed (plus latency). When a Quantum is
+// configured, small owed delays are not slept immediately — they remain in
+// the shaper and a later transfer sleeps the accumulated backlog — so the
+// long-run rate is exact while the number of real timer operations stays
+// bounded. n <= 0 incurs only the propagation latency.
+func (l *Link) Transfer(n int) time.Duration {
+	wait := l.reserve(n)
+	total := wait + l.cfg.Latency
+	if total > 0 && (wait >= l.cfg.Quantum || l.cfg.Latency > 0) {
+		l.clk.Sleep(total)
+	}
+	l.mu.Lock()
+	l.stats.Messages++
+	l.stats.Bytes += int64(n)
+	l.stats.Waited += wait
+	l.mu.Unlock()
+	return total
+}
+
+// reserve accepts n bytes into the shaper and returns how long the caller
+// must wait before its payload has cleared the link.
+func (l *Link) reserve(n int) time.Duration {
+	if l.cfg.Bandwidth == 0 || n <= 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.clk.Now()
+	if earliest := now.Add(-l.burstWindow()); l.nextFree.Before(earliest) {
+		l.nextFree = earliest
+	}
+	l.nextFree = l.nextFree.Add(time.Duration(float64(n) / float64(l.cfg.Bandwidth) * float64(time.Second)))
+	wait := l.nextFree.Sub(now)
+	if wait < 0 {
+		return 0
+	}
+	return wait
+}
+
+// Stats returns a snapshot of the link's accounting.
+func (l *Link) Stats() LinkStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Network is a named collection of nodes and the directed links between
+// them. The Deployer queries it to wire stage containers with the bandwidth
+// the application's placement implies.
+type Network struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	nodes   map[string]bool
+	links   map[string]*Link // key: "from->to"
+	defCfg  LinkConfig
+	hasDef  bool
+	created int
+}
+
+// NewNetwork returns an empty topology on clk.
+func NewNetwork(clk clock.Clock) *Network {
+	if clk == nil {
+		panic("netsim: NewNetwork requires a clock")
+	}
+	return &Network{
+		clk:   clk,
+		nodes: make(map[string]bool),
+		links: make(map[string]*Link),
+	}
+}
+
+// AddNode registers a node name. Adding an existing node is a no-op.
+func (n *Network) AddNode(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[name] = true
+}
+
+// Nodes returns the number of registered nodes.
+func (n *Network) Nodes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.nodes)
+}
+
+// SetDefaultLink configures the link used between any pair of nodes that has
+// no explicit link.
+func (n *Network) SetDefaultLink(cfg LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defCfg = cfg
+	n.hasDef = true
+}
+
+// Connect installs a directed link from one node to another, registering the
+// nodes if needed, and returns it.
+func (n *Network) Connect(from, to string, cfg LinkConfig) *Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[from] = true
+	n.nodes[to] = true
+	l := NewLink(n.clk, cfg)
+	n.links[from+"->"+to] = l
+	return l
+}
+
+// InstallLink routes from->to over an existing link, so several node pairs
+// can share one physical bottleneck (a site's WAN uplink, say): traffic from
+// every pair then competes for the same bandwidth.
+func (n *Network) InstallLink(from, to string, l *Link) {
+	if l == nil {
+		panic("netsim: InstallLink requires a link")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[from] = true
+	n.nodes[to] = true
+	n.links[from+"->"+to] = l
+}
+
+// ConnectBidirectional installs links in both directions with the same
+// configuration and returns them (from->to, to->from).
+func (n *Network) ConnectBidirectional(from, to string, cfg LinkConfig) (*Link, *Link) {
+	return n.Connect(from, to, cfg), n.Connect(to, from, cfg)
+}
+
+// Link returns the link from one node to another. Traffic between a node and
+// itself, or between nodes with no explicit link when no default is set,
+// travels on an unlimited loopback link (allocated lazily, one per pair).
+func (n *Network) Link(from, to string) *Link {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := from + "->" + to
+	if l, ok := n.links[key]; ok {
+		return l
+	}
+	cfg := LinkConfig{} // unlimited loopback
+	if from != to && n.hasDef {
+		cfg = n.defCfg
+	}
+	l := NewLink(n.clk, cfg)
+	n.links[key] = l
+	n.created++
+	return l
+}
+
+// TotalBytes returns the payload volume carried across all links. A link
+// installed on several node pairs is counted once.
+func (n *Network) TotalBytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	seen := make(map[*Link]bool, len(n.links))
+	var sum int64
+	for _, l := range n.links {
+		if seen[l] {
+			continue
+		}
+		seen[l] = true
+		sum += l.Stats().Bytes
+	}
+	return sum
+}

@@ -1,0 +1,271 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+func TestNewLinkPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewLink(nil, ...) did not panic")
+			}
+		}()
+		NewLink(nil, LinkConfig{})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative bandwidth did not panic")
+			}
+		}()
+		NewLink(clock.NewManual(), LinkConfig{Bandwidth: -1})
+	}()
+}
+
+func TestUnlimitedLinkNoDelay(t *testing.T) {
+	clk := clock.NewManual()
+	l := NewLink(clk, LinkConfig{}) // unlimited
+	if d := l.Transfer(1 << 20); d != 0 {
+		t.Fatalf("unlimited link imposed %v delay", d)
+	}
+}
+
+func TestLatencyOnly(t *testing.T) {
+	clk := clock.NewScaled(100000)
+	l := NewLink(clk, LinkConfig{Latency: 3 * time.Second})
+	if d := l.Transfer(10); d != 3*time.Second {
+		t.Fatalf("latency-only delay = %v, want 3s", d)
+	}
+}
+
+func TestTransferPacesAtBandwidth(t *testing.T) {
+	// 10 KB/s link, burst 1 KB. Sending 101 KB total must take
+	// (101KB - 1KB burst)/10KBps = 10 virtual seconds. A Manual clock
+	// advanced by each owed wait makes the check deterministic (wall
+	// timers would add scheduler overshoot to the measurement).
+	clk := clock.NewManual()
+	l := NewLink(clk, LinkConfig{Bandwidth: 10 * KBps, Burst: 1000})
+	var total time.Duration
+	for i := 0; i < 101; i++ {
+		w := l.reserve(1000)
+		total += w
+		clk.Advance(w)
+	}
+	if total < 9999*time.Millisecond || total > 10001*time.Millisecond {
+		t.Fatalf("101KB over 10KB/s owed %v of pacing, want 10s", total)
+	}
+}
+
+func TestBurstAbsorbsInitialPayload(t *testing.T) {
+	clk := clock.NewScaled(100000)
+	l := NewLink(clk, LinkConfig{Bandwidth: 1 * KBps, Burst: 5000})
+	if d := l.Transfer(5000); d != 0 {
+		t.Fatalf("burst-sized first transfer delayed %v, want 0", d)
+	}
+	if d := l.Transfer(1000); d <= 0 {
+		t.Fatal("post-burst transfer was not paced")
+	}
+}
+
+func TestTokensRefillWhileIdle(t *testing.T) {
+	clk := clock.NewManual()
+	l := NewLink(clk, LinkConfig{Bandwidth: 1000, Burst: 1000})
+	// Drain the bucket without blocking (burst covers it).
+	if w := l.reserve(1000); w != 0 {
+		t.Fatalf("first reserve waited %v", w)
+	}
+	// Immediately, another 500B should require 0.5s of pacing.
+	if w := l.reserve(500); w != 500*time.Millisecond {
+		t.Fatalf("backlogged reserve = %v, want 500ms", w)
+	}
+	// After 2s idle the bucket refills (capped at burst), so a fresh 500B
+	// is free again.
+	clk.Advance(2 * time.Second)
+	if w := l.reserve(500); w != 0 {
+		t.Fatalf("post-idle reserve = %v, want 0", w)
+	}
+}
+
+func TestBurstCapsRefill(t *testing.T) {
+	clk := clock.NewManual()
+	l := NewLink(clk, LinkConfig{Bandwidth: 1000, Burst: 1000})
+	clk.Advance(time.Hour) // would accumulate 3.6MB without the cap
+	if w := l.reserve(2000); w != time.Second {
+		t.Fatalf("reserve after long idle = %v, want 1s (only burst available)", w)
+	}
+}
+
+func TestQuantumBatchesSleeps(t *testing.T) {
+	// With a Manual clock that nobody advances, any Transfer that sleeps
+	// would block forever — so completing Transfers proves the quantum
+	// suppressed the sleep, while the owed backlog still accumulates.
+	clk := clock.NewManual()
+	l := NewLink(clk, LinkConfig{Bandwidth: 1000, Burst: 1000, Quantum: 10 * time.Second})
+	for i := 0; i < 5; i++ {
+		l.Transfer(1000) // 1s owed each after the burst
+	}
+	if w := l.Stats().Waited; w < 3*time.Second {
+		t.Fatalf("owed pacing = %v, want >= 3s of backlog", w)
+	}
+	// The sixth transfer would owe >= 5s, still under the 10s quantum.
+	done := make(chan struct{})
+	go func() {
+		l.Transfer(1000)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("transfer under quantum slept")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	clk := clock.NewScaled(100000)
+	l := NewLink(clk, LinkConfig{Bandwidth: 100 * KBps})
+	l.Transfer(500)
+	l.Transfer(1500)
+	st := l.Stats()
+	if st.Bytes != 2000 || st.Messages != 2 {
+		t.Fatalf("stats = %+v, want Bytes=2000 Messages=2", st)
+	}
+}
+
+func TestConcurrentSendersShareBandwidth(t *testing.T) {
+	// Two senders each pushing 50KB through a shared 10KB/s link: total
+	// 100KB minus burst must take >= ~9 virtual seconds.
+	clk := clock.NewScaled(100000)
+	l := NewLink(clk, LinkConfig{Bandwidth: 10 * KBps, Burst: 10000})
+	sw := clock.NewStopwatch(clk)
+	var wg sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Transfer(1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if elapsed := sw.Elapsed(); elapsed < 8*time.Second {
+		t.Fatalf("100KB shared over 10KB/s took %v, want >= ~9s", elapsed)
+	}
+}
+
+func TestNetworkDefaultAndExplicitLinks(t *testing.T) {
+	clk := clock.NewManual()
+	n := NewNetwork(clk)
+	n.SetDefaultLink(LinkConfig{Bandwidth: BW1K})
+	n.Connect("a", "b", LinkConfig{Bandwidth: BW1M})
+	if got := n.Link("a", "b").Config().Bandwidth; got != BW1M {
+		t.Fatalf("explicit link bandwidth = %d, want %d", got, BW1M)
+	}
+	if got := n.Link("a", "c").Config().Bandwidth; got != BW1K {
+		t.Fatalf("default link bandwidth = %d, want %d", got, BW1K)
+	}
+	if got := n.Link("a", "a").Config().Bandwidth; got != 0 {
+		t.Fatalf("loopback bandwidth = %d, want unlimited", got)
+	}
+}
+
+func TestNetworkLinkIsStable(t *testing.T) {
+	n := NewNetwork(clock.NewManual())
+	l1 := n.Link("x", "y")
+	l2 := n.Link("x", "y")
+	if l1 != l2 {
+		t.Fatal("Link returned different instances for the same pair")
+	}
+}
+
+func TestNetworkNodesAndTotalBytes(t *testing.T) {
+	clk := clock.NewScaled(100000)
+	n := NewNetwork(clk)
+	n.AddNode("a")
+	n.AddNode("a")
+	n.Connect("a", "b", LinkConfig{})
+	if n.Nodes() != 2 {
+		t.Fatalf("Nodes = %d, want 2", n.Nodes())
+	}
+	n.Link("a", "b").Transfer(123)
+	n.Link("b", "a").Transfer(77) // lazily created loopback-default link
+	if got := n.TotalBytes(); got != 200 {
+		t.Fatalf("TotalBytes = %d, want 200", got)
+	}
+}
+
+func TestConnectBidirectional(t *testing.T) {
+	n := NewNetwork(clock.NewManual())
+	fw, bw := n.ConnectBidirectional("a", "b", LinkConfig{Bandwidth: BW10K})
+	if fw == bw {
+		t.Fatal("bidirectional links must be distinct")
+	}
+	if n.Link("a", "b") != fw || n.Link("b", "a") != bw {
+		t.Fatal("bidirectional links not registered")
+	}
+}
+
+// Property: cumulative pacing delay for any sequence of transfers is at
+// least (totalBytes - burst) / bandwidth and never negative.
+func TestPacingLowerBoundProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		clk := clock.NewManual()
+		const bw, burst = 1000, 2000
+		l := NewLink(clk, LinkConfig{Bandwidth: bw, Burst: burst})
+		var total int64
+		var waited time.Duration
+		for _, s := range sizes {
+			n := int(s % 3000)
+			w := l.reserve(n)
+			if w < 0 {
+				return false
+			}
+			waited += w
+			total += int64(n)
+			clk.Advance(w) // sender blocks for the pacing time
+		}
+		minWait := time.Duration(float64(total-burst) / bw * float64(time.Second))
+		// Each reserve truncates to whole nanoseconds; allow that slack.
+		slack := time.Duration(len(sizes)+1) * time.Nanosecond
+		return waited+slack >= minWait
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstallLinkShares(t *testing.T) {
+	clk := clock.NewManual()
+	n := NewNetwork(clk)
+	shared := NewLink(clk, LinkConfig{Bandwidth: 1000, Burst: 1000, Quantum: time.Hour})
+	n.InstallLink("a1", "b", shared)
+	n.InstallLink("a2", "b", shared)
+	if n.Link("a1", "b") != shared || n.Link("a2", "b") != shared {
+		t.Fatal("installed link not returned for both pairs")
+	}
+	// Traffic from both pairs lands on the same shaper...
+	n.Link("a1", "b").Transfer(600)
+	n.Link("a2", "b").Transfer(600)
+	if got := shared.Stats().Bytes; got != 1200 {
+		t.Fatalf("shared link carried %d bytes, want 1200", got)
+	}
+	// ...and TotalBytes counts the shared link once.
+	if got := n.TotalBytes(); got != 1200 {
+		t.Fatalf("TotalBytes = %d, want 1200", got)
+	}
+}
+
+func TestInstallLinkNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("InstallLink(nil) did not panic")
+		}
+	}()
+	NewNetwork(clock.NewManual()).InstallLink("a", "b", nil)
+}

@@ -1,0 +1,55 @@
+// Package pipeline implements the GATES stage-execution engine.
+//
+// An application built on GATES "comprises a set of pipelined stages"; each
+// stage "accepts data from one or more input streams and outputs zero or
+// more streams" (paper §3.1, goal 2). This package provides the stage
+// container: a bounded input queue (the server queue of the §4 model), a
+// user-supplied Processor or Source, emitters that carry packets across
+// emulated or real links, and the per-stage adaptation loop that samples the
+// queue, exchanges load exceptions with neighboring stages, and adjusts the
+// stage's registered parameters.
+package pipeline
+
+import "time"
+
+// Packet is the unit of data flowing between stages. The paper assumes
+// "data arrives at a server in fixed-size packets"; applications are free to
+// vary sizes, and links charge WireSize bytes per packet.
+type Packet struct {
+	// SourceStage and SourceInstance identify the emitting stage.
+	SourceStage    string
+	SourceInstance int
+	// Seq is the per-emitter sequence number.
+	Seq uint64
+	// Final marks an end-of-stream control packet; it carries no value.
+	Final bool
+	// Value is the in-process payload. Applications crossing a TCP edge
+	// must use gob-encodable values.
+	Value any
+	// Items is the logical item count the packet carries (for accounting
+	// and adaptation diagnostics). Zero is treated as one.
+	Items int
+	// WireSize is the number of bytes this packet occupies on a link.
+	// The paper's JVM-era transport wrapped every message in a heavy
+	// envelope; experiments model that with explicit wire sizes.
+	WireSize int
+	// Created is the virtual time the packet was emitted.
+	Created time.Time
+}
+
+// ItemCount returns Items, treating zero as one.
+func (p *Packet) ItemCount() int {
+	if p.Items <= 0 {
+		return 1
+	}
+	return p.Items
+}
+
+// Size returns the bytes charged on links: WireSize if set, otherwise the
+// engine's configured default packet size.
+func (p *Packet) size(defaultSize int) int {
+	if p.WireSize > 0 {
+		return p.WireSize
+	}
+	return defaultSize
+}

@@ -1,0 +1,379 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/adapt"
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/netsim"
+	"github.com/gates-middleware/gates/internal/queue"
+)
+
+// Processor is the user-supplied processing code of a packet-driven stage —
+// the Go analog of the paper's StreamProcessor with its work(in, out)
+// method, split into lifecycle calls.
+type Processor interface {
+	// Init runs once before the first packet. Register adjustment
+	// parameters here with ctx.SpecifyParam.
+	Init(ctx *Context) error
+	// Process handles one packet and may emit any number of packets.
+	Process(ctx *Context, pkt *Packet, out *Emitter) error
+	// Finish runs after every input stream has delivered its final
+	// packet; flush remaining state here.
+	Finish(ctx *Context, out *Emitter) error
+}
+
+// Source is the user-supplied generator of a stage with no input streams.
+// Run should emit packets until the stream is exhausted or ctx.Done fires.
+type Source interface {
+	// Run generates the stage's output. Returning nil ends the stream.
+	Run(ctx *Context, out *Emitter) error
+}
+
+// StageConfig tunes one stage instance.
+type StageConfig struct {
+	// QueueCapacity is C, the capacity of the input buffer. Default 200.
+	QueueCapacity int
+	// Adapt configures the §4 algorithm for this stage. Zero-valued
+	// fields default per adapt.Defaults with the stage's queue capacity.
+	Adapt adapt.Options
+	// DisableAdaptation turns the adaptation loop off (used by the
+	// paper's fixed-parameter baseline versions).
+	DisableAdaptation bool
+	// AdaptInterval is the virtual-time spacing of queue observations.
+	// Default 200ms.
+	AdaptInterval time.Duration
+	// AdjustEvery applies the ΔP law once per this many observations.
+	// Default 4.
+	AdjustEvery int
+	// DefaultPacketSize is the wire size charged for packets that do not
+	// set one. Default 64 bytes.
+	DefaultPacketSize int
+	// ComputeQuantum batches ChargeCompute sleeps (see clock.Pacer):
+	// the stage blocks once its accumulated virtual work reaches this
+	// much. Zero sleeps on every charge.
+	ComputeQuantum time.Duration
+	// OnAdjust, when non-nil, observes every parameter adjustment —
+	// the hook behind the Figure 8/9 convergence traces.
+	OnAdjust func(st *Stage, now time.Time, adjs []adapt.Adjustment)
+	// OnObserve, when non-nil, observes every queue sample.
+	OnObserve func(st *Stage, now time.Time, obs adapt.Observation)
+}
+
+func (c *StageConfig) fill() {
+	if c.QueueCapacity == 0 {
+		c.QueueCapacity = 200
+	}
+	if c.Adapt.Capacity == 0 {
+		c.Adapt.Capacity = c.QueueCapacity
+	}
+	if c.AdaptInterval == 0 {
+		c.AdaptInterval = 200 * time.Millisecond
+	}
+	if c.AdjustEvery == 0 {
+		c.AdjustEvery = 4
+	}
+	if c.DefaultPacketSize == 0 {
+		c.DefaultPacketSize = 64
+	}
+}
+
+// StageStats counts a stage's lifetime activity.
+type StageStats struct {
+	// PacketsIn and ItemsIn count consumed data packets and their items.
+	PacketsIn, ItemsIn uint64
+	// PacketsOut, ItemsOut and BytesOut count emissions.
+	PacketsOut, ItemsOut, BytesOut uint64
+	// ComputeCharged is the total virtual compute time charged via
+	// Context.ChargeCompute.
+	ComputeCharged time.Duration
+}
+
+// Stage is one deployed stage instance: the paper's "instance of the GATES
+// grid service" customized with user code.
+type Stage struct {
+	id       string
+	instance int
+	node     string
+
+	proc Processor
+	src  Source
+
+	cfg   StageConfig
+	clk   clock.Clock
+	pacer *clock.Pacer
+	in    *queue.Queue[*Packet]
+	ctrl  *adapt.Controller
+
+	outs     []*edge
+	upstream []*Stage
+
+	mu      sync.Mutex
+	stats   StageStats
+	finals  int // Final packets received
+	inbound int // number of inbound edges
+	started bool
+	doneCh  chan struct{}
+	adaptCh chan struct{}
+	err     error
+	emitSeq uint64
+}
+
+// edge is a directed connection to a downstream stage, optionally through an
+// emulated link.
+type edge struct {
+	link *netsim.Link
+	to   *Stage
+}
+
+// ID returns the stage's identifier within the application.
+func (s *Stage) ID() string { return s.id }
+
+// Instance returns the instance ordinal within the stage.
+func (s *Stage) Instance() int { return s.instance }
+
+// Node returns the grid node name this instance was deployed on ("" when
+// undeployed, e.g. in unit tests).
+func (s *Stage) Node() string { return s.node }
+
+// SetNode records the deployment node; the Deployer calls it.
+func (s *Stage) SetNode(node string) { s.node = node }
+
+// Controller returns the stage's adaptation controller.
+func (s *Stage) Controller() *adapt.Controller { return s.ctrl }
+
+// QueueLen returns the current input-queue occupancy.
+func (s *Stage) QueueLen() int { return s.in.Len() }
+
+// QueueStats returns the input queue's counters.
+func (s *Stage) QueueStats() queue.Stats { return s.in.Stats() }
+
+// Stats returns a snapshot of the stage's activity counters.
+func (s *Stage) Stats() StageStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Err returns the stage's terminal error, if any, once it has stopped.
+func (s *Stage) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Context is the API surface the middleware offers to user code — the Go
+// analog of the paper's self-adaptation API plus stage identity and the
+// virtual clock.
+type Context struct {
+	stage *Stage
+	ctx   context.Context
+}
+
+// StageID returns the hosting stage's identifier.
+func (c *Context) StageID() string { return c.stage.id }
+
+// Instance returns the hosting instance ordinal.
+func (c *Context) Instance() int { return c.stage.instance }
+
+// Node returns the grid node the instance runs on.
+func (c *Context) Node() string { return c.stage.node }
+
+// Clock returns the stage's virtual clock.
+func (c *Context) Clock() clock.Clock { return c.stage.clk }
+
+// Done returns the cancellation channel of the run.
+func (c *Context) Done() <-chan struct{} { return c.ctx.Done() }
+
+// Ctx returns the run's context.
+func (c *Context) Ctx() context.Context { return c.ctx }
+
+// SpecifyParam exposes an adjustment parameter to the middleware — the
+// paper's specifyPara(init, min, max, increment, direction). The returned
+// Param's Value method is getSuggestedValue().
+func (c *Context) SpecifyParam(spec adapt.ParamSpec) (*adapt.Param, error) {
+	return c.stage.ctrl.Register(spec)
+}
+
+// Param returns a previously specified parameter by name.
+func (c *Context) Param(name string) (*adapt.Param, bool) {
+	return c.stage.ctrl.Param(name)
+}
+
+// ChargeCompute charges d of virtual processing time for the current work
+// item, blocking per the stage's ComputeQuantum batching. The paper's
+// applications paid this cost in real JVM time; charging it against the
+// virtual clock keeps every rate ratio while letting experiments run fast.
+func (c *Context) ChargeCompute(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.stage.pacer.Charge(d)
+	c.stage.mu.Lock()
+	c.stage.stats.ComputeCharged += d
+	c.stage.mu.Unlock()
+}
+
+// Emitter sends packets to a stage's downstream neighbors.
+type Emitter struct {
+	stage *Stage
+	ctx   context.Context
+}
+
+// Fanout returns the number of outbound edges.
+func (e *Emitter) Fanout() int { return len(e.stage.outs) }
+
+// Emit stamps and sends pkt to every outbound edge, blocking for link pacing
+// and downstream backpressure. It is the mechanism that lets congestion
+// anywhere downstream slow this stage's consumption, which the adaptation
+// algorithm then observes as a growing queue.
+func (e *Emitter) Emit(pkt *Packet) error {
+	return e.stage.emit(e.ctx, pkt, -1)
+}
+
+// EmitTo sends pkt only on the i-th outbound edge.
+func (e *Emitter) EmitTo(i int, pkt *Packet) error {
+	if i < 0 || i >= len(e.stage.outs) {
+		return fmt.Errorf("pipeline: EmitTo(%d) with %d edges", i, len(e.stage.outs))
+	}
+	return e.stage.emit(e.ctx, pkt, i)
+}
+
+// EmitValue wraps v in a packet of the given wire size and emits it.
+func (e *Emitter) EmitValue(v any, wireSize int) error {
+	return e.Emit(&Packet{Value: v, WireSize: wireSize})
+}
+
+func (s *Stage) emit(ctx context.Context, pkt *Packet, only int) error {
+	s.mu.Lock()
+	pkt.SourceStage = s.id
+	pkt.SourceInstance = s.instance
+	pkt.Seq = s.emitSeq
+	s.emitSeq++
+	s.mu.Unlock()
+	pkt.Created = s.clk.Now()
+
+	size := pkt.size(s.cfg.DefaultPacketSize)
+	for i, out := range s.outs {
+		if only >= 0 && i != only {
+			continue
+		}
+		// Broadcast shares one packet struct: stages must not mutate
+		// received packets. Link pacing first (transmission), then
+		// enqueue (may block on downstream backpressure).
+		if out.link != nil {
+			out.link.Transfer(size)
+		}
+		if err := out.to.in.PushCtx(ctx, pkt); err != nil {
+			if errors.Is(err, queue.ErrClosed) {
+				continue // downstream already finished; drop
+			}
+			return fmt.Errorf("pipeline: %s/%d -> %s/%d: %w",
+				s.id, s.instance, out.to.id, out.to.instance, err)
+		}
+	}
+	if !pkt.Final {
+		s.mu.Lock()
+		s.stats.PacketsOut++
+		s.stats.ItemsOut += uint64(pkt.ItemCount())
+		s.stats.BytesOut += uint64(size)
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// run executes the stage to completion: source generation or the
+// pop-process loop, then Finish, then Final propagation. A panic in user
+// code is contained to the stage and surfaces as its terminal error, so one
+// broken processor cannot take down a container hosting other work.
+func (s *Stage) run(ctx context.Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pipeline: %s/%d panicked: %v", s.id, s.instance, r)
+		}
+	}()
+	return s.runInner(ctx)
+}
+
+func (s *Stage) runInner(ctx context.Context) error {
+	sctx := &Context{stage: s, ctx: ctx}
+	em := &Emitter{stage: s, ctx: ctx}
+	defer s.pacer.Flush()
+
+	if s.src != nil {
+		if err := s.src.Run(sctx, em); err != nil {
+			return fmt.Errorf("pipeline: source %s/%d: %w", s.id, s.instance, err)
+		}
+		return s.emit(ctx, &Packet{Final: true}, -1)
+	}
+
+	if err := s.proc.Init(sctx); err != nil {
+		return fmt.Errorf("pipeline: init %s/%d: %w", s.id, s.instance, err)
+	}
+	for {
+		pkt, err := s.in.PopCtx(ctx)
+		if errors.Is(err, queue.ErrClosed) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("pipeline: %s/%d: %w", s.id, s.instance, err)
+		}
+		if pkt.Final {
+			s.mu.Lock()
+			s.finals++
+			done := s.finals >= s.inbound
+			s.mu.Unlock()
+			if done {
+				break
+			}
+			continue
+		}
+		s.mu.Lock()
+		s.stats.PacketsIn++
+		s.stats.ItemsIn += uint64(pkt.ItemCount())
+		s.mu.Unlock()
+		if err := s.proc.Process(sctx, pkt, em); err != nil {
+			return fmt.Errorf("pipeline: process %s/%d: %w", s.id, s.instance, err)
+		}
+	}
+	if err := s.proc.Finish(sctx, em); err != nil {
+		return fmt.Errorf("pipeline: finish %s/%d: %w", s.id, s.instance, err)
+	}
+	return s.emit(ctx, &Packet{Final: true}, -1)
+}
+
+// adaptLoop samples the input queue on the configured interval, reports
+// exceptions to every upstream neighbor, and periodically adjusts
+// parameters. It stops when the stage finishes or the run is canceled.
+func (s *Stage) adaptLoop(ctx context.Context) {
+	ticks := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.doneCh:
+			return
+		case <-s.clk.After(s.cfg.AdaptInterval):
+		}
+		obs := s.ctrl.Observe(s.in.Len())
+		if s.cfg.OnObserve != nil {
+			s.cfg.OnObserve(s, s.clk.Now(), obs)
+		}
+		if obs.Exception != adapt.ExceptionNone {
+			for _, up := range s.upstream {
+				up.ctrl.OnDownstreamException(obs.Exception)
+			}
+		}
+		ticks++
+		if ticks%s.cfg.AdjustEvery == 0 {
+			adjs := s.ctrl.Adjust()
+			if s.cfg.OnAdjust != nil && len(adjs) > 0 {
+				s.cfg.OnAdjust(s, s.clk.Now(), adjs)
+			}
+		}
+	}
+}

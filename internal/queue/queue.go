@@ -1,0 +1,279 @@
+// Package queue implements the bounded, instrumented FIFO that backs every
+// stage's input buffer.
+//
+// Section 4.1 of the GATES paper models each pipeline stage as a server in a
+// queuing network whose input buffer is the server's queue; the
+// self-adaptation algorithm observes the queue's current length d, its
+// recent average, and its capacity C. This package provides exactly that
+// observable queue: a blocking bounded FIFO whose occupancy statistics are
+// cheap to sample from a concurrent controller.
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by Push operations on a closed queue and by Pop
+// operations once a closed queue has been fully drained.
+var ErrClosed = errors.New("queue: closed")
+
+// ErrFull is returned by TryPush when the queue is at capacity.
+var ErrFull = errors.New("queue: full")
+
+// ErrEmpty is returned by TryPop when the queue holds no items.
+var ErrEmpty = errors.New("queue: empty")
+
+// Stats is a snapshot of a queue's lifetime counters. All counts are
+// monotonically non-decreasing for the life of the queue.
+type Stats struct {
+	// Pushed is the number of items accepted.
+	Pushed uint64
+	// Popped is the number of items removed.
+	Popped uint64
+	// BlockedPushes counts Push calls that had to wait for space — each is
+	// one backpressure event propagated to the producer.
+	BlockedPushes uint64
+	// BlockedPops counts Pop calls that had to wait for an item.
+	BlockedPops uint64
+	// HighWater is the maximum occupancy ever observed.
+	HighWater int
+	// Dropped counts items rejected by TryPush on a full queue.
+	Dropped uint64
+}
+
+// Queue is a bounded FIFO safe for any number of concurrent producers and
+// consumers. The zero value is not usable; construct with New.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+
+	buf    []T // ring buffer
+	head   int // index of the oldest element
+	n      int // number of elements
+	closed bool
+
+	stats Stats
+}
+
+// New returns a queue with the given capacity. Capacity must be at least 1;
+// New panics otherwise, since a zero-capacity server queue is meaningless in
+// the paper's model.
+func New[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		panic("queue: capacity must be >= 1")
+	}
+	q := &Queue[T]{buf: make([]T, capacity)}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Cap returns the fixed capacity C of the queue.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Len returns the current occupancy d of the queue. It is the quantity the
+// self-adaptation controller samples.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Stats returns a snapshot of the queue's counters.
+func (q *Queue[T]) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}
+
+// Push appends v, blocking while the queue is full. It returns ErrClosed if
+// the queue is (or becomes) closed while waiting.
+func (q *Queue[T]) Push(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	blocked := false
+	for q.n == len(q.buf) && !q.closed {
+		if !blocked {
+			blocked = true
+			q.stats.BlockedPushes++
+		}
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.pushLocked(v)
+	return nil
+}
+
+// PushCtx is Push with cancellation. If ctx is done before space is
+// available it returns ctx.Err().
+func (q *Queue[T]) PushCtx(ctx context.Context, v T) error {
+	// Fast path without spawning a watcher.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Wake all waiters so the blocked Push can observe ctx.
+			q.notFull.Broadcast()
+			q.notEmpty.Broadcast()
+		case <-done:
+		}
+	}()
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	blocked := false
+	for q.n == len(q.buf) && !q.closed && ctx.Err() == nil {
+		if !blocked {
+			blocked = true
+			q.stats.BlockedPushes++
+		}
+		q.notFull.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.pushLocked(v)
+	return nil
+}
+
+// TryPush appends v without blocking. It returns ErrFull when at capacity
+// (counting the item as dropped) or ErrClosed after Close.
+func (q *Queue[T]) TryPush(v T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.n == len(q.buf) {
+		q.stats.Dropped++
+		return ErrFull
+	}
+	q.pushLocked(v)
+	return nil
+}
+
+func (q *Queue[T]) pushLocked(v T) {
+	tail := (q.head + q.n) % len(q.buf)
+	q.buf[tail] = v
+	q.n++
+	q.stats.Pushed++
+	if q.n > q.stats.HighWater {
+		q.stats.HighWater = q.n
+	}
+	q.notEmpty.Signal()
+}
+
+// Pop removes and returns the oldest item, blocking while the queue is
+// empty. Once the queue is closed and drained it returns ErrClosed.
+func (q *Queue[T]) Pop() (T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	blocked := false
+	for q.n == 0 && !q.closed {
+		if !blocked {
+			blocked = true
+			q.stats.BlockedPops++
+		}
+		q.notEmpty.Wait()
+	}
+	var zero T
+	if q.n == 0 { // closed and drained
+		return zero, ErrClosed
+	}
+	return q.popLocked(), nil
+}
+
+// PopCtx is Pop with cancellation.
+func (q *Queue[T]) PopCtx(ctx context.Context) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			q.notFull.Broadcast()
+			q.notEmpty.Broadcast()
+		case <-done:
+		}
+	}()
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	blocked := false
+	for q.n == 0 && !q.closed && ctx.Err() == nil {
+		if !blocked {
+			blocked = true
+			q.stats.BlockedPops++
+		}
+		q.notEmpty.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	if q.n == 0 {
+		return zero, ErrClosed
+	}
+	return q.popLocked(), nil
+}
+
+// TryPop removes and returns the oldest item without blocking. It returns
+// ErrEmpty when nothing is queued, or ErrClosed once closed and drained.
+func (q *Queue[T]) TryPop() (T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if q.n == 0 {
+		if q.closed {
+			return zero, ErrClosed
+		}
+		return zero, ErrEmpty
+	}
+	return q.popLocked(), nil
+}
+
+func (q *Queue[T]) popLocked() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // release reference
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.stats.Popped++
+	q.notFull.Signal()
+	return v
+}
+
+// Close marks the queue closed. Pending and future Push calls fail with
+// ErrClosed; Pop continues to drain remaining items and then fails with
+// ErrClosed. Close is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+}

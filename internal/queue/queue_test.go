@@ -1,0 +1,353 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	for _, c := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", c)
+				}
+			}()
+			New[int](c)
+		}()
+	}
+}
+
+func TestPushPopFIFO(t *testing.T) {
+	q := New[int](4)
+	for i := 0; i < 4; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatalf("Push(%d): %v", i, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		v, err := q.Pop()
+		if err != nil {
+			t.Fatalf("Pop: %v", err)
+		}
+		if v != i {
+			t.Fatalf("Pop = %d, want %d", v, i)
+		}
+	}
+}
+
+func TestLenCap(t *testing.T) {
+	q := New[string](3)
+	if q.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", q.Cap())
+	}
+	q.Push("a")
+	q.Push("b")
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	q.Pop()
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestTryPushFull(t *testing.T) {
+	q := New[int](1)
+	if err := q.TryPush(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.TryPush(2); !errors.Is(err, ErrFull) {
+		t.Fatalf("TryPush on full = %v, want ErrFull", err)
+	}
+	if q.Stats().Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", q.Stats().Dropped)
+	}
+}
+
+func TestTryPopEmpty(t *testing.T) {
+	q := New[int](1)
+	if _, err := q.TryPop(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("TryPop on empty = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPushBlocksUntilPop(t *testing.T) {
+	q := New[int](1)
+	q.Push(1)
+	done := make(chan error, 1)
+	go func() { done <- q.Push(2) }()
+	select {
+	case <-done:
+		t.Fatal("Push on full queue returned without a Pop")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := q.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("blocked Push: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Push never unblocked")
+	}
+	if q.Stats().BlockedPushes != 1 {
+		t.Fatalf("BlockedPushes = %d, want 1", q.Stats().BlockedPushes)
+	}
+}
+
+func TestPopBlocksUntilPush(t *testing.T) {
+	q := New[int](1)
+	got := make(chan int, 1)
+	go func() {
+		v, err := q.Pop()
+		if err != nil {
+			t.Error(err)
+		}
+		got <- v
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push(99)
+	select {
+	case v := <-got:
+		if v != 99 {
+			t.Fatalf("Pop = %d, want 99", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Pop never unblocked")
+	}
+	if q.Stats().BlockedPops != 1 {
+		t.Fatalf("BlockedPops = %d, want 1", q.Stats().BlockedPops)
+	}
+}
+
+func TestCloseUnblocksPush(t *testing.T) {
+	q := New[int](1)
+	q.Push(1)
+	done := make(chan error, 1)
+	go func() { done <- q.Push(2) }()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Push after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Push never unblocked after Close")
+	}
+}
+
+func TestCloseDrainsThenErrClosed(t *testing.T) {
+	q := New[int](4)
+	q.Push(1)
+	q.Push(2)
+	q.Close()
+	if !q.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	if v, err := q.Pop(); err != nil || v != 1 {
+		t.Fatalf("Pop = (%d,%v), want (1,nil)", v, err)
+	}
+	if v, err := q.Pop(); err != nil || v != 2 {
+		t.Fatalf("Pop = (%d,%v), want (2,nil)", v, err)
+	}
+	if _, err := q.Pop(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Pop after drain = %v, want ErrClosed", err)
+	}
+	if _, err := q.TryPop(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryPop after drain = %v, want ErrClosed", err)
+	}
+	if err := q.TryPush(3); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryPush after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	q := New[int](1)
+	q.Close()
+	q.Close() // must not panic
+}
+
+func TestPushCtxCancel(t *testing.T) {
+	q := New[int](1)
+	q.Push(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- q.PushCtx(ctx, 2) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("PushCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PushCtx never unblocked on cancel")
+	}
+}
+
+func TestPopCtxCancel(t *testing.T) {
+	q := New[int](1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.PopCtx(ctx)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("PopCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PopCtx never unblocked on cancel")
+	}
+}
+
+func TestPushCtxAlreadyCanceled(t *testing.T) {
+	q := New[int](1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := q.PushCtx(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PushCtx on canceled ctx = %v", err)
+	}
+	if _, err := q.PopCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PopCtx on canceled ctx = %v", err)
+	}
+}
+
+func TestPopCtxDeliversWhenReady(t *testing.T) {
+	q := New[int](2)
+	q.Push(7)
+	v, err := q.PopCtx(context.Background())
+	if err != nil || v != 7 {
+		t.Fatalf("PopCtx = (%d,%v), want (7,nil)", v, err)
+	}
+}
+
+func TestHighWaterMark(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 5; i++ {
+		q.Push(i)
+	}
+	q.Pop()
+	q.Pop()
+	if hw := q.Stats().HighWater; hw != 5 {
+		t.Fatalf("HighWater = %d, want 5", hw)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const (
+		producers = 8
+		consumers = 8
+		perProd   = 500
+	)
+	q := New[int](16)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				if err := q.Push(p*perProd + i); err != nil {
+					t.Errorf("Push: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	var consumed sync.Map
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, err := q.Pop()
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				if err != nil {
+					t.Errorf("Pop: %v", err)
+					return
+				}
+				if _, dup := consumed.LoadOrStore(v, true); dup {
+					t.Errorf("value %d consumed twice", v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	n := 0
+	consumed.Range(func(_, _ any) bool { n++; return true })
+	if n != producers*perProd {
+		t.Fatalf("consumed %d distinct values, want %d", n, producers*perProd)
+	}
+	st := q.Stats()
+	if st.Pushed != uint64(producers*perProd) || st.Popped != st.Pushed {
+		t.Fatalf("stats pushed=%d popped=%d, want both %d", st.Pushed, st.Popped, producers*perProd)
+	}
+}
+
+// Property: for any interleaving of pushes and pops driven by a script,
+// pops come out in push order and occupancy never exceeds capacity.
+func TestFIFOOrderProperty(t *testing.T) {
+	f := func(script []bool, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		q := New[int](capacity)
+		next := 0
+		expect := 0
+		for _, push := range script {
+			if push {
+				if err := q.TryPush(next); err == nil {
+					next++
+				}
+			} else {
+				if v, err := q.TryPop(); err == nil {
+					if v != expect {
+						return false
+					}
+					expect++
+				}
+			}
+			if q.Len() > q.Cap() || q.Len() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Stats counters are consistent — Pushed - Popped == Len.
+func TestStatsConsistencyProperty(t *testing.T) {
+	f := func(script []bool) bool {
+		q := New[int](8)
+		for _, push := range script {
+			if push {
+				q.TryPush(1)
+			} else {
+				q.TryPop()
+			}
+		}
+		st := q.Stats()
+		return int(st.Pushed-st.Popped) == q.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

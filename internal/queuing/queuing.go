@@ -1,0 +1,300 @@
+// Package queuing implements the analytic model of Section 4.1: "by
+// modeling every stage as a server and viewing the input buffer of a stage
+// as a queue of the server, we can get a queuing network model of the
+// system".
+//
+// The model is an open, feed-forward network: work enters at source
+// stations at rate λ, flows along routed fractions (a sampler forwarding a
+// fraction r of its input is a route with fraction r), and each station
+// serves at rate μ. Solving the traffic equations gives per-station arrival
+// rates, utilizations ρ = λ/μ, M/M/1 queue statistics, and — the quantity
+// the experiments check the middleware against — the largest input scaling
+// under which every station remains stable, which is exactly the
+// "sustainable sampling factor" of Figures 8 and 9.
+package queuing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Station is one server in the network.
+type Station struct {
+	// Name identifies the station.
+	Name string
+	// ServiceRate is μ: work units per second the station can process.
+	// Zero or +Inf means the station is never a bottleneck.
+	ServiceRate float64
+}
+
+// Network is an open feed-forward queueing network. The zero value is not
+// usable; construct with New.
+type Network struct {
+	stations map[string]Station
+	order    []string
+	arrivals map[string]float64            // external λ per station
+	routes   map[string]map[string]float64 // from -> to -> fraction
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		stations: make(map[string]Station),
+		arrivals: make(map[string]float64),
+		routes:   make(map[string]map[string]float64),
+	}
+}
+
+// AddStation registers a station. Names must be unique and non-empty;
+// service rates must be non-negative.
+func (n *Network) AddStation(s Station) error {
+	if s.Name == "" {
+		return errors.New("queuing: station needs a name")
+	}
+	if s.ServiceRate < 0 || math.IsNaN(s.ServiceRate) {
+		return fmt.Errorf("queuing: station %q: invalid service rate %v", s.Name, s.ServiceRate)
+	}
+	if _, dup := n.stations[s.Name]; dup {
+		return fmt.Errorf("queuing: station %q already added", s.Name)
+	}
+	n.stations[s.Name] = s
+	n.order = append(n.order, s.Name)
+	return nil
+}
+
+// SetArrival sets the external arrival rate (work units per second) into a
+// station.
+func (n *Network) SetArrival(station string, lambda float64) error {
+	if _, ok := n.stations[station]; !ok {
+		return fmt.Errorf("queuing: unknown station %q", station)
+	}
+	if lambda < 0 || math.IsNaN(lambda) {
+		return fmt.Errorf("queuing: invalid arrival rate %v", lambda)
+	}
+	n.arrivals[station] = lambda
+	return nil
+}
+
+// Route declares that a fraction of the work leaving from flows into to.
+// Fractions out of one station may sum to at most 1 (the remainder leaves
+// the network — filtered, sampled away, or consumed).
+func (n *Network) Route(from, to string, fraction float64) error {
+	if _, ok := n.stations[from]; !ok {
+		return fmt.Errorf("queuing: unknown station %q", from)
+	}
+	if _, ok := n.stations[to]; !ok {
+		return fmt.Errorf("queuing: unknown station %q", to)
+	}
+	if from == to {
+		return fmt.Errorf("queuing: self-route on %q", from)
+	}
+	if fraction < 0 || fraction > 1 || math.IsNaN(fraction) {
+		return fmt.Errorf("queuing: invalid route fraction %v", fraction)
+	}
+	m := n.routes[from]
+	if m == nil {
+		m = make(map[string]float64)
+		n.routes[from] = m
+	}
+	m[to] = fraction
+	var sum float64
+	for _, f := range m {
+		sum += f
+	}
+	if sum > 1+1e-9 {
+		delete(m, to)
+		return fmt.Errorf("queuing: routes out of %q sum to %v > 1", from, sum)
+	}
+	return nil
+}
+
+// topoOrder returns the stations in topological order, or an error if the
+// routing graph has a cycle (the §4.1 pipelines are feed-forward).
+func (n *Network) topoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(n.stations))
+	for _, name := range n.order {
+		indeg[name] = 0
+	}
+	for _, tos := range n.routes {
+		for to := range tos {
+			indeg[to]++
+		}
+	}
+	// Deterministic order: seed the frontier in insertion order.
+	var frontier []string
+	for _, name := range n.order {
+		if indeg[name] == 0 {
+			frontier = append(frontier, name)
+		}
+	}
+	var out []string
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		out = append(out, cur)
+		tos := make([]string, 0, len(n.routes[cur]))
+		for to := range n.routes[cur] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			indeg[to]--
+			if indeg[to] == 0 {
+				frontier = append(frontier, to)
+			}
+		}
+	}
+	if len(out) != len(n.stations) {
+		return nil, errors.New("queuing: routing graph has a cycle; the model requires a feed-forward pipeline")
+	}
+	return out, nil
+}
+
+// Solution holds the solved per-station quantities.
+type Solution struct {
+	// Lambda is each station's total arrival rate.
+	Lambda map[string]float64
+	// Rho is each station's utilization λ/μ (0 for unconstrained
+	// stations).
+	Rho map[string]float64
+}
+
+// Solve propagates the traffic equations λ_i = a_i + Σ_j λ_j·p_ji through
+// the feed-forward network.
+func (n *Network) Solve() (*Solution, error) {
+	order, err := n.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	lambda := make(map[string]float64, len(order))
+	for name, a := range n.arrivals {
+		lambda[name] += a
+	}
+	for _, from := range order {
+		for to, f := range n.routes[from] {
+			lambda[to] += lambda[from] * f
+		}
+	}
+	rho := make(map[string]float64, len(order))
+	for _, name := range order {
+		mu := n.stations[name].ServiceRate
+		if mu > 0 && !math.IsInf(mu, 1) {
+			rho[name] = lambda[name] / mu
+		}
+	}
+	return &Solution{Lambda: lambda, Rho: rho}, nil
+}
+
+// Stable reports whether every station's utilization is below 1.
+func (s *Solution) Stable() bool {
+	for _, r := range s.Rho {
+		if r >= 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bottleneck returns the station with the highest utilization and that
+// utilization. Ties break by name.
+func (s *Solution) Bottleneck() (string, float64) {
+	best, bestRho := "", -1.0
+	names := make([]string, 0, len(s.Rho))
+	for name := range s.Rho {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if s.Rho[name] > bestRho {
+			best, bestRho = name, s.Rho[name]
+		}
+	}
+	if bestRho < 0 {
+		return "", 0
+	}
+	return best, bestRho
+}
+
+// MeanQueueLength returns the steady-state M/M/1 mean number of work units
+// waiting at a station, ρ²/(1−ρ). It is +Inf for saturated stations and 0
+// for unconstrained ones.
+func (s *Solution) MeanQueueLength(station string) float64 {
+	rho, ok := s.Rho[station]
+	if !ok || rho == 0 {
+		return 0
+	}
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return rho * rho / (1 - rho)
+}
+
+// MeanResidence returns the M/M/1 mean time a work unit spends at the
+// station (queueing + service), 1/(μ−λ). It is +Inf when saturated and 0
+// when unconstrained.
+func (s *Solution) MeanResidence(network *Network, station string) float64 {
+	mu := network.stations[station].ServiceRate
+	if mu == 0 || math.IsInf(mu, 1) {
+		return 0
+	}
+	lam := s.Lambda[station]
+	if lam >= mu {
+		return math.Inf(1)
+	}
+	return 1 / (mu - lam)
+}
+
+// SustainableFraction computes the §5.4/§5.5 quantity: the largest factor
+// r ∈ (0, 1] by which the route leaving `knob` may be scaled while every
+// station stays stable. It models the adjustment parameter (sampling rate,
+// summary size) as the scaled route and answers "what value should the
+// middleware converge to". It returns 1 when even full forwarding is
+// sustainable.
+func (n *Network) SustainableFraction(knob string) (float64, error) {
+	routes, ok := n.routes[knob]
+	if !ok || len(routes) == 0 {
+		return 0, fmt.Errorf("queuing: station %q has no outgoing route to scale", knob)
+	}
+	// Utilizations downstream of the knob scale linearly in r, so the
+	// critical r is where the bottleneck (computed at r=1) reaches 1.
+	sol, err := n.Solve()
+	if err != nil {
+		return 0, err
+	}
+	// Stations upstream of (or independent from) the knob must already
+	// be stable; otherwise no r helps.
+	reach := n.reachableFrom(knob)
+	for name, rho := range sol.Rho {
+		if !reach[name] && rho >= 1 {
+			return 0, fmt.Errorf("queuing: station %q saturated (ρ=%.3f) independent of %q", name, rho, knob)
+		}
+	}
+	worst := 0.0
+	for name := range reach {
+		if rho := sol.Rho[name]; rho > worst {
+			worst = rho
+		}
+	}
+	if worst <= 1 {
+		return 1, nil
+	}
+	return 1 / worst, nil
+}
+
+// reachableFrom returns the stations strictly downstream of from.
+func (n *Network) reachableFrom(from string) map[string]bool {
+	out := make(map[string]bool)
+	var walk func(string)
+	walk = func(cur string) {
+		for to := range n.routes[cur] {
+			if !out[to] {
+				out[to] = true
+				walk(to)
+			}
+		}
+	}
+	walk(from)
+	return out
+}

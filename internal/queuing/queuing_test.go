@@ -1,0 +1,289 @@
+package queuing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// steering builds the Figure 8 network: generator -> sampler -> analysis,
+// with the sampler forwarding fraction r and the analysis serving at
+// 1000/cost bytes per second.
+func steering(t *testing.T, genRate float64, r float64, costMsPerByte float64) *Network {
+	t.Helper()
+	n := New()
+	for _, s := range []Station{
+		{Name: "sim"},     // unconstrained
+		{Name: "sampler"}, // thinning is free
+		{Name: "analysis", ServiceRate: 1000 / costMsPerByte}, // bytes/s
+	} {
+		if err := n.AddStation(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.SetArrival("sampler", genRate); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Route("sampler", "analysis", r); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestAddStationValidation(t *testing.T) {
+	n := New()
+	if err := n.AddStation(Station{Name: ""}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := n.AddStation(Station{Name: "a", ServiceRate: -1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if err := n.AddStation(Station{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddStation(Station{Name: "a"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	n := New()
+	n.AddStation(Station{Name: "a"})
+	n.AddStation(Station{Name: "b"})
+	if err := n.Route("ghost", "b", 0.5); err == nil {
+		t.Fatal("unknown from accepted")
+	}
+	if err := n.Route("a", "ghost", 0.5); err == nil {
+		t.Fatal("unknown to accepted")
+	}
+	if err := n.Route("a", "a", 0.5); err == nil {
+		t.Fatal("self-route accepted")
+	}
+	if err := n.Route("a", "b", 1.5); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	if err := n.Route("a", "b", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	// Adding another route that pushes the out-sum past 1 must fail and
+	// leave the previous routing intact.
+	n.AddStation(Station{Name: "c"})
+	if err := n.Route("a", "c", 0.5); err == nil {
+		t.Fatal("out-fraction sum > 1 accepted")
+	}
+	if err := n.Route("a", "c", 0.3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetArrivalValidation(t *testing.T) {
+	n := New()
+	n.AddStation(Station{Name: "a"})
+	if err := n.SetArrival("ghost", 1); err == nil {
+		t.Fatal("unknown station accepted")
+	}
+	if err := n.SetArrival("a", -1); err == nil {
+		t.Fatal("negative arrival accepted")
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	n := New()
+	n.AddStation(Station{Name: "a"})
+	n.AddStation(Station{Name: "b"})
+	n.Route("a", "b", 0.5)
+	n.Route("b", "a", 0.5)
+	if _, err := n.Solve(); err == nil {
+		t.Fatal("cyclic network solved")
+	}
+}
+
+func TestTrafficEquations(t *testing.T) {
+	// 4 sources at 10/s each feed a merger that forwards 30% to a sink.
+	n := New()
+	n.AddStation(Station{Name: "merge", ServiceRate: 100})
+	n.AddStation(Station{Name: "sink", ServiceRate: 20})
+	for _, src := range []string{"s1", "s2", "s3", "s4"} {
+		n.AddStation(Station{Name: src})
+		n.SetArrival(src, 10)
+		n.Route(src, "merge", 1)
+	}
+	n.Route("merge", "sink", 0.3)
+	sol, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Lambda["merge"]; math.Abs(got-40) > 1e-9 {
+		t.Fatalf("λ(merge) = %v, want 40", got)
+	}
+	if got := sol.Lambda["sink"]; math.Abs(got-12) > 1e-9 {
+		t.Fatalf("λ(sink) = %v, want 12", got)
+	}
+	if got := sol.Rho["merge"]; math.Abs(got-0.4) > 1e-9 {
+		t.Fatalf("ρ(merge) = %v, want 0.4", got)
+	}
+	if got := sol.Rho["sink"]; math.Abs(got-0.6) > 1e-9 {
+		t.Fatalf("ρ(sink) = %v, want 0.6", got)
+	}
+	if !sol.Stable() {
+		t.Fatal("stable network reported unstable")
+	}
+	if name, rho := sol.Bottleneck(); name != "sink" || math.Abs(rho-0.6) > 1e-9 {
+		t.Fatalf("bottleneck = %s/%v, want sink/0.6", name, rho)
+	}
+}
+
+func TestMM1Statistics(t *testing.T) {
+	n := New()
+	n.AddStation(Station{Name: "q", ServiceRate: 10})
+	n.SetArrival("q", 5) // ρ = 0.5
+	sol, _ := n.Solve()
+	if got := sol.MeanQueueLength("q"); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("Lq = %v, want 0.5 (ρ²/(1-ρ) at ρ=0.5)", got)
+	}
+	if got := sol.MeanResidence(n, "q"); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("W = %v, want 0.2 (1/(μ-λ))", got)
+	}
+	// Saturated: infinite queue.
+	n2 := New()
+	n2.AddStation(Station{Name: "q", ServiceRate: 10})
+	n2.SetArrival("q", 12)
+	sol2, _ := n2.Solve()
+	if !math.IsInf(sol2.MeanQueueLength("q"), 1) || !math.IsInf(sol2.MeanResidence(n2, "q"), 1) {
+		t.Fatal("saturated station has finite statistics")
+	}
+	if sol2.Stable() {
+		t.Fatal("saturated network reported stable")
+	}
+}
+
+func TestSustainableFractionMatchesFigure8(t *testing.T) {
+	// At full forwarding (r=1), what fraction does the model say the
+	// middleware should converge to? Exactly the paper's ladder.
+	cases := []struct {
+		costMs float64
+		want   float64
+	}{
+		{1, 1}, {5, 1}, {8, 0.78125}, {10, 0.625}, {20, 0.3125},
+	}
+	for _, tc := range cases {
+		n := steering(t, 160, 1, tc.costMs)
+		r, err := n.SustainableFraction("sampler")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r-tc.want) > 1e-9 {
+			t.Fatalf("cost %v ms/byte: sustainable = %v, want %v", tc.costMs, r, tc.want)
+		}
+	}
+}
+
+func TestSustainableFractionNetworkConstraint(t *testing.T) {
+	// Figure 9: the 10 KB/s link modeled as a station serving 10,000 B/s.
+	for _, tc := range []struct {
+		genKB float64
+		want  float64
+	}{
+		{5, 1}, {10, 1}, {20, 0.5}, {40, 0.25}, {80, 0.125},
+	} {
+		n := New()
+		n.AddStation(Station{Name: "sampler"})
+		n.AddStation(Station{Name: "link", ServiceRate: 10_000})
+		n.AddStation(Station{Name: "analysis", ServiceRate: math.Inf(1)})
+		n.SetArrival("sampler", tc.genKB*1000)
+		n.Route("sampler", "link", 1)
+		n.Route("link", "analysis", 1)
+		r, err := n.SustainableFraction("sampler")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r-tc.want) > 1e-9 {
+			t.Fatalf("gen %v KB/s: sustainable = %v, want %v", tc.genKB, r, tc.want)
+		}
+	}
+}
+
+func TestSustainableFractionErrors(t *testing.T) {
+	n := New()
+	n.AddStation(Station{Name: "lonely"})
+	if _, err := n.SustainableFraction("lonely"); err == nil {
+		t.Fatal("knob without routes accepted")
+	}
+	// A saturated station upstream of the knob cannot be fixed by it.
+	n2 := New()
+	n2.AddStation(Station{Name: "pre", ServiceRate: 1})
+	n2.AddStation(Station{Name: "knob"})
+	n2.AddStation(Station{Name: "post", ServiceRate: 1000})
+	n2.SetArrival("pre", 5)
+	n2.SetArrival("knob", 1)
+	n2.Route("knob", "post", 1)
+	if _, err := n2.SustainableFraction("knob"); err == nil {
+		t.Fatal("independently saturated network accepted")
+	}
+}
+
+// Property: scaling every external arrival by k scales every station's λ by
+// k (the traffic equations are linear).
+func TestLinearityProperty(t *testing.T) {
+	f := func(rates []uint8, kRaw uint8) bool {
+		if len(rates) == 0 {
+			return true
+		}
+		k := float64(kRaw%9) + 1
+		build := func(scale float64) *Solution {
+			n := New()
+			n.AddStation(Station{Name: "hub", ServiceRate: 1e6})
+			for i := range rates {
+				name := string(rune('a' + i%26))
+				if _, dup := n.stations[name]; dup {
+					continue
+				}
+				n.AddStation(Station{Name: name})
+				n.SetArrival(name, float64(rates[i])*scale)
+				n.Route(name, "hub", 1)
+			}
+			sol, err := n.Solve()
+			if err != nil {
+				return nil
+			}
+			return sol
+		}
+		one, scaled := build(1), build(k)
+		if one == nil || scaled == nil {
+			return false
+		}
+		return math.Abs(scaled.Lambda["hub"]-k*one.Lambda["hub"]) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: utilizations are non-negative and Solve never returns NaN.
+func TestNoNaNProperty(t *testing.T) {
+	f := func(arr, mu uint16, frac uint8) bool {
+		n := New()
+		n.AddStation(Station{Name: "a"})
+		n.AddStation(Station{Name: "b", ServiceRate: float64(mu%1000) + 1})
+		n.SetArrival("a", float64(arr))
+		n.Route("a", "b", float64(frac%101)/100)
+		sol, err := n.Solve()
+		if err != nil {
+			return false
+		}
+		for _, l := range sol.Lambda {
+			if math.IsNaN(l) || l < 0 {
+				return false
+			}
+		}
+		for _, r := range sol.Rho {
+			if math.IsNaN(r) || r < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

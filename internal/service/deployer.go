@@ -1,0 +1,254 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/grid"
+	"github.com/gates-middleware/gates/internal/netsim"
+	"github.com/gates-middleware/gates/internal/pipeline"
+)
+
+// Deployment is a fully wired, ready-to-run application: the paper's set of
+// customized GATES grid-service instances plus their network connections.
+type Deployment struct {
+	// Config is the descriptor the deployment was built from.
+	Config *AppConfig
+	// Engine executes the stage instances.
+	Engine *pipeline.Engine
+	// Placements records which node hosts each instance.
+	Placements []grid.Placement
+	// Stages maps stage id to its deployed instances in ordinal order.
+	Stages map[string][]*pipeline.Stage
+}
+
+// Stage returns instance ordinal i of the named stage.
+func (d *Deployment) Stage(id string, i int) (*pipeline.Stage, bool) {
+	insts, ok := d.Stages[id]
+	if !ok || i < 0 || i >= len(insts) {
+		return nil, false
+	}
+	return insts[i], true
+}
+
+// NodeFor returns the node hosting instance i of the named stage.
+func (d *Deployment) NodeFor(id string, i int) (string, bool) {
+	for _, p := range d.Placements {
+		if p.StageID == id && p.Instance == i {
+			return p.Node, true
+		}
+	}
+	return "", false
+}
+
+// StageTuning customizes the runtime configuration of deployed instances;
+// the Deployer consults it for every (stage id, instance) pair. Returning
+// the zero StageConfig accepts all defaults.
+type StageTuning func(stageID string, instance int) pipeline.StageConfig
+
+// Deployer turns an application descriptor into a Deployment. It performs
+// the five duties §3.2 lists: receive the configuration, consult the grid
+// resource manager, initiate service instances at the chosen nodes, retrieve
+// the stage codes from the repository, and customize every instance.
+type Deployer struct {
+	clk  clock.Clock
+	dir  *grid.Directory
+	repo *Repository
+	net  *netsim.Network
+
+	topologyAware bool
+}
+
+// SetTopologyAware makes placement consider link bandwidth between
+// communicating instances (grid.PlanTopology) in addition to requirements
+// and near-source hints: stages that exchange data gravitate to the same
+// site when the wide-area links are slow.
+func (d *Deployer) SetTopologyAware(on bool) { d.topologyAware = on }
+
+// NewDeployer returns a deployer over the given fabric. All dependencies
+// are required.
+func NewDeployer(clk clock.Clock, dir *grid.Directory, repo *Repository, net *netsim.Network) (*Deployer, error) {
+	if clk == nil || dir == nil || repo == nil || net == nil {
+		return nil, errors.New("service: NewDeployer requires clock, directory, repository, and network")
+	}
+	return &Deployer{clk: clk, dir: dir, repo: repo, net: net}, nil
+}
+
+// Deploy plans placements, instantiates every stage instance, and wires the
+// declared connections through the network's links. tuning may be nil.
+func (d *Deployer) Deploy(cfg *AppConfig, tuning StageTuning) (*Deployment, error) {
+	if cfg == nil {
+		return nil, errors.New("service: Deploy requires a config")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	// 1. Resource matching: one planner request per instance, in
+	// descriptor order so source-side stages claim near-source nodes
+	// first.
+	var err error
+	var reqs []grid.InstanceRequest
+	for i := range cfg.Stages {
+		s := &cfg.Stages[i]
+		for inst := 0; inst < s.EffectiveInstances(); inst++ {
+			req := grid.Requirement{
+				MinCPUPower: s.Requirement.MinCPU,
+				MinMemoryMB: s.Requirement.MinMemoryMB,
+				Site:        s.Requirement.Site,
+			}
+			if inst < len(s.NearSources) {
+				req.NearSource = s.NearSources[inst]
+			}
+			reqs = append(reqs, grid.InstanceRequest{StageID: s.ID, Instance: inst, Req: req})
+		}
+	}
+	var placements []grid.Placement
+	if d.topologyAware {
+		placements, err = d.dir.PlanTopology(reqs, instanceEdges(cfg), func(a, b string) int64 {
+			return d.net.Link(a, b).Config().Bandwidth
+		})
+	} else {
+		placements, err = d.dir.Plan(reqs)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: placement failed: %w", err)
+	}
+
+	nodeOf := make(map[string]string, len(placements))
+	for _, p := range placements {
+		nodeOf[instKey(p.StageID, p.Instance)] = p.Node
+	}
+
+	// 2. Instantiation: pull stage codes from the repository and
+	// customize one engine stage per instance.
+	eng := pipeline.New(d.clk)
+	stages := make(map[string][]*pipeline.Stage, len(cfg.Stages))
+	for i := range cfg.Stages {
+		s := &cfg.Stages[i]
+		for inst := 0; inst < s.EffectiveInstances(); inst++ {
+			var scfg pipeline.StageConfig
+			if tuning != nil {
+				scfg = tuning(s.ID, inst)
+			}
+			if s.QueueCapacity > 0 && scfg.QueueCapacity == 0 {
+				scfg.QueueCapacity = s.QueueCapacity
+			}
+			var st *pipeline.Stage
+			if s.Source {
+				f, ok := d.repo.Source(s.Code)
+				if !ok {
+					return nil, fmt.Errorf("service: source code %q not in repository", s.Code)
+				}
+				st, err = eng.AddSourceStage(s.ID, inst, f(inst), scfg)
+			} else {
+				f, ok := d.repo.Processor(s.Code)
+				if !ok {
+					return nil, fmt.Errorf("service: processor code %q not in repository", s.Code)
+				}
+				st, err = eng.AddProcessorStage(s.ID, inst, f(inst), scfg)
+			}
+			if err != nil {
+				return nil, err
+			}
+			st.SetNode(nodeOf[instKey(s.ID, inst)])
+			stages[s.ID] = append(stages[s.ID], st)
+		}
+	}
+
+	// 3. Wiring: connect instances through the links their placements
+	// imply.
+	for _, conn := range cfg.Connections {
+		froms := stages[conn.From]
+		tos := stages[conn.To]
+		mode := conn.Fanout
+		if mode == FanoutAuto {
+			if len(froms) == len(tos) {
+				mode = FanoutPairwise
+			} else {
+				mode = FanoutAll
+			}
+		}
+		switch mode {
+		case FanoutPairwise:
+			for i := range froms {
+				if err := d.connect(eng, froms[i], tos[i]); err != nil {
+					return nil, err
+				}
+			}
+		case FanoutGrouped:
+			group := len(froms) / len(tos)
+			for i := range froms {
+				if err := d.connect(eng, froms[i], tos[i/group]); err != nil {
+					return nil, err
+				}
+			}
+		case FanoutAll:
+			for _, f := range froms {
+				for _, t := range tos {
+					if err := d.connect(eng, f, t); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	return &Deployment{Config: cfg, Engine: eng, Placements: placements, Stages: stages}, nil
+}
+
+func (d *Deployer) connect(eng *pipeline.Engine, from, to *pipeline.Stage) error {
+	var link *netsim.Link
+	if from.Node() != to.Node() {
+		link = d.net.Link(from.Node(), to.Node())
+	}
+	return eng.Connect(from, to, link)
+}
+
+func instKey(id string, inst int) string { return fmt.Sprintf("%s#%d", id, inst) }
+
+// instanceEdges expands the descriptor's connections into instance-level
+// communication edges, indexed against the request order Deploy builds
+// (stages in declaration order, instances in ordinal order).
+func instanceEdges(cfg *AppConfig) []grid.InstanceEdge {
+	offset := make(map[string]int, len(cfg.Stages))
+	count := make(map[string]int, len(cfg.Stages))
+	next := 0
+	for i := range cfg.Stages {
+		s := &cfg.Stages[i]
+		offset[s.ID] = next
+		count[s.ID] = s.EffectiveInstances()
+		next += s.EffectiveInstances()
+	}
+	var edges []grid.InstanceEdge
+	for _, conn := range cfg.Connections {
+		fromN, toN := count[conn.From], count[conn.To]
+		mode := conn.Fanout
+		if mode == FanoutAuto {
+			if fromN == toN {
+				mode = FanoutPairwise
+			} else {
+				mode = FanoutAll
+			}
+		}
+		switch mode {
+		case FanoutPairwise:
+			for i := 0; i < fromN; i++ {
+				edges = append(edges, grid.InstanceEdge{From: offset[conn.From] + i, To: offset[conn.To] + i})
+			}
+		case FanoutGrouped:
+			group := fromN / toN
+			for i := 0; i < fromN; i++ {
+				edges = append(edges, grid.InstanceEdge{From: offset[conn.From] + i, To: offset[conn.To] + i/group})
+			}
+		case FanoutAll:
+			for i := 0; i < fromN; i++ {
+				for j := 0; j < toN; j++ {
+					edges = append(edges, grid.InstanceEdge{From: offset[conn.From] + i, To: offset[conn.To] + j})
+				}
+			}
+		}
+	}
+	return edges
+}

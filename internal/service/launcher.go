@@ -1,0 +1,119 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Launcher is the user-facing entry point: "to start the application, the
+// user simply passes the XML file's URL link to the Launcher" (§3.2). It
+// fetches and parses the descriptor, hands it to the Deployer, and returns a
+// running Application handle.
+type Launcher struct {
+	deployer *Deployer
+}
+
+// NewLauncher returns a launcher over the given deployer.
+func NewLauncher(d *Deployer) (*Launcher, error) {
+	if d == nil {
+		return nil, errors.New("service: NewLauncher requires a deployer")
+	}
+	return &Launcher{deployer: d}, nil
+}
+
+// Fetch retrieves an application descriptor. The locator may be an
+// http(s):// URL (the paper's repository-hosted configuration), a file path,
+// or — as a convenience for embedding — a literal XML document (detected by
+// a leading '<').
+func Fetch(locator string) (*AppConfig, error) {
+	switch {
+	case strings.HasPrefix(strings.TrimSpace(locator), "<"):
+		return ParseConfigString(locator)
+	case strings.HasPrefix(locator, "http://"), strings.HasPrefix(locator, "https://"):
+		resp, err := http.Get(locator)
+		if err != nil {
+			return nil, fmt.Errorf("service: fetch %s: %w", locator, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("service: fetch %s: HTTP %d", locator, resp.StatusCode)
+		}
+		return ParseConfig(resp.Body)
+	default:
+		f, err := os.Open(locator)
+		if err != nil {
+			return nil, fmt.Errorf("service: open config: %w", err)
+		}
+		defer f.Close()
+		return ParseConfig(f)
+	}
+}
+
+// Launch fetches the descriptor at locator, deploys it, and starts it.
+// The returned Application is already running; use Wait to collect its
+// outcome and Stop to end it early.
+func (l *Launcher) Launch(ctx context.Context, locator string, tuning StageTuning) (*Application, error) {
+	cfg, err := Fetch(locator)
+	if err != nil {
+		return nil, err
+	}
+	return l.LaunchConfig(ctx, cfg, tuning)
+}
+
+// LaunchConfig deploys and starts an already parsed descriptor.
+func (l *Launcher) LaunchConfig(ctx context.Context, cfg *AppConfig, tuning StageTuning) (*Application, error) {
+	dep, err := l.deployer.Deploy(cfg, tuning)
+	if err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	app := &Application{
+		Deployment: dep,
+		cancel:     cancel,
+		done:       make(chan struct{}),
+	}
+	go func() {
+		defer close(app.done)
+		err := dep.Engine.Run(runCtx)
+		app.mu.Lock()
+		app.err = err
+		app.mu.Unlock()
+	}()
+	return app, nil
+}
+
+// Application is a running deployment: the paper's application-user handle,
+// which only needs to start and stop the application.
+type Application struct {
+	// Deployment is the underlying wired application.
+	*Deployment
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	mu     sync.Mutex
+	err    error
+}
+
+// Wait blocks until the application finishes and returns its terminal error
+// (nil on a clean end-of-stream completion).
+func (a *Application) Wait() error {
+	<-a.done
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// Done returns a channel closed when the application has finished.
+func (a *Application) Done() <-chan struct{} { return a.done }
+
+// Stop cancels the application and waits for it to wind down. Stopping an
+// already finished application is a no-op returning its terminal error.
+func (a *Application) Stop() error {
+	a.cancel()
+	return a.Wait()
+}

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/gates-middleware/gates/internal/pipeline"
+)
+
+// ProcessorFactory builds one processor instance for a stage ordinal. The
+// Deployer calls it once per deployed instance — the analog of retrieving
+// the stage's class files from the application repository and loading them
+// into a grid-service instance. (Go has no dynamic code loading; the factory
+// registry preserves the deployment mechanics without mobile code — see
+// DESIGN.md, substitutions.)
+type ProcessorFactory func(instance int) pipeline.Processor
+
+// SourceFactory builds one source instance for a stage ordinal.
+type SourceFactory func(instance int) pipeline.Source
+
+// Repository is the application repository: the named store of stage codes
+// that the Deployer pulls from. It is safe for concurrent use.
+type Repository struct {
+	mu    sync.RWMutex
+	procs map[string]ProcessorFactory
+	srcs  map[string]SourceFactory
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{
+		procs: make(map[string]ProcessorFactory),
+		srcs:  make(map[string]SourceFactory),
+	}
+}
+
+// RegisterProcessor stores a processor factory under code. Codes are a
+// single namespace across processors and sources; duplicates error.
+func (r *Repository) RegisterProcessor(code string, f ProcessorFactory) error {
+	if code == "" || f == nil {
+		return fmt.Errorf("service: RegisterProcessor needs a code and factory")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.exists(code) {
+		return fmt.Errorf("service: code %q already registered", code)
+	}
+	r.procs[code] = f
+	return nil
+}
+
+// RegisterSource stores a source factory under code.
+func (r *Repository) RegisterSource(code string, f SourceFactory) error {
+	if code == "" || f == nil {
+		return fmt.Errorf("service: RegisterSource needs a code and factory")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.exists(code) {
+		return fmt.Errorf("service: code %q already registered", code)
+	}
+	r.srcs[code] = f
+	return nil
+}
+
+func (r *Repository) exists(code string) bool {
+	_, p := r.procs[code]
+	_, s := r.srcs[code]
+	return p || s
+}
+
+// Processor fetches a processor factory.
+func (r *Repository) Processor(code string) (ProcessorFactory, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.procs[code]
+	return f, ok
+}
+
+// Source fetches a source factory.
+func (r *Repository) Source(code string) (SourceFactory, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.srcs[code]
+	return f, ok
+}
+
+// Codes lists every registered code, sorted.
+func (r *Repository) Codes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.procs)+len(r.srcs))
+	for c := range r.procs {
+		out = append(out, c)
+	}
+	for c := range r.srcs {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/gates-middleware/gates/internal/adapt"
+	"github.com/gates-middleware/gates/internal/pipeline"
+)
+
+// Egress is a pipeline Processor that forwards everything it receives to a
+// remote host — the sending side of a cross-machine pipeline edge. Load
+// exceptions arriving back from the remote side should be fed to the local
+// upstream controller by the host program (see cmd/gates-node).
+type Egress struct {
+	client *Client
+}
+
+// NewEgress returns an egress bridge over an established client.
+func NewEgress(c *Client) *Egress { return &Egress{client: c} }
+
+// Init implements pipeline.Processor.
+func (e *Egress) Init(*pipeline.Context) error { return nil }
+
+// Process forwards one packet to the remote host.
+func (e *Egress) Process(_ *pipeline.Context, pkt *pipeline.Packet, _ *pipeline.Emitter) error {
+	return e.client.Send(PacketMessage(pkt))
+}
+
+// Finish forwards the end-of-stream marker.
+func (e *Egress) Finish(*pipeline.Context, *pipeline.Emitter) error {
+	return e.client.Send(PacketMessage(&pipeline.Packet{Final: true}))
+}
+
+// Ingress is a pipeline Source that injects packets received from the
+// network into a local engine. Construct it, point a Server's handler at
+// Deliver, and add it as a source stage. Run ends after ExpectFinals final
+// markers (one per remote upstream instance) have arrived.
+type Ingress struct {
+	// ExpectFinals is how many Final markers end the stream. Zero means
+	// one.
+	ExpectFinals int
+	// OnException, when non-nil, receives load exceptions sent by the
+	// remote side (for delivery to a local upstream controller).
+	OnException func(adapt.Exception)
+
+	ch chan *pipeline.Packet
+}
+
+// NewIngress returns an ingress expecting the given number of final markers,
+// buffering up to buf packets between the network and the engine.
+func NewIngress(expectFinals, buf int) *Ingress {
+	if expectFinals < 1 {
+		expectFinals = 1
+	}
+	if buf < 1 {
+		buf = 64
+	}
+	return &Ingress{ExpectFinals: expectFinals, ch: make(chan *pipeline.Packet, buf)}
+}
+
+// Deliver is the Server handler: it routes packets into the engine and
+// exceptions to OnException.
+func (i *Ingress) Deliver(m Message) {
+	switch m.Kind {
+	case KindPacket:
+		i.ch <- m.Packet()
+	case KindException:
+		if i.OnException != nil {
+			i.OnException(m.Exception)
+		}
+	}
+}
+
+// Run implements pipeline.Source: it emits received packets until the
+// expected number of final markers has arrived.
+func (i *Ingress) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
+	finals := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return context.Cause(ctx.Ctx())
+		case pkt := <-i.ch:
+			if pkt.Final {
+				finals++
+				if finals >= i.ExpectFinals {
+					return nil
+				}
+				continue
+			}
+			if err := out.Emit(pkt); err != nil {
+				return fmt.Errorf("transport: ingress emit: %w", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/gates-middleware/gates/internal/adapt"
+	"github.com/gates-middleware/gates/internal/pipeline"
+)
+
+// MessageKind discriminates wire messages.
+type MessageKind uint8
+
+const (
+	// KindPacket carries a data (or Final) packet downstream.
+	KindPacket MessageKind = iota + 1
+	// KindException carries a load exception upstream — the control
+	// plane of the self-adaptation algorithm.
+	KindException
+)
+
+// Message is the unit framed onto a connection: either a packet or an
+// exception. Packet Values must be gob-encodable (applications register
+// concrete types with gob.Register).
+type Message struct {
+	Kind MessageKind
+
+	// Packet fields (KindPacket).
+	SourceStage    string
+	SourceInstance int
+	Seq            uint64
+	Final          bool
+	Items          int
+	WireSize       int
+	Value          any
+
+	// Exception (KindException).
+	Exception adapt.Exception
+}
+
+// PacketMessage wraps a pipeline packet for the wire.
+func PacketMessage(p *pipeline.Packet) Message {
+	return Message{
+		Kind:           KindPacket,
+		SourceStage:    p.SourceStage,
+		SourceInstance: p.SourceInstance,
+		Seq:            p.Seq,
+		Final:          p.Final,
+		Items:          p.Items,
+		WireSize:       p.WireSize,
+		Value:          p.Value,
+	}
+}
+
+// ExceptionMessage wraps a load exception for the wire.
+func ExceptionMessage(e adapt.Exception) Message {
+	return Message{Kind: KindException, Exception: e}
+}
+
+// Packet converts a KindPacket message back to a pipeline packet.
+func (m Message) Packet() *pipeline.Packet {
+	return &pipeline.Packet{
+		SourceStage:    m.SourceStage,
+		SourceInstance: m.SourceInstance,
+		Seq:            m.Seq,
+		Final:          m.Final,
+		Items:          m.Items,
+		WireSize:       m.WireSize,
+		Value:          m.Value,
+	}
+}
+
+// Encode serializes m as a self-contained gob blob.
+func Encode(m Message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("transport: encode message: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a blob produced by Encode.
+func Decode(b []byte) (Message, error) {
+	var m Message
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m); err != nil {
+		return Message{}, fmt.Errorf("transport: decode message: %w", err)
+	}
+	if m.Kind != KindPacket && m.Kind != KindException {
+		return Message{}, fmt.Errorf("transport: unknown message kind %d", m.Kind)
+	}
+	return m, nil
+}

@@ -1,0 +1,62 @@
+// Package transport carries packets and load exceptions between stage hosts
+// over real TCP sockets.
+//
+// The paper's deployment ran each GATES grid-service instance on its own
+// node, exchanging data and control (over/under-load exceptions) over Java
+// sockets. This package is the Go equivalent: a length-prefixed binary frame
+// layer, a gob message codec for packets and exceptions, and a client/server
+// pair with pipeline bridges (Egress forwards a local stage's output to a
+// remote host; Ingress feeds packets received from the network into a local
+// engine as a Source). The emulated in-process links in netsim remain the
+// transport used by the repeatable experiments; TCP mode is for genuinely
+// distributed runs (see cmd/gates-node).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single frame's payload. Frames beyond it are
+// rejected on both sides so a corrupt length prefix cannot trigger an
+// enormous allocation.
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds MaxFrameSize")
+
+// WriteFrame writes one length-prefixed frame: a 4-byte big-endian payload
+// length followed by the payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("transport: write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame written by WriteFrame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean stream end
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("transport: short frame payload: %w", err)
+	}
+	return payload, nil
+}

@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Handler consumes messages arriving at a Server.
+type Handler func(Message)
+
+// Server accepts stage-to-stage connections and dispatches every decoded
+// message to its handler. It is the listening half of a GATES grid-service
+// instance's network endpoint.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu      sync.Mutex
+	writeMu sync.Mutex
+	conns   map[net.Conn]bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// Listen starts a server on addr ("host:port"; ":0" picks a free port).
+func Listen(addr string, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("transport: Listen requires a handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		frame, err := ReadFrame(conn)
+		if err != nil {
+			return // EOF or broken peer: connection ends
+		}
+		msg, err := Decode(frame)
+		if err != nil {
+			return // corrupt peer: drop the connection
+		}
+		s.handler(msg)
+	}
+}
+
+// Broadcast writes one message back to every live upstream connection —
+// the §4 control plane over TCP: a stage host reports its over/under-load
+// exceptions "to the sending server" on the connections that feed it.
+// Broken peers are dropped silently (their read side ends the connection).
+func (s *Server) Broadcast(m Message) error {
+	b, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		s.writeMu.Lock()
+		err := WriteFrame(c, b)
+		s.writeMu.Unlock()
+		if err != nil {
+			c.Close()
+		}
+	}
+	return nil
+}
+
+// Close stops accepting, closes every live connection, and waits for the
+// serving goroutines to drain. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is the sending half of a stage-to-stage connection. It is safe for
+// concurrent use. Messages the peer writes back (load exceptions) are
+// consumed by ReadLoop.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// ReadLoop consumes messages the server writes back on this connection,
+// dispatching each to handler; it returns when the connection closes. Run
+// it in its own goroutine to receive the downstream host's load exceptions.
+func (c *Client) ReadLoop(handler Handler) {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	if conn == nil || handler == nil {
+		return
+	}
+	for {
+		frame, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		m, err := Decode(frame)
+		if err != nil {
+			return
+		}
+		handler(m)
+	}
+}
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Send encodes and frames one message.
+func (c *Client) Send(m Message) error {
+	b, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return errors.New("transport: client closed")
+	}
+	return WriteFrame(c.conn, b)
+}
+
+// Close shuts the connection down. It is idempotent.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

@@ -1,0 +1,401 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/adapt"
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/pipeline"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xAB}, 100_000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame mismatch: got %d bytes, want %d", len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("drained reader returned %v, want EOF", err)
+	}
+}
+
+func TestFrameTooLargeWrite(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameTooLargeRead(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrameSize+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized read = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameShortPayload(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, []byte("hello"))
+	trunc := buf.Bytes()[:6] // header + 2 of 5 payload bytes
+	if _, err := ReadFrame(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated frame read succeeded")
+	}
+}
+
+func TestCodecPacketRoundTrip(t *testing.T) {
+	pkt := &pipeline.Packet{
+		SourceStage:    "sampler",
+		SourceInstance: 3,
+		Seq:            42,
+		Items:          7,
+		WireSize:       128,
+		Value:          "payload",
+	}
+	b, err := Encode(PacketMessage(pkt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Packet()
+	if got.SourceStage != "sampler" || got.SourceInstance != 3 || got.Seq != 42 ||
+		got.Items != 7 || got.WireSize != 128 || got.Value.(string) != "payload" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestCodecExceptionRoundTrip(t *testing.T) {
+	b, err := Encode(ExceptionMessage(adapt.ExceptionOverload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != KindException || m.Exception != adapt.ExceptionOverload {
+		t.Fatalf("decoded %+v", m)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not gob")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	// A valid gob of an unknown kind is also rejected.
+	b, _ := Encode(Message{Kind: KindPacket})
+	var m Message
+	m.Kind = 0
+	b2, _ := Encode(m)
+	if _, err := Decode(b2); err == nil {
+		t.Fatal("zero-kind message accepted")
+	}
+	_ = b
+}
+
+func TestClientServerEndToEnd(t *testing.T) {
+	var mu sync.Mutex
+	var got []Message
+	srv, err := Listen("127.0.0.1:0", func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := cli.Send(PacketMessage(&pipeline.Packet{Seq: uint64(i), Value: i})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cli.Send(ExceptionMessage(adapt.ExceptionUnderload))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 11 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d messages, want 11", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < 10; i++ {
+		if got[i].Kind != KindPacket || got[i].Seq != uint64(i) {
+			t.Fatalf("message %d = %+v", i, got[i])
+		}
+	}
+	if got[10].Kind != KindException {
+		t.Fatalf("last message = %+v, want exception", got[10])
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	var count sync.Map
+	srv, err := Listen("127.0.0.1:0", func(m Message) {
+		count.Store(m.Value.(int), true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients, per = 4, 25
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cli.Close()
+			for i := 0; i < per; i++ {
+				if err := cli.Send(PacketMessage(&pipeline.Packet{Value: c*per + i})); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := 0
+		count.Range(func(_, _ any) bool { n++; return true })
+		if n == clients*per {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d distinct values, want %d", n, clients*per)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientSendAfterClose(t *testing.T) {
+	srv, _ := Listen("127.0.0.1:0", func(Message) {})
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	cli.Close() // idempotent
+	if err := cli.Send(ExceptionMessage(adapt.ExceptionOverload)); err == nil {
+		t.Fatal("Send on closed client succeeded")
+	}
+}
+
+func TestListenRequiresHandler(t *testing.T) {
+	if _, err := Listen("127.0.0.1:0", nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+// TestBridgedPipelines runs a two-process-shaped topology in one test: an
+// upstream engine whose sink is an Egress, TCP in the middle, and a
+// downstream engine whose source is an Ingress.
+func TestBridgedPipelines(t *testing.T) {
+	ingress := NewIngress(1, 16)
+	var excs []adapt.Exception
+	var excMu sync.Mutex
+	ingress.OnException = func(e adapt.Exception) {
+		excMu.Lock()
+		excs = append(excs, e)
+		excMu.Unlock()
+	}
+	srv, err := Listen("127.0.0.1:0", ingress.Deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Downstream engine: ingress -> collector.
+	down := pipeline.New(clock.NewScaled(1000))
+	inSt, _ := down.AddSourceStage("ingress", 0, ingress, pipeline.StageConfig{})
+	var mu sync.Mutex
+	var got []int
+	coll := &collectProc{fn: func(v any) {
+		mu.Lock()
+		got = append(got, v.(int))
+		mu.Unlock()
+	}}
+	collSt, _ := down.AddProcessorStage("collect", 0, coll, pipeline.StageConfig{})
+	down.Connect(inSt, collSt, nil)
+
+	downDone := make(chan error, 1)
+	go func() { downDone <- down.Run(context.Background()) }()
+
+	// Upstream engine: source -> egress.
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	up := pipeline.New(clock.NewScaled(1000))
+	src, _ := up.AddSourceStage("src", 0, &intSource{n: 20}, pipeline.StageConfig{})
+	eg, _ := up.AddProcessorStage("egress", 0, NewEgress(cli), pipeline.StageConfig{})
+	up.Connect(src, eg, nil)
+	if err := up.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-downDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("downstream engine never finished")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 20 {
+		t.Fatalf("downstream received %d values, want 20", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestIngressDefaults(t *testing.T) {
+	in := NewIngress(0, 0)
+	if in.ExpectFinals != 1 {
+		t.Fatalf("ExpectFinals default = %d, want 1", in.ExpectFinals)
+	}
+	if cap(in.ch) != 64 {
+		t.Fatalf("buffer default = %d, want 64", cap(in.ch))
+	}
+}
+
+// intSource emits 0..n-1.
+type intSource struct{ n int }
+
+func (s *intSource) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
+	for i := 0; i < s.n; i++ {
+		if err := out.EmitValue(i, 8); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectProc calls fn for every received value.
+type collectProc struct{ fn func(any) }
+
+func (c *collectProc) Init(*pipeline.Context) error { return nil }
+func (c *collectProc) Process(_ *pipeline.Context, pkt *pipeline.Packet, _ *pipeline.Emitter) error {
+	c.fn(pkt.Value)
+	return nil
+}
+func (c *collectProc) Finish(*pipeline.Context, *pipeline.Emitter) error { return nil }
+
+// TestExceptionBackChannel exercises the full bidirectional control plane:
+// the downstream host broadcasts exceptions and the upstream client's
+// ReadLoop delivers them.
+func TestExceptionBackChannel(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	got := make(chan Message, 4)
+	go cli.ReadLoop(func(m Message) { got <- m })
+
+	// The server only learns of the connection after the first frame.
+	if err := cli.Send(PacketMessage(&pipeline.Packet{Value: 1})); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := srv.Broadcast(ExceptionMessage(adapt.ExceptionOverload)); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case m := <-got:
+			if m.Kind != KindException || m.Exception != adapt.ExceptionOverload {
+				t.Fatalf("back-channel delivered %+v", m)
+			}
+			return
+		case <-time.After(50 * time.Millisecond):
+			if time.Now().After(deadline) {
+				t.Fatal("exception never came back")
+			}
+		}
+	}
+}
+
+func TestReadLoopNilSafe(t *testing.T) {
+	c := &Client{}
+	c.ReadLoop(func(Message) {}) // closed client: returns immediately
+	srv, _ := Listen("127.0.0.1:0", func(Message) {})
+	defer srv.Close()
+	cli, _ := Dial(srv.Addr())
+	defer cli.Close()
+	cli.ReadLoop(nil) // nil handler: returns immediately
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteTrace serializes an integer stream, one value per line — the
+// interchange format for replaying captured streams (connection logs,
+// instrument readings) through the synthetic-workload machinery.
+func WriteTrace(w io.Writer, stream []int) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range stream {
+		if _, err := fmt.Fprintln(bw, v); err != nil {
+			return fmt.Errorf("workload: write trace: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a stream written by WriteTrace. Blank lines and lines
+// starting with '#' are skipped, so traces can carry comments.
+func ReadTrace(r io.Reader) ([]int, error) {
+	var out []int
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if len(text) == 0 || text[0] == '#' {
+			continue
+		}
+		v, err := strconv.Atoi(text)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		out = append(out, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	return out, nil
+}
+
+// SaveTrace writes a stream to a file.
+func SaveTrace(path string, stream []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workload: save trace: %w", err)
+	}
+	defer f.Close()
+	if err := WriteTrace(f, stream); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads a stream from a file.
+func LoadTrace(path string) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: load trace: %w", err)
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// Replay wraps a materialized stream as an IntGenerator, cycling when it
+// reaches the end. It panics on an empty stream: replaying nothing is a
+// caller bug.
+type Replay struct {
+	stream []int
+	pos    int
+}
+
+// NewReplay returns a generator that replays stream in order, wrapping
+// around at the end.
+func NewReplay(stream []int) *Replay {
+	if len(stream) == 0 {
+		panic("workload: NewReplay with empty stream")
+	}
+	return &Replay{stream: stream}
+}
+
+// Next implements IntGenerator.
+func (r *Replay) Next() int {
+	v := r.stream[r.pos]
+	r.pos++
+	if r.pos == len(r.stream) {
+		r.pos = 0
+	}
+	return v
+}

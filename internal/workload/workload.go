@@ -1,0 +1,146 @@
+// Package workload generates the synthetic input streams used by the
+// evaluation.
+//
+// The paper's count-samps experiments use streams of integers whose
+// frequency distribution makes "top 10 most frequently occurring values" a
+// meaningful query; its comp-steer experiments use a byte stream produced at
+// a controlled rate by a running simulation. Neither distribution is
+// specified in the paper, so this package provides seeded, reproducible
+// generators: Zipf (heavy-tailed, the standard choice for frequent-item
+// workloads), uniform, and hotspot (a uniform background with a small hot
+// set), plus helpers for ground-truth accounting.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// IntGenerator produces an integer stream.
+type IntGenerator interface {
+	// Next returns the next stream value.
+	Next() int
+}
+
+// Zipf generates Zipf-distributed values in [0, N). Skew s > 1; larger is
+// more skewed.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a seeded Zipf generator over n distinct values with
+// exponent s (must be > 1).
+func NewZipf(seed int64, s float64, n uint64) *Zipf {
+	if s <= 1 {
+		panic(fmt.Sprintf("workload: Zipf exponent %v must be > 1", s))
+	}
+	if n < 1 {
+		panic("workload: Zipf needs at least one value")
+	}
+	return &Zipf{z: rand.NewZipf(rand.New(rand.NewSource(seed)), s, 1, n-1)}
+}
+
+// Next implements IntGenerator.
+func (g *Zipf) Next() int { return int(g.z.Uint64()) }
+
+// Uniform generates uniformly distributed values in [0, N).
+type Uniform struct {
+	rng *rand.Rand
+	n   int
+}
+
+// NewUniform returns a seeded uniform generator over n distinct values.
+func NewUniform(seed int64, n int) *Uniform {
+	if n < 1 {
+		panic("workload: Uniform needs at least one value")
+	}
+	return &Uniform{rng: rand.New(rand.NewSource(seed)), n: n}
+}
+
+// Next implements IntGenerator.
+func (g *Uniform) Next() int { return g.rng.Intn(g.n) }
+
+// Hotspot draws from a small hot set with probability p and uniformly from
+// [hot, n) otherwise.
+type Hotspot struct {
+	rng *rand.Rand
+	hot int
+	n   int
+	p   float64
+}
+
+// NewHotspot returns a seeded hotspot generator: hot values 0..hot-1 receive
+// fraction p of the stream.
+func NewHotspot(seed int64, hot, n int, p float64) *Hotspot {
+	if hot < 1 || n <= hot {
+		panic("workload: Hotspot needs 1 <= hot < n")
+	}
+	if p <= 0 || p >= 1 {
+		panic("workload: Hotspot probability must be in (0,1)")
+	}
+	return &Hotspot{rng: rand.New(rand.NewSource(seed)), hot: hot, n: n, p: p}
+}
+
+// Next implements IntGenerator.
+func (g *Hotspot) Next() int {
+	if g.rng.Float64() < g.p {
+		return g.rng.Intn(g.hot)
+	}
+	return g.hot + g.rng.Intn(g.n-g.hot)
+}
+
+// Take materializes the next n values of a generator.
+func Take(g IntGenerator, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Counts tallies value frequencies in a stream.
+func Counts(stream []int) map[int]int {
+	m := make(map[int]int)
+	for _, v := range stream {
+		m[v]++
+	}
+	return m
+}
+
+// MergeCounts sums several frequency maps — the ground truth for a
+// distributed stream whose sub-streams arrive at different places.
+func MergeCounts(parts ...map[int]int) map[int]int {
+	out := make(map[int]int)
+	for _, p := range parts {
+		for v, c := range p {
+			out[v] += c
+		}
+	}
+	return out
+}
+
+// ValueCount pairs a stream value with its (true or estimated) frequency.
+type ValueCount struct {
+	Value int
+	Count float64
+}
+
+// TopK returns the k most frequent values in a count map, ties broken by
+// smaller value for determinism.
+func TopK(counts map[int]int, k int) []ValueCount {
+	all := make([]ValueCount, 0, len(counts))
+	for v, c := range counts {
+		all = append(all, ValueCount{Value: v, Count: float64(c)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Value < all[j].Value
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}

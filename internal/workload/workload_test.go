@@ -1,0 +1,248 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(1, 1.0, 100) },
+		func() { NewZipf(1, 1.5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad Zipf args did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZipfDeterministicAndSkewed(t *testing.T) {
+	a := Take(NewZipf(42, 1.3, 10_000), 5_000)
+	b := Take(NewZipf(42, 1.3, 10_000), 5_000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	counts := Counts(a)
+	// Zipf: value 0 must dominate.
+	top := TopK(counts, 1)
+	if top[0].Value != 0 {
+		t.Fatalf("most frequent Zipf value = %d, want 0", top[0].Value)
+	}
+	if top[0].Count < float64(len(a))/10 {
+		t.Fatalf("top value has %v occurrences, not skewed", top[0].Count)
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	const n = 50
+	for _, v := range Take(NewZipf(7, 2.0, n), 10_000) {
+		if v < 0 || v >= n {
+			t.Fatalf("Zipf value %d out of [0,%d)", v, n)
+		}
+	}
+}
+
+func TestUniformRangeAndSpread(t *testing.T) {
+	const n = 10
+	counts := Counts(Take(NewUniform(1, n), 10_000))
+	if len(counts) != n {
+		t.Fatalf("uniform over %d values produced %d distinct", n, len(counts))
+	}
+	for v, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("uniform value %d occurred %d times, want ~1000", v, c)
+		}
+	}
+}
+
+func TestUniformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewUniform(_, 0) did not panic")
+		}
+	}()
+	NewUniform(1, 0)
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	g := NewHotspot(5, 5, 1000, 0.8)
+	stream := Take(g, 10_000)
+	hot := 0
+	for _, v := range stream {
+		if v < 5 {
+			hot++
+		}
+	}
+	if hot < 7_500 || hot > 8_500 {
+		t.Fatalf("hot fraction %d/10000, want ~8000", hot)
+	}
+}
+
+func TestHotspotPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewHotspot(1, 0, 10, 0.5) },
+		func() { NewHotspot(1, 10, 10, 0.5) },
+		func() { NewHotspot(1, 1, 10, 0) },
+		func() { NewHotspot(1, 1, 10, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCountsAndMerge(t *testing.T) {
+	a := Counts([]int{1, 1, 2})
+	b := Counts([]int{2, 3})
+	m := MergeCounts(a, b)
+	if m[1] != 2 || m[2] != 2 || m[3] != 1 {
+		t.Fatalf("merged = %v", m)
+	}
+}
+
+func TestTopKOrderingAndTies(t *testing.T) {
+	counts := map[int]int{5: 10, 3: 10, 9: 20, 1: 5}
+	top := TopK(counts, 3)
+	if top[0].Value != 9 || top[1].Value != 3 || top[2].Value != 5 {
+		t.Fatalf("TopK = %v (ties must break by smaller value)", top)
+	}
+	if got := TopK(counts, 100); len(got) != 4 {
+		t.Fatalf("TopK beyond size returned %d", len(got))
+	}
+}
+
+// Property: MergeCounts of a split stream equals Counts of the whole stream.
+func TestMergeEqualsWholeProperty(t *testing.T) {
+	f := func(stream []uint8, cut uint8) bool {
+		vals := make([]int, len(stream))
+		for i, v := range stream {
+			vals[i] = int(v % 16)
+		}
+		c := int(cut) % (len(vals) + 1)
+		merged := MergeCounts(Counts(vals[:c]), Counts(vals[c:]))
+		whole := Counts(vals)
+		if len(merged) != len(whole) {
+			return false
+		}
+		for v, n := range whole {
+			if merged[v] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TopK counts are non-increasing.
+func TestTopKMonotoneProperty(t *testing.T) {
+	f := func(stream []uint8) bool {
+		vals := make([]int, len(stream))
+		for i, v := range stream {
+			vals[i] = int(v % 32)
+		}
+		top := TopK(Counts(vals), 10)
+		for i := 1; i < len(top); i++ {
+			if top[i].Count > top[i-1].Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	stream := Take(NewZipf(3, 1.5, 1000), 500)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, stream); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(stream) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(stream))
+	}
+	for i := range stream {
+		if back[i] != stream[i] {
+			t.Fatalf("value %d: %d != %d", i, back[i], stream[i])
+		}
+	}
+}
+
+func TestTraceCommentsAndBlanks(t *testing.T) {
+	in := "# captured 2004-06-07\n1\n\n2\n# gap\n3\n"
+	got, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parsed %v", got)
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("1\nnope\n")); err == nil {
+		t.Fatal("garbage line parsed")
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.trace")
+	stream := []int{5, 4, 3, 2, 1}
+	if err := SaveTrace(path, stream); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 5 || back[0] != 5 || back[4] != 1 {
+		t.Fatalf("loaded %v", back)
+	}
+	if _, err := LoadTrace(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+func TestReplayCycles(t *testing.T) {
+	r := NewReplay([]int{7, 8})
+	got := Take(r, 5)
+	want := []int{7, 8, 7, 8, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replay = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReplayEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewReplay(nil) did not panic")
+		}
+	}()
+	NewReplay(nil)
+}
