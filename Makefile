@@ -1,0 +1,38 @@
+# Tier-1 verification plus the race lane and benchmark artifacts.
+
+GO ?= go
+
+.PHONY: all vet build test race ci bench bench-json experiments clean
+
+all: ci
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full CI lane: vet + build + test + race + short benches.
+ci:
+	sh scripts/ci.sh
+
+# Interactive benchmark run of the hot paths.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkPipelineThroughput|BenchmarkBatchSizeSweep|BenchmarkQueue' -benchmem .
+
+# Regenerates the committed BENCH_pipeline.json artifact.
+bench-json:
+	sh scripts/bench.sh
+
+# Regenerates every paper figure (quick mode).
+experiments:
+	$(GO) run ./cmd/gates-experiments -exp all -quick
+
+clean:
+	$(GO) clean ./...

@@ -254,6 +254,43 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchSizeSweep runs the same two-stage pipeline at increasing
+// stage batch sizes. batch=1 is the strict per-packet baseline (identical
+// semantics to BenchmarkPipelineThroughput); larger batches amortize the
+// queue lock, condvar wakeups, and emit coalescing across the batch.
+func BenchmarkBatchSizeSweep(b *testing.B) {
+	for _, batch := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			e := pipeline.New(clock.NewManual())
+			e.SetDefaultBatchSize(batch)
+			src, _ := e.AddSourceStage("src", 0, &benchSource{n: b.N}, pipeline.StageConfig{DisableAdaptation: true})
+			sink, _ := e.AddProcessorStage("sink", 0, &benchSink{}, pipeline.StageConfig{
+				DisableAdaptation: true, QueueCapacity: 1024,
+			})
+			if err := e.Connect(src, sink, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			if err := e.Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkQueueBatchPushPop measures the server queue moving 16 items per
+// lock acquisition (contrast with BenchmarkQueuePushPop).
+func BenchmarkQueueBatchPushPop(b *testing.B) {
+	q := queue.New[int](1024)
+	in := make([]int, 16)
+	out := make([]int, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 16 {
+		q.PushBatch(in)
+		q.PopBatch(out, 16)
+	}
+}
+
 type benchSource struct{ n int }
 
 func (s *benchSource) Run(_ *pipeline.Context, out *pipeline.Emitter) error {

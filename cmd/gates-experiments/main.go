@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gates-experiments [-exp all|fig5|fig6|fig7|fig8|fig9|ablations] [-quick] [-scale N] [-seed N]
+//	gates-experiments [-exp all|fig5|fig6|fig7|fig8|fig9|ablations] [-quick] [-scale N] [-seed N] [-parallel N]
 //
 // Absolute times are virtual seconds on the emulated grid; the shapes (who
 // wins, by what factor, where adaptation converges) are the reproduction
@@ -24,11 +24,12 @@ func main() {
 		quick   = flag.Bool("quick", false, "shrink workloads ~4x (shapes survive, absolute numbers shift)")
 		scale   = flag.Float64("scale", 0, "virtual seconds per wall second (0 = per-experiment default)")
 		seed    = flag.Int64("seed", 0, "workload seed (0 = default)")
+		par     = flag.Int("parallel", 0, "worker pool for independent trials/cells (0 = GOMAXPROCS, 1 = sequential)")
 		jsonOut = flag.String("json", "", "also write a machine-readable report (implies -exp all) to this file")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, Parallelism: *par}
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "gates-experiments:", err)

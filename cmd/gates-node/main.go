@@ -125,14 +125,30 @@ func run(listen, stageCode, sourceCode, forward string, expect int, scale float6
 		if err != nil {
 			return err
 		}
-		defer cli.Close()
 		// Exceptions the downstream host broadcasts back drive this
 		// node's adaptation, exactly as an in-process neighbor would.
-		go cli.ReadLoop(func(m transport.Message) {
-			if m.Kind == transport.KindException {
-				host.Controller().OnDownstreamException(m.Exception)
+		readDone := make(chan struct{})
+		go func() {
+			defer close(readDone)
+			cli.ReadLoop(func(m transport.Message) {
+				if m.Kind == transport.KindException {
+					host.Controller().OnDownstreamException(m.Exception)
+				}
+			})
+		}()
+		defer func() {
+			// Shut down in half-close order: signal end-of-stream,
+			// then keep draining exception traffic until the peer
+			// hangs up. Closing outright while an exception frame
+			// sits unread here would reset the connection and could
+			// destroy the still-in-flight Final marker on the peer.
+			cli.CloseWrite()
+			select {
+			case <-readDone:
+			case <-time.After(30 * time.Second):
 			}
-		})
+			cli.Close()
+		}()
 		eg, err := eng.AddProcessorStage("egress", 0, transport.NewEgress(cli), pipeline.StageConfig{DisableAdaptation: true})
 		if err != nil {
 			return err

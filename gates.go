@@ -129,6 +129,12 @@ type GridOptions struct {
 	// multi-minute runs then complete in seconds with every rate ratio
 	// preserved.
 	TimeScale float64
+	// DefaultBatchSize is the drain/coalesce batch size applied to every
+	// stage that does not set its own StageConfig.BatchSize. Zero or 1
+	// keeps strict per-packet semantics; larger values amortize queue,
+	// link-shaper, and wakeup costs across batches without changing
+	// packet order or byte accounting.
+	DefaultBatchSize int
 }
 
 // Grid is the top-level environment: a simulated grid fabric (resource
@@ -136,10 +142,11 @@ type GridOptions struct {
 // Launcher/Deployer pair. It plays the role Globus 3.0 and the GATES
 // services play in the paper's deployment.
 type Grid struct {
-	clk  clock.Clock
-	dir  *grid.Directory
-	net  *netsim.Network
-	repo *service.Repository
+	clk      clock.Clock
+	dir      *grid.Directory
+	net      *netsim.Network
+	repo     *service.Repository
+	defBatch int
 }
 
 // NewGrid returns an empty grid environment.
@@ -153,11 +160,15 @@ func NewGrid(opts GridOptions) (*Grid, error) {
 	default:
 		clk = clock.NewScaled(opts.TimeScale)
 	}
+	if opts.DefaultBatchSize < 0 {
+		return nil, fmt.Errorf("gates: negative DefaultBatchSize %d", opts.DefaultBatchSize)
+	}
 	return &Grid{
-		clk:  clk,
-		dir:  grid.NewDirectory(),
-		net:  netsim.NewNetwork(clk),
-		repo: service.NewRepository(),
+		clk:      clk,
+		dir:      grid.NewDirectory(),
+		net:      netsim.NewNetwork(clk),
+		repo:     service.NewRepository(),
+		defBatch: opts.DefaultBatchSize,
 	}, nil
 }
 
@@ -226,13 +237,22 @@ func (g *Grid) launcher() (*service.Launcher, error) {
 	if err != nil {
 		return nil, err
 	}
+	if g.defBatch > 0 {
+		d.SetDefaultBatchSize(g.defBatch)
+	}
 	return service.NewLauncher(d)
 }
 
 // NewEngine returns a bare stage engine on the grid's clock for programs
 // that wire stages directly, without the XML descriptor and deployment
-// machinery.
-func (g *Grid) NewEngine() *Engine { return pipeline.New(g.clk) }
+// machinery. The grid's DefaultBatchSize carries over.
+func (g *Grid) NewEngine() *Engine {
+	e := pipeline.New(g.clk)
+	if g.defBatch > 0 {
+		e.SetDefaultBatchSize(g.defBatch)
+	}
+	return e
+}
 
 // Monitor is the runtime observation service: it samples watched stages
 // (queue occupancy, d̃, λ/μ rates, parameter values) and links on a fixed

@@ -64,18 +64,29 @@ func (p csParams) csItems() int {
 // runCountSamps measures one count-samps configuration, averaging over
 // sketch-seed trials: the counting-samples sketch is randomized, a borderline
 // member of the true top-10 can fall either way in a single run, and the
-// paper's Figure 5 reports *average* performance and accuracy.
+// paper's Figure 5 reports *average* performance and accuracy. Trials are
+// independent full-stack runs (each builds its own clock, fabric, and
+// engine), so they execute on the Config's worker pool; results land in
+// trial order and aggregate identically at any parallelism.
 func runCountSamps(p csParams) (*csResult, error) {
 	trials := p.trials
 	if trials < 1 {
 		trials = 1
 	}
-	var agg csResult
-	for trial := 0; trial < trials; trial++ {
+	results := make([]*csResult, trials)
+	err := forEach(p.cfg.parallelism(), trials, func(trial int) error {
 		r, err := runCountSampsOnce(p, int64(trial))
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[trial] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var agg csResult
+	for _, r := range results {
 		agg.Elapsed += r.Elapsed
 		agg.Acc.Membership += r.Acc.Membership
 		agg.Acc.Frequency += r.Acc.Frequency

@@ -37,6 +37,14 @@ type Config struct {
 	// Quick shrinks workloads roughly 4× for smoke tests and CI; the
 	// shapes survive, the absolute numbers shift.
 	Quick bool
+	// Parallelism bounds the worker pool running independent trials and
+	// config-grid cells. Zero picks GOMAXPROCS (1 under the race
+	// detector); 1 forces fully sequential execution. Every trial owns an
+	// isolated clock, network, and engine, so seed-deterministic outputs
+	// (accuracy, byte counts, converged parameters) are identical at any
+	// parallelism; only wall-clock-derived timings vary, as they already
+	// do between sequential runs.
+	Parallelism int
 }
 
 func (c Config) scale(def float64) float64 {

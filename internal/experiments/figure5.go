@@ -23,18 +23,26 @@ type Fig5Result struct {
 // 100 KB/s links to the central machine, top-10 frequent-items query;
 // version one forwards everything, version two forwards 100-item summaries.
 func Figure5(cfg Config) (*Fig5Result, error) {
-	cen, err := runCountSamps(csParams{cfg: cfg, mode: csCentralized, bandwidth: 100_000, trials: 3})
-	if err != nil {
-		return nil, fmt.Errorf("figure5 centralized: %w", err)
+	params := []struct {
+		style string
+		p     csParams
+	}{
+		{"Centralized", csParams{cfg: cfg, mode: csCentralized, bandwidth: 100_000, trials: 3}},
+		{"Distributed", csParams{cfg: cfg, mode: csDistributed, summarySize: 100, bandwidth: 100_000, trials: 3}},
 	}
-	dis, err := runCountSamps(csParams{cfg: cfg, mode: csDistributed, summarySize: 100, bandwidth: 100_000, trials: 3})
+	rows := make([]Fig5Row, len(params))
+	err := forEach(cfg.parallelism(), len(params), func(i int) error {
+		run, err := runCountSamps(params[i].p)
+		if err != nil {
+			return fmt.Errorf("figure5 %s: %w", params[i].style, err)
+		}
+		rows[i] = Fig5Row{Style: params[i].style, Seconds: secondsOf(run.Elapsed), Accuracy: run.Acc.Score()}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("figure5 distributed: %w", err)
+		return nil, err
 	}
-	return &Fig5Result{Rows: []Fig5Row{
-		{Style: "Centralized", Seconds: secondsOf(cen.Elapsed), Accuracy: cen.Acc.Score()},
-		{Style: "Distributed", Seconds: secondsOf(dis.Elapsed), Accuracy: dis.Acc.Score()},
-	}}, nil
+	return &Fig5Result{Rows: rows}, nil
 }
 
 // Centralized and Distributed return the named rows.

@@ -34,26 +34,38 @@ type Fig67Result struct {
 // 10 KB/s, 100 KB/s, and 1 MB/s.
 func Figure67(cfg Config) (*Fig67Result, error) {
 	res := &Fig67Result{Cells: make([][]Fig67Cell, len(Fig67Versions))}
-	for v, version := range Fig67Versions {
+	for v := range Fig67Versions {
 		res.Cells[v] = make([]Fig67Cell, len(Fig67Bandwidths))
-		for b, bw := range Fig67Bandwidths {
-			p := csParams{cfg: cfg, bandwidth: bw, trials: 5}
-			if version == "adaptive" {
-				p.mode = csAdaptive
-			} else {
-				p.mode = csDistributed
-				fmt.Sscanf(version, "%d", &p.summarySize)
-			}
-			run, err := runCountSamps(p)
-			if err != nil {
-				return nil, fmt.Errorf("figure6/7 version=%s bw=%d: %w", version, bw, err)
-			}
-			res.Cells[v][b] = Fig67Cell{
-				Seconds:        secondsOf(run.Elapsed),
-				Accuracy:       run.Acc.Score(),
-				AdaptiveFinalN: run.FinalSummarySize,
-			}
+	}
+	// The 5×4 grid is embarrassingly parallel: every cell is an isolated
+	// full-stack run. Flatten it onto the worker pool; each worker writes
+	// its own cell, so the table layout is deterministic.
+	nCells := len(Fig67Versions) * len(Fig67Bandwidths)
+	seq := cfg
+	seq.Parallelism = 1 // trials nest inside the cell-level pool
+	err := forEach(cfg.parallelism(), nCells, func(i int) error {
+		v, b := i/len(Fig67Bandwidths), i%len(Fig67Bandwidths)
+		version, bw := Fig67Versions[v], Fig67Bandwidths[b]
+		p := csParams{cfg: seq, bandwidth: bw, trials: 5}
+		if version == "adaptive" {
+			p.mode = csAdaptive
+		} else {
+			p.mode = csDistributed
+			fmt.Sscanf(version, "%d", &p.summarySize)
 		}
+		run, err := runCountSamps(p)
+		if err != nil {
+			return fmt.Errorf("figure6/7 version=%s bw=%d: %w", version, bw, err)
+		}
+		res.Cells[v][b] = Fig67Cell{
+			Seconds:        secondsOf(run.Elapsed),
+			Accuracy:       run.Acc.Score(),
+			AdaptiveFinalN: run.FinalSummarySize,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -38,8 +38,9 @@ type Fig8Result struct {
 // 1, 5, 8, 10 and 20 ms/byte against a 160 B/s stream. The paper's factors
 // converge to 1, 1, .65, .55 and .31.
 func Figure8(cfg Config) (*Fig8Result, error) {
-	res := &Fig8Result{}
-	for _, costMs := range Fig8Costs {
+	series := make([]ConvergenceSeries, len(Fig8Costs))
+	err := forEach(cfg.parallelism(), len(Fig8Costs), func(i int) error {
+		costMs := Fig8Costs[i]
 		run, err := runCompSteer(steerParams{
 			cfg:         cfg,
 			genRate:     160,
@@ -49,20 +50,24 @@ func Figure8(cfg Config) (*Fig8Result, error) {
 			duration:    300 * time.Second,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("figure8 cost=%dms: %w", costMs, err)
+			return fmt.Errorf("figure8 cost=%dms: %w", costMs, err)
 		}
 		expected, err := steeringModel(160, 1000/float64(costMs), 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Series = append(res.Series, ConvergenceSeries{
+		series[i] = ConvergenceSeries{
 			Label:     fmt.Sprintf("%d ms/byte", costMs),
 			Expected:  expected,
 			Converged: run.Converged,
 			Trace:     run.Trace,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig8Result{Series: series}, nil
 }
 
 // Render prints the convergence table.
@@ -85,8 +90,9 @@ type Fig9Result struct {
 // sent over a 10 KB/s link. The sustainable factors are 1, 1, .5, .25 and
 // .125.
 func Figure9(cfg Config) (*Fig9Result, error) {
-	res := &Fig9Result{}
-	for _, genKB := range Fig9GenRates {
+	series := make([]ConvergenceSeries, len(Fig9GenRates))
+	err := forEach(cfg.parallelism(), len(Fig9GenRates), func(i int) error {
+		genKB := Fig9GenRates[i]
 		run, err := runCompSteer(steerParams{
 			cfg:         cfg,
 			genRate:     genKB * 1000,
@@ -96,20 +102,24 @@ func Figure9(cfg Config) (*Fig9Result, error) {
 			duration:    300 * time.Second,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("figure9 gen=%dKB/s: %w", genKB, err)
+			return fmt.Errorf("figure9 gen=%dKB/s: %w", genKB, err)
 		}
 		expected, err := steeringModel(float64(genKB)*1000, math.Inf(1), 10_000)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Series = append(res.Series, ConvergenceSeries{
+		series[i] = ConvergenceSeries{
 			Label:     fmt.Sprintf("%d KB/s", genKB),
 			Expected:  expected,
 			Converged: run.Converged,
 			Trace:     run.Trace,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig9Result{Series: series}, nil
 }
 
 // Render prints the convergence table.

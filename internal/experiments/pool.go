@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forEach runs fn(0..n-1) on a pool of at most workers goroutines and
+// returns the error from the lowest index that failed, or nil. Callers get
+// deterministic result ordering by writing into slot i of a pre-sized
+// slice — the schedule may interleave, but the results cannot.
+//
+// Every trial and grid cell in this package builds its own clock, network,
+// and engine (see runCountSampsOnce / runCompSteer), so concurrent runs
+// share no mutable state; only wall-clock-derived fields (Elapsed) are
+// scheduling-sensitive, and they are exactly as noisy sequentially.
+func forEach(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx = i
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// parallelism resolves the worker count for independent trials: an explicit
+// Config.Parallelism wins; under the race detector the default drops to 1
+// (instrumentation skews the wall-clock timing the Scaled clocks calibrate
+// against); otherwise GOMAXPROCS.
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	if raceEnabled {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		const n = 100
+		var hits [n]atomic.Int32
+		if err := forEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	boom3 := errors.New("boom 3")
+	err := forEach(4, 50, func(i int) error {
+		if i == 3 {
+			return boom3
+		}
+		if i == 40 {
+			return fmt.Errorf("boom 40")
+		}
+		return nil
+	})
+	if !errors.Is(err, boom3) {
+		t.Fatalf("forEach = %v, want the lowest-index error", err)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := forEach(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelismResolution(t *testing.T) {
+	if got := (Config{Parallelism: 3}).parallelism(); got != 3 {
+		t.Fatalf("explicit Parallelism = %d, want 3", got)
+	}
+	got := (Config{}).parallelism()
+	if raceEnabled {
+		if got != 1 {
+			t.Fatalf("default parallelism under -race = %d, want 1", got)
+		}
+	} else if got < 1 {
+		t.Fatalf("default parallelism = %d, want >= 1", got)
+	}
+}
+
+// TestParallelTrialsMatchSequential is the determinism contract behind the
+// parallel harness: every trial builds an isolated clock, network, and
+// engine, so the seed-deterministic outputs — accuracy and bytes carried —
+// must be identical whatever the worker count. (Elapsed is wall-clock
+// derived and noisy even sequentially, so it is excluded.)
+func TestParallelTrialsMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack runs; skipped in -short")
+	}
+	run := func(parallelism int) *csResult {
+		r, err := runCountSamps(csParams{
+			cfg:         Config{Quick: true, Parallelism: parallelism, Scale: 20000},
+			mode:        csDistributed,
+			summarySize: 100,
+			bandwidth:   1_000_000,
+			trials:      4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	seq := run(1)
+	par := run(4)
+	if seq.Acc != par.Acc {
+		t.Fatalf("accuracy differs: sequential %+v, parallel %+v", seq.Acc, par.Acc)
+	}
+	if seq.NetworkBytes != par.NetworkBytes {
+		t.Fatalf("network bytes differ: sequential %d, parallel %d", seq.NetworkBytes, par.NetworkBytes)
+	}
+}

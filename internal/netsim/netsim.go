@@ -123,13 +123,29 @@ func (l *Link) Config() LinkConfig { return l.cfg }
 // long-run rate is exact while the number of real timer operations stays
 // bounded. n <= 0 incurs only the propagation latency.
 func (l *Link) Transfer(n int) time.Duration {
+	return l.TransferBatch(n, 1)
+}
+
+// TransferBatch carries msgs coalesced messages totaling n payload bytes in
+// one shaper reservation: a single token-bucket charge for the summed bytes
+// and a single propagation-latency charge for the whole batch. Because the
+// virtual-finish-time shaper is linear in bytes, reserving the sum is
+// byte-exact — the batch clears the link at the same virtual instant the
+// messages would have individually — so the paper's B/b transfer law holds
+// unchanged while the per-message locking and timer traffic collapses to
+// one round-trip per batch. LinkStats stays message- and byte-accurate:
+// Messages advances by msgs, Bytes by n.
+func (l *Link) TransferBatch(n, msgs int) time.Duration {
+	if msgs < 1 {
+		msgs = 1
+	}
 	wait := l.reserve(n)
 	total := wait + l.cfg.Latency
 	if total > 0 && (wait >= l.cfg.Quantum || l.cfg.Latency > 0) {
 		l.clk.Sleep(total)
 	}
 	l.mu.Lock()
-	l.stats.Messages++
+	l.stats.Messages += int64(msgs)
 	l.stats.Bytes += int64(n)
 	l.stats.Waited += wait
 	l.mu.Unlock()

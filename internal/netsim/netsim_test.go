@@ -269,3 +269,70 @@ func TestInstallLinkNilPanics(t *testing.T) {
 	}()
 	NewNetwork(clock.NewManual()).InstallLink("a", "b", nil)
 }
+
+// TestTransferBatchBytesExact: reserving a batch's summed bytes must owe
+// exactly the pacing that the same bytes sent one message at a time would
+// owe — the shaper is linear in bytes, so virtual-time pacing is byte-exact
+// either way.
+func TestTransferBatchBytesExact(t *testing.T) {
+	mk := func() (*clock.Manual, *Link) {
+		clk := clock.NewManual()
+		return clk, NewLink(clk, LinkConfig{Bandwidth: 10 * KBps, Burst: 1000})
+	}
+
+	clkA, perItem := mk()
+	var totalA time.Duration
+	for i := 0; i < 40; i++ {
+		w := perItem.reserve(500)
+		totalA += w
+		clkA.Advance(w)
+	}
+
+	clkB, batched := mk()
+	var totalB time.Duration
+	for i := 0; i < 5; i++ { // same 20 KB in batches of 8 messages
+		w := batched.reserve(8 * 500)
+		totalB += w
+		clkB.Advance(w)
+	}
+
+	if totalA != totalB {
+		t.Fatalf("pacing differs: per-item %v vs batched %v", totalA, totalB)
+	}
+}
+
+// TestTransferBatchStatsAccurate: Messages counts logical messages, Bytes
+// the summed payload.
+func TestTransferBatchStatsAccurate(t *testing.T) {
+	clk := clock.NewManual()
+	l := NewLink(clk, LinkConfig{}) // unlimited: no sleeps on a manual clock
+	l.TransferBatch(4096, 16)
+	l.TransferBatch(100, 1)
+	l.Transfer(50)
+	st := l.Stats()
+	if st.Messages != 18 {
+		t.Fatalf("Messages = %d, want 18", st.Messages)
+	}
+	if st.Bytes != 4096+100+50 {
+		t.Fatalf("Bytes = %d, want %d", st.Bytes, 4096+100+50)
+	}
+}
+
+// TestTransferBatchSingleLatencyCharge: one propagation delay per batch,
+// not per message.
+func TestTransferBatchSingleLatencyCharge(t *testing.T) {
+	clk := clock.NewScaled(100000)
+	l := NewLink(clk, LinkConfig{Latency: 2 * time.Second})
+	if d := l.TransferBatch(100, 10); d != 2*time.Second {
+		t.Fatalf("batched latency charge = %v, want one 2s charge", d)
+	}
+}
+
+func TestTransferBatchZeroMsgsCountsOne(t *testing.T) {
+	clk := clock.NewManual()
+	l := NewLink(clk, LinkConfig{})
+	l.TransferBatch(10, 0)
+	if st := l.Stats(); st.Messages != 1 {
+		t.Fatalf("Messages = %d, want 1", st.Messages)
+	}
+}

@@ -1,0 +1,173 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/netsim"
+)
+
+// runChain executes src -> double -> sink over two emulated links with the
+// given per-stage batch size and returns the sink's values plus the link
+// stats, so batched and unbatched runs can be compared field by field.
+func runChain(t *testing.T, batch int) ([]int, netsim.LinkStats, netsim.LinkStats, StageStats) {
+	t.Helper()
+	clk := clock.NewScaled(100000)
+	e := New(clk)
+	e.SetDefaultBatchSize(batch)
+
+	vals := make([]int, 500)
+	for i := range vals {
+		vals[i] = i
+	}
+	src, err := e.AddSourceStage("src", 0, &testSource{values: vals}, StageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	double := &testProc{process: func(_ *Context, pkt *Packet, out *Emitter) error {
+		return out.EmitValue(pkt.Value.(int)*2, 16)
+	}}
+	mid, err := e.AddProcessorStage("double", 0, double, StageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collector{}
+	snk, err := e.AddProcessorStage("sink", 0, sink, StageConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := netsim.NewLink(clk, netsim.LinkConfig{Bandwidth: netsim.BW1M, Quantum: 50 * 1e6})
+	l2 := netsim.NewLink(clk, netsim.LinkConfig{Bandwidth: netsim.BW1M, Quantum: 50 * 1e6})
+	e.Connect(src, mid, l1)
+	e.Connect(mid, snk, l2)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return sink.values(), l1.Stats(), l2.Stats(), mid.Stats()
+}
+
+// TestBatchedRunMatchesUnbatched is the core equivalence check: batching
+// must change neither packet order nor any byte- or message-level account.
+func TestBatchedRunMatchesUnbatched(t *testing.T) {
+	seqVals, seqL1, seqL2, seqMid := runChain(t, 1)
+	for _, batch := range []int{4, 16, 64} {
+		gotVals, gotL1, gotL2, gotMid := runChain(t, batch)
+		if len(gotVals) != len(seqVals) {
+			t.Fatalf("batch %d: %d values, want %d", batch, len(gotVals), len(seqVals))
+		}
+		for i := range gotVals {
+			if gotVals[i] != seqVals[i] {
+				t.Fatalf("batch %d: value[%d] = %d, want %d", batch, i, gotVals[i], seqVals[i])
+			}
+		}
+		if gotL1.Bytes != seqL1.Bytes || gotL1.Messages != seqL1.Messages {
+			t.Fatalf("batch %d: link1 stats %+v, want bytes/messages of %+v", batch, gotL1, seqL1)
+		}
+		if gotL2.Bytes != seqL2.Bytes || gotL2.Messages != seqL2.Messages {
+			t.Fatalf("batch %d: link2 stats %+v, want bytes/messages of %+v", batch, gotL2, seqL2)
+		}
+		if gotMid.PacketsIn != seqMid.PacketsIn || gotMid.PacketsOut != seqMid.PacketsOut ||
+			gotMid.ItemsIn != seqMid.ItemsIn || gotMid.BytesOut != seqMid.BytesOut {
+			t.Fatalf("batch %d: stage stats %+v, want %+v", batch, gotMid, seqMid)
+		}
+	}
+}
+
+func TestBatchSizeResolution(t *testing.T) {
+	e := New(clock.NewScaled(100000))
+	e.SetDefaultBatchSize(8)
+	var inherited, forced int
+	src, _ := e.AddSourceStage("src", 0, &testSource{values: []int{1}}, StageConfig{})
+	inh := &testProc{init: func(ctx *Context) error {
+		inherited = ctx.BatchSize()
+		return nil
+	}}
+	one := &testProc{init: func(ctx *Context) error {
+		forced = ctx.BatchSize()
+		return nil
+	}}
+	a, _ := e.AddProcessorStage("inherits", 0, inh, StageConfig{})
+	b, _ := e.AddProcessorStage("forced", 0, one, StageConfig{BatchSize: 1})
+	e.Connect(src, a, nil)
+	e.Connect(a, b, nil)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if inherited != 8 {
+		t.Fatalf("unset BatchSize resolved to %d, want engine default 8", inherited)
+	}
+	if forced != 1 {
+		t.Fatalf("explicit BatchSize 1 resolved to %d", forced)
+	}
+}
+
+func TestBatchedEmitToRoutesSelectively(t *testing.T) {
+	e := New(clock.NewScaled(100000))
+	e.SetDefaultBatchSize(8)
+	router := &testProc{process: func(_ *Context, pkt *Packet, out *Emitter) error {
+		v := pkt.Value.(int)
+		return out.EmitTo(v%2, &Packet{Value: v, WireSize: 8})
+	}}
+	src, _ := e.AddSourceStage("src", 0, &testSource{values: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}, StageConfig{})
+	rt, _ := e.AddProcessorStage("router", 0, router, StageConfig{})
+	even := &collector{}
+	odd := &collector{}
+	evenSt, _ := e.AddProcessorStage("even", 0, even, StageConfig{})
+	oddSt, _ := e.AddProcessorStage("odd", 0, odd, StageConfig{})
+	e.Connect(src, rt, nil)
+	e.Connect(rt, evenSt, nil)
+	e.Connect(rt, oddSt, nil)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wantEven := []int{0, 2, 4, 6, 8}
+	wantOdd := []int{1, 3, 5, 7, 9}
+	gotEven, gotOdd := even.values(), odd.values()
+	if len(gotEven) != len(wantEven) || len(gotOdd) != len(wantOdd) {
+		t.Fatalf("even=%v odd=%v", gotEven, gotOdd)
+	}
+	for i := range wantEven {
+		if gotEven[i] != wantEven[i] {
+			t.Fatalf("even = %v, want %v", gotEven, wantEven)
+		}
+	}
+	for i := range wantOdd {
+		if gotOdd[i] != wantOdd[i] {
+			t.Fatalf("odd = %v, want %v", gotOdd, wantOdd)
+		}
+	}
+}
+
+// TestBatchedBroadcastCountsOnce: a packet fanned out to two edges must be
+// counted once in the emitting stage's stats, and its final marker must end
+// both downstream streams.
+func TestBatchedBroadcastCountsOnce(t *testing.T) {
+	e := New(clock.NewScaled(100000))
+	e.SetDefaultBatchSize(16)
+	vals := []int{10, 20, 30, 40, 50}
+	src, _ := e.AddSourceStage("src", 0, &testSource{values: vals}, StageConfig{})
+	a := &collector{}
+	b := &collector{}
+	aSt, _ := e.AddProcessorStage("a", 0, a, StageConfig{})
+	bSt, _ := e.AddProcessorStage("b", 0, b, StageConfig{})
+	e.Connect(src, aSt, nil)
+	e.Connect(src, bSt, nil)
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := src.Stats().PacketsOut; got != uint64(len(vals)) {
+		t.Fatalf("broadcast PacketsOut = %d, want %d (once per packet, not per edge)", got, len(vals))
+	}
+	for name, c := range map[string]*collector{"a": a, "b": b} {
+		got := c.values()
+		if len(got) != len(vals) {
+			t.Fatalf("sink %s got %v, want %v", name, got, vals)
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("sink %s got %v, want %v", name, got, vals)
+			}
+		}
+	}
+}

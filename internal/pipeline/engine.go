@@ -19,9 +19,10 @@ import (
 type Engine struct {
 	clk clock.Clock
 
-	mu      sync.Mutex
-	stages  []*Stage
-	started bool
+	mu       sync.Mutex
+	stages   []*Stage
+	started  bool
+	defBatch int
 }
 
 // New returns an empty engine on the given clock.
@@ -34,6 +35,19 @@ func New(clk clock.Clock) *Engine {
 
 // Clock returns the engine's clock.
 func (e *Engine) Clock() clock.Clock { return e.clk }
+
+// SetDefaultBatchSize sets the drain/coalesce batch size applied at Run to
+// every stage whose StageConfig leaves BatchSize zero. Values below 1 (and
+// the initial state) mean 1: strict per-packet semantics. Calling it after
+// Run has started has no effect.
+func (e *Engine) SetDefaultBatchSize(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return
+	}
+	e.defBatch = n
+}
 
 // AddProcessorStage registers a packet-driven stage instance.
 func (e *Engine) AddProcessorStage(id string, instance int, p Processor, cfg StageConfig) (*Stage, error) {
@@ -163,6 +177,16 @@ func (e *Engine) Run(ctx context.Context) error {
 	e.started = true
 	stages := make([]*Stage, len(e.stages))
 	copy(stages, e.stages)
+	// Resolve batch sizes before any stage goroutine starts: zero inherits
+	// the engine default, and everything clamps to at least 1.
+	for _, st := range stages {
+		if st.cfg.BatchSize == 0 {
+			st.cfg.BatchSize = e.defBatch
+		}
+		if st.cfg.BatchSize < 1 {
+			st.cfg.BatchSize = 1
+		}
+	}
 	e.mu.Unlock()
 
 	ctx, cancel := context.WithCancel(ctx)

@@ -301,12 +301,26 @@ func TestContextCancelStopsRun(t *testing.T) {
 	// Endless source: paced so it cannot finish before cancel.
 	vals := make([]int, 1<<20)
 	src, _ := e.AddSourceStage("src", 0, &testSource{values: vals, pace: time.Second}, StageConfig{})
-	snk, _ := e.AddProcessorStage("sink", 0, &collector{}, StageConfig{})
+	first := make(chan struct{})
+	var once sync.Once
+	snk, _ := e.AddProcessorStage("sink", 0, &testProc{
+		process: func(*Context, *Packet, *Emitter) error {
+			once.Do(func() { close(first) })
+			return nil
+		},
+	}, StageConfig{})
 	e.Connect(src, snk, nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- e.Run(ctx) }()
-	time.Sleep(50 * time.Millisecond)
+	// Cancel only once the pipeline is demonstrably mid-flight — the first
+	// packet has reached the sink — instead of sleeping an arbitrary
+	// wall-clock interval.
+	select {
+	case <-first:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first packet never reached the sink")
+	}
 	cancel()
 	select {
 	case err := <-done:

@@ -53,6 +53,14 @@ type StageConfig struct {
 	// DefaultPacketSize is the wire size charged for packets that do not
 	// set one. Default 64 bytes.
 	DefaultPacketSize int
+	// BatchSize is the number of packets the stage drains from its input
+	// queue per wakeup and coalesces per downstream flush. 1 preserves
+	// strict per-packet semantics (every emission paces its link and
+	// enqueues individually); larger values amortize the queue lock, link
+	// shaper, and wakeup traffic across the batch without changing packet
+	// order, link byte accounting, or stage totals. Zero inherits the
+	// engine default (see Engine.SetDefaultBatchSize), which is 1.
+	BatchSize int
 	// ComputeQuantum batches ChargeCompute sleeps (see clock.Pacer):
 	// the stage blocks once its accumulated virtual work reaches this
 	// much. Zero sleeps on every charge.
@@ -204,6 +212,9 @@ func (c *Context) Param(name string) (*adapt.Param, bool) {
 	return c.stage.ctrl.Param(name)
 }
 
+// BatchSize returns the stage's resolved drain/coalesce batch size (>= 1).
+func (c *Context) BatchSize() int { return c.stage.cfg.BatchSize }
+
 // ChargeCompute charges d of virtual processing time for the current work
 // item, blocking per the stage's ComputeQuantum batching. The paper's
 // applications paid this cost in real JVM time; charging it against the
@@ -218,10 +229,27 @@ func (c *Context) ChargeCompute(d time.Duration) {
 	c.stage.mu.Unlock()
 }
 
-// Emitter sends packets to a stage's downstream neighbors.
+// Emitter sends packets to a stage's downstream neighbors. With a stage
+// BatchSize above 1 it runs buffered: emissions are stamped immediately (so
+// sequence numbers and Created times match the unbatched schedule) but held
+// in per-edge buffers, and a flush moves each buffer downstream with one
+// link reservation and one queue operation. The Emitter is confined to the
+// owning stage goroutine, so the buffers need no locking.
 type Emitter struct {
 	stage *Stage
 	ctx   context.Context
+
+	batch    int          // <= 1 means unbuffered
+	pending  [][]*Packet  // per outbound edge, only when batch > 1
+	buffered int          // total pending entries across edges
+}
+
+func newEmitter(s *Stage, ctx context.Context) *Emitter {
+	e := &Emitter{stage: s, ctx: ctx, batch: s.cfg.BatchSize}
+	if e.batch > 1 {
+		e.pending = make([][]*Packet, len(s.outs))
+	}
+	return e
 }
 
 // Fanout returns the number of outbound edges.
@@ -230,8 +258,12 @@ func (e *Emitter) Fanout() int { return len(e.stage.outs) }
 // Emit stamps and sends pkt to every outbound edge, blocking for link pacing
 // and downstream backpressure. It is the mechanism that lets congestion
 // anywhere downstream slow this stage's consumption, which the adaptation
-// algorithm then observes as a growing queue.
+// algorithm then observes as a growing queue. In buffered mode the block
+// happens at the next flush instead of per packet.
 func (e *Emitter) Emit(pkt *Packet) error {
+	if e.batch > 1 {
+		return e.buffer(pkt, -1)
+	}
 	return e.stage.emit(e.ctx, pkt, -1)
 }
 
@@ -240,12 +272,83 @@ func (e *Emitter) EmitTo(i int, pkt *Packet) error {
 	if i < 0 || i >= len(e.stage.outs) {
 		return fmt.Errorf("pipeline: EmitTo(%d) with %d edges", i, len(e.stage.outs))
 	}
+	if e.batch > 1 {
+		return e.buffer(pkt, i)
+	}
 	return e.stage.emit(e.ctx, pkt, i)
 }
 
 // EmitValue wraps v in a packet of the given wire size and emits it.
 func (e *Emitter) EmitValue(v any, wireSize int) error {
 	return e.Emit(&Packet{Value: v, WireSize: wireSize})
+}
+
+// buffer stamps pkt and parks it on the targeted edges, flushing once the
+// batch is full. Stats are charged at emission time (not flush) so a
+// broadcast packet counts once however many edges carry it.
+func (e *Emitter) buffer(pkt *Packet, only int) error {
+	s := e.stage
+	size := pkt.size(s.cfg.DefaultPacketSize)
+	s.mu.Lock()
+	pkt.SourceStage = s.id
+	pkt.SourceInstance = s.instance
+	pkt.Seq = s.emitSeq
+	s.emitSeq++
+	if !pkt.Final {
+		s.stats.PacketsOut++
+		s.stats.ItemsOut += uint64(pkt.ItemCount())
+		s.stats.BytesOut += uint64(size)
+	}
+	s.mu.Unlock()
+	pkt.Created = s.clk.Now()
+
+	for i := range s.outs {
+		if only >= 0 && i != only {
+			continue
+		}
+		e.pending[i] = append(e.pending[i], pkt)
+		e.buffered++
+	}
+	if e.buffered >= e.batch {
+		return e.Flush()
+	}
+	return nil
+}
+
+// Flush drives every buffered packet downstream: per edge, one batched link
+// reservation for the summed bytes (byte-exact — the shaper is linear, see
+// netsim.TransferBatch) and one batched enqueue. A no-op when unbuffered or
+// empty. The engine flushes after every drained input batch and at stream
+// end, so user code only needs Flush for latency control inside a
+// long-running Source.
+func (e *Emitter) Flush() error {
+	if e.batch <= 1 || e.buffered == 0 {
+		return nil
+	}
+	s := e.stage
+	for i, pend := range e.pending {
+		if len(pend) == 0 {
+			continue
+		}
+		out := s.outs[i]
+		sum := 0
+		for _, p := range pend {
+			sum += p.size(s.cfg.DefaultPacketSize)
+		}
+		if out.link != nil {
+			out.link.TransferBatch(sum, len(pend))
+		}
+		err := out.to.in.PushBatchCtx(e.ctx, pend)
+		e.buffered -= len(pend)
+		e.pending[i] = pend[:0]
+		if err != nil && !errors.Is(err, queue.ErrClosed) {
+			// ErrClosed means the downstream already finished: drop,
+			// exactly as the unbatched path does.
+			return fmt.Errorf("pipeline: %s/%d -> %s/%d: %w",
+				s.id, s.instance, out.to.id, out.to.instance, err)
+		}
+	}
+	return nil
 }
 
 func (s *Stage) emit(ctx context.Context, pkt *Packet, only int) error {
@@ -301,23 +404,50 @@ func (s *Stage) run(ctx context.Context) (err error) {
 
 func (s *Stage) runInner(ctx context.Context) error {
 	sctx := &Context{stage: s, ctx: ctx}
-	em := &Emitter{stage: s, ctx: ctx}
+	em := newEmitter(s, ctx)
 	defer s.pacer.Flush()
 
 	if s.src != nil {
 		if err := s.src.Run(sctx, em); err != nil {
 			return fmt.Errorf("pipeline: source %s/%d: %w", s.id, s.instance, err)
 		}
-		return s.emit(ctx, &Packet{Final: true}, -1)
+		return s.finishStream(em)
 	}
 
 	if err := s.proc.Init(sctx); err != nil {
 		return fmt.Errorf("pipeline: init %s/%d: %w", s.id, s.instance, err)
 	}
+	if s.cfg.BatchSize > 1 {
+		if err := s.drainBatched(ctx, sctx, em); err != nil {
+			return err
+		}
+	} else if err := s.drainOneByOne(ctx, sctx, em); err != nil {
+		return err
+	}
+	if err := s.proc.Finish(sctx, em); err != nil {
+		return fmt.Errorf("pipeline: finish %s/%d: %w", s.id, s.instance, err)
+	}
+	return s.finishStream(em)
+}
+
+// finishStream emits the end-of-stream marker, flushing any buffered
+// packets ahead of it so the marker stays the last thing downstream sees.
+func (s *Stage) finishStream(em *Emitter) error {
+	if em.batch > 1 {
+		if err := em.buffer(&Packet{Final: true}, -1); err != nil {
+			return err
+		}
+		return em.Flush()
+	}
+	return s.emit(em.ctx, &Packet{Final: true}, -1)
+}
+
+// drainOneByOne is the strict per-packet pop-process loop (BatchSize 1).
+func (s *Stage) drainOneByOne(ctx context.Context, sctx *Context, em *Emitter) error {
 	for {
 		pkt, err := s.in.PopCtx(ctx)
 		if errors.Is(err, queue.ErrClosed) {
-			break
+			return nil
 		}
 		if err != nil {
 			return fmt.Errorf("pipeline: %s/%d: %w", s.id, s.instance, err)
@@ -328,7 +458,7 @@ func (s *Stage) runInner(ctx context.Context) error {
 			done := s.finals >= s.inbound
 			s.mu.Unlock()
 			if done {
-				break
+				return nil
 			}
 			continue
 		}
@@ -340,10 +470,59 @@ func (s *Stage) runInner(ctx context.Context) error {
 			return fmt.Errorf("pipeline: process %s/%d: %w", s.id, s.instance, err)
 		}
 	}
-	if err := s.proc.Finish(sctx, em); err != nil {
-		return fmt.Errorf("pipeline: finish %s/%d: %w", s.id, s.instance, err)
+}
+
+// drainBatched pops up to BatchSize packets per queue round-trip, processes
+// them in order, and flushes coalesced emissions once per drained batch.
+// PopBatch takes only what is immediately available, so batching never
+// waits for the queue to fill and an interactive trickle still flows one
+// packet at a time.
+func (s *Stage) drainBatched(ctx context.Context, sctx *Context, em *Emitter) error {
+	batch := make([]*Packet, s.cfg.BatchSize)
+	for {
+		n, err := s.in.PopBatchCtx(ctx, batch, len(batch))
+		if n == 0 {
+			if errors.Is(err, queue.ErrClosed) {
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("pipeline: %s/%d: %w", s.id, s.instance, err)
+			}
+		}
+		var pktsIn, itemsIn uint64
+		done := false
+		for _, pkt := range batch[:n] {
+			if pkt.Final {
+				s.mu.Lock()
+				s.finals++
+				done = s.finals >= s.inbound
+				s.mu.Unlock()
+				if done {
+					// The final marker is each upstream's last emission,
+					// so nothing relevant can follow the last one.
+					break
+				}
+				continue
+			}
+			pktsIn++
+			itemsIn += uint64(pkt.ItemCount())
+			if err := s.proc.Process(sctx, pkt, em); err != nil {
+				return fmt.Errorf("pipeline: process %s/%d: %w", s.id, s.instance, err)
+			}
+		}
+		if pktsIn > 0 {
+			s.mu.Lock()
+			s.stats.PacketsIn += pktsIn
+			s.stats.ItemsIn += itemsIn
+			s.mu.Unlock()
+		}
+		if err := em.Flush(); err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
 	}
-	return s.emit(ctx, &Packet{Final: true}, -1)
 }
 
 // adaptLoop samples the input queue on the configured interval, reports

@@ -1,0 +1,422 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPushBatchPopBatchFIFO(t *testing.T) {
+	q := New[int](4) // smaller than the batch: forces chunked pushes
+	const total = 32
+	batch := make([]int, total)
+	for i := range batch {
+		batch[i] = i
+	}
+	done := make(chan error, 1)
+	go func() { done <- q.PushBatch(batch) }()
+
+	got := make([]int, 0, total)
+	dst := make([]int, 3)
+	for len(got) < total {
+		n, err := q.PopBatch(dst, len(dst))
+		if err != nil {
+			t.Errorf("PopBatch: %v", err)
+			break
+		}
+		got = append(got, dst[:n]...)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("PushBatch: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("item %d = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+	st := q.Stats()
+	if st.Pushed != total || st.Popped != total {
+		t.Fatalf("stats pushed=%d popped=%d, want both %d", st.Pushed, st.Popped, total)
+	}
+}
+
+func TestPushBatchEmptyAndPopBatchZero(t *testing.T) {
+	q := New[int](2)
+	if err := q.PushBatch(nil); err != nil {
+		t.Fatalf("PushBatch(nil) = %v", err)
+	}
+	if n, err := q.PopBatch(nil, 0); n != 0 || err != nil {
+		t.Fatalf("PopBatch(nil) = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestPopBatchTakesOnlyAvailable(t *testing.T) {
+	q := New[int](8)
+	q.PushBatch([]int{1, 2, 3})
+	dst := make([]int, 8)
+	n, err := q.PopBatch(dst, 8)
+	if err != nil || n != 3 {
+		t.Fatalf("PopBatch = (%d, %v), want (3, nil)", n, err)
+	}
+	if dst[0] != 1 || dst[1] != 2 || dst[2] != 3 {
+		t.Fatalf("PopBatch contents = %v", dst[:n])
+	}
+}
+
+func TestPopBatchRespectsMax(t *testing.T) {
+	q := New[int](8)
+	q.PushBatch([]int{1, 2, 3, 4})
+	dst := make([]int, 8)
+	if n, _ := q.PopBatch(dst, 2); n != 2 {
+		t.Fatalf("PopBatch(max=2) took %d items", n)
+	}
+	if v, _ := q.Pop(); v != 3 {
+		t.Fatalf("next Pop = %d, want 3", v)
+	}
+}
+
+func TestPushBatchClosedReturnsErrClosed(t *testing.T) {
+	q := New[int](1)
+	q.Close()
+	if err := q.PushBatch([]int{1, 2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PushBatch on closed = %v, want ErrClosed", err)
+	}
+}
+
+func TestPushBatchCloseMidway(t *testing.T) {
+	q := New[int](2)
+	done := make(chan error, 1)
+	go func() { done <- q.PushBatch([]int{1, 2, 3, 4}) }()
+	waitFor(t, func() bool { return q.Stats().BlockedPushes == 1 })
+	q.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("PushBatch on closing queue = %v, want ErrClosed", err)
+	}
+	// The accepted prefix stayed and is drainable.
+	dst := make([]int, 4)
+	if n, err := q.PopBatch(dst, 4); err != nil || n != 2 || dst[0] != 1 || dst[1] != 2 {
+		t.Fatalf("drain after mid-batch close = (%v, %v)", dst[:n], err)
+	}
+}
+
+func TestPopBatchClosedDrained(t *testing.T) {
+	q := New[int](2)
+	q.Push(1)
+	q.Close()
+	dst := make([]int, 2)
+	if n, err := q.PopBatch(dst, 2); err != nil || n != 1 {
+		t.Fatalf("PopBatch draining closed queue = (%d, %v)", n, err)
+	}
+	if n, err := q.PopBatch(dst, 2); !errors.Is(err, ErrClosed) || n != 0 {
+		t.Fatalf("PopBatch on drained closed queue = (%d, %v), want (0, ErrClosed)", n, err)
+	}
+}
+
+func TestPushBatchCtxCancel(t *testing.T) {
+	q := New[int](1)
+	q.Push(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- q.PushBatchCtx(ctx, []int{1, 2}) }()
+	waitFor(t, func() bool { return q.Stats().BlockedPushes == 1 })
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("PushBatchCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PushBatchCtx never unblocked on cancel")
+	}
+}
+
+func TestPopBatchCtxCancel(t *testing.T) {
+	q := New[int](1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		dst := make([]int, 4)
+		_, err := q.PopBatchCtx(ctx, dst, 4)
+		done <- err
+	}()
+	waitFor(t, func() bool { return q.Stats().BlockedPops == 1 })
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("PopBatchCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("PopBatchCtx never unblocked on cancel")
+	}
+}
+
+// TestBatchWakesAllBlockedProducers is the no-lost-wakeup regression for the
+// Signal-based wakeup discipline: a batch pop frees many slots at once and
+// must release every producer that can now proceed, not just one.
+func TestBatchWakesAllBlockedProducers(t *testing.T) {
+	const producers = 8
+	q := New[int](1)
+	q.Push(-1)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			if err := q.Push(p); err != nil {
+				t.Errorf("Push(%d): %v", p, err)
+			}
+		}(p)
+	}
+	waitFor(t, func() bool { return q.Stats().BlockedPushes == producers })
+
+	// One batch pop frees one slot; producers refill it one at a time, so
+	// the queue drains only if every producer eventually wakes.
+	dst := make([]int, producers+1)
+	popped := 0
+	for popped < producers+1 {
+		n, err := q.PopBatch(dst, len(dst))
+		if err != nil {
+			t.Fatalf("PopBatch: %v", err)
+		}
+		popped += n
+	}
+	waitDone(t, &wg, "all producers finished")
+}
+
+// TestBatchWakesAllBlockedConsumers is the mirrored regression: one batch
+// push supplies many items at once and must release every blocked consumer.
+func TestBatchWakesAllBlockedConsumers(t *testing.T) {
+	const consumers = 8
+	q := New[int](consumers)
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := q.Pop(); err != nil {
+				t.Errorf("Pop: %v", err)
+			}
+		}()
+	}
+	waitFor(t, func() bool { return q.Stats().BlockedPops == consumers })
+
+	batch := make([]int, consumers)
+	for i := range batch {
+		batch[i] = i
+	}
+	if err := q.PushBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, &wg, "all consumers received an item")
+}
+
+// TestCancelHandsOffWakeup: a canceled waiter that absorbed a condvar signal
+// must pass it on to a surviving waiter instead of swallowing it.
+func TestCancelHandsOffWakeup(t *testing.T) {
+	q := New[int](1)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	canceled := make(chan error, 1)
+	go func() {
+		_, err := q.PopCtx(ctx)
+		canceled <- err
+	}()
+	waitFor(t, func() bool { return q.Stats().BlockedPops == 1 })
+
+	survivor := make(chan int, 1)
+	go func() {
+		v, err := q.Pop()
+		if err != nil {
+			t.Errorf("surviving Pop: %v", err)
+		}
+		survivor <- v
+	}()
+	waitFor(t, func() bool { return q.Stats().BlockedPops == 2 })
+
+	// Cancel the first waiter and immediately push: whichever waiter the
+	// Signal reaches, the item must end up at the survivor.
+	cancel()
+	if err := q.Push(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-canceled; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled PopCtx = %v", err)
+	}
+	select {
+	case v := <-survivor:
+		if v != 42 {
+			t.Fatalf("survivor got %d, want 42", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("wakeup lost: surviving Pop never received the item")
+	}
+}
+
+// Property: any single-goroutine interleaving of per-item and batch ops
+// preserves FIFO order, never exceeds capacity, and keeps Stats.Pushed and
+// Stats.Popped equal to the item counts moved.
+func TestBatchFIFOInterleavingProperty(t *testing.T) {
+	f := func(script []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		q := New[int](capacity)
+		next, expect := 0, 0
+		pushed, popped := 0, 0
+		dst := make([]int, capacity+4)
+		for _, op := range script {
+			switch op % 4 {
+			case 0: // per-item push
+				if err := q.TryPush(next); err == nil {
+					next++
+					pushed++
+				}
+			case 1: // per-item pop
+				if v, err := q.TryPop(); err == nil {
+					if v != expect {
+						return false
+					}
+					expect++
+					popped++
+				}
+			case 2: // batch push, sized to free space so it cannot block
+				k := q.Cap() - q.Len()
+				if want := int(op/4)%4 + 1; k > want {
+					k = want
+				}
+				if k == 0 {
+					continue
+				}
+				batch := make([]int, k)
+				for i := range batch {
+					batch[i] = next + i
+				}
+				if err := q.PushBatch(batch); err != nil {
+					return false
+				}
+				next += k
+				pushed += k
+			case 3: // batch pop, only when nonempty so it cannot block
+				if q.Len() == 0 {
+					continue
+				}
+				max := int(op/4)%len(dst) + 1
+				n, err := q.PopBatch(dst, max)
+				if err != nil {
+					return false
+				}
+				for i := 0; i < n; i++ {
+					if dst[i] != expect {
+						return false
+					}
+					expect++
+				}
+				popped += n
+			}
+			if q.Len() > q.Cap() || q.Len() < 0 {
+				return false
+			}
+		}
+		st := q.Stats()
+		return st.Pushed == uint64(pushed) && st.Popped == uint64(popped) &&
+			int(st.Pushed-st.Popped) == q.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: concurrent batch producers and consumers lose nothing,
+// duplicate nothing, and never exceed capacity.
+func TestBatchConcurrentProperty(t *testing.T) {
+	const (
+		producers = 4
+		perProd   = 300
+		batchSize = 7
+	)
+	q := New[int](16)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i += batchSize {
+				end := i + batchSize
+				if end > perProd {
+					end = perProd
+				}
+				batch := make([]int, 0, batchSize)
+				for j := i; j < end; j++ {
+					batch = append(batch, p*perProd+j)
+				}
+				if err := q.PushBatch(batch); err != nil {
+					t.Errorf("PushBatch: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	seen := make(map[int]bool, producers*perProd)
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		dst := make([]int, 8)
+		for {
+			n, err := q.PopBatch(dst, len(dst))
+			if errors.Is(err, ErrClosed) {
+				return
+			}
+			if err != nil {
+				t.Errorf("PopBatch: %v", err)
+				return
+			}
+			if q.Len() > q.Cap() {
+				t.Errorf("Len %d exceeds Cap %d", q.Len(), q.Cap())
+			}
+			for _, v := range dst[:n] {
+				if seen[v] {
+					t.Errorf("value %d consumed twice", v)
+				}
+				seen[v] = true
+			}
+		}
+	}()
+	wg.Wait()
+	q.Close()
+	<-consumed
+	if len(seen) != producers*perProd {
+		t.Fatalf("consumed %d distinct values, want %d", len(seen), producers*perProd)
+	}
+	st := q.Stats()
+	if st.Pushed != uint64(producers*perProd) || st.Popped != st.Pushed {
+		t.Fatalf("stats pushed=%d popped=%d, want both %d", st.Pushed, st.Popped, producers*perProd)
+	}
+}
+
+// waitFor polls cond until it holds, failing the test after a generous
+// deadline. It replaces fixed wall-clock sleeps so slow machines cannot
+// flake the test and fast ones do not wait.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never reached")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// waitDone waits for wg with a deadline.
+func waitDone(t *testing.T, wg *sync.WaitGroup, what string) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting: %s", what)
+	}
+}

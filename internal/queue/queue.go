@@ -7,12 +7,20 @@
 // recent average, and its capacity C. This package provides exactly that
 // observable queue: a blocking bounded FIFO whose occupancy statistics are
 // cheap to sample from a concurrent controller.
+//
+// The queue offers two granularities. Per-item Push/Pop pay one mutex
+// round-trip and one condvar wakeup per item. PushBatch/PopBatch move many
+// items under a single lock acquisition — the §4.1 model's per-batch
+// amortizable service cost — and Len reads an atomic occupancy mirror, so
+// the adaptation controller's periodic sampling never contends with the
+// data path.
 package queue
 
 import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrClosed is returned by Push operations on a closed queue and by Pop
@@ -32,10 +40,11 @@ type Stats struct {
 	Pushed uint64
 	// Popped is the number of items removed.
 	Popped uint64
-	// BlockedPushes counts Push calls that had to wait for space — each is
-	// one backpressure event propagated to the producer.
+	// BlockedPushes counts push waits — each is one backpressure event
+	// propagated to the producer. A batch push that waits for space more
+	// than once counts one event per wait episode.
 	BlockedPushes uint64
-	// BlockedPops counts Pop calls that had to wait for an item.
+	// BlockedPops counts pop waits for an item.
 	BlockedPops uint64
 	// HighWater is the maximum occupancy ever observed.
 	HighWater int
@@ -54,6 +63,9 @@ type Queue[T any] struct {
 	head   int // index of the oldest element
 	n      int // number of elements
 	closed bool
+
+	// length mirrors n so Len can be sampled without taking mu.
+	length atomic.Int64
 
 	stats Stats
 }
@@ -75,12 +87,9 @@ func New[T any](capacity int) *Queue[T] {
 func (q *Queue[T]) Cap() int { return len(q.buf) }
 
 // Len returns the current occupancy d of the queue. It is the quantity the
-// self-adaptation controller samples.
-func (q *Queue[T]) Len() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.n
-}
+// self-adaptation controller samples; the read is a single atomic load, so
+// a controller polling at any rate never blocks the data path.
+func (q *Queue[T]) Len() int { return int(q.length.Load()) }
 
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool {
@@ -119,21 +128,27 @@ func (q *Queue[T]) Push(v T) error {
 // PushCtx is Push with cancellation. If ctx is done before space is
 // available it returns ctx.Err().
 func (q *Queue[T]) PushCtx(ctx context.Context, v T) error {
-	// Fast path without spawning a watcher.
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	done := make(chan struct{})
-	defer close(done)
-	go func() {
-		select {
-		case <-ctx.Done():
-			// Wake all waiters so the blocked Push can observe ctx.
-			q.notFull.Broadcast()
-			q.notEmpty.Broadcast()
-		case <-done:
-		}
-	}()
+	q.mu.Lock()
+	// Fast path: space available, no watcher goroutine needed.
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	if q.n < len(q.buf) {
+		q.pushLocked(v)
+		q.mu.Unlock()
+		return nil
+	}
+	q.mu.Unlock()
+	return q.pushCtxSlow(ctx, v)
+}
+
+func (q *Queue[T]) pushCtxSlow(ctx context.Context, v T) error {
+	stop := q.watchCancel(ctx)
+	defer stop()
 
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -146,6 +161,11 @@ func (q *Queue[T]) PushCtx(ctx context.Context, v T) error {
 		q.notFull.Wait()
 	}
 	if err := ctx.Err(); err != nil {
+		// This waiter may have absorbed a Signal meant for another
+		// blocked producer; pass it on so the wakeup is not lost.
+		if q.n < len(q.buf) {
+			q.notFull.Signal()
+		}
 		return err
 	}
 	if q.closed {
@@ -153,6 +173,27 @@ func (q *Queue[T]) PushCtx(ctx context.Context, v T) error {
 	}
 	q.pushLocked(v)
 	return nil
+}
+
+// watchCancel arranges for both condvars to be woken when ctx is canceled,
+// so a blocked waiter can observe the cancellation. The broadcast
+// synchronizes on q.mu: a waiter that has checked its predicate but not yet
+// suspended in Wait still holds the lock, so the wakeup cannot slip into
+// that window and be missed. The returned stop function releases the
+// watcher.
+func (q *Queue[T]) watchCancel(ctx context.Context) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			q.mu.Lock()
+			q.notFull.Broadcast()
+			q.notEmpty.Broadcast()
+			q.mu.Unlock()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
 }
 
 // TryPush appends v without blocking. It returns ErrFull when at capacity
@@ -171,15 +212,136 @@ func (q *Queue[T]) TryPush(v T) error {
 	return nil
 }
 
+// PushBatch appends every item in order, blocking while the queue is full.
+// Items are moved in chunks of whatever capacity is free, each chunk under
+// one lock acquisition and one consumer wakeup, so the per-item condvar
+// round-trip of Push is amortized across the batch. FIFO order within the
+// batch and relative to concurrent per-item pushes is preserved (the whole
+// chunk is enqueued contiguously).
+//
+// If the queue is closed mid-batch, PushBatch returns ErrClosed; a prefix
+// of the batch may already have been accepted (and is counted in
+// Stats.Pushed).
+func (q *Queue[T]) PushBatch(items []T) error {
+	for len(items) > 0 {
+		q.mu.Lock()
+		blocked := false
+		for q.n == len(q.buf) && !q.closed {
+			if !blocked {
+				blocked = true
+				q.stats.BlockedPushes++
+			}
+			q.notFull.Wait()
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return ErrClosed
+		}
+		k := len(q.buf) - q.n
+		if k > len(items) {
+			k = len(items)
+		}
+		q.enqueueLocked(items[:k])
+		q.mu.Unlock()
+		items = items[k:]
+	}
+	return nil
+}
+
+// PushBatchCtx is PushBatch with cancellation. On ctx cancellation a prefix
+// of the batch may already have been accepted.
+func (q *Queue[T]) PushBatchCtx(ctx context.Context, items []T) error {
+	for len(items) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return ErrClosed
+		}
+		if q.n == len(q.buf) {
+			q.mu.Unlock()
+			if err := q.waitNotFull(ctx); err != nil {
+				return err
+			}
+			continue // re-check under a fresh lock
+		}
+		k := len(q.buf) - q.n
+		if k > len(items) {
+			k = len(items)
+		}
+		q.enqueueLocked(items[:k])
+		q.mu.Unlock()
+		items = items[k:]
+	}
+	return nil
+}
+
+// waitNotFull blocks until the queue has space, is closed, or ctx is done.
+// It returns nil when waiting ended for a (possibly stale) reason the
+// caller should re-examine under its own lock, or ctx.Err() on
+// cancellation.
+func (q *Queue[T]) waitNotFull(ctx context.Context) error {
+	stop := q.watchCancel(ctx)
+	defer stop()
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	blocked := false
+	for q.n == len(q.buf) && !q.closed && ctx.Err() == nil {
+		if !blocked {
+			blocked = true
+			q.stats.BlockedPushes++
+		}
+		q.notFull.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		if q.n < len(q.buf) {
+			q.notFull.Signal() // hand off an absorbed wakeup
+		}
+		return err
+	}
+	return nil
+}
+
+// pushLocked appends one item; the caller holds mu.
 func (q *Queue[T]) pushLocked(v T) {
 	tail := (q.head + q.n) % len(q.buf)
 	q.buf[tail] = v
 	q.n++
+	q.length.Store(int64(q.n))
 	q.stats.Pushed++
 	if q.n > q.stats.HighWater {
 		q.stats.HighWater = q.n
 	}
+	// Exactly one item became available: exactly one consumer can
+	// proceed, so Signal, not Broadcast — waking every blocked consumer
+	// per item is a thundering herd that burns the data path's cycles.
 	q.notEmpty.Signal()
+}
+
+// enqueueLocked appends items contiguously (at most two ring segments); the
+// caller holds mu and guarantees capacity.
+func (q *Queue[T]) enqueueLocked(items []T) {
+	tail := (q.head + q.n) % len(q.buf)
+	copied := copy(q.buf[tail:], items)
+	if copied < len(items) {
+		copy(q.buf, items[copied:])
+	}
+	q.n += len(items)
+	q.length.Store(int64(q.n))
+	q.stats.Pushed += uint64(len(items))
+	if q.n > q.stats.HighWater {
+		q.stats.HighWater = q.n
+	}
+	if len(items) == 1 {
+		q.notEmpty.Signal()
+	} else {
+		// Several consumers can now proceed; wake them all once per
+		// batch rather than once per item.
+		q.notEmpty.Broadcast()
+	}
 }
 
 // Pop removes and returns the oldest item, blocking while the queue is
@@ -208,19 +370,28 @@ func (q *Queue[T]) PopCtx(ctx context.Context) (T, error) {
 	if err := ctx.Err(); err != nil {
 		return zero, err
 	}
-	done := make(chan struct{})
-	defer close(done)
-	go func() {
-		select {
-		case <-ctx.Done():
-			q.notFull.Broadcast()
-			q.notEmpty.Broadcast()
-		case <-done:
-		}
-	}()
+	q.mu.Lock()
+	// Fast path: an item is ready, no watcher goroutine needed.
+	if q.n > 0 {
+		v := q.popLocked()
+		q.mu.Unlock()
+		return v, nil
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return zero, ErrClosed
+	}
+	q.mu.Unlock()
+	return q.popCtxSlow(ctx)
+}
+
+func (q *Queue[T]) popCtxSlow(ctx context.Context) (T, error) {
+	stop := q.watchCancel(ctx)
+	defer stop()
 
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	var zero T
 	blocked := false
 	for q.n == 0 && !q.closed && ctx.Err() == nil {
 		if !blocked {
@@ -230,6 +401,9 @@ func (q *Queue[T]) PopCtx(ctx context.Context) (T, error) {
 		q.notEmpty.Wait()
 	}
 	if err := ctx.Err(); err != nil {
+		if q.n > 0 {
+			q.notEmpty.Signal() // hand off an absorbed wakeup
+		}
 		return zero, err
 	}
 	if q.n == 0 {
@@ -253,15 +427,142 @@ func (q *Queue[T]) TryPop() (T, error) {
 	return q.popLocked(), nil
 }
 
+// PopBatch removes up to max items (bounded by len(dst)) into dst, blocking
+// while the queue is empty. It returns the number of items moved — at least
+// one — or 0 and ErrClosed once the queue is closed and drained. All
+// immediately available items up to the bound are taken under one lock
+// acquisition; PopBatch never waits for the queue to fill, so batching adds
+// no latency. max <= 0 means len(dst).
+func (q *Queue[T]) PopBatch(dst []T, max int) (int, error) {
+	if max <= 0 || max > len(dst) {
+		max = len(dst)
+	}
+	if max == 0 {
+		return 0, nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	blocked := false
+	for q.n == 0 && !q.closed {
+		if !blocked {
+			blocked = true
+			q.stats.BlockedPops++
+		}
+		q.notEmpty.Wait()
+	}
+	if q.n == 0 {
+		return 0, ErrClosed
+	}
+	k := q.n
+	if k > max {
+		k = max
+	}
+	q.dequeueLocked(dst[:k])
+	return k, nil
+}
+
+// PopBatchCtx is PopBatch with cancellation.
+func (q *Queue[T]) PopBatchCtx(ctx context.Context, dst []T, max int) (int, error) {
+	if max <= 0 || max > len(dst) {
+		max = len(dst)
+	}
+	if max == 0 {
+		return 0, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	q.mu.Lock()
+	// Fast path mirroring PopCtx.
+	if q.n > 0 {
+		k := q.n
+		if k > max {
+			k = max
+		}
+		q.dequeueLocked(dst[:k])
+		q.mu.Unlock()
+		return k, nil
+	}
+	if q.closed {
+		q.mu.Unlock()
+		return 0, ErrClosed
+	}
+	q.mu.Unlock()
+	return q.popBatchCtxSlow(ctx, dst, max)
+}
+
+func (q *Queue[T]) popBatchCtxSlow(ctx context.Context, dst []T, max int) (int, error) {
+	stop := q.watchCancel(ctx)
+	defer stop()
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	blocked := false
+	for q.n == 0 && !q.closed && ctx.Err() == nil {
+		if !blocked {
+			blocked = true
+			q.stats.BlockedPops++
+		}
+		q.notEmpty.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		if q.n > 0 {
+			q.notEmpty.Signal()
+		}
+		return 0, err
+	}
+	if q.n == 0 {
+		return 0, ErrClosed
+	}
+	k := q.n
+	if k > max {
+		k = max
+	}
+	q.dequeueLocked(dst[:k])
+	return k, nil
+}
+
+// popLocked removes one item; the caller holds mu.
 func (q *Queue[T]) popLocked() T {
 	v := q.buf[q.head]
 	var zero T
 	q.buf[q.head] = zero // release reference
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
+	q.length.Store(int64(q.n))
 	q.stats.Popped++
+	// Exactly one slot freed: exactly one producer can proceed.
 	q.notFull.Signal()
 	return v
+}
+
+// dequeueLocked moves the oldest len(dst) items into dst (at most two ring
+// segments); the caller holds mu and guarantees availability.
+func (q *Queue[T]) dequeueLocked(dst []T) {
+	k := len(dst)
+	first := len(q.buf) - q.head
+	if first > k {
+		first = k
+	}
+	copy(dst, q.buf[q.head:q.head+first])
+	copy(dst[first:], q.buf[:k-first])
+	var zero T
+	for i := q.head; i < q.head+first; i++ {
+		q.buf[i] = zero // release references
+	}
+	for i := 0; i < k-first; i++ {
+		q.buf[i] = zero
+	}
+	q.head = (q.head + k) % len(q.buf)
+	q.n -= k
+	q.length.Store(int64(q.n))
+	q.stats.Popped += uint64(k)
+	if k == 1 {
+		q.notFull.Signal()
+	} else {
+		// Several producers can now proceed; one wakeup for the batch.
+		q.notFull.Broadcast()
+	}
 }
 
 // Close marks the queue closed. Pending and future Push calls fail with

@@ -112,7 +112,7 @@ func TestPopBlocksUntilPush(t *testing.T) {
 		}
 		got <- v
 	}()
-	time.Sleep(10 * time.Millisecond)
+	waitFor(t, func() bool { return q.Stats().BlockedPops == 1 })
 	q.Push(99)
 	select {
 	case v := <-got:
@@ -132,7 +132,7 @@ func TestCloseUnblocksPush(t *testing.T) {
 	q.Push(1)
 	done := make(chan error, 1)
 	go func() { done <- q.Push(2) }()
-	time.Sleep(10 * time.Millisecond)
+	waitFor(t, func() bool { return q.Stats().BlockedPushes == 1 })
 	q.Close()
 	select {
 	case err := <-done:
@@ -181,7 +181,7 @@ func TestPushCtxCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- q.PushCtx(ctx, 2) }()
-	time.Sleep(10 * time.Millisecond)
+	waitFor(t, func() bool { return q.Stats().BlockedPushes == 1 })
 	cancel()
 	select {
 	case err := <-done:
@@ -201,7 +201,7 @@ func TestPopCtxCancel(t *testing.T) {
 		_, err := q.PopCtx(ctx)
 		done <- err
 	}()
-	time.Sleep(10 * time.Millisecond)
+	waitFor(t, func() bool { return q.Stats().BlockedPops == 1 })
 	cancel()
 	select {
 	case err := <-done:

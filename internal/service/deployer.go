@@ -58,7 +58,13 @@ type Deployer struct {
 	net  *netsim.Network
 
 	topologyAware bool
+	defBatch      int
 }
+
+// SetDefaultBatchSize sets the drain/coalesce batch size the deployer
+// installs on every engine it builds (see pipeline.Engine.SetDefaultBatchSize).
+// Per-stage StageConfig.BatchSize from tuning still wins.
+func (d *Deployer) SetDefaultBatchSize(n int) { d.defBatch = n }
 
 // SetTopologyAware makes placement consider link bandwidth between
 // communicating instances (grid.PlanTopology) in addition to requirements
@@ -124,6 +130,9 @@ func (d *Deployer) Deploy(cfg *AppConfig, tuning StageTuning) (*Deployment, erro
 	// 2. Instantiation: pull stage codes from the repository and
 	// customize one engine stage per instance.
 	eng := pipeline.New(d.clk)
+	if d.defBatch > 0 {
+		eng.SetDefaultBatchSize(d.defBatch)
+	}
 	stages := make(map[string][]*pipeline.Stage, len(cfg.Stages))
 	for i := range cfg.Stages {
 		s := &cfg.Stages[i]

@@ -341,7 +341,23 @@ func TestApplicationStop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(20 * time.Millisecond)
+	// Wait until the app is demonstrably mid-flight — the merge stage has
+	// consumed at least one packet — rather than sleeping an arbitrary
+	// wall-clock interval.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var in uint64
+		for _, st := range app.Stages["merge"] {
+			in += st.Stats().PacketsIn
+		}
+		if in > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("app never started flowing")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	stopped := make(chan error, 1)
 	go func() { stopped <- app.Stop() }()
 	select {

@@ -12,24 +12,57 @@ import (
 // remote host — the sending side of a cross-machine pipeline edge. Load
 // exceptions arriving back from the remote side should be fed to the local
 // upstream controller by the host program (see cmd/gates-node).
+//
+// With Batch > 1, packets are coalesced and flushed as one vectored write
+// per Batch packets (and at Finish), trading bounded per-packet latency for
+// one syscall per batch instead of two per packet.
 type Egress struct {
 	client *Client
+	// Batch is the number of packets coalesced per flush. 0 or 1 sends
+	// every packet immediately.
+	Batch int
+
+	pending []Message // only touched by the owning stage goroutine
 }
 
 // NewEgress returns an egress bridge over an established client.
 func NewEgress(c *Client) *Egress { return &Egress{client: c} }
 
+// NewEgressBatch returns an egress bridge that coalesces batch packets per
+// network flush.
+func NewEgressBatch(c *Client, batch int) *Egress {
+	return &Egress{client: c, Batch: batch}
+}
+
 // Init implements pipeline.Processor.
 func (e *Egress) Init(*pipeline.Context) error { return nil }
 
-// Process forwards one packet to the remote host.
+// Process forwards one packet to the remote host, coalescing per Batch.
 func (e *Egress) Process(_ *pipeline.Context, pkt *pipeline.Packet, _ *pipeline.Emitter) error {
-	return e.client.Send(PacketMessage(pkt))
+	if e.Batch <= 1 {
+		return e.client.Send(PacketMessage(pkt))
+	}
+	e.pending = append(e.pending, PacketMessage(pkt))
+	if len(e.pending) >= e.Batch {
+		return e.flush()
+	}
+	return nil
 }
 
-// Finish forwards the end-of-stream marker.
+// Finish flushes any coalesced packets and forwards the end-of-stream
+// marker in the same write.
 func (e *Egress) Finish(*pipeline.Context, *pipeline.Emitter) error {
-	return e.client.Send(PacketMessage(&pipeline.Packet{Final: true}))
+	e.pending = append(e.pending, PacketMessage(&pipeline.Packet{Final: true}))
+	return e.flush()
+}
+
+func (e *Egress) flush() error {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	err := e.client.SendBatch(e.pending)
+	e.pending = e.pending[:0]
+	return err
 }
 
 // Ingress is a pipeline Source that injects packets received from the
@@ -44,7 +77,8 @@ type Ingress struct {
 	// remote side (for delivery to a local upstream controller).
 	OnException func(adapt.Exception)
 
-	ch chan *pipeline.Packet
+	ch   chan *pipeline.Packet
+	done chan struct{} // closed when Run returns; Deliver stops blocking
 }
 
 // NewIngress returns an ingress expecting the given number of final markers,
@@ -56,15 +90,24 @@ func NewIngress(expectFinals, buf int) *Ingress {
 	if buf < 1 {
 		buf = 64
 	}
-	return &Ingress{ExpectFinals: expectFinals, ch: make(chan *pipeline.Packet, buf)}
+	return &Ingress{
+		ExpectFinals: expectFinals,
+		ch:           make(chan *pipeline.Packet, buf),
+		done:         make(chan struct{}),
+	}
 }
 
 // Deliver is the Server handler: it routes packets into the engine and
-// exceptions to OnException.
+// exceptions to OnException. Once Run has returned — the stream ended or
+// the engine was torn down — further packets are dropped rather than
+// blocking, so Server.Close can always drain its serving goroutines.
 func (i *Ingress) Deliver(m Message) {
 	switch m.Kind {
 	case KindPacket:
-		i.ch <- m.Packet()
+		select {
+		case i.ch <- m.Packet():
+		case <-i.done:
+		}
 	case KindException:
 		if i.OnException != nil {
 			i.OnException(m.Exception)
@@ -75,6 +118,7 @@ func (i *Ingress) Deliver(m Message) {
 // Run implements pipeline.Source: it emits received packets until the
 // expected number of final markers has arrived.
 func (i *Ingress) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
+	defer close(i.done)
 	finals := 0
 	for {
 		select {

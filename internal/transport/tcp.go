@@ -185,6 +185,49 @@ func (c *Client) Send(m Message) error {
 	return WriteFrame(c.conn, b)
 }
 
+// SendBatch encodes and frames every message, flushing them all in one
+// coalesced (writev-style) write under a single lock acquisition. Peers
+// decode the result exactly as a sequence of Send calls; order is
+// preserved.
+func (c *Client) SendBatch(msgs []Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	payloads := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		b, err := Encode(m)
+		if err != nil {
+			return err
+		}
+		payloads[i] = b
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return errors.New("transport: client closed")
+	}
+	return WriteFrames(c.conn, payloads)
+}
+
+// CloseWrite half-closes the connection: the peer observes end-of-stream
+// only after draining every frame already sent, while exception traffic
+// flowing back stays readable here. Use it (followed by waiting for
+// ReadLoop to end) instead of an immediate Close when reverse traffic may
+// be in flight: fully closing a socket with unread data queued locally
+// resets the connection, and the reset can destroy frames — including the
+// end-of-stream marker — that the peer has not yet read.
+func (c *Client) CloseWrite() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	if cw, ok := c.conn.(interface{ CloseWrite() error }); ok {
+		return cw.CloseWrite()
+	}
+	return nil
+}
+
 // Close shuts the connection down. It is idempotent.
 func (c *Client) Close() error {
 	c.mu.Lock()

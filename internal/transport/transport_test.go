@@ -399,3 +399,289 @@ func TestReadLoopNilSafe(t *testing.T) {
 	defer cli.Close()
 	cli.ReadLoop(nil) // nil handler: returns immediately
 }
+
+func TestWriteFramesReadBackIdentical(t *testing.T) {
+	payloads := [][]byte{[]byte("alpha"), {}, bytes.Repeat([]byte{0x5C}, 9000), []byte("omega")}
+
+	var batched bytes.Buffer
+	if err := WriteFrames(&batched, payloads); err != nil {
+		t.Fatal(err)
+	}
+	var single bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrame(&single, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(batched.Bytes(), single.Bytes()) {
+		t.Fatal("WriteFrames wire bytes differ from repeated WriteFrame")
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&batched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame mismatch: got %d bytes, want %d", len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(&batched); !errors.Is(err, io.EOF) {
+		t.Fatalf("drained reader returned %v, want EOF", err)
+	}
+}
+
+func TestWriteFramesRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFrames(&buf, [][]byte{[]byte("ok"), make([]byte, MaxFrameSize+1)})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized batch = %v, want ErrFrameTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized batch wrote %d bytes before failing", buf.Len())
+	}
+}
+
+func TestSendBatchDeliveredInOrder(t *testing.T) {
+	const n = 50
+	var mu sync.Mutex
+	var seqs []uint64
+	done := make(chan struct{})
+	srv, err := Listen("127.0.0.1:0", func(m Message) {
+		mu.Lock()
+		seqs = append(seqs, m.Seq)
+		if len(seqs) == n {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	msgs := make([]Message, n)
+	for i := range msgs {
+		msgs[i] = PacketMessage(&pipeline.Packet{Seq: uint64(i), Value: i})
+	}
+	if err := cli.SendBatch(msgs); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch not fully delivered")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range seqs {
+		if s != uint64(i) {
+			t.Fatalf("message %d has seq %d: batch order not preserved", i, s)
+		}
+	}
+}
+
+func TestSendBatchOnClosedClient(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	if err := cli.SendBatch([]Message{PacketMessage(&pipeline.Packet{})}); err == nil {
+		t.Fatal("SendBatch on closed client succeeded")
+	}
+}
+
+func TestEgressBatchFlushesAtBatchAndFinish(t *testing.T) {
+	var mu sync.Mutex
+	var got []Message
+	done := make(chan struct{})
+	srv, err := Listen("127.0.0.1:0", func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		if m.Final {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	eg := NewEgressBatch(cli, 4)
+	// 6 packets: one full flush of 4, then 2 flushed by Finish with the
+	// final marker.
+	for i := 0; i < 6; i++ {
+		if err := eg.Process(nil, &pipeline.Packet{Seq: uint64(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eg.Finish(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("final marker never arrived")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 7 {
+		t.Fatalf("received %d messages, want 7 (6 packets + final)", len(got))
+	}
+	for i := 0; i < 6; i++ {
+		if got[i].Seq != uint64(i) || got[i].Final {
+			t.Fatalf("message %d = %+v, want seq %d", i, got[i], i)
+		}
+	}
+	if !got[6].Final {
+		t.Fatal("last message is not the final marker")
+	}
+}
+
+func TestCloseWriteDrainsBothDirections(t *testing.T) {
+	// The shutdown hazard in a bidirectional bridge: the server pushes an
+	// exception the client has not read yet, and the client then ends its
+	// stream. A full Close with that frame unread resets the connection,
+	// which can destroy the client's still-in-flight frames (including
+	// the Final marker) on the server side. CloseWrite must instead
+	// deliver every forward frame, leave the reverse frame readable, and
+	// only then let the connection wind down.
+	var (
+		mu    sync.Mutex
+		seen  []*pipeline.Packet
+		first = make(chan struct{})
+		once  sync.Once
+		all   = make(chan struct{})
+	)
+	srv, err := Listen("127.0.0.1:0", func(m Message) {
+		if m.Kind != KindPacket {
+			return
+		}
+		mu.Lock()
+		seen = append(seen, m.Packet())
+		n := len(seen)
+		mu.Unlock()
+		once.Do(func() { close(first) })
+		if n == 11 {
+			close(all)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// The server only learns of the connection after the first frame.
+	if err := cli.Send(PacketMessage(&pipeline.Packet{Seq: 0})); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-first:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never saw the first frame")
+	}
+	// Park an exception in the client's receive queue, deliberately
+	// unread at half-close time.
+	if err := srv.Broadcast(ExceptionMessage(adapt.ExceptionOverload)); err != nil {
+		t.Fatal(err)
+	}
+
+	msgs := make([]Message, 0, 10)
+	for i := 1; i <= 9; i++ {
+		msgs = append(msgs, PacketMessage(&pipeline.Packet{Seq: uint64(i)}))
+	}
+	msgs = append(msgs, PacketMessage(&pipeline.Packet{Final: true}))
+	if err := cli.SendBatch(msgs); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every forward frame survives the half-close.
+	select {
+	case <-all:
+	case <-time.After(10 * time.Second):
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		t.Fatalf("server received %d of 11 frames after CloseWrite", n)
+	}
+	mu.Lock()
+	if !seen[10].Final {
+		t.Error("last delivered frame is not the final marker")
+	}
+	mu.Unlock()
+
+	// And the reverse direction is still readable afterwards.
+	excCh := make(chan adapt.Exception, 1)
+	go cli.ReadLoop(func(m Message) {
+		if m.Kind == KindException {
+			select {
+			case excCh <- m.Exception:
+			default:
+			}
+		}
+	})
+	select {
+	case e := <-excCh:
+		if e != adapt.ExceptionOverload {
+			t.Fatalf("reverse channel delivered %v", e)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("exception unreadable after CloseWrite")
+	}
+}
+
+func TestIngressDeliverAfterRunDrops(t *testing.T) {
+	// Once the stream has ended, stray packets must be dropped instead of
+	// wedging the delivering goroutine (and with it Server.Close) on a
+	// full channel.
+	ingress := NewIngress(1, 4)
+	eng := pipeline.New(clock.NewScaled(1000))
+	inSt, _ := eng.AddSourceStage("ingress", 0, ingress, pipeline.StageConfig{})
+	sink := &collectProc{fn: func(any) {}}
+	sinkSt, _ := eng.AddProcessorStage("sink", 0, sink, pipeline.StageConfig{})
+	eng.Connect(inSt, sinkSt, nil)
+
+	ingress.Deliver(PacketMessage(&pipeline.Packet{Final: true}))
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 64; i++ { // far more than the channel buffers
+			ingress.Deliver(PacketMessage(&pipeline.Packet{Seq: uint64(i)}))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Deliver blocked after Run returned")
+	}
+}

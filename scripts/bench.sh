@@ -1,0 +1,36 @@
+#!/bin/sh
+# Runs the pipeline hot-path benchmarks and emits BENCH_pipeline.json:
+# one record per benchmark with name, ns/op, B/op, and allocs/op.
+#
+# Usage: scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pipeline.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkPipelineThroughput|BenchmarkBatchSizeSweep|BenchmarkQueuePushPop|BenchmarkQueueBatchPushPop|BenchmarkLinkTransfer' \
+  -benchmem -benchtime 1s . | tee "$raw"
+
+awk '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark/ {
+    name = $1
+    nsop = ""; bop = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     nsop = $(i - 1)
+        if ($i == "B/op")      bop = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (nsop == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, nsop, (bop == "" ? "null" : bop), (allocs == "" ? "null" : allocs)
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -1,0 +1,24 @@
+#!/bin/sh
+# The full CI lane: vet, build, plain tests, the race-detector lane, and a
+# short benchmark smoke. Run from anywhere; it cds to the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== short benchmarks =="
+go test -run '^$' -bench 'BenchmarkPipelineThroughput|BenchmarkBatchSizeSweep|BenchmarkQueue' \
+  -benchtime 100ms .
+
+echo "CI lane green"
