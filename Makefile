@@ -18,7 +18,8 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The full CI lane: vet + build + test + race + short benches.
+# The full CI lane: vet + staticcheck (if installed) + build + test + race
+# + coverage.out + short benches + the observability-overhead guard.
 ci:
 	sh scripts/ci.sh
 

@@ -9,7 +9,13 @@
 //
 // Stage codes named in the descriptor resolve against the built-in
 // application repository (see internal/builtin); examples/ contains ready
-// descriptors.
+// descriptors. With -monitor, a live dashboard streams to stderr while the
+// application runs (the final dashboard still goes to stdout); with
+// -obs-listen, the whole deployment's metrics, adaptation audit trail, and
+// sampled traces are served over HTTP for the run's duration:
+//
+//	gates-launcher -config examples/compsteer.xml -obs-listen :9090 &
+//	curl -s localhost:9090/metrics | grep gates_stage_items
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"github.com/gates-middleware/gates/internal/builtin"
 	"github.com/gates-middleware/gates/internal/clock"
 	"github.com/gates-middleware/gates/internal/monitor"
+	"github.com/gates-middleware/gates/internal/obs"
 	"github.com/gates-middleware/gates/internal/service"
 )
 
@@ -32,20 +39,26 @@ func main() {
 		config    = flag.String("config", "", "application descriptor: http(s) URL, file path, or literal XML (required)")
 		scale     = flag.Float64("scale", 500, "virtual seconds per wall second")
 		bandwidth = flag.Int64("bandwidth", 100_000, "cross-node link bandwidth, bytes per virtual second")
-		monitorIv = flag.Duration("monitor", 0, "sample the running stages every this much virtual time and print a dashboard at the end (0 = off)")
+		monitorIv = flag.Duration("monitor", 0, "sample the running stages every this much virtual time, streaming dashboards to stderr while running and printing a final one to stdout (0 = off)")
+		obsListen = flag.String("obs-listen", "", "HTTP address serving /metrics, /snapshot, /adaptations, /traces for the run (\":0\" picks a port; omit to disable)")
+		verbose   = flag.Bool("v", false, "log structured middleware events to stderr")
 	)
 	flag.Parse()
 	if *config == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*config, *scale, *bandwidth, *monitorIv); err != nil {
+	var logTo *os.File
+	if *verbose {
+		logTo = os.Stderr
+	}
+	if err := run(*config, *scale, *bandwidth, *monitorIv, *obsListen, logTo); err != nil {
 		fmt.Fprintln(os.Stderr, "gates-launcher:", err)
 		os.Exit(1)
 	}
 }
 
-func run(config string, scale float64, bandwidth int64, monitorIv time.Duration) error {
+func run(config string, scale float64, bandwidth int64, monitorIv time.Duration, obsListen string, logTo *os.File) error {
 	clk := clock.NewScaled(scale)
 	dir, net, err := builtin.Fabric(clk, bandwidth)
 	if err != nil {
@@ -59,6 +72,26 @@ func run(config string, scale float64, bandwidth int64, monitorIv time.Duration)
 	if err != nil {
 		return err
 	}
+
+	// One observability bundle backs everything downstream of here: the
+	// deployed stages publish into its registry, adaptation epochs land in
+	// its audit trail, and the monitor derives its rates from the same
+	// registry instead of keeping private counters.
+	obsCfg := obs.Config{}
+	if logTo != nil {
+		obsCfg.LogWriter = logTo
+	}
+	ob := obs.New(clk, obsCfg)
+	deployer.SetObservability(ob)
+	if obsListen != "" {
+		osrv, err := obs.Serve(obsListen, ob)
+		if err != nil {
+			return err
+		}
+		defer osrv.Close()
+		fmt.Println("observability on http://" + osrv.Addr())
+	}
+
 	launcher, err := service.NewLauncher(deployer)
 	if err != nil {
 		return err
@@ -76,9 +109,11 @@ func run(config string, scale float64, bandwidth int64, monitorIv time.Duration)
 	var mon *monitor.Monitor
 	stopMon := make(chan struct{})
 	if monitorIv > 0 {
-		mon = monitor.New(clk, monitorIv)
+		mon = monitor.NewWithRegistry(clk, monitorIv, ob.Registry)
 		mon.WatchStages(app.Stages)
-		go mon.Start(stopMon)
+		// Stream dashboards to stderr while the run progresses; stdout
+		// stays clean for the final report.
+		go mon.Run(stopMon, os.Stderr)
 	}
 	if err := app.Wait(); err != nil {
 		return err
@@ -105,6 +140,9 @@ func run(config string, scale float64, bandwidth int64, monitorIv time.Duration)
 				st.ID(), st.Instance(), st.Node(),
 				s.PacketsIn, s.ItemsIn, s.PacketsOut, s.BytesOut, s.ComputeCharged)
 		}
+	}
+	if n := ob.Audit.Total(); n > 0 {
+		fmt.Fprintf(tw, "adaptation epochs recorded: %d\n", n)
 	}
 	return tw.Flush()
 }

@@ -16,20 +16,28 @@ const steeringXML = `
 
 func TestRunLiteralConfig(t *testing.T) {
 	// 300 virtual seconds of comp-steer at 20000x: well under a second.
-	if err := run(steeringXML, 20_000, 100_000, 2*time.Second); err != nil {
+	if err := run(steeringXML, 20_000, 100_000, 2*time.Second, "", nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadConfig(t *testing.T) {
-	if err := run(`<application name="x"/>`, 20_000, 100_000, 0); err == nil {
+	if err := run(`<application name="x"/>`, 20_000, 100_000, 0, "", nil); err == nil {
 		t.Fatal("invalid descriptor launched")
 	}
 }
 
 func TestRunUnknownCode(t *testing.T) {
 	xml := `<application name="x"><stage id="a" code="no/such" source="true"/></application>`
-	if err := run(xml, 20_000, 100_000, 0); err == nil {
+	if err := run(xml, 20_000, 100_000, 0, "", nil); err == nil {
 		t.Fatal("unknown stage code launched")
+	}
+}
+
+func TestRunWithObservability(t *testing.T) {
+	// The endpoint itself is exercised end-to-end in cmd/gates-node; here
+	// we check the launcher can bind, serve, and tear down its surface.
+	if err := run(steeringXML, 20_000, 100_000, 0, "127.0.0.1:0", nil); err != nil {
+		t.Fatal(err)
 	}
 }

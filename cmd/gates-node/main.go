@@ -6,13 +6,16 @@
 // A two-machine comp-steer deployment looks like:
 //
 //	# analysis machine
-//	gates-node -listen :7002 -stage compsteer/analyzer
+//	gates-node -listen :7002 -stage compsteer/analyzer -obs-listen :9090
 //
 //	# sampler machine (also generates the simulated stream)
 //	gates-node -listen :7001 -stage compsteer/sampler -forward host2:7002 -source compsteer/sim
 //
 // Load exceptions travel back over the same connections, so the sampler
-// adapts exactly as it does in the emulated experiments.
+// adapts exactly as it does in the emulated experiments. With -obs-listen,
+// the node additionally serves its observability surface over HTTP:
+// /metrics (Prometheus text), /snapshot (JSON), /adaptations (the
+// self-adaptation audit trail), and /traces (sampled hot-path spans).
 package main
 
 import (
@@ -25,46 +28,76 @@ import (
 	"github.com/gates-middleware/gates/internal/adapt"
 	"github.com/gates-middleware/gates/internal/builtin"
 	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/obs"
 	"github.com/gates-middleware/gates/internal/pipeline"
 	"github.com/gates-middleware/gates/internal/service"
 	"github.com/gates-middleware/gates/internal/transport"
 )
 
 func main() {
-	var (
-		listen  = flag.String("listen", "", "TCP address to accept upstream packets on (omit for a source-only node)")
-		stage   = flag.String("stage", "", "repository code of the stage to host (required)")
-		source  = flag.String("source", "", "repository code of a co-located source feeding the stage")
-		forward = flag.String("forward", "", "downstream node address to forward output to")
-		expect  = flag.Int("expect", 1, "number of upstream end-of-stream markers to wait for")
-		scale   = flag.Float64("scale", 1, "virtual seconds per wall second")
-	)
+	var opts nodeOptions
+	flag.StringVar(&opts.listen, "listen", "", "TCP address to accept upstream packets on (omit for a source-only node)")
+	flag.StringVar(&opts.stage, "stage", "", "repository code of the stage to host (required)")
+	flag.StringVar(&opts.source, "source", "", "repository code of a co-located source feeding the stage")
+	flag.StringVar(&opts.forward, "forward", "", "downstream node address to forward output to")
+	flag.IntVar(&opts.expect, "expect", 1, "number of upstream end-of-stream markers to wait for")
+	flag.Float64Var(&opts.scale, "scale", 1, "virtual seconds per wall second")
+	flag.StringVar(&opts.obsListen, "obs-listen", "", "HTTP address serving /metrics, /snapshot, /adaptations, /traces (\":0\" picks a port; omit to disable)")
+	verbose := flag.Bool("v", false, "log structured middleware events to stderr")
 	flag.Parse()
-	if *stage == "" {
+	if opts.stage == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*listen, *stage, *source, *forward, *expect, *scale); err != nil {
+	if *verbose {
+		opts.logTo = os.Stderr
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gates-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, stageCode, sourceCode, forward string, expect int, scale float64) error {
+// nodeOptions carries one node's configuration; flags populate it in main
+// and tests construct it directly.
+type nodeOptions struct {
+	listen  string // upstream TCP endpoint ("" = source-only node)
+	stage   string // repository code of the hosted stage (required)
+	source  string // co-located source code ("" = fed over TCP)
+	forward string // downstream node address ("" = terminal node)
+	expect  int    // upstream end-of-stream markers to wait for
+	scale   float64
+
+	obsListen string                 // HTTP observability address ("" = disabled)
+	logTo     *os.File               // structured log destination (nil = discard)
+	onObs     func(addr, obs string) // test hook: bound data + obs addresses
+}
+
+func run(o nodeOptions) error {
 	var clk clock.Clock = clock.NewReal()
-	if scale > 1 {
-		clk = clock.NewScaled(scale)
+	if o.scale > 1 {
+		clk = clock.NewScaled(o.scale)
 	}
 	repo := service.NewRepository()
 	if err := builtin.Register(repo); err != nil {
 		return err
 	}
-	procFactory, ok := repo.Processor(stageCode)
+	procFactory, ok := repo.Processor(o.stage)
 	if !ok {
-		return fmt.Errorf("stage code %q not in repository (codes: %v)", stageCode, repo.Codes())
+		return fmt.Errorf("stage code %q not in repository (codes: %v)", o.stage, repo.Codes())
 	}
 
+	// The observability bundle is always built (a nil bundle would also
+	// work, but one bundle keeps the audit trail available for the final
+	// report); the HTTP endpoint is opt-in.
+	obsCfg := obs.Config{}
+	if o.logTo != nil {
+		obsCfg.LogWriter = o.logTo
+	}
+	ob := obs.New(clk, obsCfg)
+
 	eng := pipeline.New(clk)
+	eng.SetObservability(ob)
 
 	// Local stage hosting the user code. When upstream nodes feed this
 	// host over TCP, its load exceptions are broadcast back to them on
@@ -72,9 +105,9 @@ func run(listen, stageCode, sourceCode, forward string, expect int, scale float6
 	// is bound below once listening starts.
 	var srv *transport.Server
 	hostCfg := pipeline.StageConfig{
-		OnObserve: func(_ *pipeline.Stage, _ time.Time, obs adapt.Observation) {
-			if srv != nil && obs.Exception != adapt.ExceptionNone {
-				srv.Broadcast(transport.ExceptionMessage(obs.Exception))
+		OnObserve: func(_ *pipeline.Stage, _ time.Time, obsn adapt.Observation) {
+			if srv != nil && obsn.Exception != adapt.ExceptionNone {
+				srv.Broadcast(transport.ExceptionMessage(obsn.Exception))
 			}
 		},
 	}
@@ -84,11 +117,12 @@ func run(listen, stageCode, sourceCode, forward string, expect int, scale float6
 	}
 
 	// Upstream: either a network ingress or a co-located source.
+	var dataAddr string
 	switch {
-	case sourceCode != "":
-		srcFactory, ok := repo.Source(sourceCode)
+	case o.source != "":
+		srcFactory, ok := repo.Source(o.source)
 		if !ok {
-			return fmt.Errorf("source code %q not in repository", sourceCode)
+			return fmt.Errorf("source code %q not in repository", o.source)
 		}
 		src, err := eng.AddSourceStage("source", 0, srcFactory(0), pipeline.StageConfig{})
 		if err != nil {
@@ -97,17 +131,20 @@ func run(listen, stageCode, sourceCode, forward string, expect int, scale float6
 		if err := eng.Connect(src, host, nil); err != nil {
 			return err
 		}
-	case listen != "":
-		ingress := transport.NewIngress(expect, 256)
+	case o.listen != "":
+		ingress := transport.NewIngress(o.expect, 256)
 		ingress.OnException = func(e adapt.Exception) {
 			host.Controller().OnDownstreamException(e)
 		}
-		srv, err = transport.Listen(listen, ingress.Deliver)
+		ingress.Tracer = ob.Tracer
+		srv, err = transport.Listen(o.listen, ingress.Deliver)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Println("listening on", srv.Addr())
+		srv.Instrument(ob.Registry, o.listen)
+		dataAddr = srv.Addr()
+		fmt.Println("listening on", dataAddr)
 		in, err := eng.AddSourceStage("ingress", 0, ingress, pipeline.StageConfig{})
 		if err != nil {
 			return err
@@ -119,12 +156,29 @@ func run(listen, stageCode, sourceCode, forward string, expect int, scale float6
 		return fmt.Errorf("need -listen or -source to feed the stage")
 	}
 
-	// Downstream: a network egress, when configured.
-	if forward != "" {
-		cli, err := transport.Dial(forward)
+	// Observability endpoint: bound before the engine runs, so scrapes work
+	// for the node's whole life.
+	var obsAddr string
+	if o.obsListen != "" {
+		osrv, err := obs.Serve(o.obsListen, ob)
 		if err != nil {
 			return err
 		}
+		defer osrv.Close()
+		obsAddr = osrv.Addr()
+		fmt.Println("observability on http://" + obsAddr)
+	}
+	if o.onObs != nil {
+		o.onObs(dataAddr, obsAddr)
+	}
+
+	// Downstream: a network egress, when configured.
+	if o.forward != "" {
+		cli, err := transport.Dial(o.forward)
+		if err != nil {
+			return err
+		}
+		cli.Instrument(ob.Registry, o.forward)
 		// Exceptions the downstream host broadcasts back drive this
 		// node's adaptation, exactly as an in-process neighbor would.
 		readDone := make(chan struct{})
@@ -165,6 +219,9 @@ func run(listen, stageCode, sourceCode, forward string, expect int, scale float6
 		s := st.Stats()
 		fmt.Printf("%s/%d: in=%d items out=%d pkts %d bytes\n",
 			st.ID(), st.Instance(), s.ItemsIn, s.PacketsOut, s.BytesOut)
+	}
+	if n := ob.Audit.Total(); n > 0 {
+		fmt.Printf("adaptation epochs: %d\n", n)
 	}
 	return nil
 }

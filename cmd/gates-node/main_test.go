@@ -1,10 +1,17 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/gates-middleware/gates/internal/pipeline"
+	"github.com/gates-middleware/gates/internal/transport"
 )
 
 // freePort reserves a TCP port for the downstream node.
@@ -26,7 +33,7 @@ func TestTwoNodePipeline(t *testing.T) {
 		// Analysis host: receives sampled mesh data over TCP. Scale 500
 		// keeps adaptation epochs above timer granularity so the
 		// cross-machine control plane has time to act.
-		downstream <- run(addr, "compsteer/analyzer", "", "", 1, 500)
+		downstream <- run(nodeOptions{listen: addr, stage: "compsteer/analyzer", expect: 1, scale: 500})
 	}()
 	// Give the listener a moment to bind.
 	deadline := time.Now().Add(5 * time.Second)
@@ -42,7 +49,7 @@ func TestTwoNodePipeline(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	// Sampler host: co-located simulation source, forwards over TCP.
-	if err := run("", "compsteer/sampler", "compsteer/sim", addr, 1, 500); err != nil {
+	if err := run(nodeOptions{stage: "compsteer/sampler", source: "compsteer/sim", forward: addr, expect: 1, scale: 500}); err != nil {
 		t.Fatal(err)
 	}
 	// The bound only detects genuine hangs. The run takes well under a
@@ -61,13 +68,152 @@ func TestTwoNodePipeline(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "no/such", "", "", 1, 1); err == nil || !strings.Contains(err.Error(), "not in repository") {
+	if err := run(nodeOptions{stage: "no/such", expect: 1, scale: 1}); err == nil || !strings.Contains(err.Error(), "not in repository") {
 		t.Fatalf("unknown stage = %v", err)
 	}
-	if err := run("", "compsteer/analyzer", "", "", 1, 1); err == nil {
+	if err := run(nodeOptions{stage: "compsteer/analyzer", expect: 1, scale: 1}); err == nil {
 		t.Fatal("node with no input accepted")
 	}
-	if err := run("", "compsteer/sampler", "no/such-src", "", 1, 1); err == nil {
+	if err := run(nodeOptions{stage: "compsteer/sampler", source: "no/such-src", expect: 1, scale: 1}); err == nil {
 		t.Fatal("unknown source accepted")
 	}
+}
+
+// TestNodeObservabilityEndpoints drives a live gates-node's HTTP surface end
+// to end: the test plays the upstream node over real TCP, then scrapes
+// /metrics until the stage counters reflect the traffic and /adaptations
+// until the audit trail has recorded self-adaptation epochs, and finally
+// ends the stream and checks the node shuts down cleanly.
+func TestNodeObservabilityEndpoints(t *testing.T) {
+	addrs := make(chan [2]string, 1)
+	nodeDone := make(chan error, 1)
+	go func() {
+		nodeDone <- run(nodeOptions{
+			listen: "127.0.0.1:0", stage: "compsteer/analyzer", expect: 1, scale: 500,
+			obsListen: "127.0.0.1:0",
+			onObs:     func(data, obs string) { addrs <- [2]string{data, obs} },
+		})
+	}()
+	var dataAddr, obsAddr string
+	select {
+	case a := <-addrs:
+		dataAddr, obsAddr = a[0], a[1]
+	case err := <-nodeDone:
+		t.Fatalf("node exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("node never reported its addresses")
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + obsAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body)
+	}
+
+	// Play the upstream node: send data packets the analyzer will consume.
+	cli, err := transport.Dial(dataAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const packets, itemsEach = 20, 5
+	for i := 0; i < packets; i++ {
+		pkt := &pipeline.Packet{Seq: uint64(i), Value: float64(i), Items: itemsEach}
+		if err := cli.Send(transport.PacketMessage(pkt)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// /metrics must converge on the traffic we injected: host stage item
+	// counters, queue instruments, and transport frame counters all live
+	// in one registry.
+	wantItems := fmt.Sprintf(`gates_stage_items_in_total{instance="0",node="",stage="host"} %d`, packets*itemsEach)
+	waitFor(t, "metrics to reflect injected items", func() (bool, string) {
+		body := get("/metrics")
+		return strings.Contains(body, wantItems), body
+	})
+	body := get("/metrics")
+	for _, want := range []string{
+		`gates_stage_items_out_total{instance="0",node="",stage="host"}`,
+		`gates_queue_depth{instance="0",node="",stage="host"}`,
+		`gates_transport_frames_in_total`,
+		`gates_adaptations_total{instance="0",node="",stage="host"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+
+	// /adaptations must fill in as the host's adjust epochs fire (200ms
+	// virtual at 500x is sub-millisecond real time).
+	var audit struct {
+		Total  int `json:"total"`
+		Events []struct {
+			Stage  string  `json:"stage"`
+			Lambda float64 `json:"lambda"`
+		} `json:"events"`
+	}
+	// Both the host and the ingress stage adapt, so events from either can
+	// lead the ring; wait until the host itself has recorded one.
+	waitFor(t, "adaptation audit trail to record host epochs", func() (bool, string) {
+		raw := get("/adaptations")
+		if err := json.Unmarshal([]byte(raw), &audit); err != nil {
+			t.Fatalf("/adaptations: %v in %s", err, raw)
+		}
+		if audit.Total < 1 {
+			return false, raw
+		}
+		for _, ev := range audit.Events {
+			if ev.Stage == "host" {
+				return true, raw
+			}
+		}
+		return false, raw
+	})
+
+	// /snapshot serves the same registry as JSON.
+	if snap := get("/snapshot"); !strings.Contains(snap, "gates_stage_items_in_total") {
+		t.Errorf("/snapshot missing stage counters: %s", snap)
+	}
+
+	// End the stream; the node must drain and exit cleanly.
+	if err := cli.Send(transport.PacketMessage(&pipeline.Packet{Final: true})); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	select {
+	case err := <-nodeDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("node never finished after final marker")
+	}
+}
+
+// waitFor polls cond until it reports success or a generous deadline expires,
+// failing with the last observed state.
+func waitFor(t *testing.T, what string, cond func() (bool, string)) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	var last string
+	for time.Now().Before(deadline) {
+		ok, state := cond()
+		if ok {
+			return
+		}
+		last = state
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s; last state:\n%s", what, last)
 }

@@ -39,6 +39,7 @@ import (
 	"github.com/gates-middleware/gates/internal/grid"
 	"github.com/gates-middleware/gates/internal/monitor"
 	"github.com/gates-middleware/gates/internal/netsim"
+	"github.com/gates-middleware/gates/internal/obs"
 	"github.com/gates-middleware/gates/internal/pipeline"
 	"github.com/gates-middleware/gates/internal/queuing"
 	"github.com/gates-middleware/gates/internal/service"
@@ -147,6 +148,7 @@ type Grid struct {
 	net      *netsim.Network
 	repo     *service.Repository
 	defBatch int
+	o        *obs.Observability
 }
 
 // NewGrid returns an empty grid environment.
@@ -240,18 +242,59 @@ func (g *Grid) launcher() (*service.Launcher, error) {
 	if g.defBatch > 0 {
 		d.SetDefaultBatchSize(g.defBatch)
 	}
+	if g.o != nil {
+		d.SetObservability(g.o)
+	}
 	return service.NewLauncher(d)
 }
 
 // NewEngine returns a bare stage engine on the grid's clock for programs
 // that wire stages directly, without the XML descriptor and deployment
-// machinery. The grid's DefaultBatchSize carries over.
+// machinery. The grid's DefaultBatchSize and Observability carry over.
 func (g *Grid) NewEngine() *Engine {
 	e := pipeline.New(g.clk)
 	if g.defBatch > 0 {
 		e.SetDefaultBatchSize(g.defBatch)
 	}
+	if g.o != nil {
+		e.SetObservability(g.o)
+	}
 	return e
+}
+
+// Observability is the unified observation bundle: a metrics registry with
+// Prometheus/JSON exposition, structured logging on the virtual clock,
+// sampled hot-path trace spans, and the adaptation audit trail.
+type Observability = obs.Observability
+
+// ObsConfig tunes an Observability bundle (see obs.Config).
+type ObsConfig = obs.Config
+
+// AdaptationEvent is one recorded adaptation decision (see /adaptations).
+type AdaptationEvent = obs.AdaptationEvent
+
+// NewObservability builds an observability bundle on the grid's clock and
+// attaches it: every application launched (and every engine built) from now
+// on publishes metrics, spans, audit events, and logs into it. Serve its
+// HTTP surface with gates.ServeObservability.
+func (g *Grid) NewObservability(cfg ObsConfig) *Observability {
+	o := obs.New(g.clk, cfg)
+	g.o = o
+	return o
+}
+
+// SetObservability attaches an existing bundle (e.g. one shared with a
+// transport-hosted node). Nil detaches.
+func (g *Grid) SetObservability(o *Observability) { g.o = o }
+
+// Observability returns the attached bundle, or nil when unobserved.
+func (g *Grid) Observability() *Observability { return g.o }
+
+// ServeObservability exposes o over HTTP at addr (":0" picks a free port):
+// /metrics (Prometheus text), /snapshot (JSON), /adaptations (audit trail),
+// /traces (sampled spans). Close the returned server when done.
+func ServeObservability(addr string, o *Observability) (*obs.Server, error) {
+	return obs.Serve(addr, o)
 }
 
 // Monitor is the runtime observation service: it samples watched stages
@@ -263,8 +306,13 @@ type Monitor = monitor.Monitor
 
 // NewMonitor returns a monitor on the grid's clock sampling every interval
 // of virtual time. Watch an application with mon.WatchStages(app.Stages),
-// then run mon.Start in a goroutine.
+// then run mon.Start (or mon.Run for streaming dashboards) in a goroutine.
+// When the grid has an Observability attached, the monitor publishes into
+// and reads from the same registry its HTTP endpoint exposes.
 func (g *Grid) NewMonitor(interval time.Duration) *Monitor {
+	if g.o != nil {
+		return monitor.NewWithRegistry(g.clk, interval, g.o.Registry)
+	}
 	return monitor.New(g.clk, interval)
 }
 

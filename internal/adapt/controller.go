@@ -140,6 +140,30 @@ func (c *Controller) DownstreamEpochCounts() (t1, t2 float64) {
 	return c.epochT1, c.epochT2
 }
 
+// AdjustResult captures one adjustment epoch in full: the inputs the ΔP law
+// consumed (d̃ and its normalized form, the downstream exception counts
+// T1/T2 that this epoch reset, the combined φ1 pressure) and the outputs
+// (the canonical ΔP and every parameter move). It is the raw material of the
+// adaptation audit trail.
+type AdjustResult struct {
+	// DTilde is the long-term average queue size factor at adjustment time.
+	DTilde float64
+	// DNorm is d̃ normalized by queue capacity (after congestion-priority
+	// clamping, i.e. the value actually fed to σ1).
+	DNorm float64
+	// T1 and T2 are the downstream overload/underload exception counts
+	// consumed — and reset — by this epoch.
+	T1, T2 float64
+	// PhiT is φ1(T1,T2) after congestion-priority clamping.
+	PhiT float64
+	// DeltaP is the canonical ΔP (after Gain, before per-parameter
+	// Step/Direction scaling).
+	DeltaP float64
+	// Adjustments are the individual parameter moves (empty when the stage
+	// registered no adjustment parameters).
+	Adjustments []Adjustment
+}
+
 // Adjust applies the ΔP law once to every registered parameter and starts a
 // new adjustment epoch. It returns the adjustments made (empty when no
 // parameter is registered).
@@ -152,10 +176,18 @@ func (c *Controller) DownstreamEpochCounts() (t1, t2 float64) {
 // optimum). The ± is the DownstreamSign option. The canonical ΔP is then
 // scaled by Gain and each parameter's Step/Direction.
 func (c *Controller) Adjust() []Adjustment {
+	return c.AdjustDetailed().Adjustments
+}
+
+// AdjustDetailed is Adjust plus the epoch's full observation record; see
+// AdjustResult.
+func (c *Controller) AdjustDetailed() AdjustResult {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	dNorm := c.mon.DTilde() / float64(c.opts.Capacity)
+	dTilde := c.mon.DTilde()
+	t1, t2 := c.epochT1, c.epochT2
+	dNorm := dTilde / float64(c.opts.Capacity)
 	phiT := Phi1(c.epochT1, c.epochT2)
 	c.epochT1, c.epochT2 = 0, 0
 
@@ -189,7 +221,15 @@ func (c *Controller) Adjust() []Adjustment {
 		old, now := p.adjust(deltaP)
 		out = append(out, Adjustment{Param: p.Spec().Name, Old: old, New: now, DeltaP: deltaP})
 	}
-	return out
+	return AdjustResult{
+		DTilde:      dTilde,
+		DNorm:       dNorm,
+		T1:          t1,
+		T2:          t2,
+		PhiT:        phiT,
+		DeltaP:      deltaP,
+		Adjustments: out,
+	}
 }
 
 // Adjustments returns how many adjustment epochs have completed.

@@ -3,13 +3,13 @@
 // source, the available computing resources and memory, and the available
 // network bandwidth".
 //
-// A Monitor periodically samples every watched stage — queue occupancy, the
-// adaptation state (d̃), current parameter values, and arrival/consumption
-// rates λ and μ derived from the stage's item counters — plus the byte
-// counts of watched links. Snapshots accumulate into per-stage histories,
-// and Render prints a dashboard. The experiments use the same counters
-// implicitly; the Monitor packages them for operators and for the
-// gates-launcher -monitor flag.
+// A Monitor is a consumer of the obs.Registry: watching a stage or link
+// instruments it into the registry, and Sample reads the published series
+// back out, deriving arrival/consumption rates λ and μ and link throughput
+// from counter deltas over virtual time. Snapshots accumulate into bounded
+// histories, and Render prints a dashboard. The same registry can be shared
+// with an HTTP exposition endpoint (obs.Serve), so the dashboard and
+// /metrics always agree.
 package monitor
 
 import (
@@ -22,6 +22,7 @@ import (
 
 	"github.com/gates-middleware/gates/internal/clock"
 	"github.com/gates-middleware/gates/internal/netsim"
+	"github.com/gates-middleware/gates/internal/obs"
 	"github.com/gates-middleware/gates/internal/pipeline"
 )
 
@@ -41,7 +42,9 @@ type StageSample struct {
 	// ItemsIn and ItemsOut are the lifetime counters at sample time.
 	ItemsIn, ItemsOut uint64
 	// ArrivalRate (λ) and ServiceRate (μ) are items per virtual second
-	// since the previous sample; zero on the first sample.
+	// since the previous sample; zero on the first sample. A counter that
+	// moved backwards (stage restart) contributes its post-reset value, not
+	// a negative delta.
 	ArrivalRate, ServiceRate float64
 	// Params holds the current value of every adjustment parameter.
 	Params map[string]float64
@@ -63,15 +66,24 @@ type Snapshot struct {
 	Links  []LinkSample
 }
 
+// watched is one stage under observation plus the label set its series were
+// instrumented with.
+type watched struct {
+	st     *pipeline.Stage
+	labels map[string]string
+}
+
 // Monitor samples watched stages and links on a fixed virtual interval.
-// Construct with New, add subjects with Watch*, then run Start in a
+// Construct with New (private registry) or NewWithRegistry (shared with an
+// exposition endpoint), add subjects with Watch*, then run Start or Run in a
 // goroutine (or call Sample directly for on-demand observation).
 type Monitor struct {
 	clk      clock.Clock
 	interval time.Duration
+	reg      *obs.Registry
 
 	mu      sync.Mutex
-	stages  []*pipeline.Stage
+	stages  []watched
 	links   map[string]*netsim.Link
 	prev    map[string]StageSample // keyed by stage/instance
 	prevLnk map[string]LinkSample
@@ -79,10 +91,24 @@ type Monitor struct {
 	maxHist int
 }
 
-// New returns a monitor sampling every interval of virtual time.
+// New returns a monitor sampling every interval of virtual time into a
+// private registry.
 func New(clk clock.Clock, interval time.Duration) *Monitor {
 	if clk == nil {
 		panic("monitor: New requires a clock")
+	}
+	return NewWithRegistry(clk, interval, obs.NewRegistry(clk))
+}
+
+// NewWithRegistry returns a monitor publishing into (and sampling from) a
+// shared registry — typically the one an obs HTTP endpoint exposes, so the
+// dashboard and /metrics read the same series.
+func NewWithRegistry(clk clock.Clock, interval time.Duration, reg *obs.Registry) *Monitor {
+	if clk == nil {
+		panic("monitor: NewWithRegistry requires a clock")
+	}
+	if reg == nil {
+		panic("monitor: NewWithRegistry requires a registry")
 	}
 	if interval <= 0 {
 		interval = time.Second
@@ -90,6 +116,7 @@ func New(clk clock.Clock, interval time.Duration) *Monitor {
 	return &Monitor{
 		clk:      clk,
 		interval: interval,
+		reg:      reg,
 		links:    make(map[string]*netsim.Link),
 		prev:     make(map[string]StageSample),
 		prevLnk:  make(map[string]LinkSample),
@@ -97,14 +124,28 @@ func New(clk clock.Clock, interval time.Duration) *Monitor {
 	}
 }
 
-// WatchStage adds one stage instance.
+// Registry returns the registry the monitor publishes into and reads from.
+func (m *Monitor) Registry() *obs.Registry { return m.reg }
+
+// WatchStage adds one stage instance, instrumenting it into the registry.
+// Watching a new instance object with the same id/instance replaces the old
+// one (a restarted stage takes over its series; rate derivation treats the
+// counter reset as a restart, not a negative delta).
 func (m *Monitor) WatchStage(st *pipeline.Stage) {
 	if st == nil {
 		return
 	}
+	st.Instrument(m.reg)
+	w := watched{st: st, labels: st.ObsLabels()}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.stages = append(m.stages, st)
+	for i, old := range m.stages {
+		if old.st.ID() == st.ID() && old.st.Instance() == st.Instance() {
+			m.stages[i] = w
+			return
+		}
+	}
+	m.stages = append(m.stages, w)
 }
 
 // WatchStages adds every instance of a deployment's stage map.
@@ -121,34 +162,55 @@ func (m *Monitor) WatchStages(stages map[string][]*pipeline.Stage) {
 	}
 }
 
-// WatchLink adds a named link.
+// WatchLink adds a named link, instrumenting it into the registry.
 func (m *Monitor) WatchLink(name string, l *netsim.Link) {
 	if l == nil {
 		return
 	}
+	l.Instrument(m.reg, name)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.links[name] = l
 }
 
+// counterDelta returns how much a monotone counter advanced between samples.
+// A current value below the previous one means the counter restarted (a
+// stage instance was replaced); everything since the reset is the delta.
+func counterDelta(cur, prev float64) float64 {
+	if cur < prev {
+		return cur
+	}
+	return cur - prev
+}
+
+// stageValue reads one of the stage's registry series (zero when absent).
+func (m *Monitor) stageValue(name string, w watched) float64 {
+	v, _ := m.reg.Value(name, w.labels)
+	return v
+}
+
 // Sample takes one synchronized snapshot now and appends it to the history.
+// Counters come from the registry (the same series /metrics exposes);
+// adaptation state (d̃, parameter values) comes from the stage's controller.
 func (m *Monitor) Sample() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := m.clk.Now()
 	snap := Snapshot{At: now}
-	for _, st := range m.stages {
+	for _, w := range m.stages {
+		st := w.st
 		key := fmt.Sprintf("%s/%d", st.ID(), st.Instance())
-		stats := st.Stats()
+		itemsIn := m.stageValue("gates_stage_items_in_total", w)
+		itemsOut := m.stageValue("gates_stage_items_out_total", w)
 		s := StageSample{
 			At:       now,
 			Stage:    st.ID(),
 			Instance: st.Instance(),
 			Node:     st.Node(),
-			QueueLen: st.QueueLen(),
+			QueueLen: int(m.stageValue("gates_queue_depth", w)),
 			DTilde:   st.Controller().DTilde(),
-			ItemsIn:  stats.ItemsIn,
-			ItemsOut: stats.ItemsOut,
+			ItemsIn:  uint64(itemsIn),
+			ItemsOut: uint64(itemsOut),
 			Params:   make(map[string]float64),
 		}
 		for _, p := range st.Controller().Params() {
@@ -156,8 +218,8 @@ func (m *Monitor) Sample() Snapshot {
 		}
 		if prev, ok := m.prev[key]; ok {
 			if dt := now.Sub(prev.At).Seconds(); dt > 0 {
-				s.ArrivalRate = float64(stats.ItemsIn-prev.ItemsIn) / dt
-				s.ServiceRate = float64(stats.ItemsOut-prev.ItemsOut) / dt
+				s.ArrivalRate = counterDelta(itemsIn, float64(prev.ItemsIn)) / dt
+				s.ServiceRate = counterDelta(itemsOut, float64(prev.ItemsOut)) / dt
 			}
 		}
 		m.prev[key] = s
@@ -169,11 +231,11 @@ func (m *Monitor) Sample() Snapshot {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		bytes := m.links[name].Stats().Bytes
-		ls := LinkSample{At: now, Name: name, Bytes: bytes}
+		bytes, _ := m.reg.Value("gates_link_bytes_total", map[string]string{"link": name})
+		ls := LinkSample{At: now, Name: name, Bytes: int64(bytes)}
 		if prev, ok := m.prevLnk[name]; ok {
 			if dt := now.Sub(prev.At).Seconds(); dt > 0 {
-				ls.Throughput = float64(bytes-prev.Bytes) / dt
+				ls.Throughput = counterDelta(bytes, float64(prev.Bytes)) / dt
 			}
 		}
 		m.prevLnk[name] = ls
@@ -186,18 +248,28 @@ func (m *Monitor) Sample() Snapshot {
 	return snap
 }
 
-// Start samples on the monitor's interval until stop is closed or the
-// context-free loop is told to end. It is intended to run in its own
-// goroutine alongside an application.
-func (m *Monitor) Start(stop <-chan struct{}) {
+// Run samples on the monitor's interval until stop is closed, rendering a
+// dashboard to w after every sample when w is non-nil — the streaming mode
+// behind gates-launcher -monitor. It is intended to run in its own goroutine
+// alongside an application.
+func (m *Monitor) Run(stop <-chan struct{}, w io.Writer) {
 	for {
 		select {
 		case <-stop:
 			return
 		case <-m.clk.After(m.interval):
 			m.Sample()
+			if w != nil {
+				m.Render(w)
+			}
 		}
 	}
+}
+
+// Start samples on the monitor's interval until stop is closed, without
+// rendering; use Run to stream dashboards.
+func (m *Monitor) Start(stop <-chan struct{}) {
+	m.Run(stop, nil)
 }
 
 // Latest returns the most recent snapshot (zero value when none taken).
@@ -219,11 +291,14 @@ func (m *Monitor) History() []Snapshot {
 	return out
 }
 
-// StageSeries extracts one stage instance's samples across the history.
+// StageSeries extracts one stage instance's samples across the history. It
+// scans under the lock rather than copying every retained snapshot first.
 func (m *Monitor) StageSeries(stage string, instance int) []StageSample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var out []StageSample
-	for _, snap := range m.History() {
-		for _, s := range snap.Stages {
+	for i := range m.history {
+		for _, s := range m.history[i].Stages {
 			if s.Stage == stage && s.Instance == instance {
 				out = append(out, s)
 			}

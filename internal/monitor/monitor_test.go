@@ -194,3 +194,108 @@ func TestWatchNilIgnored(t *testing.T) {
 		t.Fatal("nil subjects were sampled")
 	}
 }
+
+// passThrough forwards every packet downstream, so a watched middle stage
+// moves both its items-in and items-out counters.
+type passThrough struct{}
+
+func (passThrough) Init(*pipeline.Context) error { return nil }
+func (passThrough) Process(_ *pipeline.Context, pkt *pipeline.Packet, out *pipeline.Emitter) error {
+	return out.Emit(pkt)
+}
+func (passThrough) Finish(*pipeline.Context, *pipeline.Emitter) error { return nil }
+
+func TestRateDerivationMultiSample(t *testing.T) {
+	clk := clock.NewManual()
+	e := pipeline.New(clk)
+	src, _ := e.AddSourceStage("s", 0, &pacedSource{n: 100}, pipeline.StageConfig{DisableAdaptation: true})
+	mid, _ := e.AddProcessorStage("p", 0, passThrough{}, pipeline.StageConfig{DisableAdaptation: true})
+	snk, _ := e.AddProcessorStage("z", 0, paramSink{}, pipeline.StageConfig{DisableAdaptation: true})
+	l := netsim.NewLink(clk, netsim.LinkConfig{Bandwidth: 1 << 40, Quantum: time.Hour})
+	e.Connect(src, mid, nil)
+	e.Connect(mid, snk, l)
+
+	m := New(clk, time.Second)
+	m.WatchStage(mid)
+	m.WatchLink("edge", l)
+
+	m.Sample() // baseline: all counters zero
+	if err := e.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	bytes := l.Stats().Bytes
+	if bytes == 0 {
+		t.Fatal("link carried nothing")
+	}
+
+	// All 100 items (and the link bytes) landed between the baseline and
+	// this sample; 4 virtual seconds elapsed, so λ = μ = 25 items/s and
+	// the link throughput is bytes/4 — derived purely from counter deltas.
+	clk.Advance(4 * time.Second)
+	snap := m.Sample()
+	st := snap.Stages[0]
+	if st.ItemsIn != 100 || st.ItemsOut != 100 {
+		t.Fatalf("items in/out = %d/%d, want 100/100", st.ItemsIn, st.ItemsOut)
+	}
+	if st.ArrivalRate != 25 || st.ServiceRate != 25 {
+		t.Fatalf("λ, μ = %v, %v, want 25, 25", st.ArrivalRate, st.ServiceRate)
+	}
+	if want := float64(bytes) / 4; snap.Links[0].Throughput != want {
+		t.Fatalf("link throughput = %v, want %v", snap.Links[0].Throughput, want)
+	}
+
+	// Nothing moved since: the next delta window must read zero rates while
+	// the lifetime counters hold.
+	clk.Advance(2 * time.Second)
+	idle := m.Sample()
+	if st := idle.Stages[0]; st.ArrivalRate != 0 || st.ServiceRate != 0 || st.ItemsIn != 100 {
+		t.Fatalf("idle window: λ=%v µ=%v in=%d, want 0, 0, 100", st.ArrivalRate, st.ServiceRate, st.ItemsIn)
+	}
+	if idle.Links[0].Throughput != 0 {
+		t.Fatalf("idle link throughput = %v", idle.Links[0].Throughput)
+	}
+}
+
+func TestRestartCounterReset(t *testing.T) {
+	clk := clock.NewManual()
+	build := func(n int) (*pipeline.Engine, *pipeline.Stage) {
+		e := pipeline.New(clk)
+		src, _ := e.AddSourceStage("s", 0, &pacedSource{n: n}, pipeline.StageConfig{DisableAdaptation: true})
+		snk, _ := e.AddProcessorStage("p", 0, paramSink{}, pipeline.StageConfig{DisableAdaptation: true})
+		e.Connect(src, snk, nil)
+		return e, snk
+	}
+
+	m := New(clk, time.Second)
+	e1, snk1 := build(100)
+	m.WatchStage(snk1)
+	m.Sample() // baseline at zero
+	if err := e1.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	if st := m.Sample().Stages[0]; st.ArrivalRate != 100 {
+		t.Fatalf("pre-restart λ = %v, want 100", st.ArrivalRate)
+	}
+
+	// A restarted instance re-registers the same (id, instance) series with
+	// fresh counters. The watcher takes the new stage over, and the rate
+	// math must treat the backwards counter as a post-reset value — 30
+	// items into the new incarnation, not a negative delta from 100.
+	e2, snk2 := build(30)
+	m.WatchStage(snk2)
+	if err := e2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	st := m.Sample().Stages[0]
+	if st.ItemsIn != 30 {
+		t.Fatalf("post-restart items in = %d, want 30", st.ItemsIn)
+	}
+	if st.ArrivalRate != 30 {
+		t.Fatalf("post-restart λ = %v, want 30 (counter reset mishandled)", st.ArrivalRate)
+	}
+	if len(m.Sample().Stages) != 1 {
+		t.Fatal("restart duplicated the watched stage")
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultAuditCapacity is the default retained-event ring size.
+const DefaultAuditCapacity = 1024
+
+// ParamDelta is one parameter's move within an adaptation event.
+type ParamDelta struct {
+	Param string  `json:"param"`
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+}
+
+// AdaptationEvent records one Controller.Adjust epoch: the observation that
+// drove it (queue length d, long-term factor d̃, measured λ/μ, the
+// downstream exception counts T1/T2 consumed by this epoch) and the
+// resulting canonical ΔP with every parameter's move. The trail makes the
+// Figure 8/9 convergence traces explainable: for any parameter step, the
+// event shows exactly which pressure (own queue vs. downstream exceptions)
+// produced it.
+type AdaptationEvent struct {
+	// Seq numbers events in record order across the whole trail.
+	Seq uint64 `json:"seq"`
+	// At is the virtual time of the adjustment.
+	At time.Time `json:"at"`
+	// Stage, Instance, Node identify the adjusting server.
+	Stage    string `json:"stage"`
+	Instance int    `json:"instance"`
+	Node     string `json:"node,omitempty"`
+	// QueueLen is the input-queue occupancy d at adjustment time.
+	QueueLen int `json:"queue_len"`
+	// DTilde is the long-term average queue size factor d̃.
+	DTilde float64 `json:"d_tilde"`
+	// Lambda and Mu are the arrival and service rates (items per virtual
+	// second) measured since the previous adjustment epoch; zero on the
+	// first.
+	Lambda float64 `json:"lambda"`
+	Mu     float64 `json:"mu"`
+	// T1 and T2 are the downstream overload/underload exception counts
+	// consumed (and reset) by this epoch.
+	T1 float64 `json:"t1"`
+	T2 float64 `json:"t2"`
+	// DeltaP is the canonical ΔP applied (before Step/Direction scaling).
+	DeltaP float64 `json:"delta_p"`
+	// Params are the individual parameter moves (empty when the stage
+	// registered no adjustment parameters).
+	Params []ParamDelta `json:"params,omitempty"`
+}
+
+// AuditTrail is a bounded ring of adaptation events, safe for concurrent
+// use. A nil *AuditTrail is valid and records nothing.
+type AuditTrail struct {
+	mu    sync.Mutex
+	ring  []AdaptationEvent
+	next  int
+	count int
+	total uint64
+}
+
+// NewAuditTrail returns a trail retaining up to capacity events (<=0
+// selects DefaultAuditCapacity).
+func NewAuditTrail(capacity int) *AuditTrail {
+	if capacity <= 0 {
+		capacity = DefaultAuditCapacity
+	}
+	return &AuditTrail{ring: make([]AdaptationEvent, capacity)}
+}
+
+// Record appends ev, stamping its Seq. A no-op on a nil trail.
+func (a *AuditTrail) Record(ev AdaptationEvent) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	ev.Seq = a.total
+	a.total++
+	a.ring[a.next] = ev
+	a.next = (a.next + 1) % len(a.ring)
+	if a.count < len(a.ring) {
+		a.count++
+	}
+	a.mu.Unlock()
+}
+
+// Total returns how many events were ever recorded (retained or evicted).
+func (a *AuditTrail) Total() uint64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Events returns the retained events, oldest first.
+func (a *AuditTrail) Events() []AdaptationEvent {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]AdaptationEvent, 0, a.count)
+	start := a.next - a.count
+	for i := 0; i < a.count; i++ {
+		idx := (start + i + len(a.ring)) % len(a.ring)
+		out = append(out, a.ring[idx])
+	}
+	return out
+}
+
+// Last returns the most recent event, or false when the trail is empty.
+func (a *AuditTrail) Last() (AdaptationEvent, bool) {
+	if a == nil {
+		return AdaptationEvent{}, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.count == 0 {
+		return AdaptationEvent{}, false
+	}
+	idx := (a.next - 1 + len(a.ring)) % len(a.ring)
+	return a.ring[idx], true
+}
+
+// ForStage returns the retained events of one stage instance, oldest
+// first — the per-server convergence trace.
+func (a *AuditTrail) ForStage(stage string, instance int) []AdaptationEvent {
+	var out []AdaptationEvent
+	for _, ev := range a.Events() {
+		if ev.Stage == stage && ev.Instance == instance {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package obs
+
+import "testing"
+
+func TestAuditTrailSeqAndOrder(t *testing.T) {
+	a := NewAuditTrail(3)
+	for i := 0; i < 5; i++ {
+		a.Record(AdaptationEvent{Stage: "s", QueueLen: i})
+	}
+	if a.Total() != 5 {
+		t.Fatalf("total = %d", a.Total())
+	}
+	evs := a.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	// Oldest first, with monotone Seq stamped at record time.
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+2) || ev.QueueLen != i+2 {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	last, ok := a.Last()
+	if !ok || last.Seq != 4 {
+		t.Fatalf("last = %+v, %v", last, ok)
+	}
+}
+
+func TestAuditTrailForStage(t *testing.T) {
+	a := NewAuditTrail(8)
+	a.Record(AdaptationEvent{Stage: "analyze", Instance: 0, DeltaP: 1})
+	a.Record(AdaptationEvent{Stage: "reduce", Instance: 0, DeltaP: 2})
+	a.Record(AdaptationEvent{Stage: "analyze", Instance: 1, DeltaP: 3})
+	a.Record(AdaptationEvent{Stage: "analyze", Instance: 0, DeltaP: 4})
+	got := a.ForStage("analyze", 0)
+	if len(got) != 2 || got[0].DeltaP != 1 || got[1].DeltaP != 4 {
+		t.Fatalf("ForStage = %+v", got)
+	}
+}
+
+func TestNilAuditTrailIsInert(t *testing.T) {
+	var a *AuditTrail
+	a.Record(AdaptationEvent{})
+	if a.Total() != 0 {
+		t.Fatal("nil trail counted")
+	}
+	if a.Events() != nil {
+		t.Fatal("nil trail has events")
+	}
+	if _, ok := a.Last(); ok {
+		t.Fatal("nil trail has a last event")
+	}
+	if a.ForStage("x", 0) != nil {
+		t.Fatal("nil trail matched a stage")
+	}
+}
+
+func TestEmptyTrailLast(t *testing.T) {
+	a := NewAuditTrail(4)
+	if _, ok := a.Last(); ok {
+		t.Fatal("empty trail reported a last event")
+	}
+}

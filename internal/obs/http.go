@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns the observability HTTP surface of a node:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/snapshot     JSON snapshot of every metric series
+//	/adaptations  JSON audit trail of adaptation decisions
+//	/traces       JSON of the retained sampled spans
+//	/             plain-text index of the above
+//
+// Endpoints degrade gracefully when a facility is absent from o (e.g. a
+// disabled tracer serves an empty span list).
+func Handler(o *Observability) http.Handler {
+	if o == nil {
+		panic("obs: Handler requires an Observability bundle")
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if o.Registry != nil {
+			o.Registry.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		var points []MetricPoint
+		if o.Registry != nil {
+			points = o.Registry.Snapshot()
+		}
+		writeJSON(w, struct {
+			At      time.Time     `json:"at"`
+			Metrics []MetricPoint `json:"metrics"`
+		}{At: o.Clock.Now(), Metrics: points})
+	})
+	mux.HandleFunc("/adaptations", func(w http.ResponseWriter, r *http.Request) {
+		events := o.Audit.Events()
+		if events == nil {
+			events = []AdaptationEvent{}
+		}
+		writeJSON(w, struct {
+			Total  uint64            `json:"total"`
+			Events []AdaptationEvent `json:"events"`
+		}{Total: o.Audit.Total(), Events: events})
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		spans := o.Tracer.Spans()
+		if spans == nil {
+			spans = []SpanRecord{}
+		}
+		started, sampled := o.Tracer.Counts()
+		writeJSON(w, struct {
+			Started uint64       `json:"started"`
+			Sampled uint64       `json:"sampled"`
+			Spans   []SpanRecord `json:"spans"`
+		}{Started: started, Sampled: sampled, Spans: spans})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "GATES observability endpoints:")
+		fmt.Fprintln(w, "  /metrics      Prometheus text format")
+		fmt.Fprintln(w, "  /snapshot     JSON metric snapshot")
+		fmt.Fprintln(w, "  /adaptations  adaptation audit trail")
+		fmt.Fprintln(w, "  /traces       sampled hot-path spans")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Server is a running observability HTTP endpoint.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Serve exposes o's Handler at addr (":0" picks a free port) and returns
+// once the listener is bound, so the endpoint is queryable immediately.
+func Serve(addr string, o *Observability) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: Handler(o)},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			o.Log().Error("obs http server failed", "addr", ln.Addr().String(), "err", err)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address ("127.0.0.1:port").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for the serve loop to end.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

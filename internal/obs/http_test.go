@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+func newTestBundle(t *testing.T) (*Observability, *clock.Manual) {
+	t.Helper()
+	clk := clock.NewManual()
+	o := New(clk, Config{SampleEvery: 1, TraceCapacity: 8, AuditCapacity: 8})
+	o.Registry.Counter("gates_items_total", "items", map[string]string{"stage": "sink"}).Add(9)
+	sp := o.Tracer.Start("stage.batch")
+	clk.Advance(5 * time.Millisecond)
+	sp.End()
+	o.Audit.Record(AdaptationEvent{At: clk.Now(), Stage: "sink", DeltaP: -0.25})
+	return o, clk
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	return rec.Code, rec.Header().Get("Content-Type"), rec.Body.String()
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	o, _ := newTestBundle(t)
+	code, ct, body := get(t, Handler(o), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	for _, want := range []string{
+		`gates_items_total{stage="sink"} 9`,
+		"gates_trace_spans_started_total 1",
+		"gates_trace_spans_sampled_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerSnapshot(t *testing.T) {
+	o, _ := newTestBundle(t)
+	code, ct, body := get(t, Handler(o), "/snapshot")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("status %d content-type %q", code, ct)
+	}
+	var got struct {
+		At      time.Time     `json:"at"`
+		Metrics []MetricPoint `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.At.IsZero() || len(got.Metrics) == 0 {
+		t.Fatalf("snapshot = %+v", got)
+	}
+	found := false
+	for _, p := range got.Metrics {
+		if p.Name == "gates_items_total" && p.Value == 9 && p.Labels["stage"] == "sink" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("gates_items_total missing from snapshot: %s", body)
+	}
+}
+
+func TestHandlerAdaptations(t *testing.T) {
+	o, _ := newTestBundle(t)
+	_, _, body := get(t, Handler(o), "/adaptations")
+	var got struct {
+		Total  uint64            `json:"total"`
+		Events []AdaptationEvent `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Total != 1 || len(got.Events) != 1 || got.Events[0].DeltaP != -0.25 {
+		t.Fatalf("adaptations = %+v", got)
+	}
+}
+
+func TestHandlerTraces(t *testing.T) {
+	o, _ := newTestBundle(t)
+	_, _, body := get(t, Handler(o), "/traces")
+	var got struct {
+		Started uint64       `json:"started"`
+		Sampled uint64       `json:"sampled"`
+		Spans   []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Started != 1 || got.Sampled != 1 || len(got.Spans) != 1 {
+		t.Fatalf("traces = %+v", got)
+	}
+	if got.Spans[0].Name != "stage.batch" || got.Spans[0].Duration != 5*time.Millisecond {
+		t.Fatalf("span = %+v", got.Spans[0])
+	}
+}
+
+func TestHandlerIndexAndNotFound(t *testing.T) {
+	o, _ := newTestBundle(t)
+	h := Handler(o)
+	code, _, body := get(t, h, "/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+	if code, _, _ := get(t, h, "/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status %d", code)
+	}
+}
+
+func TestHandlerDisabledTracer(t *testing.T) {
+	o := New(clock.NewManual(), Config{SampleEvery: -1})
+	_, _, body := get(t, Handler(o), "/traces")
+	var got struct {
+		Started uint64       `json:"started"`
+		Spans   []SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Started != 0 || len(got.Spans) != 0 {
+		t.Fatalf("disabled tracer served %+v", got)
+	}
+	// /adaptations must serve an empty list, not null.
+	_, _, body = get(t, Handler(o), "/adaptations")
+	if !strings.Contains(body, `"events": []`) {
+		t.Fatalf("empty trail not an empty list: %s", body)
+	}
+}
+
+func TestServeOverTCP(t *testing.T) {
+	o, _ := newTestBundle(t)
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "gates_items_total") {
+		t.Fatalf("GET /metrics over TCP: %d %s", resp.StatusCode, body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

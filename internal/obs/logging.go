@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+// NewLogger returns a structured logger whose records are stamped with the
+// virtual clock instead of wall time, so a 500x-compressed experiment's log
+// reads like the real-time run it models. Nil level means slog.LevelInfo.
+func NewLogger(w io.Writer, clk clock.Clock, level slog.Leveler) *slog.Logger {
+	if clk == nil {
+		panic("obs: NewLogger requires a clock")
+	}
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	inner := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return slog.New(&clockHandler{inner: inner, clk: clk})
+}
+
+// clockHandler rewrites every record's timestamp to the virtual clock
+// before delegating to the wrapped handler.
+type clockHandler struct {
+	inner slog.Handler
+	clk   clock.Clock
+}
+
+func (h *clockHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.inner.Enabled(ctx, lvl)
+}
+
+func (h *clockHandler) Handle(ctx context.Context, r slog.Record) error {
+	r.Time = h.clk.Now()
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *clockHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &clockHandler{inner: h.inner.WithAttrs(attrs), clk: h.clk}
+}
+
+func (h *clockHandler) WithGroup(name string) slog.Handler {
+	return &clockHandler{inner: h.inner.WithGroup(name), clk: h.clk}
+}
+
+// Nop returns a logger that discards everything without formatting it —
+// the default for unobserved components, cheap enough to call on any path.
+func Nop() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

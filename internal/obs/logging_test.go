@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+func TestLoggerStampsVirtualTime(t *testing.T) {
+	clk := clock.NewManual()
+	clk.AdvanceTo(time.Date(2004, 6, 8, 12, 0, 0, 0, time.UTC))
+	var b strings.Builder
+	log := NewLogger(&b, clk, nil)
+	log.Info("stage started", "stage", "analyze")
+	line := b.String()
+	if !strings.Contains(line, "2004-06-08T12:00:00") {
+		t.Fatalf("log line not stamped with virtual time: %q", line)
+	}
+	if !strings.Contains(line, "stage=analyze") || !strings.Contains(line, `msg="stage started"`) {
+		t.Fatalf("log line missing attrs: %q", line)
+	}
+}
+
+func TestLoggerWithAttrsKeepsClock(t *testing.T) {
+	clk := clock.NewManual()
+	clk.AdvanceTo(time.Date(2004, 6, 8, 0, 0, 0, 0, time.UTC))
+	var b strings.Builder
+	log := NewLogger(&b, clk, nil).With("node", "n1").WithGroup("adapt")
+	clk.Advance(time.Hour)
+	log.Info("adjusted", "deltaP", 0.5)
+	line := b.String()
+	if !strings.Contains(line, "2004-06-08T01:00:00") {
+		t.Fatalf("derived logger lost the virtual clock: %q", line)
+	}
+	if !strings.Contains(line, "node=n1") || !strings.Contains(line, "adapt.deltaP=0.5") {
+		t.Fatalf("derived logger lost attrs/groups: %q", line)
+	}
+}
+
+func TestLoggerLevelFilter(t *testing.T) {
+	var b strings.Builder
+	log := NewLogger(&b, clock.NewManual(), slog.LevelWarn)
+	log.Info("quiet")
+	log.Warn("loud")
+	out := b.String()
+	if strings.Contains(out, "quiet") || !strings.Contains(out, "loud") {
+		t.Fatalf("level filter wrong: %q", out)
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	log := Nop()
+	if log.Enabled(nil, slog.LevelError) {
+		t.Fatal("nop logger claims to be enabled")
+	}
+	log.Error("goes nowhere") // must not panic
+	log.With("k", "v").WithGroup("g").Info("still nowhere")
+}

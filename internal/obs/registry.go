@@ -1,0 +1,559 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+// Kind discriminates metric families.
+type Kind int
+
+const (
+	// KindCounter is a monotonically non-decreasing cumulative count.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous value that may move either way.
+	KindGauge
+	// KindHistogram is a bucketed distribution with sum and count.
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Registry is the process-wide metric store every layer publishes into.
+// Instruments come in two flavors: owned (Counter/Gauge/Histogram, updated
+// on the hot path with atomic operations) and callback (CounterFunc /
+// GaugeFunc, evaluated only at scrape time — zero hot-path cost, which is
+// how existing per-component counters like queue.Stats are exposed without
+// double-counting every increment).
+//
+// Registration is idempotent: asking for an existing (name, labels) series
+// returns the live instrument, and re-registering a callback replaces the
+// function — exactly what a restarted stage needs so its fresh counters
+// take over the series. Registering the same name with a different Kind
+// panics, since that is always a programming error.
+type Registry struct {
+	clk clock.Clock
+
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+type family struct {
+	name, help string
+	kind       Kind
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+type series struct {
+	labels  []labelPair
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fnMu    sync.Mutex
+	fn      func() float64
+}
+
+type labelPair struct{ name, value string }
+
+func (s *series) value() float64 {
+	switch {
+	case s.counter != nil:
+		return s.counter.Value()
+	case s.gauge != nil:
+		return s.gauge.Value()
+	default:
+		s.fnMu.Lock()
+		fn := s.fn
+		s.fnMu.Unlock()
+		if fn == nil {
+			return 0
+		}
+		return fn()
+	}
+}
+
+// NewRegistry returns an empty registry on clk; the clock timestamps
+// snapshots and drives Time'd histogram observations.
+func NewRegistry(clk clock.Clock) *Registry {
+	if clk == nil {
+		panic("obs: NewRegistry requires a clock")
+	}
+	return &Registry{clk: clk, families: make(map[string]*family)}
+}
+
+// Clock returns the registry's time base.
+func (r *Registry) Clock() clock.Clock { return r.clk }
+
+func (r *Registry) familyFor(name, help string, kind Kind) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+	}
+	return f
+}
+
+func canonical(labels map[string]string) (string, []labelPair) {
+	if len(labels) == 0 {
+		return "", nil
+	}
+	pairs := make([]labelPair, 0, len(labels))
+	for k, v := range labels {
+		pairs = append(pairs, labelPair{k, v})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].name < pairs[j].name })
+	var b strings.Builder
+	for _, p := range pairs {
+		b.WriteString(p.name)
+		b.WriteByte('=')
+		b.WriteString(p.value)
+		b.WriteByte(',')
+	}
+	return b.String(), pairs
+}
+
+// Counter registers (or retrieves) an owned counter series.
+func (r *Registry) Counter(name, help string, labels map[string]string) *Counter {
+	f := r.familyFor(name, help, KindCounter)
+	key, pairs := canonical(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok && s.counter != nil {
+		return s.counter
+	}
+	c := &Counter{}
+	f.series[key] = &series{labels: pairs, counter: c}
+	return c
+}
+
+// CounterFunc registers a counter series whose value is fn(), evaluated at
+// scrape time. Re-registering an existing series replaces fn.
+func (r *Registry) CounterFunc(name, help string, labels map[string]string, fn func() float64) {
+	r.registerFunc(name, help, KindCounter, labels, fn)
+}
+
+// Gauge registers (or retrieves) an owned gauge series.
+func (r *Registry) Gauge(name, help string, labels map[string]string) *Gauge {
+	f := r.familyFor(name, help, KindGauge)
+	key, pairs := canonical(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok && s.gauge != nil {
+		return s.gauge
+	}
+	g := &Gauge{}
+	f.series[key] = &series{labels: pairs, gauge: g}
+	return g
+}
+
+// GaugeFunc registers a gauge series whose value is fn(), evaluated at
+// scrape time. Re-registering an existing series replaces fn.
+func (r *Registry) GaugeFunc(name, help string, labels map[string]string, fn func() float64) {
+	r.registerFunc(name, help, KindGauge, labels, fn)
+}
+
+func (r *Registry) registerFunc(name, help string, kind Kind, labels map[string]string, fn func() float64) {
+	f := r.familyFor(name, help, kind)
+	key, pairs := canonical(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		s.fnMu.Lock()
+		s.fn = fn
+		s.fnMu.Unlock()
+		return
+	}
+	f.series[key] = &series{labels: pairs, fn: fn}
+}
+
+// DefBuckets is the default histogram bucketing: virtual-second latencies
+// from 100µs to ~100s in powers of ~4.6.
+var DefBuckets = []float64{1e-4, 5e-4, 1e-3, 5e-3, 2.5e-2, 1e-1, 5e-1, 2.5, 10, 100}
+
+// Histogram registers (or retrieves) a histogram series. Nil buckets select
+// DefBuckets; bounds must be strictly increasing.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels map[string]string) *Histogram {
+	f := r.familyFor(name, help, KindHistogram)
+	key, pairs := canonical(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok && s.hist != nil {
+		return s.hist
+	}
+	h := newHistogram(buckets)
+	f.series[key] = &series{labels: pairs, hist: h}
+	return h
+}
+
+// Time starts a virtual-clock timer; the returned function observes the
+// elapsed virtual seconds into h. Usage: defer reg.Time(h)().
+func (r *Registry) Time(h *Histogram) func() {
+	start := r.clk.Now()
+	return func() { h.Observe(r.clk.Now().Sub(start).Seconds()) }
+}
+
+// Value returns the current value of one series (evaluating its callback if
+// it has one) and whether the series exists. Histogram series report their
+// observation count.
+func (r *Registry) Value(name string, labels map[string]string) (float64, bool) {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	key, _ := canonical(labels)
+	f.mu.Lock()
+	s, ok := f.series[key]
+	f.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	if s.hist != nil {
+		_, count, _ := s.hist.State()
+		return float64(count), true
+	}
+	return s.value(), true
+}
+
+// JSONFloat is a float64 that survives JSON encoding when non-finite:
+// NaN and ±Inf — legal metric values (a d̃ gauge before its first
+// observation, every histogram's +Inf bucket bound) — marshal as the
+// strings "NaN", "+Inf", and "-Inf" instead of aborting the encoder.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, accepting both numbers and the
+// non-finite string forms MarshalJSON produces.
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
+	var v float64
+	if err := json.Unmarshal(b, &v); err == nil {
+		*f = JSONFloat(v)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "NaN":
+		*f = JSONFloat(math.NaN())
+	case "+Inf", "Inf":
+		*f = JSONFloat(math.Inf(1))
+	case "-Inf":
+		*f = JSONFloat(math.Inf(-1))
+	default:
+		return fmt.Errorf("obs: invalid float %q", s)
+	}
+	return nil
+}
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	// UpperBound is the bucket's inclusive upper bound (+Inf last).
+	UpperBound JSONFloat `json:"le"`
+	// Count is the cumulative observation count at or below UpperBound.
+	Count uint64 `json:"count"`
+}
+
+// MetricPoint is one series in a JSON snapshot.
+type MetricPoint struct {
+	Name    string            `json:"name"`
+	Kind    string            `json:"kind"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   JSONFloat         `json:"value"`
+	Sum     JSONFloat         `json:"sum,omitempty"`
+	Buckets []BucketCount     `json:"buckets,omitempty"`
+}
+
+// Snapshot evaluates every series (including callbacks) and returns them
+// sorted by name then label key — the JSON face of the registry.
+func (r *Registry) Snapshot() []MetricPoint {
+	var out []MetricPoint
+	for _, f := range r.sortedFamilies() {
+		for _, key := range f.sortedKeys() {
+			f.mu.Lock()
+			s := f.series[key]
+			f.mu.Unlock()
+			if s == nil {
+				continue
+			}
+			p := MetricPoint{Name: f.name, Kind: f.kind.String()}
+			if len(s.labels) > 0 {
+				p.Labels = make(map[string]string, len(s.labels))
+				for _, lp := range s.labels {
+					p.Labels[lp.name] = lp.value
+				}
+			}
+			if s.hist != nil {
+				sum, count, buckets := s.hist.State()
+				p.Value = JSONFloat(count)
+				p.Sum = JSONFloat(sum)
+				p.Buckets = buckets
+			} else {
+				p.Value = JSONFloat(s.value())
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func (f *family) sortedKeys() []string {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	f.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP and TYPE lines per family, one sample line
+// per series, histogram expanded to _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, key := range f.sortedKeys() {
+			f.mu.Lock()
+			s := f.series[key]
+			f.mu.Unlock()
+			if s == nil {
+				continue
+			}
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	if s.hist == nil {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(s.labels, "", 0), formatValue(s.value()))
+		return err
+	}
+	sum, count, buckets := s.hist.State()
+	for _, b := range buckets {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, formatLabels(s.labels, "le", float64(b.UpperBound)), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, formatLabels(s.labels, "", 0), formatValue(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, formatLabels(s.labels, "", 0), count)
+	return err
+}
+
+func formatLabels(pairs []labelPair, le string, bound float64) string {
+	if len(pairs) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// %q covers the exposition format's escaping rules (backslash,
+		// quote, newline).
+		fmt.Fprintf(&b, "%s=%q", p.name, p.value)
+	}
+	if le != "" {
+		if len(pairs) > 0 {
+			b.WriteByte(',')
+		}
+		if math.IsInf(bound, +1) {
+			b.WriteString(`le="+Inf"`)
+		} else {
+			fmt.Fprintf(&b, "le=%q", formatValue(bound))
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Counter is a monotonically non-decreasing metric. The zero value is
+// usable; all methods are safe for concurrent use.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v; negative v is ignored (counters never go
+// down).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an instantaneous value. The zero value is usable; all methods
+// are safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add moves the gauge by v (negative moves it down).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Observations are atomic; State
+// assembles a consistent-enough snapshot for exposition (counts may trail
+// sum by in-flight observations, as in every lock-free histogram).
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds; +Inf is implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram buckets must be strictly increasing")
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// State returns the sum, total count, and cumulative buckets (ending with
+// the +Inf bucket).
+func (h *Histogram) State() (sum float64, count uint64, buckets []BucketCount) {
+	buckets = make([]BucketCount, len(h.bounds)+1)
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		bound := math.Inf(+1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		buckets[i] = BucketCount{UpperBound: JSONFloat(bound), Count: cum}
+	}
+	return math.Float64frombits(h.sumBits.Load()), h.count.Load(), buckets
+}
+
+// SinceSeconds returns the virtual seconds elapsed since start on clk — the
+// helper instrumented code uses to observe durations into histograms.
+func SinceSeconds(clk clock.Clock, start time.Time) float64 {
+	return clk.Now().Sub(start).Seconds()
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry(clock.NewManual())
+	c := r.Counter("reqs_total", "requests", map[string]string{"stage": "a"})
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-10) // ignored: counters never go down
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	// Idempotent re-registration returns the same instrument.
+	if again := r.Counter("reqs_total", "requests", map[string]string{"stage": "a"}); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("depth", "queue depth", nil)
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %v, want 4", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry(clock.NewManual())
+	r.Counter("x_total", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge re-registration of a counter name did not panic")
+		}
+	}()
+	r.Gauge("x_total", "", nil)
+}
+
+func TestFuncReplacementOnReregistration(t *testing.T) {
+	r := NewRegistry(clock.NewManual())
+	labels := map[string]string{"stage": "s", "instance": "0"}
+	r.CounterFunc("items_total", "", labels, func() float64 { return 100 })
+	if v, ok := r.Value("items_total", labels); !ok || v != 100 {
+		t.Fatalf("Value = %v, %v", v, ok)
+	}
+	// A restarted component re-registers: the new callback must win so the
+	// series follows the live counters.
+	r.CounterFunc("items_total", "", labels, func() float64 { return 5 })
+	if v, _ := r.Value("items_total", labels); v != 5 {
+		t.Fatalf("after replacement Value = %v, want 5", v)
+	}
+}
+
+func TestValueMissingSeries(t *testing.T) {
+	r := NewRegistry(clock.NewManual())
+	if _, ok := r.Value("nope", nil); ok {
+		t.Fatal("missing family reported ok")
+	}
+	r.Counter("present", "", map[string]string{"a": "1"})
+	if _, ok := r.Value("present", map[string]string{"a": "2"}); ok {
+		t.Fatal("missing series reported ok")
+	}
+}
+
+func TestHistogramBucketsAndTiming(t *testing.T) {
+	clk := clock.NewManual()
+	r := NewRegistry(clk)
+	h := r.Histogram("latency_seconds", "", []float64{0.1, 1, 10}, nil)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	sum, count, buckets := h.State()
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+	if sum != 56.05 {
+		t.Fatalf("sum = %v", sum)
+	}
+	wantCum := []uint64{1, 3, 4, 5}
+	for i, b := range buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+
+	// Time observes virtual elapsed seconds, driven by the Manual clock.
+	done := r.Time(h)
+	clk.Advance(2 * time.Second)
+	done()
+	_, count, _ = h.State()
+	if count != 6 {
+		t.Fatalf("count after Time = %d", count)
+	}
+	sum, _, _ = h.State()
+	if sum != 58.05 {
+		t.Fatalf("sum after Time = %v (2 virtual seconds expected)", sum)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry(clock.NewManual())
+	r.Counter("gates_items_total", "items processed", map[string]string{"stage": "sink", "instance": "0"}).Add(42)
+	r.GaugeFunc("gates_depth", "queue depth", map[string]string{"stage": "sink"}, func() float64 { return 7 })
+	h := r.Histogram("gates_batch_seconds", "batch time", []float64{0.5}, nil)
+	h.Observe(0.25)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP gates_items_total items processed",
+		"# TYPE gates_items_total counter",
+		`gates_items_total{instance="0",stage="sink"} 42`,
+		"# TYPE gates_depth gauge",
+		`gates_depth{stage="sink"} 7`,
+		"# TYPE gates_batch_seconds histogram",
+		`gates_batch_seconds_bucket{le="0.5"} 1`,
+		`gates_batch_seconds_bucket{le="+Inf"} 2`,
+		"gates_batch_seconds_sum 2.25",
+		"gates_batch_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotSortedAndLabeled(t *testing.T) {
+	r := NewRegistry(clock.NewManual())
+	r.Counter("b_total", "", nil).Inc()
+	r.Counter("a_total", "", map[string]string{"k": "v"}).Add(3)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d points", len(snap))
+	}
+	if snap[0].Name != "a_total" || snap[0].Value != 3 || snap[0].Labels["k"] != "v" {
+		t.Fatalf("first point = %+v", snap[0])
+	}
+	if snap[1].Name != "b_total" || snap[1].Value != 1 {
+		t.Fatalf("second point = %+v", snap[1])
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry(clock.NewManual())
+	c := r.Counter("c_total", "", nil)
+	g := r.Gauge("g", "", nil)
+	h := r.Histogram("h_seconds", "", nil, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 {
+		t.Fatalf("counter %v gauge %v, want 8000", c.Value(), g.Value())
+	}
+	if _, count, _ := h.State(); count != 8000 {
+		t.Fatalf("histogram count %v, want 8000", count)
+	}
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+// DefaultSampleEvery is the default trace sampling period: one span
+// recorded per this many started.
+const DefaultSampleEvery = 64
+
+// DefaultTraceCapacity is the default retained-span ring size.
+const DefaultTraceCapacity = 256
+
+// Tracer samples lightweight spans on the hot data path. The unsampled
+// fast path is one atomic increment and a branch — no clock read, no
+// allocation — so instrumenting a per-batch loop costs effectively nothing
+// between samples. Sampled spans read the virtual clock at start and end
+// and land in a bounded ring.
+//
+// A nil *Tracer is valid: Start returns an inert span.
+type Tracer struct {
+	clk   clock.Clock
+	every uint64
+
+	seq     atomic.Uint64 // spans started via Start
+	sampled atomic.Uint64 // spans recorded
+
+	mu    sync.Mutex
+	ops   []*Op
+	ring  []SpanRecord
+	next  int
+	count int
+}
+
+// NewTracer returns a tracer sampling one span in every `every` started
+// (<=0 selects DefaultSampleEvery; 1 records everything), retaining up to
+// capacity completed spans (<=0 selects DefaultTraceCapacity).
+func NewTracer(clk clock.Clock, every, capacity int) *Tracer {
+	if clk == nil {
+		panic("obs: NewTracer requires a clock")
+	}
+	if every <= 0 {
+		every = DefaultSampleEvery
+	}
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{clk: clk, every: uint64(every), ring: make([]SpanRecord, capacity)}
+}
+
+// SampleEvery returns the sampling period.
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.every)
+}
+
+// Start begins a span. On a nil tracer, or when this span falls between
+// samples, the returned span is inert (Sampled reports false and End is
+// free). Safe for concurrent use.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	n := t.seq.Add(1)
+	if (n-1)%t.every != 0 {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: t.clk.Now()}
+}
+
+// Op is a per-call-site sampling handle. Start on a shared Tracer bounces
+// one cache line between every hot goroutine in the process; an Op gives a
+// call site its own padded counter, so concurrent stages sample
+// independently at full speed. Create one per instrumented site at setup
+// time and reuse it. A nil *Op (from a nil or disabled tracer) starts inert
+// spans.
+type Op struct {
+	t    *Tracer
+	name string
+	seq  atomic.Uint64
+	_    [48]byte // pad Op past a cache line; hot counters must not false-share
+}
+
+// Op returns a sampling handle for one call site. Each handle samples on
+// its own 1-in-every cadence, starting with its first span.
+func (t *Tracer) Op(name string) *Op {
+	if t == nil {
+		return nil
+	}
+	op := &Op{t: t, name: name}
+	t.mu.Lock()
+	t.ops = append(t.ops, op)
+	t.mu.Unlock()
+	return op
+}
+
+// Start begins a span on this call site's cadence; between samples it
+// returns an inert span at the cost of one uncontended atomic increment.
+func (o *Op) Start() Span {
+	if o == nil {
+		return Span{}
+	}
+	n := o.seq.Add(1)
+	if (n-1)%o.t.every != 0 {
+		return Span{}
+	}
+	return Span{t: o.t, name: o.name, start: o.t.clk.Now()}
+}
+
+// Counts returns how many spans were started (across Start and every Op)
+// and how many were recorded.
+func (t *Tracer) Counts() (started, sampled uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	started = t.seq.Load()
+	t.mu.Lock()
+	ops := t.ops
+	t.mu.Unlock()
+	for _, op := range ops {
+		started += op.seq.Load()
+	}
+	return started, t.sampled.Load()
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, t.count)
+	start := t.next - t.count
+	for i := 0; i < t.count; i++ {
+		idx := (start + i + len(t.ring)) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+func (t *Tracer) record(r SpanRecord) {
+	t.sampled.Add(1)
+	t.mu.Lock()
+	t.ring[t.next] = r
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	}
+	t.mu.Unlock()
+}
+
+// SpanAttr is one numeric annotation on a span. Attributes are numeric on
+// purpose: the hot path never formats strings for a span that may be
+// thrown away.
+type SpanAttr struct {
+	Key   string  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+// SpanRecord is one completed, sampled span.
+type SpanRecord struct {
+	// Name identifies the operation (e.g. "stage.batch", "link.flush").
+	Name string `json:"name"`
+	// Start is the span's virtual start time.
+	Start time.Time `json:"start"`
+	// Duration is the span's virtual elapsed time.
+	Duration time.Duration `json:"duration_ns"`
+	// Attrs are the annotations added during the span.
+	Attrs []SpanAttr `json:"attrs,omitempty"`
+}
+
+// Span is one in-flight trace span. The zero value is inert.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+	attrs []SpanAttr
+}
+
+// Sampled reports whether this span will be recorded. Use it to gate any
+// extra work (building annotations, timing sub-steps) on the sampled path.
+func (s *Span) Sampled() bool { return s.t != nil }
+
+// Annotate attaches a numeric attribute; a no-op on inert spans.
+func (s *Span) Annotate(key string, value float64) {
+	if s.t == nil {
+		return
+	}
+	s.attrs = append(s.attrs, SpanAttr{Key: key, Value: value})
+}
+
+// End completes the span and returns its virtual duration (zero for inert
+// spans).
+func (s *Span) End() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	d := s.t.clk.Now().Sub(s.start)
+	s.t.record(SpanRecord{Name: s.name, Start: s.start, Duration: d, Attrs: s.attrs})
+	s.t = nil
+	return d
+}

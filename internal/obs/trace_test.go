@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+func TestTracerSamplingCadence(t *testing.T) {
+	clk := clock.NewManual()
+	tr := NewTracer(clk, 4, 16)
+	var recorded int
+	for i := 0; i < 12; i++ {
+		sp := tr.Start("op")
+		if sp.Sampled() {
+			recorded++
+			clk.Advance(time.Millisecond)
+		}
+		sp.End()
+	}
+	if recorded != 3 {
+		t.Fatalf("sampled %d of 12 at 1-in-4, want 3", recorded)
+	}
+	started, sampled := tr.Counts()
+	if started != 12 || sampled != 3 {
+		t.Fatalf("counts = %d started / %d sampled", started, sampled)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("retained %d spans", len(spans))
+	}
+	for _, s := range spans {
+		if s.Name != "op" || s.Duration != time.Millisecond {
+			t.Fatalf("span %+v, want name=op duration=1ms", s)
+		}
+	}
+}
+
+func TestTracerFirstSpanSampled(t *testing.T) {
+	tr := NewTracer(clock.NewManual(), 64, 8)
+	if sp := tr.Start("first"); !sp.Sampled() {
+		t.Fatal("first span must be sampled so short runs still trace")
+	}
+}
+
+func TestInertSpansAreFree(t *testing.T) {
+	// Zero-value span: every method is a no-op.
+	var sp Span
+	if sp.Sampled() {
+		t.Fatal("zero span reports sampled")
+	}
+	sp.Annotate("k", 1)
+	if d := sp.End(); d != 0 {
+		t.Fatalf("zero span End = %v", d)
+	}
+
+	// Nil tracer: Start works and returns inert spans.
+	var tr *Tracer
+	s2 := tr.Start("x")
+	if s2.Sampled() {
+		t.Fatal("nil tracer produced a sampled span")
+	}
+	s2.End()
+	if got, _ := tr.Counts(); got != 0 {
+		t.Fatalf("nil tracer counts = %d", got)
+	}
+	if tr.Spans() != nil {
+		t.Fatal("nil tracer has spans")
+	}
+}
+
+func TestSpanAnnotationsAndRing(t *testing.T) {
+	clk := clock.NewManual()
+	tr := NewTracer(clk, 1, 2) // sample everything, keep 2
+	for i := 0; i < 5; i++ {
+		sp := tr.Start("batch")
+		sp.Annotate("items", float64(i))
+		sp.End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("ring retained %d, want 2", len(spans))
+	}
+	// Oldest-first: the last two recorded were i=3 and i=4.
+	if spans[0].Attrs[0].Value != 3 || spans[1].Attrs[0].Value != 4 {
+		t.Fatalf("ring order wrong: %+v", spans)
+	}
+}
+
+func TestSpanDoubleEndRecordsOnce(t *testing.T) {
+	tr := NewTracer(clock.NewManual(), 1, 8)
+	sp := tr.Start("op")
+	sp.End()
+	sp.End()
+	if _, sampled := tr.Counts(); sampled != 1 {
+		t.Fatalf("double End recorded %d spans", sampled)
+	}
+}
+
+func TestTracerOpCadence(t *testing.T) {
+	tr := NewTracer(clock.NewManual(), 4, 16)
+	a, b := tr.Op("a"), tr.Op("b")
+	var aSampled int
+	for i := 0; i < 8; i++ {
+		if sp := a.Start(); sp.Sampled() {
+			aSampled++
+			sp.End()
+		}
+	}
+	if aSampled != 2 {
+		t.Fatalf("op a sampled %d of 8 at 1-in-4, want 2", aSampled)
+	}
+	// Each op samples on its own cadence: b's first span is sampled even
+	// though a has already burned eight.
+	if sp := b.Start(); !sp.Sampled() {
+		t.Fatal("op b's first span not sampled")
+	} else {
+		sp.End()
+	}
+	started, sampled := tr.Counts()
+	if started != 9 || sampled != 3 {
+		t.Fatalf("Counts() = %d started, %d sampled, want 9, 3", started, sampled)
+	}
+}
+
+func TestTracerOpNil(t *testing.T) {
+	var tr *Tracer
+	op := tr.Op("x")
+	if op != nil {
+		t.Fatal("nil tracer returned a non-nil op")
+	}
+	sp := op.Start()
+	if sp.Sampled() {
+		t.Fatal("nil op produced a sampled span")
+	}
+	sp.Annotate("k", 1)
+	sp.End()
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/gates-middleware/gates/internal/adapt"
 	"github.com/gates-middleware/gates/internal/clock"
 	"github.com/gates-middleware/gates/internal/netsim"
+	"github.com/gates-middleware/gates/internal/obs"
 	"github.com/gates-middleware/gates/internal/queue"
 )
 
@@ -23,6 +24,7 @@ type Engine struct {
 	stages   []*Stage
 	started  bool
 	defBatch int
+	o        *obs.Observability
 }
 
 // New returns an empty engine on the given clock.
@@ -177,8 +179,9 @@ func (e *Engine) Run(ctx context.Context) error {
 	e.started = true
 	stages := make([]*Stage, len(e.stages))
 	copy(stages, e.stages)
-	// Resolve batch sizes before any stage goroutine starts: zero inherits
-	// the engine default, and everything clamps to at least 1.
+	// Resolve batch sizes and attach observability before any stage
+	// goroutine starts: zero batch inherits the engine default, and
+	// everything clamps to at least 1.
 	for _, st := range stages {
 		if st.cfg.BatchSize == 0 {
 			st.cfg.BatchSize = e.defBatch
@@ -186,8 +189,18 @@ func (e *Engine) Run(ctx context.Context) error {
 		if st.cfg.BatchSize < 1 {
 			st.cfg.BatchSize = 1
 		}
+		if e.o != nil {
+			st.o = e.o
+			st.procOp = e.o.Tracer.Op("stage.process")
+			st.batchOp = e.o.Tracer.Op("stage.batch")
+			st.flushOp = e.o.Tracer.Op("emitter.flush")
+			st.Instrument(e.o.Registry)
+		}
 	}
+	o := e.o
 	e.mu.Unlock()
+
+	o.Log().Info("pipeline run starting", "stages", len(stages))
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -213,14 +226,22 @@ func (e *Engine) Run(ctx context.Context) error {
 		wg.Add(1)
 		go func(st *Stage) {
 			defer wg.Done()
+			st.o.Log().Debug("stage started",
+				"stage", st.id, "instance", st.instance, "node", st.node,
+				"batch", st.cfg.BatchSize)
 			err := st.run(ctx)
 			st.mu.Lock()
 			st.err = err
 			st.mu.Unlock()
 			close(st.doneCh)
 			if err != nil {
+				st.o.Log().Warn("stage failed",
+					"stage", st.id, "instance", st.instance, "err", err)
 				errOnce.Do(func() { firstErr = err })
 				cancel()
+			} else {
+				st.o.Log().Debug("stage finished",
+					"stage", st.id, "instance", st.instance)
 			}
 		}(st)
 	}
@@ -231,8 +252,10 @@ func (e *Engine) Run(ctx context.Context) error {
 		st.in.Close()
 	}
 	if firstErr != nil {
+		o.Log().Error("pipeline run failed", "err", firstErr)
 		return firstErr
 	}
+	o.Log().Info("pipeline run finished", "stages", len(stages))
 	if err := ctx.Err(); err != nil && !errors.Is(err, context.Canceled) {
 		return err
 	}
@@ -247,6 +270,7 @@ func (s *Stage) adaptLoopFor(ctx context.Context) {
 		return
 	}
 	ticks := 0
+	var rates epochRates
 	for {
 		select {
 		case <-ctx.Done():
@@ -257,9 +281,12 @@ func (s *Stage) adaptLoopFor(ctx context.Context) {
 		}
 		ticks++
 		if ticks%s.cfg.AdjustEvery == 0 {
-			adjs := s.ctrl.Adjust()
-			if s.cfg.OnAdjust != nil && len(adjs) > 0 {
-				s.cfg.OnAdjust(s, s.clk.Now(), adjs)
+			now := s.clk.Now()
+			res := s.ctrl.AdjustDetailed()
+			lambda, mu := rates.advance(now, s.Stats())
+			s.recordAdjustment(now, res, lambda, mu)
+			if s.cfg.OnAdjust != nil && len(res.Adjustments) > 0 {
+				s.cfg.OnAdjust(s, now, res.Adjustments)
 			}
 		}
 	}

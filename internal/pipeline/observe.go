@@ -1,0 +1,158 @@
+package pipeline
+
+import (
+	"strconv"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/adapt"
+	"github.com/gates-middleware/gates/internal/obs"
+)
+
+// SetObservability attaches an observability bundle to the engine. At Run
+// every stage is instrumented into the bundle's registry, hot-path spans go
+// to its tracer, adaptation epochs land in its audit trail, and lifecycle
+// events in its log. Nil (the default) means unobserved: the only residual
+// cost on the data path is a pair of nil checks. Calling it after Run has
+// started has no effect.
+func (e *Engine) SetObservability(o *obs.Observability) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return
+	}
+	e.o = o
+}
+
+// ObsLabels is the identity label set every metric of this stage carries in
+// a registry; consumers (internal/monitor) use it to look the series up.
+func (s *Stage) ObsLabels() map[string]string {
+	return map[string]string{
+		"stage":    s.id,
+		"instance": strconv.Itoa(s.instance),
+		"node":     s.node,
+	}
+}
+
+// Instrument publishes the stage's counters into reg as scrape-time callback
+// series, so the hot path keeps updating only its existing atomic stats.
+// Registration is idempotent and replaces callbacks, which is exactly what a
+// restarted stage instance needs: the series names stay stable while the
+// callbacks follow the live (reset) counters. A nil registry is a no-op.
+func (s *Stage) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	lb := s.ObsLabels()
+
+	reg.CounterFunc("gates_stage_packets_in_total",
+		"Data packets consumed by the stage.", lb,
+		func() float64 { return float64(s.Stats().PacketsIn) })
+	reg.CounterFunc("gates_stage_items_in_total",
+		"Data items consumed by the stage.", lb,
+		func() float64 { return float64(s.Stats().ItemsIn) })
+	reg.CounterFunc("gates_stage_packets_out_total",
+		"Data packets emitted by the stage.", lb,
+		func() float64 { return float64(s.Stats().PacketsOut) })
+	reg.CounterFunc("gates_stage_items_out_total",
+		"Data items emitted by the stage.", lb,
+		func() float64 { return float64(s.Stats().ItemsOut) })
+	reg.CounterFunc("gates_stage_bytes_out_total",
+		"Payload bytes emitted by the stage.", lb,
+		func() float64 { return float64(s.Stats().BytesOut) })
+	reg.CounterFunc("gates_stage_compute_seconds_total",
+		"Virtual compute time charged by the stage's processing code.", lb,
+		func() float64 { return s.Stats().ComputeCharged.Seconds() })
+
+	reg.GaugeFunc("gates_queue_depth",
+		"Current input-queue occupancy d.", lb,
+		func() float64 { return float64(s.in.Len()) })
+	reg.CounterFunc("gates_queue_pushed_total",
+		"Packets accepted into the input queue.", lb,
+		func() float64 { return float64(s.in.Stats().Pushed) })
+	reg.CounterFunc("gates_queue_popped_total",
+		"Packets drained from the input queue.", lb,
+		func() float64 { return float64(s.in.Stats().Popped) })
+	reg.CounterFunc("gates_queue_blocked_pushes_total",
+		"Pushes that blocked on a full queue (backpressure events).", lb,
+		func() float64 { return float64(s.in.Stats().BlockedPushes) })
+	reg.CounterFunc("gates_queue_blocked_pops_total",
+		"Pops that blocked on an empty queue.", lb,
+		func() float64 { return float64(s.in.Stats().BlockedPops) })
+	reg.GaugeFunc("gates_queue_high_water",
+		"Highest input-queue occupancy observed.", lb,
+		func() float64 { return float64(s.in.Stats().HighWater) })
+
+	reg.CounterFunc("gates_adaptations_total",
+		"Completed adjustment epochs (ΔP law applications).", lb,
+		func() float64 { return float64(s.ctrl.Adjustments()) })
+	reg.GaugeFunc("gates_d_tilde",
+		"Long-term average queue size factor d̃.", lb,
+		func() float64 { return s.ctrl.DTilde() })
+
+	// Instrument can be called both by Engine.Run (before the stage
+	// goroutines exist) and by a monitor watching an already-running
+	// engine; serialize the owned-histogram hookup and keep the first
+	// assignment so the concurrent-run case never writes a field the
+	// drain loop is reading. (The drain loop only reads batchSec when the
+	// engine was observed at Run time, in which case it was already set
+	// under this lock before the goroutines started.)
+	h := reg.Histogram("gates_stage_batch_seconds",
+		"Virtual time to process and flush one drained input batch (sampled).",
+		nil, lb)
+	s.mu.Lock()
+	if s.batchSec == nil {
+		s.batchSec = h
+	}
+	s.mu.Unlock()
+}
+
+// recordAdjustment turns one AdjustDetailed epoch into an audit event and a
+// debug log line. λ and μ are items per virtual second measured since the
+// previous adjustment epoch (zero on the first).
+func (s *Stage) recordAdjustment(now time.Time, res adapt.AdjustResult, lambda, mu float64) {
+	if s.o == nil {
+		return
+	}
+	ev := obs.AdaptationEvent{
+		At:       now,
+		Stage:    s.id,
+		Instance: s.instance,
+		Node:     s.node,
+		QueueLen: s.in.Len(),
+		DTilde:   res.DTilde,
+		Lambda:   lambda,
+		Mu:       mu,
+		T1:       res.T1,
+		T2:       res.T2,
+		DeltaP:   res.DeltaP,
+	}
+	for _, adj := range res.Adjustments {
+		ev.Params = append(ev.Params, obs.ParamDelta{Param: adj.Param, Old: adj.Old, New: adj.New})
+	}
+	s.o.Trail().Record(ev)
+	s.o.Log().Debug("adaptation adjusted",
+		"stage", s.id, "instance", s.instance, "node", s.node,
+		"d_tilde", res.DTilde, "t1", res.T1, "t2", res.T2,
+		"delta_p", res.DeltaP, "lambda", lambda, "mu", mu)
+}
+
+// epochRates derives λ/μ (items per virtual second) from the stage counters
+// accumulated since the previous adjustment epoch, mirroring how
+// internal/monitor derives rates between samples.
+type epochRates struct {
+	at       time.Time
+	itemsIn  uint64
+	itemsOut uint64
+	primed   bool
+}
+
+func (r *epochRates) advance(now time.Time, stats StageStats) (lambda, mu float64) {
+	if r.primed {
+		if dt := now.Sub(r.at).Seconds(); dt > 0 {
+			lambda = float64(stats.ItemsIn-r.itemsIn) / dt
+			mu = float64(stats.ItemsOut-r.itemsOut) / dt
+		}
+	}
+	r.at, r.itemsIn, r.itemsOut, r.primed = now, stats.ItemsIn, stats.ItemsOut, true
+	return lambda, mu
+}

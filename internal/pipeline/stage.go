@@ -10,6 +10,7 @@ import (
 	"github.com/gates-middleware/gates/internal/adapt"
 	"github.com/gates-middleware/gates/internal/clock"
 	"github.com/gates-middleware/gates/internal/netsim"
+	"github.com/gates-middleware/gates/internal/obs"
 	"github.com/gates-middleware/gates/internal/queue"
 )
 
@@ -116,6 +117,16 @@ type Stage struct {
 	pacer *clock.Pacer
 	in    *queue.Queue[*Packet]
 	ctrl  *adapt.Controller
+
+	// o, the trace ops, and batchSec are set before the stage goroutine
+	// starts (Engine.Run) and never change while running; nil means
+	// unobserved. Each stage gets its own trace ops so concurrent stages
+	// sample without sharing a counter cache line.
+	o        *obs.Observability
+	procOp   *obs.Op
+	batchOp  *obs.Op
+	flushOp  *obs.Op
+	batchSec *obs.Histogram
 
 	outs     []*edge
 	upstream []*Stage
@@ -239,9 +250,9 @@ type Emitter struct {
 	stage *Stage
 	ctx   context.Context
 
-	batch    int          // <= 1 means unbuffered
-	pending  [][]*Packet  // per outbound edge, only when batch > 1
-	buffered int          // total pending entries across edges
+	batch    int         // <= 1 means unbuffered
+	pending  [][]*Packet // per outbound edge, only when batch > 1
+	buffered int         // total pending entries across edges
 }
 
 func newEmitter(s *Stage, ctx context.Context) *Emitter {
@@ -326,6 +337,8 @@ func (e *Emitter) Flush() error {
 		return nil
 	}
 	s := e.stage
+	sp := s.flushOp.Start()
+	var sentPkts, sentBytes int
 	for i, pend := range e.pending {
 		if len(pend) == 0 {
 			continue
@@ -339,6 +352,8 @@ func (e *Emitter) Flush() error {
 			out.link.TransferBatch(sum, len(pend))
 		}
 		err := out.to.in.PushBatchCtx(e.ctx, pend)
+		sentPkts += len(pend)
+		sentBytes += sum
 		e.buffered -= len(pend)
 		e.pending[i] = pend[:0]
 		if err != nil && !errors.Is(err, queue.ErrClosed) {
@@ -347,6 +362,11 @@ func (e *Emitter) Flush() error {
 			return fmt.Errorf("pipeline: %s/%d -> %s/%d: %w",
 				s.id, s.instance, out.to.id, out.to.instance, err)
 		}
+	}
+	if sp.Sampled() {
+		sp.Annotate("packets", float64(sentPkts))
+		sp.Annotate("bytes", float64(sentBytes))
+		sp.End()
 	}
 	return nil
 }
@@ -466,8 +486,15 @@ func (s *Stage) drainOneByOne(ctx context.Context, sctx *Context, em *Emitter) e
 		s.stats.PacketsIn++
 		s.stats.ItemsIn += uint64(pkt.ItemCount())
 		s.mu.Unlock()
+		sp := s.procOp.Start()
 		if err := s.proc.Process(sctx, pkt, em); err != nil {
 			return fmt.Errorf("pipeline: process %s/%d: %w", s.id, s.instance, err)
+		}
+		if sp.Sampled() {
+			sp.Annotate("items", float64(pkt.ItemCount()))
+			if d := sp.End(); s.batchSec != nil {
+				s.batchSec.Observe(d.Seconds())
+			}
 		}
 	}
 }
@@ -489,6 +516,7 @@ func (s *Stage) drainBatched(ctx context.Context, sctx *Context, em *Emitter) er
 				return fmt.Errorf("pipeline: %s/%d: %w", s.id, s.instance, err)
 			}
 		}
+		sp := s.batchOp.Start()
 		var pktsIn, itemsIn uint64
 		done := false
 		for _, pkt := range batch[:n] {
@@ -519,6 +547,13 @@ func (s *Stage) drainBatched(ctx context.Context, sctx *Context, em *Emitter) er
 		if err := em.Flush(); err != nil {
 			return err
 		}
+		if sp.Sampled() {
+			sp.Annotate("packets", float64(pktsIn))
+			sp.Annotate("items", float64(itemsIn))
+			if d := sp.End(); s.batchSec != nil {
+				s.batchSec.Observe(d.Seconds())
+			}
+		}
 		if done {
 			return nil
 		}
@@ -530,6 +565,7 @@ func (s *Stage) drainBatched(ctx context.Context, sctx *Context, em *Emitter) er
 // parameters. It stops when the stage finishes or the run is canceled.
 func (s *Stage) adaptLoop(ctx context.Context) {
 	ticks := 0
+	var rates epochRates
 	for {
 		select {
 		case <-ctx.Done():
@@ -538,20 +574,23 @@ func (s *Stage) adaptLoop(ctx context.Context) {
 			return
 		case <-s.clk.After(s.cfg.AdaptInterval):
 		}
-		obs := s.ctrl.Observe(s.in.Len())
+		ob := s.ctrl.Observe(s.in.Len())
 		if s.cfg.OnObserve != nil {
-			s.cfg.OnObserve(s, s.clk.Now(), obs)
+			s.cfg.OnObserve(s, s.clk.Now(), ob)
 		}
-		if obs.Exception != adapt.ExceptionNone {
+		if ob.Exception != adapt.ExceptionNone {
 			for _, up := range s.upstream {
-				up.ctrl.OnDownstreamException(obs.Exception)
+				up.ctrl.OnDownstreamException(ob.Exception)
 			}
 		}
 		ticks++
 		if ticks%s.cfg.AdjustEvery == 0 {
-			adjs := s.ctrl.Adjust()
-			if s.cfg.OnAdjust != nil && len(adjs) > 0 {
-				s.cfg.OnAdjust(s, s.clk.Now(), adjs)
+			now := s.clk.Now()
+			res := s.ctrl.AdjustDetailed()
+			lambda, mu := rates.advance(now, s.Stats())
+			s.recordAdjustment(now, res, lambda, mu)
+			if s.cfg.OnAdjust != nil && len(res.Adjustments) > 0 {
+				s.cfg.OnAdjust(s, now, res.Adjustments)
 			}
 		}
 	}

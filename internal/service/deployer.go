@@ -7,6 +7,7 @@ import (
 	"github.com/gates-middleware/gates/internal/clock"
 	"github.com/gates-middleware/gates/internal/grid"
 	"github.com/gates-middleware/gates/internal/netsim"
+	"github.com/gates-middleware/gates/internal/obs"
 	"github.com/gates-middleware/gates/internal/pipeline"
 )
 
@@ -59,7 +60,14 @@ type Deployer struct {
 
 	topologyAware bool
 	defBatch      int
+	o             *obs.Observability
 }
+
+// SetObservability attaches an observability bundle installed on every
+// engine the deployer builds: deployments log placements, stages publish
+// metrics, and adaptation decisions land in the audit trail. Nil (the
+// default) means unobserved.
+func (d *Deployer) SetObservability(o *obs.Observability) { d.o = o }
 
 // SetDefaultBatchSize sets the drain/coalesce batch size the deployer
 // installs on every engine it builds (see pipeline.Engine.SetDefaultBatchSize).
@@ -133,6 +141,9 @@ func (d *Deployer) Deploy(cfg *AppConfig, tuning StageTuning) (*Deployment, erro
 	if d.defBatch > 0 {
 		eng.SetDefaultBatchSize(d.defBatch)
 	}
+	if d.o != nil {
+		eng.SetObservability(d.o)
+	}
 	stages := make(map[string][]*pipeline.Stage, len(cfg.Stages))
 	for i := range cfg.Stages {
 		s := &cfg.Stages[i]
@@ -201,6 +212,16 @@ func (d *Deployer) Deploy(cfg *AppConfig, tuning StageTuning) (*Deployment, erro
 					}
 				}
 			}
+		}
+	}
+
+	// 4. Observation: once wiring has materialized the links, publish them
+	// and log where everything landed.
+	if d.o != nil {
+		d.net.Instrument(d.o.Registry)
+		for _, p := range placements {
+			d.o.Log().Info("instance placed",
+				"app", cfg.Name, "stage", p.StageID, "instance", p.Instance, "node", p.Node)
 		}
 	}
 

@@ -69,8 +69,11 @@ func (l *Launcher) Launch(ctx context.Context, locator string, tuning StageTunin
 func (l *Launcher) LaunchConfig(ctx context.Context, cfg *AppConfig, tuning StageTuning) (*Application, error) {
 	dep, err := l.deployer.Deploy(cfg, tuning)
 	if err != nil {
+		l.deployer.o.Log().Warn("deployment failed", "app", cfg.Name, "err", err)
 		return nil, err
 	}
+	l.deployer.o.Log().Info("application launched",
+		"app", cfg.Name, "stages", len(cfg.Stages), "placements", len(dep.Placements))
 	runCtx, cancel := context.WithCancel(ctx)
 	app := &Application{
 		Deployment: dep,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/gates-middleware/gates/internal/adapt"
+	"github.com/gates-middleware/gates/internal/obs"
 	"github.com/gates-middleware/gates/internal/pipeline"
 )
 
@@ -76,6 +77,10 @@ type Ingress struct {
 	// OnException, when non-nil, receives load exceptions sent by the
 	// remote side (for delivery to a local upstream controller).
 	OnException func(adapt.Exception)
+	// Tracer, when non-nil, samples an "ingress.emit" span around each
+	// packet's hand-off into the local engine — the receiving end of the
+	// hot-path trace chain (stage → emitter → link → ingress).
+	Tracer *obs.Tracer
 
 	ch   chan *pipeline.Packet
 	done chan struct{} // closed when Run returns; Deliver stops blocking
@@ -119,6 +124,7 @@ func (i *Ingress) Deliver(m Message) {
 // expected number of final markers has arrived.
 func (i *Ingress) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
 	defer close(i.done)
+	op := i.Tracer.Op("ingress.emit")
 	finals := 0
 	for {
 		select {
@@ -132,8 +138,13 @@ func (i *Ingress) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
 				}
 				continue
 			}
+			sp := op.Start()
 			if err := out.Emit(pkt); err != nil {
 				return fmt.Errorf("transport: ingress emit: %w", err)
+			}
+			if sp.Sampled() {
+				sp.Annotate("items", float64(pkt.ItemCount()))
+				sp.End()
 			}
 		}
 	}

@@ -1,0 +1,73 @@
+package transport
+
+import "github.com/gates-middleware/gates/internal/obs"
+
+// ServerStats is a snapshot of a server endpoint's frame accounting.
+type ServerStats struct {
+	// FramesIn and BytesIn count decoded inbound frames and their payload
+	// bytes (length prefix excluded).
+	FramesIn, BytesIn uint64
+	// FramesOut and BytesOut count broadcast (exception) frames written
+	// back to upstream connections.
+	FramesOut, BytesOut uint64
+}
+
+// Stats returns the server's frame accounting.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		FramesIn:  s.framesIn.Load(),
+		BytesIn:   s.bytesIn.Load(),
+		FramesOut: s.framesOut.Load(),
+		BytesOut:  s.bytesOut.Load(),
+	}
+}
+
+// Instrument publishes the server's frame counters into reg, labeled by
+// endpoint role and name (typically the listen address). A nil registry is a
+// no-op.
+func (s *Server) Instrument(reg *obs.Registry, name string) {
+	if reg == nil {
+		return
+	}
+	lb := map[string]string{"endpoint": name, "role": "server"}
+	reg.CounterFunc("gates_transport_frames_in_total",
+		"Frames received and decoded on the endpoint.", lb,
+		func() float64 { return float64(s.framesIn.Load()) })
+	reg.CounterFunc("gates_transport_bytes_in_total",
+		"Payload bytes received on the endpoint.", lb,
+		func() float64 { return float64(s.bytesIn.Load()) })
+	reg.CounterFunc("gates_transport_frames_out_total",
+		"Exception frames broadcast back to upstream peers.", lb,
+		func() float64 { return float64(s.framesOut.Load()) })
+	reg.CounterFunc("gates_transport_bytes_out_total",
+		"Payload bytes broadcast back to upstream peers.", lb,
+		func() float64 { return float64(s.bytesOut.Load()) })
+}
+
+// ClientStats is a snapshot of a client endpoint's frame accounting.
+type ClientStats struct {
+	// FramesOut and BytesOut count frames written (payload bytes, length
+	// prefix excluded).
+	FramesOut, BytesOut uint64
+}
+
+// Stats returns the client's frame accounting.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{FramesOut: c.framesOut.Load(), BytesOut: c.bytesOut.Load()}
+}
+
+// Instrument publishes the client's frame counters into reg, labeled by
+// endpoint role and name (typically the dialed address). A nil registry is a
+// no-op.
+func (c *Client) Instrument(reg *obs.Registry, name string) {
+	if reg == nil {
+		return
+	}
+	lb := map[string]string{"endpoint": name, "role": "client"}
+	reg.CounterFunc("gates_transport_frames_out_total",
+		"Frames sent from the endpoint.", lb,
+		func() float64 { return float64(c.framesOut.Load()) })
+	reg.CounterFunc("gates_transport_bytes_out_total",
+		"Payload bytes sent from the endpoint.", lb,
+		func() float64 { return float64(c.bytesOut.Load()) })
+}

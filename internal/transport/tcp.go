@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Handler consumes messages arriving at a Server.
@@ -16,6 +17,11 @@ type Handler func(Message)
 type Server struct {
 	ln      net.Listener
 	handler Handler
+
+	framesIn  atomic.Uint64
+	bytesIn   atomic.Uint64
+	framesOut atomic.Uint64 // broadcast (exception) frames written back
+	bytesOut  atomic.Uint64
 
 	mu      sync.Mutex
 	writeMu sync.Mutex
@@ -75,6 +81,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF or broken peer: connection ends
 		}
+		s.framesIn.Add(1)
+		s.bytesIn.Add(uint64(len(frame)))
 		msg, err := Decode(frame)
 		if err != nil {
 			return // corrupt peer: drop the connection
@@ -104,7 +112,10 @@ func (s *Server) Broadcast(m Message) error {
 		s.writeMu.Unlock()
 		if err != nil {
 			c.Close()
+			continue
 		}
+		s.framesOut.Add(1)
+		s.bytesOut.Add(uint64(len(b)))
 	}
 	return nil
 }
@@ -135,6 +146,9 @@ func (s *Server) Close() error {
 // concurrent use. Messages the peer writes back (load exceptions) are
 // consumed by ReadLoop.
 type Client struct {
+	framesOut atomic.Uint64
+	bytesOut  atomic.Uint64
+
 	mu   sync.Mutex
 	conn net.Conn
 }
@@ -182,7 +196,12 @@ func (c *Client) Send(m Message) error {
 	if c.conn == nil {
 		return errors.New("transport: client closed")
 	}
-	return WriteFrame(c.conn, b)
+	if err := WriteFrame(c.conn, b); err != nil {
+		return err
+	}
+	c.framesOut.Add(1)
+	c.bytesOut.Add(uint64(len(b)))
+	return nil
 }
 
 // SendBatch encodes and frames every message, flushing them all in one
@@ -206,7 +225,16 @@ func (c *Client) SendBatch(msgs []Message) error {
 	if c.conn == nil {
 		return errors.New("transport: client closed")
 	}
-	return WriteFrames(c.conn, payloads)
+	if err := WriteFrames(c.conn, payloads); err != nil {
+		return err
+	}
+	var total uint64
+	for _, p := range payloads {
+		total += uint64(len(p))
+	}
+	c.framesOut.Add(uint64(len(payloads)))
+	c.bytesOut.Add(total)
+	return nil
 }
 
 // CloseWrite half-closes the connection: the peer observes end-of-stream

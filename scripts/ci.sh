@@ -1,12 +1,21 @@
 #!/bin/sh
-# The full CI lane: vet, build, plain tests, the race-detector lane, and a
-# short benchmark smoke. Run from anywhere; it cds to the repo root.
+# The full CI lane: vet, static analysis (when staticcheck is installed),
+# build, plain tests, the race-detector lane, a coverage run emitting
+# coverage.out, a short benchmark smoke, and the observability-overhead
+# guard. Run from anywhere; it cds to the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo "== go vet =="
 go vet ./...
+
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+fi
 
 echo "== go build =="
 go build ./...
@@ -17,8 +26,35 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== coverage =="
+go test -coverprofile=coverage.out -covermode=atomic ./...
+go tool cover -func=coverage.out | tail -1
+
 echo "== short benchmarks =="
-go test -run '^$' -bench 'BenchmarkPipelineThroughput|BenchmarkBatchSizeSweep|BenchmarkQueue' \
+go test -run '^$' -bench 'BenchmarkPipelineThroughput$|BenchmarkBatchSizeSweep|BenchmarkQueue' \
   -benchtime 100ms .
+
+echo "== observability overhead guard =="
+# The traced-but-unsampled hot path must stay within noise of the untraced
+# one: BenchmarkPipelineThroughputObserved runs the identical batch=16
+# pipeline with the full observability bundle attached (metrics callbacks
+# registered, tracer at its default 1-in-64 sampling). The acceptance target
+# is ~5% (see BENCH_pipeline.json); the guard threshold is 30% so scheduler
+# noise on loaded CI boxes does not flake the lane — a regression that
+# breaks this guard is a real one.
+guard_raw="$(go test -run '^$' \
+  -bench 'BenchmarkBatchSizeSweep/batch=16$|BenchmarkPipelineThroughputObserved' \
+  -benchtime 500ms -count 3 .)"
+echo "$guard_raw"
+echo "$guard_raw" | awk '
+/^BenchmarkBatchSizeSweep/             { base += $3; nbase++ }
+/^BenchmarkPipelineThroughputObserved/ { obs += $3; nobs++ }
+END {
+    if (nbase == 0 || nobs == 0) { print "guard: benchmarks missing"; exit 1 }
+    base /= nbase; obs /= nobs
+    ratio = obs / base
+    printf "guard: untraced %.1f ns/op, observed %.1f ns/op, ratio %.3f\n", base, obs, ratio
+    if (ratio > 1.30) { print "guard: observability overhead above 30% bound"; exit 1 }
+}'
 
 echo "CI lane green"
