@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "which artifact to regenerate: all, fig5, fig6, fig7, fig8, fig9, ablations, ext")
+		exp     = flag.String("exp", "all", "which artifact to regenerate: all, fig5, fig6, fig7, fig8, fig9, ablations, ext, migration")
 		quick   = flag.Bool("quick", false, "shrink workloads ~4x (shapes survive, absolute numbers shift)")
 		scale   = flag.Float64("scale", 0, "virtual seconds per wall second (0 = per-experiment default)")
 		seed    = flag.Int64("seed", 0, "workload seed (0 = default)")
@@ -134,8 +134,16 @@ func run(exp string, cfg experiments.Config) error {
 		hier.Render(out)
 		fmt.Fprintln(out)
 	}
+	if wantAll || exp == "migration" {
+		res, err := experiments.ExpMigration(cfg)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+		fmt.Fprintln(out)
+	}
 	switch exp {
-	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "ext":
+	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "ext", "migration":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

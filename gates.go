@@ -120,6 +120,54 @@ const (
 	MBps = netsim.MBps
 )
 
+// Plan/apply deployment and live re-deployment API.
+type (
+	// Deployment is a wired application: stages placed on nodes, links
+	// installed. App embeds it; Migrate and NodeFor live here.
+	Deployment = service.Deployment
+	// Plan is the serializable output of the planning half of
+	// deployment: stage-instance→node assignments plus link wiring.
+	// Deploy = Plan + Apply; plans are diffable and re-computable.
+	Plan = service.Plan
+	// Move is one difference between two plans (an instance changing
+	// node).
+	Move = service.Move
+	// Planner decides placements and reserves slots without
+	// instantiating anything.
+	Planner = service.Planner
+	// Rebalancer watches a deployment's placement cost against the
+	// current network and migrates stages when a better node would cut
+	// the cost past a threshold.
+	Rebalancer = service.Rebalancer
+	// RebalancerConfig tunes the rebalancer's interval, threshold,
+	// cooldown, and stage filter.
+	RebalancerConfig = service.RebalancerConfig
+	// Snapshotter is implemented by stage user code whose state must
+	// survive migration (Snapshot/Restore).
+	Snapshotter = pipeline.Snapshotter
+	// StageState is a stage's lifecycle state.
+	StageState = pipeline.StageState
+	// MigrationEvent is one recorded stage migration (see /migrations).
+	MigrationEvent = obs.MigrationEvent
+	// LifecycleEvent is one recorded stage state transition.
+	LifecycleEvent = obs.LifecycleEvent
+)
+
+// Stage lifecycle states (Init → Running → Draining → Paused → Stopped).
+const (
+	StateInit     = pipeline.StateInit
+	StateRunning  = pipeline.StateRunning
+	StateDraining = pipeline.StateDraining
+	StatePaused   = pipeline.StatePaused
+	StateStopped  = pipeline.StateStopped
+)
+
+// NewRebalancer returns a rebalancer for dep; run it with Run(ctx) in a
+// goroutine.
+func NewRebalancer(dep *Deployment, cfg RebalancerConfig) *Rebalancer {
+	return service.NewRebalancer(dep, cfg)
+}
+
 // Clock is the virtual time base (see GridOptions.TimeScale).
 type Clock = clock.Clock
 

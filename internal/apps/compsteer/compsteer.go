@@ -11,6 +11,7 @@
 package compsteer
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -148,6 +149,27 @@ func (s *Sampler) Process(_ *pipeline.Context, pkt *pipeline.Packet, out *pipeli
 
 // Finish implements pipeline.Processor.
 func (s *Sampler) Finish(*pipeline.Context, *pipeline.Emitter) error { return nil }
+
+// Snapshot implements pipeline.Snapshotter: the sampler's only migratable
+// state is its thinning credit (the rate parameter lives with the stage's
+// adaptation controller, which survives migration in place).
+func (s *Sampler) Snapshot() ([]byte, error) {
+	return json.Marshal(struct {
+		Credit float64 `json:"credit"`
+	}{Credit: s.credit})
+}
+
+// Restore implements pipeline.Snapshotter.
+func (s *Sampler) Restore(data []byte) error {
+	var w struct {
+		Credit float64 `json:"credit"`
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("compsteer: restore sampler: %w", err)
+	}
+	s.credit = w.Credit
+	return nil
+}
 
 // Analyzer is the post-processing stage; its time is linear in the volume
 // of data that survives sampling, at CostPerByte. With a FeatureThreshold

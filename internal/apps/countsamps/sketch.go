@@ -17,6 +17,7 @@
 package countsamps
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -36,6 +37,8 @@ type Sketch struct {
 	tau       float64
 	counts    map[int]int
 	rng       *rand.Rand
+	seed      int64
+	draws     uint64
 	observed  uint64
 }
 
@@ -50,7 +53,17 @@ func NewSketch(footprint int, seed int64) *Sketch {
 		tau:       1,
 		counts:    make(map[int]int, footprint+1),
 		rng:       rand.New(rand.NewSource(seed)),
+		seed:      seed,
 	}
+}
+
+// flip draws the next coin from the seeded RNG, counting draws so a
+// serialized sketch can replay the RNG to the same position on restore —
+// the property that makes a migrated sketch bit-identical to one that
+// never moved.
+func (s *Sketch) flip() float64 {
+	s.draws++
+	return s.rng.Float64()
 }
 
 // Footprint returns the current maximum number of tracked values.
@@ -86,7 +99,7 @@ func (s *Sketch) Observe(v int) {
 		s.counts[v]++
 		return
 	}
-	if s.rng.Float64() < 1/s.tau {
+	if s.flip() < 1/s.tau {
 		s.counts[v] = 1
 		for len(s.counts) > s.footprint {
 			s.raiseTau()
@@ -118,13 +131,13 @@ func (s *Sketch) raiseTau() {
 	for _, v := range values {
 		// First flip with probability τ/τ'; subsequent flips with
 		// probability 1/τ' (the value must behave as if re-admitted).
-		if s.rng.Float64() < keepFirst {
+		if s.flip() < keepFirst {
 			continue
 		}
 		c := s.counts[v]
 		for c > 0 {
 			c--
-			if s.rng.Float64() < 1/s.tau {
+			if s.flip() < 1/s.tau {
 				break
 			}
 		}
@@ -134,6 +147,68 @@ func (s *Sketch) raiseTau() {
 			s.counts[v] = c
 		}
 	}
+}
+
+// sketchWire is the serialized form of a Sketch. Values/Counts are
+// parallel slices in sorted value order so encoding is deterministic.
+type sketchWire struct {
+	Footprint int     `json:"footprint"`
+	Tau       float64 `json:"tau"`
+	Seed      int64   `json:"seed"`
+	Draws     uint64  `json:"draws"`
+	Observed  uint64  `json:"observed"`
+	Values    []int   `json:"values"`
+	Counts    []int   `json:"counts"`
+}
+
+// MarshalBinary serializes the sketch, including enough RNG provenance
+// (seed plus draw count) that UnmarshalBinary reproduces the exact
+// generator position: a restored sketch continues the same coin-flip
+// sequence the original would have.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	w := sketchWire{
+		Footprint: s.footprint,
+		Tau:       s.tau,
+		Seed:      s.seed,
+		Draws:     s.draws,
+		Observed:  s.observed,
+		Values:    make([]int, 0, len(s.counts)),
+		Counts:    make([]int, 0, len(s.counts)),
+	}
+	for v := range s.counts {
+		w.Values = append(w.Values, v)
+	}
+	sort.Ints(w.Values)
+	for _, v := range w.Values {
+		w.Counts = append(w.Counts, s.counts[v])
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalBinary replaces the sketch's state with a serialized one,
+// replaying the RNG to the recorded draw position.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	var w sketchWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("countsamps: unmarshal sketch: %w", err)
+	}
+	if w.Footprint < 1 || len(w.Values) != len(w.Counts) {
+		return fmt.Errorf("countsamps: unmarshal sketch: malformed state")
+	}
+	s.footprint = w.Footprint
+	s.tau = w.Tau
+	s.seed = w.Seed
+	s.observed = w.Observed
+	s.counts = make(map[int]int, len(w.Values)+1)
+	for i, v := range w.Values {
+		s.counts[v] = w.Counts[i]
+	}
+	s.rng = rand.New(rand.NewSource(w.Seed))
+	s.draws = 0
+	for s.draws < w.Draws {
+		s.flip()
+	}
+	return nil
 }
 
 // Estimate returns the frequency estimate for a tracked value: its sampled

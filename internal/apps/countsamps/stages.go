@@ -1,6 +1,7 @@
 package countsamps
 
 import (
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -201,6 +202,44 @@ func (s *Summarizer) flush(ctx *pipeline.Context, out *pipeline.Emitter) error {
 		Items:    len(sm.Entries),
 		WireSize: sm.WireSize(s.cfg.Cost.EntryWireSize),
 	})
+}
+
+// summarizerWire is the Summarizer's serialized migration state. The
+// adjustment parameter is not part of it: the parameter object lives with
+// the stage's adaptation controller, which survives a migration in place.
+type summarizerWire struct {
+	Since  int             `json:"since"`
+	Sketch json.RawMessage `json:"sketch"`
+}
+
+// Snapshot implements pipeline.Snapshotter: it captures the sketch
+// (including its RNG position) and the flush countdown, so a migrated
+// summarizer continues producing the exact summaries an unmoved one would.
+func (s *Summarizer) Snapshot() ([]byte, error) {
+	if s.sketch == nil {
+		return nil, fmt.Errorf("countsamps: summarizer snapshot before Init")
+	}
+	sk, err := s.sketch.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(summarizerWire{Since: s.since, Sketch: sk})
+}
+
+// Restore implements pipeline.Snapshotter.
+func (s *Summarizer) Restore(data []byte) error {
+	var w summarizerWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("countsamps: restore summarizer: %w", err)
+	}
+	if s.sketch == nil {
+		s.sketch = NewSketch(1, 0)
+	}
+	if err := s.sketch.UnmarshalBinary(w.Sketch); err != nil {
+		return err
+	}
+	s.since = w.Since
+	return nil
 }
 
 // RawCounter is the centralized version's analysis stage: one

@@ -25,6 +25,23 @@ type Report struct {
 	Ablations []AblationJSON `json:"ablations"`
 	Scaling   []ScalingRow   `json:"scalingSources"`
 	Hierarchy []HierarchyRow `json:"hierarchy"`
+	Migration *MigrationJSON `json:"migration"`
+}
+
+// MigrationJSON is the live re-deployment study.
+type MigrationJSON struct {
+	CollapseS float64            `json:"collapseS"`
+	Rows      []MigrationRowJSON `json:"rows"`
+}
+
+// MigrationRowJSON is one deployment mode's row with its trace.
+type MigrationRowJSON struct {
+	Mode             string      `json:"mode"`
+	Seconds          float64     `json:"seconds"`
+	Accuracy         float64     `json:"accuracy"`
+	Migrations       int         `json:"migrations"`
+	PostCollapseRate float64     `json:"postCollapseRate"`
+	Trace            []PointJSON `json:"trace"`
 }
 
 // SweepRowJSON is one version's row of a Figure 6/7-style sweep.
@@ -140,6 +157,22 @@ func RunAll(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("report: %w", err)
 	}
 	rep.Hierarchy = hier.Rows
+
+	mig, err := ExpMigration(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	rep.Migration = &MigrationJSON{CollapseS: mig.CollapseS}
+	for _, row := range mig.Rows {
+		rep.Migration.Rows = append(rep.Migration.Rows, MigrationRowJSON{
+			Mode:             row.Mode,
+			Seconds:          row.Seconds,
+			Accuracy:         row.Accuracy,
+			Migrations:       row.Migrations,
+			PostCollapseRate: row.PostCollapseRate,
+			Trace:            tracePoints(row.Trace),
+		})
+	}
 	return rep, nil
 }
 

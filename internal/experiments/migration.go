@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/apps/countsamps"
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/grid"
+	"github.com/gates-middleware/gates/internal/metrics"
+	"github.com/gates-middleware/gates/internal/netsim"
+	"github.com/gates-middleware/gates/internal/pipeline"
+	"github.com/gates-middleware/gates/internal/service"
+)
+
+// Migration experiment: live re-deployment under a mid-run network
+// degradation.
+//
+// The distributed count-samps application runs with one summarizer near
+// each source. Partway through, the link from the first source node to the
+// central node collapses to a tenth of its bandwidth — the kind of grid
+// condition change §1 says the middleware must adapt to. A static
+// deployment can only push its summaries through the collapsed link; a
+// deployment watched by a Rebalancer migrates the affected summarizer to a
+// well-connected helper node mid-stream (state, queue and wiring move with
+// it) and its throughput recovers. Accuracy must not suffer: the migrated
+// sketch serializes its RNG position, so it produces the same summaries it
+// would have produced in place.
+
+// MigrationRow is one deployment mode's measurements.
+type MigrationRow struct {
+	// Mode is "static" or "migrating".
+	Mode string
+	// Seconds is the virtual completion time of the whole application.
+	Seconds float64
+	// Accuracy is the final top-10 membership accuracy at the merger.
+	Accuracy float64
+	// Migrations is how many instances moved (0 for static).
+	Migrations int
+	// PostCollapseRate is the affected summarizer's consumption rate
+	// (items/s) from the bandwidth collapse until it finished its stream.
+	PostCollapseRate float64
+	// Trace is the affected summarizer's cumulative consumed items.
+	Trace *metrics.TimeSeries
+}
+
+// MigrationResult compares the static and migrating deployments.
+type MigrationResult struct {
+	// CollapseS is when (virtual seconds) the bandwidth collapsed.
+	CollapseS float64
+	Rows      []MigrationRow
+}
+
+// ExpMigration runs the distributed count-samps application through a
+// 10x bandwidth collapse on the first source's uplink, with and without a
+// Rebalancer allowed to re-deploy summarizers.
+func ExpMigration(cfg Config) (*MigrationResult, error) {
+	collapseAt := 60 * time.Second
+	if cfg.Quick {
+		collapseAt = 15 * time.Second
+	}
+	res := &MigrationResult{CollapseS: collapseAt.Seconds()}
+	rows := make([]MigrationRow, 2)
+	err := forEach(cfg.parallelism(), 2, func(i int) error {
+		row, err := runMigration(cfg, collapseAt, i == 1)
+		if err != nil {
+			return err
+		}
+		rows[i] = *row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
+	return res, nil
+}
+
+// runMigration executes one deployment mode.
+func runMigration(cfg Config, collapseAt time.Duration, migrating bool) (*MigrationRow, error) {
+	const (
+		baseBW      = 10 * 1024   // healthy inter-node bandwidth
+		fastBW      = 1 << 20     // source <-> helper LAN
+		collapsedBW = baseBW / 10 // the degraded uplink
+		sources     = 4
+	)
+	clk := clock.NewScaled(cfg.scale(2000))
+	cost := countsamps.DefaultCostModel()
+	items := 25_000
+	if cfg.Quick {
+		items = 6_000
+	}
+	streams, truth := zipfStreams(cfg.seed(), sources, items)
+
+	// Fabric: one node per sub-stream, a well-connected helper with no
+	// special role, and the central node. Everything talks at baseBW
+	// except the source-to-helper LAN.
+	dir := grid.NewDirectory()
+	for i := 0; i < sources; i++ {
+		if err := dir.Register(grid.Node{
+			Name: fmt.Sprintf("src-%d", i+1), CPUPower: 1, MemoryMB: 512, Slots: 2,
+			Sources: []string{fmt.Sprintf("stream-%d", i+1)},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := dir.Register(grid.Node{Name: "helper", CPUPower: 1, MemoryMB: 512, Slots: 4}); err != nil {
+		return nil, err
+	}
+	if err := dir.Register(grid.Node{Name: "central", CPUPower: 4, MemoryMB: 4096, Slots: 4}); err != nil {
+		return nil, err
+	}
+	net := netsim.NewNetwork(clk)
+	net.SetDefaultLink(netsim.LinkConfig{Bandwidth: baseBW, Quantum: time.Second})
+	for i := 0; i < sources; i++ {
+		src := fmt.Sprintf("src-%d", i+1)
+		net.InstallLink(src, "helper", netsim.NewLink(clk, netsim.LinkConfig{Bandwidth: fastBW, Quantum: time.Second}))
+		net.InstallLink("helper", src, netsim.NewLink(clk, netsim.LinkConfig{Bandwidth: fastBW, Quantum: time.Second}))
+	}
+	uplink := net.Link("src-1", "central")
+
+	repo := service.NewRepository()
+	merger := &countsamps.SummaryMerger{Cost: cost}
+	if err := repo.RegisterSource("countsamps/stream", func(inst int) pipeline.Source {
+		return &countsamps.StreamSource{Values: streams[inst], Batch: 25, ItemWireSize: cost.ItemWireSize}
+	}); err != nil {
+		return nil, err
+	}
+	if err := repo.RegisterProcessor("countsamps/summarize", func(inst int) pipeline.Processor {
+		return countsamps.NewSummarizer(countsamps.SummarizerConfig{
+			Cost:        cost,
+			FlushEvery:  1000,
+			SummarySize: 100,
+			Seed:        cfg.seed() + int64(inst),
+		})
+	}); err != nil {
+		return nil, err
+	}
+	if err := repo.RegisterProcessor("countsamps/merge", func(int) pipeline.Processor {
+		return merger
+	}); err != nil {
+		return nil, err
+	}
+
+	dep, err := service.NewDeployer(clk, dir, repo, net)
+	if err != nil {
+		return nil, err
+	}
+	launcher, err := service.NewLauncher(dep)
+	if err != nil {
+		return nil, err
+	}
+	tuning := func(stageID string, _ int) pipeline.StageConfig {
+		switch stageID {
+		case "stream":
+			return pipeline.StageConfig{DisableAdaptation: true, ComputeQuantum: time.Second}
+		default:
+			return pipeline.StageConfig{
+				QueueCapacity: 50, DisableAdaptation: true, ComputeQuantum: time.Second,
+			}
+		}
+	}
+
+	sw := clock.NewStopwatch(clk)
+	app, err := launcher.LaunchConfig(context.Background(), countSampsConfig(csDistributed, sources), tuning)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// The mid-run event: the first source's uplink loses 10x bandwidth.
+	go func() {
+		select {
+		case <-clk.After(collapseAt):
+			uplink.SetBandwidth(collapsedBW)
+		case <-ctx.Done():
+		}
+	}()
+
+	var reb *service.Rebalancer
+	if migrating {
+		reb = service.NewRebalancer(app.Deployment, service.RebalancerConfig{
+			Interval:  2 * time.Second,
+			Threshold: 2,
+			Stages:    []string{"summarize"},
+		})
+		go reb.Run(ctx)
+	}
+
+	// Sample the affected summarizer's cumulative consumption.
+	trace := metrics.NewTimeSeriesAt(clk.Now())
+	affected, _ := app.Stage("summarize", 0)
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-clk.After(2 * time.Second):
+				trace.Record(clk.Now(), float64(affected.Stats().ItemsIn))
+			}
+		}
+	}()
+
+	if err := app.Wait(); err != nil {
+		return nil, err
+	}
+	cancel()
+	trace.Record(clk.Now(), float64(affected.Stats().ItemsIn))
+
+	row := &MigrationRow{
+		Mode:             "static",
+		Seconds:          secondsOf(sw.Elapsed()),
+		Accuracy:         metrics.TopKAccuracy(truth, merger.TopK(10), 10).Membership,
+		PostCollapseRate: postCollapseRate(trace, collapseAt),
+		Trace:            trace,
+	}
+	if migrating {
+		row.Mode = "migrating"
+		row.Migrations = reb.Migrations()
+	}
+	return row, nil
+}
+
+// postCollapseRate computes the consumption rate from the collapse until
+// the summarizer finished its stream (its cumulative trace stops growing).
+func postCollapseRate(ts *metrics.TimeSeries, collapseAt time.Duration) float64 {
+	pts := ts.Points()
+	if len(pts) < 2 {
+		return 0
+	}
+	final := pts[len(pts)-1].V
+	start, end := -1, -1
+	for i, p := range pts {
+		if start < 0 && p.T >= collapseAt {
+			start = i
+		}
+		if end < 0 && p.V >= final {
+			end = i
+		}
+	}
+	if start < 0 || end <= start {
+		return 0
+	}
+	dt := (pts[end].T - pts[start].T).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return (pts[end].V - pts[start].V) / dt
+}
+
+// Render prints the comparison table.
+func (r *MigrationResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "Extension: live re-deployment under a mid-run bandwidth collapse")
+	fmt.Fprintf(w, "  [src-1 -> central drops 10x at t=%.0fs; the rebalancer may move the affected summarizer]\n", r.CollapseS)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Mode\tTime (s)\tAccuracy\tMigrations\tPost-collapse rate (items/s)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.1f\t%.3f\t%d\t%.1f\n",
+			row.Mode, row.Seconds, row.Accuracy, row.Migrations, row.PostCollapseRate)
+	}
+	tw.Flush()
+}

@@ -113,8 +113,39 @@ func (l *Link) burstWindow() time.Duration {
 	return time.Duration(float64(l.cfg.burst()) / float64(l.cfg.Bandwidth) * float64(time.Second))
 }
 
-// Config returns the link's configuration.
-func (l *Link) Config() LinkConfig { return l.cfg }
+// Config returns the link's configuration (with the current bandwidth).
+func (l *Link) Config() LinkConfig {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cfg
+}
+
+// SetBandwidth changes the link's capacity at runtime (zero means
+// unlimited), modeling a grid whose available bandwidth shifts mid-run —
+// the condition live re-deployment reacts to. Traffic already accepted
+// into the shaper keeps its committed finish time; only transfers after
+// the change pace at the new rate. Latency, Burst, and Quantum are
+// immutable.
+func (l *Link) SetBandwidth(bw int64) {
+	if bw < 0 {
+		panic(fmt.Sprintf("netsim: negative bandwidth %d", bw))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if bw == l.cfg.Bandwidth {
+		return
+	}
+	wasUnlimited := l.cfg.Bandwidth == 0
+	l.cfg.Bandwidth = bw
+	if bw > 0 {
+		// Grant at most the burst credit of the new rate; a previously
+		// unlimited link starts with a full (not infinite) bucket.
+		earliest := l.clk.Now().Add(-l.burstWindow())
+		if wasUnlimited || l.nextFree.Before(earliest) {
+			l.nextFree = earliest
+		}
+	}
+}
 
 // Transfer blocks for the virtual time needed to carry n payload bytes and
 // returns the pacing delay owed (plus latency). When a Quantum is
@@ -155,11 +186,14 @@ func (l *Link) TransferBatch(n, msgs int) time.Duration {
 // reserve accepts n bytes into the shaper and returns how long the caller
 // must wait before its payload has cleared the link.
 func (l *Link) reserve(n int) time.Duration {
-	if l.cfg.Bandwidth == 0 || n <= 0 {
+	if n <= 0 {
 		return 0
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.cfg.Bandwidth == 0 {
+		return 0
+	}
 	now := l.clk.Now()
 	if earliest := now.Add(-l.burstWindow()); l.nextFree.Before(earliest) {
 		l.nextFree = earliest

@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+// TestSetBandwidthChangesPacing checks a live bandwidth change takes
+// effect for subsequent transfers: the same payload owes 10x the pacing
+// delay after a 10x bandwidth drop. A huge Quantum keeps the owed delay
+// inside the shaper (Transfer reports it without sleeping), so the test is
+// exact on a manual clock.
+func TestSetBandwidthChangesPacing(t *testing.T) {
+	clk := clock.NewManual()
+	l := NewLink(clk, LinkConfig{Bandwidth: 10_000, Quantum: time.Hour})
+	if d := l.Transfer(10_000); d != 0 { // consumes the initial burst credit
+		t.Fatalf("burst-credit transfer owed %v, want 0", d)
+	}
+	full := l.Transfer(10_000)
+	if full != time.Second {
+		t.Fatalf("full-bandwidth transfer owed %v, want 1s", full)
+	}
+
+	clk.Advance(full) // let the backlog clear before collapsing
+	l.SetBandwidth(1_000)
+	if got := l.Config().Bandwidth; got != 1_000 {
+		t.Fatalf("Config().Bandwidth = %d after SetBandwidth(1000)", got)
+	}
+	collapsed := l.Transfer(10_000)
+	if collapsed != 10*time.Second {
+		t.Fatalf("collapsed transfer owed %v, want 10s (full was %v)", collapsed, full)
+	}
+}
+
+// TestSetBandwidthFromUnlimited checks capping a previously unlimited link
+// starts a fresh pacing window rather than back-charging old traffic.
+func TestSetBandwidthFromUnlimited(t *testing.T) {
+	clk := clock.NewManual()
+	l := NewLink(clk, LinkConfig{Quantum: time.Hour})
+	l.Transfer(1 << 30) // free while unlimited
+	l.SetBandwidth(1_000)
+	if d := l.Transfer(1_000); d > time.Second {
+		t.Fatalf("first capped transfer owed %v; old unlimited traffic was back-charged", d)
+	}
+}
+
+// TestSetBandwidthToUnlimited lifts the cap and checks transfers stop
+// owing pacing delay. On a manual clock a Transfer that slept would hang,
+// so merely returning proves nothing was paced.
+func TestSetBandwidthToUnlimited(t *testing.T) {
+	clk := clock.NewManual()
+	l := NewLink(clk, LinkConfig{Bandwidth: 100, Quantum: time.Millisecond})
+	l.SetBandwidth(0)
+	// At 100 B/s this transfer would take hours.
+	if d := l.Transfer(1 << 20); d != 0 {
+		t.Fatalf("unlimited transfer owed %v", d)
+	}
+}
+
+// TestSetBandwidthConcurrent exercises SetBandwidth racing Transfer (run
+// with -race).
+func TestSetBandwidthConcurrent(t *testing.T) {
+	clk := clock.NewScaled(1_000_000)
+	l := NewLink(clk, LinkConfig{Bandwidth: 1 << 20, Quantum: time.Millisecond})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Transfer(100)
+				l.TransferBatch(200, 2)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			l.SetBandwidth(int64(1<<20 + i))
+		}
+	}()
+	wg.Wait()
+}
+
+// TestSetBandwidthRejectsNegative documents the contract.
+func TestSetBandwidthRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative bandwidth accepted")
+		}
+	}()
+	l := NewLink(clock.NewManual(), LinkConfig{})
+	l.SetBandwidth(-1)
+}

@@ -14,6 +14,7 @@ import (
 //	/metrics      Prometheus text exposition of the registry
 //	/snapshot     JSON snapshot of every metric series
 //	/adaptations  JSON audit trail of adaptation decisions
+//	/migrations   JSON migration events and stage lifecycle transitions
 //	/traces       JSON of the retained sampled spans
 //	/             plain-text index of the above
 //
@@ -50,6 +51,21 @@ func Handler(o *Observability) http.Handler {
 			Events []AdaptationEvent `json:"events"`
 		}{Total: o.Audit.Total(), Events: events})
 	})
+	mux.HandleFunc("/migrations", func(w http.ResponseWriter, r *http.Request) {
+		events := o.Migrations.Events()
+		if events == nil {
+			events = []MigrationEvent{}
+		}
+		lifecycle := o.Lifecycle.Events()
+		if lifecycle == nil {
+			lifecycle = []LifecycleEvent{}
+		}
+		writeJSON(w, struct {
+			Total     uint64           `json:"total"`
+			Events    []MigrationEvent `json:"events"`
+			Lifecycle []LifecycleEvent `json:"lifecycle"`
+		}{Total: o.Migrations.Total(), Events: events, Lifecycle: lifecycle})
+	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		spans := o.Tracer.Spans()
 		if spans == nil {
@@ -72,6 +88,7 @@ func Handler(o *Observability) http.Handler {
 		fmt.Fprintln(w, "  /metrics      Prometheus text format")
 		fmt.Fprintln(w, "  /snapshot     JSON metric snapshot")
 		fmt.Fprintln(w, "  /adaptations  adaptation audit trail")
+		fmt.Fprintln(w, "  /migrations   stage migrations and lifecycle transitions")
 		fmt.Fprintln(w, "  /traces       sampled hot-path spans")
 	})
 	return mux

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultMigrationCapacity is the default retained-migration ring size.
+const DefaultMigrationCapacity = 256
+
+// DefaultLifecycleCapacity is the default retained-lifecycle ring size.
+const DefaultLifecycleCapacity = 1024
+
+// MigrationEvent records one live re-deployment of a stage instance: where
+// it moved, how long the drain took, and how much state traveled with it.
+type MigrationEvent struct {
+	// Seq numbers events in record order across the whole trail.
+	Seq uint64 `json:"seq"`
+	// At is the virtual time the migration completed.
+	At time.Time `json:"at"`
+	// Stage and Instance identify the moved instance.
+	Stage    string `json:"stage"`
+	Instance int    `json:"instance"`
+	// From and To are the source and destination grid nodes.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Drain is the virtual time from the pause request until the
+	// instance was parked with no packet in flight.
+	Drain time.Duration `json:"drain_ns"`
+	// StateBytes is the size of the serialized processor state moved.
+	StateBytes int `json:"state_bytes"`
+	// QueuedPackets and QueuedBytes describe the input-queue backlog
+	// that moved (logically) with the instance.
+	QueuedPackets int `json:"queued_packets"`
+	QueuedBytes   int `json:"queued_bytes"`
+	// Reason distinguishes operator-initiated moves ("manual") from
+	// rebalancer decisions ("rebalance").
+	Reason string `json:"reason,omitempty"`
+}
+
+// LifecycleEvent records one stage lifecycle transition (see
+// pipeline.StageState): running → draining → paused → running is the
+// audit signature of a live migration.
+type LifecycleEvent struct {
+	// Seq numbers events in record order across the whole trail.
+	Seq uint64 `json:"seq"`
+	// At is the virtual time of the transition.
+	At time.Time `json:"at"`
+	// Stage, Instance, Node identify the transitioning instance.
+	Stage    string `json:"stage"`
+	Instance int    `json:"instance"`
+	Node     string `json:"node,omitempty"`
+	// From and To are the state names.
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// ring is the bounded, concurrency-safe event buffer shared by the
+// migration and lifecycle trails; stamp assigns the per-trail sequence
+// number at record time.
+type ring[T any] struct {
+	mu    sync.Mutex
+	buf   []T
+	next  int
+	count int
+	total uint64
+	stamp func(*T, uint64)
+}
+
+func newRing[T any](capacity int, def int, stamp func(*T, uint64)) *ring[T] {
+	if capacity <= 0 {
+		capacity = def
+	}
+	return &ring[T]{buf: make([]T, capacity), stamp: stamp}
+}
+
+func (r *ring[T]) record(ev T) {
+	r.mu.Lock()
+	r.stamp(&ev, r.total)
+	r.total++
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.mu.Unlock()
+}
+
+func (r *ring[T]) totalCount() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+func (r *ring[T]) events() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]T, 0, r.count)
+	start := r.next - r.count
+	for i := 0; i < r.count; i++ {
+		idx := (start + i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}
+
+func (r *ring[T]) last() (T, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var zero T
+	if r.count == 0 {
+		return zero, false
+	}
+	return r.buf[(r.next-1+len(r.buf))%len(r.buf)], true
+}
+
+// MigrationTrail is a bounded ring of migration events, safe for
+// concurrent use. A nil *MigrationTrail is valid and records nothing.
+type MigrationTrail struct{ r *ring[MigrationEvent] }
+
+// NewMigrationTrail returns a trail retaining up to capacity events (<=0
+// selects DefaultMigrationCapacity).
+func NewMigrationTrail(capacity int) *MigrationTrail {
+	return &MigrationTrail{r: newRing(capacity, DefaultMigrationCapacity,
+		func(ev *MigrationEvent, n uint64) { ev.Seq = n })}
+}
+
+// Record appends ev, stamping its Seq. A no-op on a nil trail.
+func (t *MigrationTrail) Record(ev MigrationEvent) {
+	if t == nil {
+		return
+	}
+	t.r.record(ev)
+}
+
+// Total returns how many events were ever recorded (retained or evicted).
+func (t *MigrationTrail) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.r.totalCount()
+}
+
+// Events returns the retained events, oldest first.
+func (t *MigrationTrail) Events() []MigrationEvent {
+	if t == nil {
+		return nil
+	}
+	return t.r.events()
+}
+
+// Last returns the most recent event, or false when the trail is empty.
+func (t *MigrationTrail) Last() (MigrationEvent, bool) {
+	if t == nil {
+		return MigrationEvent{}, false
+	}
+	return t.r.last()
+}
+
+// LifecycleTrail is a bounded ring of stage lifecycle transitions, safe
+// for concurrent use. A nil *LifecycleTrail is valid and records nothing.
+type LifecycleTrail struct{ r *ring[LifecycleEvent] }
+
+// NewLifecycleTrail returns a trail retaining up to capacity events (<=0
+// selects DefaultLifecycleCapacity).
+func NewLifecycleTrail(capacity int) *LifecycleTrail {
+	return &LifecycleTrail{r: newRing(capacity, DefaultLifecycleCapacity,
+		func(ev *LifecycleEvent, n uint64) { ev.Seq = n })}
+}
+
+// Record appends ev, stamping its Seq. A no-op on a nil trail.
+func (t *LifecycleTrail) Record(ev LifecycleEvent) {
+	if t == nil {
+		return
+	}
+	t.r.record(ev)
+}
+
+// Total returns how many events were ever recorded (retained or evicted).
+func (t *LifecycleTrail) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.r.totalCount()
+}
+
+// Events returns the retained events, oldest first.
+func (t *LifecycleTrail) Events() []LifecycleEvent {
+	if t == nil {
+		return nil
+	}
+	return t.r.events()
+}
+
+// ForStage returns the retained transitions of one stage instance, oldest
+// first — the per-instance lifecycle trace a migration test asserts on.
+func (t *LifecycleTrail) ForStage(stage string, instance int) []LifecycleEvent {
+	var out []LifecycleEvent
+	for _, ev := range t.Events() {
+		if ev.Stage == stage && ev.Instance == instance {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

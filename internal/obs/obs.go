@@ -38,6 +38,12 @@ type Config struct {
 	// AuditCapacity bounds the retained adaptation-event ring. Zero
 	// selects DefaultAuditCapacity.
 	AuditCapacity int
+	// MigrationCapacity bounds the retained migration-event ring. Zero
+	// selects DefaultMigrationCapacity.
+	MigrationCapacity int
+	// LifecycleCapacity bounds the retained lifecycle-transition ring.
+	// Zero selects DefaultLifecycleCapacity.
+	LifecycleCapacity int
 	// LogWriter receives structured log lines. Nil discards them.
 	LogWriter io.Writer
 	// LogLevel is the minimum level emitted. Nil means slog.LevelInfo.
@@ -56,6 +62,10 @@ type Observability struct {
 	Tracer *Tracer
 	// Audit records every adaptation decision.
 	Audit *AuditTrail
+	// Migrations records every live re-deployment of a stage instance.
+	Migrations *MigrationTrail
+	// Lifecycle records every stage lifecycle transition.
+	Lifecycle *LifecycleTrail
 	// Logger is the structured log stream (never nil after New).
 	Logger *slog.Logger
 }
@@ -83,11 +93,13 @@ func New(clk clock.Clock, cfg Config) *Observability {
 		logger = NewLogger(cfg.LogWriter, clk, cfg.LogLevel)
 	}
 	return &Observability{
-		Clock:    clk,
-		Registry: reg,
-		Tracer:   tr,
-		Audit:    NewAuditTrail(cfg.AuditCapacity),
-		Logger:   logger,
+		Clock:      clk,
+		Registry:   reg,
+		Tracer:     tr,
+		Audit:      NewAuditTrail(cfg.AuditCapacity),
+		Migrations: NewMigrationTrail(cfg.MigrationCapacity),
+		Lifecycle:  NewLifecycleTrail(cfg.LifecycleCapacity),
+		Logger:     logger,
 	}
 }
 
@@ -124,4 +136,22 @@ func (o *Observability) Trail() *AuditTrail {
 		return nil
 	}
 	return o.Audit
+}
+
+// MigrationTrail returns the bundle's migration trail, or nil when
+// unobserved. A nil *MigrationTrail is itself safe to Record into.
+func (o *Observability) MigrationTrail() *MigrationTrail {
+	if o == nil {
+		return nil
+	}
+	return o.Migrations
+}
+
+// LifecycleTrail returns the bundle's lifecycle trail, or nil when
+// unobserved. A nil *LifecycleTrail is itself safe to Record into.
+func (o *Observability) LifecycleTrail() *LifecycleTrail {
+	if o == nil {
+		return nil
+	}
+	return o.Lifecycle
 }

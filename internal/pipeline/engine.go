@@ -116,10 +116,37 @@ func (e *Engine) Connect(from, to *Stage, link *netsim.Link) error {
 	if e.started {
 		return errors.New("pipeline: engine already running")
 	}
-	from.outs = append(from.outs, &edge{link: link, to: to})
+	ed := &edge{to: to}
+	ed.link.Store(link)
+	from.outs = append(from.outs, ed)
 	to.upstream = append(to.upstream, from)
 	to.inbound++
 	return nil
+}
+
+// Relink recomputes the links carried by every edge touching target — its
+// outbound edges and its upstreams' edges into it — after the stage has
+// moved to a different node. resolve maps a (from, to) stage pair to the
+// link that should now carry their traffic (nil for a free local
+// hand-off). Safe while the engine runs: emitters read edge links
+// atomically, and a transfer already in flight on the old link completes
+// there.
+func (e *Engine) Relink(target *Stage, resolve func(from, to *Stage) *netsim.Link) {
+	if target == nil || resolve == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, out := range target.outs {
+		out.link.Store(resolve(target, out.to))
+	}
+	for _, up := range target.upstream {
+		for _, out := range up.outs {
+			if out.to == target {
+				out.link.Store(resolve(up, target))
+			}
+		}
+	}
 }
 
 // Stages returns the registered stage instances in registration order.
@@ -227,12 +254,14 @@ func (e *Engine) Run(ctx context.Context) error {
 		go func(st *Stage) {
 			defer wg.Done()
 			st.o.Log().Debug("stage started",
-				"stage", st.id, "instance", st.instance, "node", st.node,
+				"stage", st.id, "instance", st.instance, "node", st.Node(),
 				"batch", st.cfg.BatchSize)
+			st.markStarted()
 			err := st.run(ctx)
 			st.mu.Lock()
 			st.err = err
 			st.mu.Unlock()
+			st.toState(StateStopped)
 			close(st.doneCh)
 			if err != nil {
 				st.o.Log().Warn("stage failed",

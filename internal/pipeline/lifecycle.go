@@ -1,0 +1,223 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/gates-middleware/gates/internal/obs"
+)
+
+// StageState is one phase of a stage instance's lifecycle. A stage is born
+// Init, becomes Running when the engine starts it, and ends Stopped. A
+// pause request moves it Running → Draining (the stage finishes its current
+// work item) → Paused (the goroutine is parked at a drain boundary); Resume
+// returns it to Running. The Draining/Paused leg is what live migration
+// stands on: a Paused stage holds no in-flight packet, so its processor
+// state and queued input can be captured and moved consistently.
+type StageState int32
+
+const (
+	// StateInit is the pre-run state: registered, not yet started.
+	StateInit StageState = iota
+	// StateRunning is the normal pop-process-emit (or generate) loop.
+	StateRunning
+	// StateDraining means a pause was requested and the stage is
+	// finishing its current work item before parking.
+	StateDraining
+	// StatePaused means the stage goroutine is parked at a drain
+	// boundary with no packet in flight; its input queue keeps accepting
+	// pushes (backpressure applies once full), so pausing loses nothing.
+	StatePaused
+	// StateStopped is terminal: the stage ran to completion or failed.
+	StateStopped
+)
+
+// String renders the state name.
+func (s StageState) String() string {
+	switch s {
+	case StateInit:
+		return "init"
+	case StateRunning:
+		return "running"
+	case StateDraining:
+		return "draining"
+	case StatePaused:
+		return "paused"
+	case StateStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// Snapshotter is implemented by Processors and Sources whose state must
+// survive a move between nodes. Snapshot serializes the live state;
+// Restore replaces the current state with a previously captured one. Both
+// are called only while the owning stage is Paused, so implementations
+// need no locking against Process/Run.
+type Snapshotter interface {
+	Snapshot() ([]byte, error)
+	Restore([]byte) error
+}
+
+// Snapshotter returns the stage's user code as a Snapshotter when it
+// implements the interface.
+func (s *Stage) Snapshotter() (Snapshotter, bool) {
+	if sn, ok := s.proc.(Snapshotter); ok {
+		return sn, true
+	}
+	if sn, ok := s.src.(Snapshotter); ok {
+		return sn, true
+	}
+	return nil, false
+}
+
+// IsSource reports whether the stage generates its own stream (no inputs).
+func (s *Stage) IsSource() bool { return s.src != nil }
+
+// State returns the stage's current lifecycle state.
+func (s *Stage) State() StageState { return StageState(s.state.Load()) }
+
+// toState transitions the lifecycle state and records the edge in the obs
+// lifecycle trail (when the stage is observed).
+func (s *Stage) toState(to StageState) {
+	from := StageState(s.state.Swap(int32(to)))
+	if from == to || s.o == nil {
+		return
+	}
+	s.o.LifecycleTrail().Record(obs.LifecycleEvent{
+		At:       s.clk.Now(),
+		Stage:    s.id,
+		Instance: s.instance,
+		Node:     s.Node(),
+		From:     from.String(),
+		To:       to.String(),
+	})
+	s.o.Log().Debug("stage lifecycle",
+		"stage", s.id, "instance", s.instance, "node", s.Node(),
+		"from", from.String(), "to", to.String())
+}
+
+// markStarted moves Init → Running when the engine launches the stage
+// goroutine. A pause requested before the run began (state already
+// Draining) is left in place; the stage parks at its first drain boundary.
+func (s *Stage) markStarted() {
+	if s.state.CompareAndSwap(int32(StateInit), int32(StateRunning)) && s.o != nil {
+		s.o.LifecycleTrail().Record(obs.LifecycleEvent{
+			At:       s.clk.Now(),
+			Stage:    s.id,
+			Instance: s.instance,
+			Node:     s.Node(),
+			From:     StateInit.String(),
+			To:       StateRunning.String(),
+		})
+	}
+}
+
+// Pause asks the stage to drain its current work item and park, and blocks
+// until it is Paused. The input queue stays open: producers keep pushing
+// until it fills, then block — nothing is dropped. Pause fails if the
+// stage has already stopped, if a pause is already pending, or when ctx
+// expires first (the stage then still parks at its next drain boundary;
+// Resume recovers it).
+func (s *Stage) Pause(ctx context.Context) error {
+	s.pauseMu.Lock()
+	switch StageState(s.state.Load()) {
+	case StateStopped:
+		s.pauseMu.Unlock()
+		return fmt.Errorf("pipeline: pause %s/%d: stage already stopped", s.id, s.instance)
+	case StateDraining, StatePaused:
+		s.pauseMu.Unlock()
+		return fmt.Errorf("pipeline: pause %s/%d: pause already pending", s.id, s.instance)
+	}
+	s.pausedCh = make(chan struct{})
+	s.resumeCh = make(chan struct{})
+	s.pauseReq.Store(true)
+	if s.popCancel != nil {
+		// Wake a pop blocked on an empty queue; the queue removes
+		// nothing on cancellation, so no packet is lost.
+		s.popCancel()
+	}
+	s.toState(StateDraining)
+	paused := s.pausedCh
+	s.pauseMu.Unlock()
+
+	select {
+	case <-paused:
+		return nil
+	case <-s.doneCh:
+		return fmt.Errorf("pipeline: pause %s/%d: stage stopped while draining", s.id, s.instance)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Resume releases a Paused stage back to Running with a fresh pop context.
+func (s *Stage) Resume() error {
+	s.pauseMu.Lock()
+	defer s.pauseMu.Unlock()
+	if StageState(s.state.Load()) != StatePaused {
+		return fmt.Errorf("pipeline: resume %s/%d: stage is not paused", s.id, s.instance)
+	}
+	s.pauseReq.Store(false)
+	if s.runCtx != nil {
+		s.popCtx, s.popCancel = context.WithCancel(s.runCtx)
+	}
+	s.toState(StateRunning)
+	close(s.resumeCh)
+	return nil
+}
+
+// parkIfRequested parks the stage goroutine at a drain boundary when a
+// pause is pending, until Resume or run cancellation. It returns ctx's
+// error when the run was canceled while parked, nil otherwise. Only the
+// stage goroutine calls it.
+func (s *Stage) parkIfRequested(ctx context.Context) error {
+	if !s.pauseReq.Load() {
+		return nil
+	}
+	s.pauseMu.Lock()
+	if !s.pauseReq.Load() { // resumed between the check and the lock
+		s.pauseMu.Unlock()
+		return nil
+	}
+	paused, resume := s.pausedCh, s.resumeCh
+	s.toState(StatePaused)
+	s.pauseMu.Unlock()
+	close(paused)
+	select {
+	case <-resume:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// bindRunContext installs the run context and derives the first pop
+// context; the stage goroutine calls it once on entry.
+func (s *Stage) bindRunContext(ctx context.Context) {
+	s.pauseMu.Lock()
+	s.runCtx = ctx
+	s.popCtx, s.popCancel = context.WithCancel(ctx)
+	s.pauseMu.Unlock()
+}
+
+// currentPopCtx returns the pop context of the current pause epoch. A
+// pause request cancels it (waking a blocked pop without consuming an
+// item); Resume replaces it.
+func (s *Stage) currentPopCtx() context.Context {
+	s.pauseMu.Lock()
+	defer s.pauseMu.Unlock()
+	return s.popCtx
+}
+
+// QueuedState reports the packets currently parked in the input queue and
+// the wire bytes they occupy — the in-flight buffer a migration must move
+// with the stage.
+func (s *Stage) QueuedState() (packets int, bytes int) {
+	for _, p := range s.in.Snapshot() {
+		packets++
+		bytes += p.size(s.cfg.DefaultPacketSize)
+	}
+	return packets, bytes
+}

@@ -29,7 +29,7 @@ func (s *Stage) ObsLabels() map[string]string {
 	return map[string]string{
 		"stage":    s.id,
 		"instance": strconv.Itoa(s.instance),
-		"node":     s.node,
+		"node":     s.Node(),
 	}
 }
 
@@ -117,7 +117,7 @@ func (s *Stage) recordAdjustment(now time.Time, res adapt.AdjustResult, lambda, 
 		At:       now,
 		Stage:    s.id,
 		Instance: s.instance,
-		Node:     s.node,
+		Node:     s.Node(),
 		QueueLen: s.in.Len(),
 		DTilde:   res.DTilde,
 		Lambda:   lambda,
@@ -131,7 +131,7 @@ func (s *Stage) recordAdjustment(now time.Time, res adapt.AdjustResult, lambda, 
 	}
 	s.o.Trail().Record(ev)
 	s.o.Log().Debug("adaptation adjusted",
-		"stage", s.id, "instance", s.instance, "node", s.node,
+		"stage", s.id, "instance", s.instance, "node", s.Node(),
 		"d_tilde", res.DTilde, "t1", res.T1, "t2", res.T2,
 		"delta_p", res.DeltaP, "lambda", lambda, "mu", mu)
 }

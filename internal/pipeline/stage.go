@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gates-middleware/gates/internal/adapt"
@@ -131,6 +132,18 @@ type Stage struct {
 	outs     []*edge
 	upstream []*Stage
 
+	// Lifecycle machinery (see lifecycle.go). state is the StageState;
+	// pauseReq is the hot-path flag drain loops and source emitters poll;
+	// pauseMu guards the per-pause-epoch channels and the pop context.
+	state     atomic.Int32
+	pauseReq  atomic.Bool
+	pauseMu   sync.Mutex
+	pausedCh  chan struct{}
+	resumeCh  chan struct{}
+	runCtx    context.Context
+	popCtx    context.Context
+	popCancel context.CancelFunc
+
 	mu      sync.Mutex
 	stats   StageStats
 	finals  int // Final packets received
@@ -143,9 +156,10 @@ type Stage struct {
 }
 
 // edge is a directed connection to a downstream stage, optionally through an
-// emulated link.
+// emulated link. The link pointer is atomic so live re-deployment can rewire
+// a moved stage while upstream emitters keep flowing.
 type edge struct {
-	link *netsim.Link
+	link atomic.Pointer[netsim.Link]
 	to   *Stage
 }
 
@@ -157,10 +171,19 @@ func (s *Stage) Instance() int { return s.instance }
 
 // Node returns the grid node name this instance was deployed on ("" when
 // undeployed, e.g. in unit tests).
-func (s *Stage) Node() string { return s.node }
+func (s *Stage) Node() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node
+}
 
-// SetNode records the deployment node; the Deployer calls it.
-func (s *Stage) SetNode(node string) { s.node = node }
+// SetNode records the deployment node; the Deployer calls it at deploy time
+// and migration calls it again when the instance moves.
+func (s *Stage) SetNode(node string) {
+	s.mu.Lock()
+	s.node = node
+	s.mu.Unlock()
+}
 
 // Controller returns the stage's adaptation controller.
 func (s *Stage) Controller() *adapt.Controller { return s.ctrl }
@@ -200,7 +223,7 @@ func (c *Context) StageID() string { return c.stage.id }
 func (c *Context) Instance() int { return c.stage.instance }
 
 // Node returns the grid node the instance runs on.
-func (c *Context) Node() string { return c.stage.node }
+func (c *Context) Node() string { return c.stage.Node() }
 
 // Clock returns the stage's virtual clock.
 func (c *Context) Clock() clock.Clock { return c.stage.clk }
@@ -299,6 +322,13 @@ func (e *Emitter) EmitValue(v any, wireSize int) error {
 // broadcast packet counts once however many edges carry it.
 func (e *Emitter) buffer(pkt *Packet, only int) error {
 	s := e.stage
+	// Source stages have no drain loop, so their pause boundary is the
+	// emission point (before the packet is stamped).
+	if s.src != nil && s.pauseReq.Load() {
+		if err := s.parkIfRequested(e.ctx); err != nil {
+			return err
+		}
+	}
 	size := pkt.size(s.cfg.DefaultPacketSize)
 	s.mu.Lock()
 	pkt.SourceStage = s.id
@@ -348,8 +378,8 @@ func (e *Emitter) Flush() error {
 		for _, p := range pend {
 			sum += p.size(s.cfg.DefaultPacketSize)
 		}
-		if out.link != nil {
-			out.link.TransferBatch(sum, len(pend))
+		if l := out.link.Load(); l != nil {
+			l.TransferBatch(sum, len(pend))
 		}
 		err := out.to.in.PushBatchCtx(e.ctx, pend)
 		sentPkts += len(pend)
@@ -372,6 +402,13 @@ func (e *Emitter) Flush() error {
 }
 
 func (s *Stage) emit(ctx context.Context, pkt *Packet, only int) error {
+	// Source stages pause at the emission boundary (processor stages
+	// pause in their drain loops, before any packet is in flight).
+	if s.src != nil && s.pauseReq.Load() {
+		if err := s.parkIfRequested(ctx); err != nil {
+			return err
+		}
+	}
 	s.mu.Lock()
 	pkt.SourceStage = s.id
 	pkt.SourceInstance = s.instance
@@ -388,8 +425,8 @@ func (s *Stage) emit(ctx context.Context, pkt *Packet, only int) error {
 		// Broadcast shares one packet struct: stages must not mutate
 		// received packets. Link pacing first (transmission), then
 		// enqueue (may block on downstream backpressure).
-		if out.link != nil {
-			out.link.Transfer(size)
+		if l := out.link.Load(); l != nil {
+			l.Transfer(size)
 		}
 		if err := out.to.in.PushCtx(ctx, pkt); err != nil {
 			if errors.Is(err, queue.ErrClosed) {
@@ -423,6 +460,7 @@ func (s *Stage) run(ctx context.Context) (err error) {
 }
 
 func (s *Stage) runInner(ctx context.Context) error {
+	s.bindRunContext(ctx)
 	sctx := &Context{stage: s, ctx: ctx}
 	em := newEmitter(s, ctx)
 	defer s.pacer.Flush()
@@ -463,13 +501,24 @@ func (s *Stage) finishStream(em *Emitter) error {
 }
 
 // drainOneByOne is the strict per-packet pop-process loop (BatchSize 1).
+// Each iteration is a pause boundary: a pending pause parks the goroutine
+// before the next pop, and a pop woken by a pause-canceled pop context
+// consumed nothing, so pausing never drops a packet.
 func (s *Stage) drainOneByOne(ctx context.Context, sctx *Context, em *Emitter) error {
 	for {
-		pkt, err := s.in.PopCtx(ctx)
+		if err := s.parkIfRequested(ctx); err != nil {
+			return fmt.Errorf("pipeline: %s/%d: %w", s.id, s.instance, err)
+		}
+		pkt, err := s.in.PopCtx(s.currentPopCtx())
 		if errors.Is(err, queue.ErrClosed) {
 			return nil
 		}
 		if err != nil {
+			if ctx.Err() == nil {
+				// The pause request canceled the pop context; the
+				// queue removed nothing. Park and retry.
+				continue
+			}
 			return fmt.Errorf("pipeline: %s/%d: %w", s.id, s.instance, err)
 		}
 		if pkt.Final {
@@ -507,12 +556,20 @@ func (s *Stage) drainOneByOne(ctx context.Context, sctx *Context, em *Emitter) e
 func (s *Stage) drainBatched(ctx context.Context, sctx *Context, em *Emitter) error {
 	batch := make([]*Packet, s.cfg.BatchSize)
 	for {
-		n, err := s.in.PopBatchCtx(ctx, batch, len(batch))
+		if err := s.parkIfRequested(ctx); err != nil {
+			return fmt.Errorf("pipeline: %s/%d: %w", s.id, s.instance, err)
+		}
+		n, err := s.in.PopBatchCtx(s.currentPopCtx(), batch, len(batch))
 		if n == 0 {
 			if errors.Is(err, queue.ErrClosed) {
 				return nil
 			}
 			if err != nil {
+				if ctx.Err() == nil {
+					// Pause canceled the pop context; nothing was
+					// consumed. Park and retry.
+					continue
+				}
 				return fmt.Errorf("pipeline: %s/%d: %w", s.id, s.instance, err)
 			}
 		}

@@ -105,6 +105,19 @@ func (q *Queue[T]) Stats() Stats {
 	return q.stats
 }
 
+// Snapshot returns the queued items oldest-first without removing them —
+// the state-capture hook live migration uses to account for the in-flight
+// buffer of a paused stage.
+func (q *Queue[T]) Snapshot() []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]T, q.n)
+	for i := 0; i < q.n; i++ {
+		out[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	return out
+}
+
 // Push appends v, blocking while the queue is full. It returns ErrClosed if
 // the queue is (or becomes) closed while waiting.
 func (q *Queue[T]) Push(v T) error {

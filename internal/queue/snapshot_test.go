@@ -1,0 +1,38 @@
+package queue
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotReflectsContents checks Snapshot returns the queued items in
+// FIFO order without consuming them, including after head wrap-around.
+func TestSnapshotReflectsContents(t *testing.T) {
+	q := New[int](4)
+	if got := q.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty queue snapshot %v", got)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := q.Push(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := q.Snapshot(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("snapshot %v, want [1 2 3]", got)
+	}
+	// Wrap the ring: consume two, add two more.
+	q.Pop()
+	q.Pop()
+	q.Push(4)
+	q.Push(5)
+	if got := q.Snapshot(); !reflect.DeepEqual(got, []int{3, 4, 5}) {
+		t.Fatalf("post-wrap snapshot %v, want [3 4 5]", got)
+	}
+	// The snapshot did not consume anything.
+	if v, _ := q.Pop(); v != 3 {
+		t.Fatalf("pop after snapshot = %d, want 3", v)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len after snapshot+pop = %d, want 2", q.Len())
+	}
+}

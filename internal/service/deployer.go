@@ -3,6 +3,7 @@ package service
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/gates-middleware/gates/internal/clock"
 	"github.com/gates-middleware/gates/internal/grid"
@@ -18,10 +19,23 @@ type Deployment struct {
 	Config *AppConfig
 	// Engine executes the stage instances.
 	Engine *pipeline.Engine
-	// Placements records which node hosts each instance.
+	// Placements records which node hosts each instance. Migrations keep
+	// it current; read it through NodeFor or under no concurrent moves.
 	Placements []grid.Placement
 	// Stages maps stage id to its deployed instances in ordinal order.
 	Stages map[string][]*pipeline.Stage
+	// Plan is the placement decision this deployment materialized.
+	Plan *Plan
+
+	deployer *Deployer
+	mu       sync.RWMutex
+	nodeOf   map[instRef]string
+}
+
+// instRef identifies one stage instance in the placement index.
+type instRef struct {
+	stage    string
+	instance int
 }
 
 // Stage returns instance ordinal i of the named stage.
@@ -33,14 +47,33 @@ func (d *Deployment) Stage(id string, i int) (*pipeline.Stage, bool) {
 	return insts[i], true
 }
 
-// NodeFor returns the node hosting instance i of the named stage.
+// NodeFor returns the node hosting instance i of the named stage. The
+// lookup is an indexed O(1) read (it is called per-packet by
+// topology-aware paths) and tracks migrations.
 func (d *Deployment) NodeFor(id string, i int) (string, bool) {
-	for _, p := range d.Placements {
-		if p.StageID == id && p.Instance == i {
-			return p.Node, true
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	node, ok := d.nodeOf[instRef{stage: id, instance: i}]
+	return node, ok
+}
+
+// setPlacement updates the placement records after a migration.
+func (d *Deployment) setPlacement(id string, i int, node string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nodeOf[instRef{stage: id, instance: i}] = node
+	for k := range d.Placements {
+		if d.Placements[k].StageID == id && d.Placements[k].Instance == i {
+			d.Placements[k].Node = node
 		}
 	}
-	return "", false
+	if d.Plan != nil {
+		for k := range d.Plan.Assignments {
+			if d.Plan.Assignments[k].StageID == id && d.Plan.Assignments[k].Instance == i {
+				d.Plan.Assignments[k].Node = node
+			}
+		}
+	}
 }
 
 // StageTuning customizes the runtime configuration of deployed instances;
@@ -49,9 +82,11 @@ func (d *Deployment) NodeFor(id string, i int) (string, bool) {
 type StageTuning func(stageID string, instance int) pipeline.StageConfig
 
 // Deployer turns an application descriptor into a Deployment. It performs
-// the five duties §3.2 lists: receive the configuration, consult the grid
+// the five duties §3.2 lists — receive the configuration, consult the grid
 // resource manager, initiate service instances at the chosen nodes, retrieve
-// the stage codes from the repository, and customize every instance.
+// the stage codes from the repository, and customize every instance — split
+// into an explicit Plan (decide) and Apply (execute) pair; Deploy composes
+// the two.
 type Deployer struct {
 	clk  clock.Clock
 	dir  *grid.Directory
@@ -89,54 +124,56 @@ func NewDeployer(clk clock.Clock, dir *grid.Directory, repo *Repository, net *ne
 	return &Deployer{clk: clk, dir: dir, repo: repo, net: net}, nil
 }
 
+// Planner returns a planner over the deployer's fabric, inheriting its
+// topology-awareness.
+func (d *Deployer) Planner() *Planner {
+	p, _ := NewPlanner(d.dir, d.net) // deps were validated at NewDeployer
+	p.SetTopologyAware(d.topologyAware)
+	return p
+}
+
+// Plan performs resource matching only: it validates cfg, consults the
+// directory, reserves capacity, and returns the serializable placement
+// decision. Use Apply to execute it, or Planner().Release to discard it.
+func (d *Deployer) Plan(cfg *AppConfig) (*Plan, error) {
+	return d.Planner().Plan(cfg)
+}
+
 // Deploy plans placements, instantiates every stage instance, and wires the
 // declared connections through the network's links. tuning may be nil.
 func (d *Deployer) Deploy(cfg *AppConfig, tuning StageTuning) (*Deployment, error) {
-	if cfg == nil {
-		return nil, errors.New("service: Deploy requires a config")
+	plan, err := d.Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := d.Apply(cfg, plan, tuning)
+	if err != nil {
+		d.Planner().Release(plan)
+		return nil, err
+	}
+	return dep, nil
+}
+
+// Apply executes a plan: it pulls stage codes from the repository,
+// customizes one engine stage per instance on the planned node, and wires
+// the planned instance-level connections through the links the placement
+// implies. The plan's directory reservations transfer to the returned
+// Deployment; on error the caller still owns them.
+func (d *Deployer) Apply(cfg *AppConfig, plan *Plan, tuning StageTuning) (*Deployment, error) {
+	if cfg == nil || plan == nil {
+		return nil, errors.New("service: Apply requires a config and a plan")
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 
-	// 1. Resource matching: one planner request per instance, in
-	// descriptor order so source-side stages claim near-source nodes
-	// first.
-	var err error
-	var reqs []grid.InstanceRequest
-	for i := range cfg.Stages {
-		s := &cfg.Stages[i]
-		for inst := 0; inst < s.EffectiveInstances(); inst++ {
-			req := grid.Requirement{
-				MinCPUPower: s.Requirement.MinCPU,
-				MinMemoryMB: s.Requirement.MinMemoryMB,
-				Site:        s.Requirement.Site,
-			}
-			if inst < len(s.NearSources) {
-				req.NearSource = s.NearSources[inst]
-			}
-			reqs = append(reqs, grid.InstanceRequest{StageID: s.ID, Instance: inst, Req: req})
-		}
-	}
-	var placements []grid.Placement
-	if d.topologyAware {
-		placements, err = d.dir.PlanTopology(reqs, instanceEdges(cfg), func(a, b string) int64 {
-			return d.net.Link(a, b).Config().Bandwidth
-		})
-	} else {
-		placements, err = d.dir.Plan(reqs)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("service: placement failed: %w", err)
+	nodeOf := make(map[instRef]string, len(plan.Assignments))
+	for _, a := range plan.Assignments {
+		nodeOf[instRef{stage: a.StageID, instance: a.Instance}] = a.Node
 	}
 
-	nodeOf := make(map[string]string, len(placements))
-	for _, p := range placements {
-		nodeOf[instKey(p.StageID, p.Instance)] = p.Node
-	}
-
-	// 2. Instantiation: pull stage codes from the repository and
-	// customize one engine stage per instance.
+	// Instantiation: pull stage codes from the repository and customize
+	// one engine stage per instance.
 	eng := pipeline.New(d.clk)
 	if d.defBatch > 0 {
 		eng.SetDefaultBatchSize(d.defBatch)
@@ -148,6 +185,10 @@ func (d *Deployer) Deploy(cfg *AppConfig, tuning StageTuning) (*Deployment, erro
 	for i := range cfg.Stages {
 		s := &cfg.Stages[i]
 		for inst := 0; inst < s.EffectiveInstances(); inst++ {
+			node, ok := nodeOf[instRef{stage: s.ID, instance: inst}]
+			if !ok {
+				return nil, fmt.Errorf("service: plan assigns no node to %s/%d", s.ID, inst)
+			}
 			var scfg pipeline.StageConfig
 			if tuning != nil {
 				scfg = tuning(s.ID, inst)
@@ -156,6 +197,7 @@ func (d *Deployer) Deploy(cfg *AppConfig, tuning StageTuning) (*Deployment, erro
 				scfg.QueueCapacity = s.QueueCapacity
 			}
 			var st *pipeline.Stage
+			var err error
 			if s.Source {
 				f, ok := d.repo.Source(s.Code)
 				if !ok {
@@ -172,60 +214,42 @@ func (d *Deployer) Deploy(cfg *AppConfig, tuning StageTuning) (*Deployment, erro
 			if err != nil {
 				return nil, err
 			}
-			st.SetNode(nodeOf[instKey(s.ID, inst)])
+			st.SetNode(node)
 			stages[s.ID] = append(stages[s.ID], st)
 		}
 	}
 
-	// 3. Wiring: connect instances through the links their placements
-	// imply.
-	for _, conn := range cfg.Connections {
-		froms := stages[conn.From]
-		tos := stages[conn.To]
-		mode := conn.Fanout
-		if mode == FanoutAuto {
-			if len(froms) == len(tos) {
-				mode = FanoutPairwise
-			} else {
-				mode = FanoutAll
-			}
+	// Wiring: connect instances through the links their placements imply.
+	for _, w := range plan.Wires {
+		froms, tos := stages[w.FromStage], stages[w.ToStage]
+		if w.FromInstance >= len(froms) || w.ToInstance >= len(tos) {
+			return nil, fmt.Errorf("service: plan wires unknown instance %s/%d -> %s/%d",
+				w.FromStage, w.FromInstance, w.ToStage, w.ToInstance)
 		}
-		switch mode {
-		case FanoutPairwise:
-			for i := range froms {
-				if err := d.connect(eng, froms[i], tos[i]); err != nil {
-					return nil, err
-				}
-			}
-		case FanoutGrouped:
-			group := len(froms) / len(tos)
-			for i := range froms {
-				if err := d.connect(eng, froms[i], tos[i/group]); err != nil {
-					return nil, err
-				}
-			}
-		case FanoutAll:
-			for _, f := range froms {
-				for _, t := range tos {
-					if err := d.connect(eng, f, t); err != nil {
-						return nil, err
-					}
-				}
-			}
+		if err := d.connect(eng, froms[w.FromInstance], tos[w.ToInstance]); err != nil {
+			return nil, err
 		}
 	}
 
-	// 4. Observation: once wiring has materialized the links, publish them
+	// Observation: once wiring has materialized the links, publish them
 	// and log where everything landed.
 	if d.o != nil {
 		d.net.Instrument(d.o.Registry)
-		for _, p := range placements {
+		for _, a := range plan.Assignments {
 			d.o.Log().Info("instance placed",
-				"app", cfg.Name, "stage", p.StageID, "instance", p.Instance, "node", p.Node)
+				"app", cfg.Name, "stage", a.StageID, "instance", a.Instance, "node", a.Node)
 		}
 	}
 
-	return &Deployment{Config: cfg, Engine: eng, Placements: placements, Stages: stages}, nil
+	return &Deployment{
+		Config:     cfg,
+		Engine:     eng,
+		Placements: plan.Placements(),
+		Stages:     stages,
+		Plan:       plan,
+		deployer:   d,
+		nodeOf:     nodeOf,
+	}, nil
 }
 
 func (d *Deployer) connect(eng *pipeline.Engine, from, to *pipeline.Stage) error {
@@ -236,49 +260,20 @@ func (d *Deployer) connect(eng *pipeline.Engine, from, to *pipeline.Stage) error
 	return eng.Connect(from, to, link)
 }
 
-func instKey(id string, inst int) string { return fmt.Sprintf("%s#%d", id, inst) }
-
 // instanceEdges expands the descriptor's connections into instance-level
-// communication edges, indexed against the request order Deploy builds
-// (stages in declaration order, instances in ordinal order).
+// communication edges, indexed against the request order instanceRequests
+// builds (stages in declaration order, instances in ordinal order).
 func instanceEdges(cfg *AppConfig) []grid.InstanceEdge {
 	offset := make(map[string]int, len(cfg.Stages))
-	count := make(map[string]int, len(cfg.Stages))
 	next := 0
 	for i := range cfg.Stages {
-		s := &cfg.Stages[i]
-		offset[s.ID] = next
-		count[s.ID] = s.EffectiveInstances()
-		next += s.EffectiveInstances()
+		offset[cfg.Stages[i].ID] = next
+		next += cfg.Stages[i].EffectiveInstances()
 	}
-	var edges []grid.InstanceEdge
-	for _, conn := range cfg.Connections {
-		fromN, toN := count[conn.From], count[conn.To]
-		mode := conn.Fanout
-		if mode == FanoutAuto {
-			if fromN == toN {
-				mode = FanoutPairwise
-			} else {
-				mode = FanoutAll
-			}
-		}
-		switch mode {
-		case FanoutPairwise:
-			for i := 0; i < fromN; i++ {
-				edges = append(edges, grid.InstanceEdge{From: offset[conn.From] + i, To: offset[conn.To] + i})
-			}
-		case FanoutGrouped:
-			group := fromN / toN
-			for i := 0; i < fromN; i++ {
-				edges = append(edges, grid.InstanceEdge{From: offset[conn.From] + i, To: offset[conn.To] + i/group})
-			}
-		case FanoutAll:
-			for i := 0; i < fromN; i++ {
-				for j := 0; j < toN; j++ {
-					edges = append(edges, grid.InstanceEdge{From: offset[conn.From] + i, To: offset[conn.To] + j})
-				}
-			}
-		}
+	wires := resolveWires(cfg)
+	edges := make([]grid.InstanceEdge, len(wires))
+	for i, w := range wires {
+		edges[i] = grid.InstanceEdge{From: offset[w.FromStage] + w.FromInstance, To: offset[w.ToStage] + w.ToInstance}
 	}
 	return edges
 }

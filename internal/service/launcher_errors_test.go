@@ -1,0 +1,110 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/gates-middleware/gates/internal/adapt"
+	"github.com/gates-middleware/gates/internal/pipeline"
+)
+
+// badParamProc registers an adjustment parameter whose initial value lies
+// outside its own [Min, Max] bounds.
+type badParamProc struct{}
+
+func (badParamProc) Init(ctx *pipeline.Context) error {
+	_, err := ctx.SpecifyParam(adapt.ParamSpec{
+		Name: "broken", Initial: 500, Min: 10, Max: 240, Step: 2,
+	})
+	return err
+}
+func (badParamProc) Process(*pipeline.Context, *pipeline.Packet, *pipeline.Emitter) error {
+	return nil
+}
+func (badParamProc) Finish(*pipeline.Context, *pipeline.Emitter) error { return nil }
+
+// TestLaunchMalformedConnections drives descriptor-level connection errors
+// through the Launcher entry point (literal-XML locator form).
+func TestLaunchMalformedConnections(t *testing.T) {
+	clk, dir, repo, net, _ := testFabric(t)
+	dep, _ := NewDeployer(clk, dir, repo, net)
+	l, _ := NewLauncher(dep)
+	cases := []struct {
+		name string
+		xml  string
+	}{
+		{"unknown endpoint", `<application name="x">
+			<stage id="producer" code="test/ints" source="true"/>
+			<connection from="producer" to="nowhere"/>
+		</application>`},
+		{"into a source", `<application name="x">
+			<stage id="a" code="test/ints" source="true"/>
+			<stage id="b" code="test/ints" source="true"/>
+			<connection from="a" to="b"/>
+		</application>`},
+		{"pairwise count mismatch", `<application name="x">
+			<stage id="producer" code="test/ints" source="true" instances="3"/>
+			<stage id="merge" code="test/count"/>
+			<connection from="producer" to="merge" fanout="pairwise"/>
+		</application>`},
+		{"unknown fanout", `<application name="x">
+			<stage id="producer" code="test/ints" source="true"/>
+			<stage id="merge" code="test/count"/>
+			<connection from="producer" to="merge" fanout="ring"/>
+		</application>`},
+	}
+	for _, tc := range cases {
+		if _, err := l.Launch(context.Background(), tc.xml, nil); err == nil {
+			t.Errorf("%s: launched", tc.name)
+		}
+	}
+}
+
+// TestLaunchUnknownStageCode checks that a descriptor naming a stage code
+// absent from the repository fails at launch with a pointed error.
+func TestLaunchUnknownStageCode(t *testing.T) {
+	clk, dir, repo, net, _ := testFabric(t)
+	dep, _ := NewDeployer(clk, dir, repo, net)
+	l, _ := NewLauncher(dep)
+	xml := `<application name="x">
+		<stage id="producer" code="test/ints" source="true"/>
+		<stage id="merge" code="test/does-not-exist"/>
+		<connection from="producer" to="merge"/>
+	</application>`
+	_, err := l.Launch(context.Background(), xml, nil)
+	if err == nil || !strings.Contains(err.Error(), "not in repository") {
+		t.Fatalf("launch with unknown code = %v", err)
+	}
+	// The failed launch must leave no reservations behind: the same
+	// fabric still deploys the valid descriptor.
+	if _, err := l.Launch(context.Background(), testConfigXML, nil); err != nil {
+		t.Fatalf("fabric left dirty by failed launch: %v", err)
+	}
+}
+
+// TestLaunchOutOfRangeParamBounds checks that a stage registering an
+// adjustment parameter with out-of-range bounds surfaces the error through
+// the application's terminal status.
+func TestLaunchOutOfRangeParamBounds(t *testing.T) {
+	clk, dir, repo, net, _ := testFabric(t)
+	if err := repo.RegisterProcessor("test/bad-param", func(int) pipeline.Processor {
+		return badParamProc{}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dep, _ := NewDeployer(clk, dir, repo, net)
+	l, _ := NewLauncher(dep)
+	xml := `<application name="x">
+		<stage id="producer" code="test/ints" source="true"/>
+		<stage id="merge" code="test/bad-param"/>
+		<connection from="producer" to="merge"/>
+	</application>`
+	app, err := l.Launch(context.Background(), xml, nil)
+	if err != nil {
+		t.Fatalf("launch itself should succeed (the spec is checked at stage init): %v", err)
+	}
+	if err := app.Wait(); err == nil {
+		t.Fatal("application with out-of-range parameter bounds finished cleanly")
+	}
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/pipeline"
+)
+
+// RebalancerConfig tunes a Rebalancer. The zero value selects the defaults
+// documented per field.
+type RebalancerConfig struct {
+	// Interval is the virtual time between placement sweeps. Zero selects
+	// 2s.
+	Interval time.Duration
+	// Threshold is how much worse (as a ratio) the current placement's
+	// link cost must be than the best alternative before a move is worth
+	// its disruption. Zero selects 2.0; values <= 1 migrate on any
+	// improvement.
+	Threshold float64
+	// Cooldown is the minimum virtual time between two migrations of the
+	// same instance. Zero selects Interval.
+	Cooldown time.Duration
+	// MaxMigrations caps the total moves the rebalancer will perform.
+	// Zero means unlimited.
+	MaxMigrations int
+	// Stages restricts the sweep to the named stage ids. Empty means
+	// every non-source stage.
+	Stages []string
+}
+
+// Rebalancer watches the deployment's placement against the directory and
+// network state and re-deploys stage instances whose communication cost
+// has deteriorated — the dynamic half of the paper's resource-aware
+// deployment: matching is not a one-shot decision but a standing
+// constraint the middleware keeps enforcing as grid conditions change.
+//
+// Cost model: an instance's placement cost is the sum over its plan wires
+// of 1/bandwidth for each inter-node link it uses (co-located wires and
+// unlimited links cost zero). When the current node's cost exceeds
+// Threshold × the best candidate node's cost, the instance migrates there.
+type Rebalancer struct {
+	dep  *Deployment
+	cfg  RebalancerConfig
+	done chan struct{}
+
+	migrations atomic.Int64
+	lastMove   map[instRef]time.Time
+}
+
+// NewRebalancer returns a rebalancer over dep. The deployment must have
+// been built by a Deployer (Deploy or Apply).
+func NewRebalancer(dep *Deployment, cfg RebalancerConfig) *Rebalancer {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 2 * time.Second
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 2.0
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = cfg.Interval
+	}
+	return &Rebalancer{
+		dep:      dep,
+		cfg:      cfg,
+		done:     make(chan struct{}),
+		lastMove: make(map[instRef]time.Time),
+	}
+}
+
+// Migrations returns how many moves the rebalancer has performed.
+func (r *Rebalancer) Migrations() int { return int(r.migrations.Load()) }
+
+// Stop ends the Run loop at its next wakeup.
+func (r *Rebalancer) Stop() {
+	select {
+	case <-r.done:
+	default:
+		close(r.done)
+	}
+}
+
+// Run sweeps placements every Interval until ctx is canceled or Stop is
+// called. Call it in its own goroutine alongside Engine.Run.
+func (r *Rebalancer) Run(ctx context.Context) {
+	if r.dep == nil || r.dep.deployer == nil {
+		return
+	}
+	clk := r.dep.deployer.clk
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-r.done:
+			return
+		case <-clk.After(r.cfg.Interval):
+		}
+		r.sweep(ctx)
+		if r.cfg.MaxMigrations > 0 && int(r.migrations.Load()) >= r.cfg.MaxMigrations {
+			return
+		}
+	}
+}
+
+// sweep examines every eligible instance once and migrates the worst
+// offender it finds (one move per sweep keeps the cost model honest: each
+// move changes the link usage the next evaluation sees).
+func (r *Rebalancer) sweep(ctx context.Context) {
+	dep := r.dep
+	d := dep.deployer
+	now := d.clk.Now()
+	for _, stageID := range r.stageIDs() {
+		insts := dep.Stages[stageID]
+		for i, st := range insts {
+			if st.IsSource() || st.State() == pipeline.StateStopped {
+				continue
+			}
+			ref := instRef{stage: stageID, instance: i}
+			if last, ok := r.lastMove[ref]; ok && now.Sub(last) < r.cfg.Cooldown {
+				continue
+			}
+			cur := st.Node()
+			curCost := r.placementCost(stageID, i, cur)
+			bestNode, bestCost := cur, curCost
+			req, _ := dep.planRequirement(stageID, i)
+			req.NearSource = ""
+			for _, n := range d.dir.Query(req) {
+				if n.Name == cur {
+					continue
+				}
+				if c := r.placementCost(stageID, i, n.Name); c < bestCost {
+					bestNode, bestCost = n.Name, c
+				}
+			}
+			if bestNode == cur || curCost <= r.cfg.Threshold*bestCost {
+				continue
+			}
+			if err := dep.migrate(ctx, stageID, i, bestNode, "rebalance"); err != nil {
+				d.o.Log().Warn("rebalance migration failed",
+					"stage", stageID, "instance", i, "to", bestNode, "err", err)
+				continue
+			}
+			r.lastMove[ref] = now
+			r.migrations.Add(1)
+			if r.cfg.MaxMigrations > 0 && int(r.migrations.Load()) >= r.cfg.MaxMigrations {
+				return
+			}
+			return // one move per sweep
+		}
+	}
+}
+
+// placementCost sums 1/bandwidth over the instance's plan wires assuming
+// it runs on node; peers are read from the live placement index.
+func (r *Rebalancer) placementCost(stageID string, instance int, node string) float64 {
+	dep := r.dep
+	if dep.Plan == nil {
+		return 0
+	}
+	var cost float64
+	for _, w := range dep.Plan.Wires {
+		var peerStage string
+		var peerInst int
+		var outbound bool
+		switch {
+		case w.FromStage == stageID && w.FromInstance == instance:
+			peerStage, peerInst, outbound = w.ToStage, w.ToInstance, true
+		case w.ToStage == stageID && w.ToInstance == instance:
+			peerStage, peerInst = w.FromStage, w.FromInstance
+		default:
+			continue
+		}
+		peer, ok := dep.NodeFor(peerStage, peerInst)
+		if !ok || peer == node {
+			continue
+		}
+		// Cost the link in the direction the data actually flows: links
+		// are directional, and an asymmetric slowdown (the case migration
+		// exists for) must not be hidden by reading the reverse link.
+		from, to := peer, node
+		if outbound {
+			from, to = node, peer
+		}
+		bw := dep.deployer.net.Link(from, to).Config().Bandwidth
+		if bw > 0 {
+			cost += 1 / float64(bw)
+		}
+	}
+	return cost
+}
+
+// stageIDs returns the stages the sweep covers.
+func (r *Rebalancer) stageIDs() []string {
+	if len(r.cfg.Stages) > 0 {
+		return r.cfg.Stages
+	}
+	ids := make([]string, 0, len(r.dep.Stages))
+	for i := range r.dep.Config.Stages {
+		ids = append(ids, r.dep.Config.Stages[i].ID)
+	}
+	return ids
+}

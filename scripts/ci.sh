@@ -26,6 +26,14 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== migration smoke =="
+# Live re-deployment lane: the deterministic manual-clock zero-loss
+# migration tests under the race detector, then the bandwidth-collapse
+# experiment end to end in quick mode.
+go test -race -run 'Migration|Migrate|PlanApply|PauseResume|Relink' \
+  ./internal/service ./internal/pipeline
+go run ./cmd/gates-experiments -exp migration -quick -scale 4000
+
 echo "== coverage =="
 go test -coverprofile=coverage.out -covermode=atomic ./...
 go tool cover -func=coverage.out | tail -1
