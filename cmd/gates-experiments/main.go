@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	gates-experiments [-exp all|fig5|fig6|fig7|fig8|fig9|ablations] [-quick] [-scale N] [-seed N] [-parallel N]
+//	gates-experiments [-exp all|fig5|fig6|fig7|fig8|fig9|ablations|ext|migration|latency] [-quick] [-scale N] [-seed N] [-parallel N]
+//
+// -exp latency sweeps the trace sampling rate, measuring the hot-path
+// observability tax and the end-to-end latency quantiles, and writes the
+// BENCH_latency.json artifact alongside the rendered table.
 //
 // Absolute times are virtual seconds on the emulated grid; the shapes (who
 // wins, by what factor, where adaptation converges) are the reproduction
@@ -20,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "which artifact to regenerate: all, fig5, fig6, fig7, fig8, fig9, ablations, ext, migration")
+		exp     = flag.String("exp", "all", "which artifact to regenerate: all, fig5, fig6, fig7, fig8, fig9, ablations, ext, migration, latency")
 		quick   = flag.Bool("quick", false, "shrink workloads ~4x (shapes survive, absolute numbers shift)")
 		scale   = flag.Float64("scale", 0, "virtual seconds per wall second (0 = per-experiment default)")
 		seed    = flag.Int64("seed", 0, "workload seed (0 = default)")
@@ -142,8 +146,24 @@ func run(exp string, cfg experiments.Config) error {
 		res.Render(out)
 		fmt.Fprintln(out)
 	}
+	if exp == "latency" {
+		res, err := experiments.ExpLatency(cfg)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+		f, err := os.Create("BENCH_latency.json")
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "wrote BENCH_latency.json")
+	}
 	switch exp {
-	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "ext", "migration":
+	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "ext", "migration", "latency":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

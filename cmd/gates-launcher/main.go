@@ -16,6 +16,15 @@
 //
 //	gates-launcher -config examples/compsteer.xml -obs-listen :9090 &
 //	curl -s localhost:9090/metrics | grep gates_stage_items
+//
+// The launcher is also the cluster-wide observability plane: /cluster on the
+// same endpoint returns the merged view of its own registry plus every
+// remote gates-node named with -scrape (their /snapshot endpoints), with
+// end-to-end latency quantiles and SLO status; -top streams the gates-top
+// style cluster dashboard to stderr on a virtual-time interval. Probes
+// (/healthz, /readyz) and /debug/pprof are mounted on the same mux, and
+// -trace-sample / GATES_TRACE_SAMPLE tune hot-path trace sampling (0
+// disables it).
 package main
 
 import (
@@ -24,6 +33,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
@@ -40,7 +51,11 @@ func main() {
 		scale     = flag.Float64("scale", 500, "virtual seconds per wall second")
 		bandwidth = flag.Int64("bandwidth", 100_000, "cross-node link bandwidth, bytes per virtual second")
 		monitorIv = flag.Duration("monitor", 0, "sample the running stages every this much virtual time, streaming dashboards to stderr while running and printing a final one to stdout (0 = off)")
-		obsListen = flag.String("obs-listen", "", "HTTP address serving /metrics, /snapshot, /adaptations, /traces for the run (\":0\" picks a port; omit to disable)")
+		obsListen = flag.String("obs-listen", "", "HTTP address serving /metrics, /snapshot, /cluster, /adaptations, /traces, /healthz, /readyz, /debug/pprof for the run (\":0\" picks a port; omit to disable)")
+		scrape    = flag.String("scrape", "", "comma-separated observability addresses of remote gates-node processes whose /snapshot feeds the /cluster view")
+		sloP99    = flag.Duration("slo-p99", 0, "end-to-end latency SLO: flag a violation when the merged sink-side p99 exceeds this much virtual time (0 = no latency target; queue-growth detection stays on)")
+		topIv     = flag.Duration("top", 0, "render the cluster-wide dashboard to stderr every this much virtual time, plus a final one to stdout (0 = off)")
+		trace     = flag.Int("trace-sample", obs.DefaultTraceSample(), "record one trace span in every N hot-path operations; 0 disables tracing entirely (default from GATES_TRACE_SAMPLE)")
 		verbose   = flag.Bool("v", false, "log structured middleware events to stderr")
 	)
 	flag.Parse()
@@ -48,19 +63,58 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var logTo *os.File
-	if *verbose {
-		logTo = os.Stderr
+	opts := launcherOptions{
+		scale:       *scale,
+		bandwidth:   *bandwidth,
+		monitorIv:   *monitorIv,
+		obsListen:   *obsListen,
+		scrape:      splitScrape(*scrape),
+		sloP99:      *sloP99,
+		topIv:       *topIv,
+		traceSample: obs.SampleEveryFor(*trace),
 	}
-	if err := run(*config, *scale, *bandwidth, *monitorIv, *obsListen, logTo); err != nil {
+	if *verbose {
+		opts.logTo = os.Stderr
+	}
+	if err := run(*config, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gates-launcher:", err)
 		os.Exit(1)
 	}
 }
 
-func run(config string, scale float64, bandwidth int64, monitorIv time.Duration, obsListen string, logTo *os.File) error {
-	clk := clock.NewScaled(scale)
-	dir, net, err := builtin.Fabric(clk, bandwidth)
+// splitScrape parses the -scrape flag: comma-separated addresses, blanks
+// dropped.
+func splitScrape(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// launcherOptions carries one run's configuration; flags populate it in main
+// and tests construct it directly. The zero value is a plain headless run.
+type launcherOptions struct {
+	scale       float64       // virtual seconds per wall second (<=0 = 1)
+	bandwidth   int64         // cross-node bandwidth, bytes per virtual second
+	monitorIv   time.Duration // per-stage monitor interval (0 = off)
+	obsListen   string        // HTTP observability address ("" = disabled)
+	scrape      []string      // remote node obs addresses feeding /cluster
+	sloP99      time.Duration // end-to-end p99 target (0 = none)
+	topIv       time.Duration // cluster dashboard interval (0 = off)
+	traceSample int           // obs.Config.SampleEvery semantics (0 = default, <0 = off)
+	logTo       *os.File      // structured log destination (nil = discard)
+	onObs       func(addr string) // test hook: bound observability address
+}
+
+func run(config string, o launcherOptions) error {
+	if o.scale <= 0 {
+		o.scale = 1
+	}
+	clk := clock.NewScaled(o.scale)
+	dir, net, err := builtin.Fabric(clk, o.bandwidth)
 	if err != nil {
 		return err
 	}
@@ -77,19 +131,50 @@ func run(config string, scale float64, bandwidth int64, monitorIv time.Duration,
 	// deployed stages publish into its registry, adaptation epochs land in
 	// its audit trail, and the monitor derives its rates from the same
 	// registry instead of keeping private counters.
-	obsCfg := obs.Config{}
-	if logTo != nil {
-		obsCfg.LogWriter = logTo
+	obsCfg := obs.Config{SampleEvery: o.traceSample}
+	if o.logTo != nil {
+		obsCfg.LogWriter = o.logTo
 	}
 	ob := obs.New(clk, obsCfg)
 	deployer.SetObservability(ob)
-	if obsListen != "" {
-		osrv, err := obs.Serve(obsListen, ob)
+
+	// The cluster aggregator merges this process's snapshot (the launcher
+	// runs every in-process stage) with any scraped remote nodes, and its
+	// SLO monitor re-evaluates on every collection. The violation flag is
+	// itself a metric, so a scrape of /metrics sees the detector's state.
+	agg := obs.NewAggregator(clk, obs.SLOConfig{TargetP99: o.sloP99.Seconds()})
+	agg.AddSource("launcher", obs.LocalSource(ob))
+	for _, addr := range o.scrape {
+		agg.AddSource(addr, obs.HTTPSource(nil, addr))
+	}
+	ob.Registry.GaugeFunc("gates_slo_violation",
+		"1 while the cluster SLO detector flags a violation, else 0.", nil,
+		func() float64 {
+			if agg.Violated() {
+				return 1
+			}
+			return 0
+		})
+
+	// The endpoint binds before Launch so probes work for the whole run;
+	// readiness is wired in once the application exists.
+	var readyFn atomic.Value // of func() bool
+	if o.obsListen != "" {
+		osrv, err := obs.ServeWith(o.obsListen, ob, obs.HandlerOptions{
+			Ready: func() bool {
+				f, _ := readyFn.Load().(func() bool)
+				return f != nil && f()
+			},
+			Aggregator: agg,
+		})
 		if err != nil {
 			return err
 		}
 		defer osrv.Close()
 		fmt.Println("observability on http://" + osrv.Addr())
+		if o.onObs != nil {
+			o.onObs(osrv.Addr())
+		}
 	}
 
 	launcher, err := service.NewLauncher(deployer)
@@ -102,18 +187,31 @@ func run(config string, scale float64, bandwidth int64, monitorIv time.Duration,
 	if err != nil {
 		return err
 	}
+	readyFn.Store(app.Ready)
 	fmt.Printf("launched %q on %d nodes; placements:\n", app.Config.Name, len(dir.List()))
 	for _, p := range app.Placements {
 		fmt.Printf("  %s/%d -> %s\n", p.StageID, p.Instance, p.Node)
 	}
 	var mon *monitor.Monitor
 	stopMon := make(chan struct{})
-	if monitorIv > 0 {
-		mon = monitor.NewWithRegistry(clk, monitorIv, ob.Registry)
+	if o.monitorIv > 0 {
+		mon = monitor.NewWithRegistry(clk, o.monitorIv, ob.Registry)
 		mon.WatchStages(app.Stages)
 		// Stream dashboards to stderr while the run progresses; stdout
 		// stays clean for the final report.
 		go mon.Run(stopMon, os.Stderr)
+	}
+	if o.topIv > 0 {
+		go func() {
+			for {
+				select {
+				case <-stopMon:
+					return
+				case <-clk.After(o.topIv):
+					agg.Collect().Render(os.Stderr)
+				}
+			}
+		}()
 	}
 	if err := app.Wait(); err != nil {
 		return err
@@ -122,6 +220,9 @@ func run(config string, scale float64, bandwidth int64, monitorIv time.Duration,
 	if mon != nil {
 		mon.Sample()
 		mon.Render(os.Stdout)
+	}
+	if o.topIv > 0 || len(o.scrape) > 0 {
+		agg.Collect().Render(os.Stdout)
 	}
 	fmt.Printf("finished in %.1f virtual seconds; %d bytes crossed the network\n",
 		sw.Elapsed().Seconds(), net.TotalBytes())

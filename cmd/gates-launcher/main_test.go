@@ -1,8 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
 	"testing"
 	"time"
+
+	"github.com/gates-middleware/gates/internal/obs"
 )
 
 const steeringXML = `
@@ -16,20 +23,21 @@ const steeringXML = `
 
 func TestRunLiteralConfig(t *testing.T) {
 	// 300 virtual seconds of comp-steer at 20000x: well under a second.
-	if err := run(steeringXML, 20_000, 100_000, 2*time.Second, "", nil); err != nil {
+	opts := launcherOptions{scale: 20_000, bandwidth: 100_000, monitorIv: 2 * time.Second}
+	if err := run(steeringXML, opts); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunBadConfig(t *testing.T) {
-	if err := run(`<application name="x"/>`, 20_000, 100_000, 0, "", nil); err == nil {
+	if err := run(`<application name="x"/>`, launcherOptions{scale: 20_000, bandwidth: 100_000}); err == nil {
 		t.Fatal("invalid descriptor launched")
 	}
 }
 
 func TestRunUnknownCode(t *testing.T) {
 	xml := `<application name="x"><stage id="a" code="no/such" source="true"/></application>`
-	if err := run(xml, 20_000, 100_000, 0, "", nil); err == nil {
+	if err := run(xml, launcherOptions{scale: 20_000, bandwidth: 100_000}); err == nil {
 		t.Fatal("unknown stage code launched")
 	}
 }
@@ -37,7 +45,74 @@ func TestRunUnknownCode(t *testing.T) {
 func TestRunWithObservability(t *testing.T) {
 	// The endpoint itself is exercised end-to-end in cmd/gates-node; here
 	// we check the launcher can bind, serve, and tear down its surface.
-	if err := run(steeringXML, 20_000, 100_000, 0, "127.0.0.1:0", nil); err != nil {
+	opts := launcherOptions{scale: 20_000, bandwidth: 100_000, obsListen: "127.0.0.1:0"}
+	if err := run(steeringXML, opts); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunClusterEndpoint drives a full launcher run while polling the
+// /cluster endpoint: the merged view must carry end-to-end latency
+// quantiles for the pipeline's sink once the run completes.
+func TestRunClusterEndpoint(t *testing.T) {
+	obsCh := make(chan string, 1)
+	// The comp-steer smoke run covers ~350 virtual seconds; 1000x keeps the
+	// server alive for a few hundred wall milliseconds of polling.
+	opts := launcherOptions{
+		scale:     1000,
+		bandwidth: 100_000,
+		obsListen: "127.0.0.1:0",
+		sloP99:    time.Hour, // never violated in a smoke run
+		onObs:     func(addr string) { obsCh <- addr },
+	}
+	done := make(chan error, 1)
+	go func() { done <- run(steeringXML, opts) }()
+	addr := <-obsCh
+
+	// Poll /cluster while the run progresses; accept the last view before
+	// the server closes.
+	var view obs.ClusterView
+	gotLatency := false
+	for {
+		resp, err := http.Get("http://" + addr + "/cluster")
+		if err != nil {
+			break // run finished, server closed
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var v obs.ClusterView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("/cluster not JSON: %v\n%s", err, body)
+		}
+		view = v
+		if len(v.Latency) > 0 {
+			gotLatency = true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !gotLatency {
+		t.Fatalf("no latency summaries ever appeared in /cluster; last view: %+v", view)
+	}
+	if view.SLO.Violated {
+		t.Fatalf("1h SLO flagged violated: %+v", view.SLO)
+	}
+	var sb strings.Builder
+	view.Render(&sb)
+	if !strings.Contains(sb.String(), "gates cluster") {
+		t.Fatalf("dashboard render missing header:\n%s", sb.String())
+	}
+}
+
+func TestSplitScrape(t *testing.T) {
+	got := splitScrape(" a:1, ,b:2,")
+	want := fmt.Sprintf("%v", []string{"a:1", "b:2"})
+	if fmt.Sprintf("%v", got) != want {
+		t.Fatalf("splitScrape = %v, want %s", got, want)
+	}
+	if splitScrape("") != nil {
+		t.Fatalf("splitScrape(\"\") = %v, want nil", splitScrape(""))
 	}
 }

@@ -14,8 +14,13 @@
 // Load exceptions travel back over the same connections, so the sampler
 // adapts exactly as it does in the emulated experiments. With -obs-listen,
 // the node additionally serves its observability surface over HTTP:
-// /metrics (Prometheus text), /snapshot (JSON), /adaptations (the
-// self-adaptation audit trail), and /traces (sampled hot-path spans).
+// /metrics (Prometheus text), /snapshot (JSON, scraped by a launcher's
+// cluster aggregator), /adaptations (the self-adaptation audit trail),
+// /traces (sampled hot-path spans), /healthz and /readyz (probes), and
+// /debug/pprof. Trace sampling is tuned with -trace-sample (or the
+// GATES_TRACE_SAMPLE environment variable): tracing one in every N
+// operations keeps hot-path overhead to an occasional ring write, while
+// -trace-sample 0 removes even that.
 package main
 
 import (
@@ -42,9 +47,11 @@ func main() {
 	flag.StringVar(&opts.forward, "forward", "", "downstream node address to forward output to")
 	flag.IntVar(&opts.expect, "expect", 1, "number of upstream end-of-stream markers to wait for")
 	flag.Float64Var(&opts.scale, "scale", 1, "virtual seconds per wall second")
-	flag.StringVar(&opts.obsListen, "obs-listen", "", "HTTP address serving /metrics, /snapshot, /adaptations, /traces (\":0\" picks a port; omit to disable)")
+	flag.StringVar(&opts.obsListen, "obs-listen", "", "HTTP address serving /metrics, /snapshot, /adaptations, /traces, /healthz, /readyz, /debug/pprof (\":0\" picks a port; omit to disable)")
+	traceSample := flag.Int("trace-sample", obs.DefaultTraceSample(), "record one trace span in every N hot-path operations; 0 disables tracing entirely (default from GATES_TRACE_SAMPLE)")
 	verbose := flag.Bool("v", false, "log structured middleware events to stderr")
 	flag.Parse()
+	opts.traceSample = obs.SampleEveryFor(*traceSample)
 	if opts.stage == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -68,9 +75,10 @@ type nodeOptions struct {
 	expect  int    // upstream end-of-stream markers to wait for
 	scale   float64
 
-	obsListen string                 // HTTP observability address ("" = disabled)
-	logTo     *os.File               // structured log destination (nil = discard)
-	onObs     func(addr, obs string) // test hook: bound data + obs addresses
+	obsListen   string                 // HTTP observability address ("" = disabled)
+	traceSample int                    // obs.Config.SampleEvery semantics (0 = default, <0 = off)
+	logTo       *os.File               // structured log destination (nil = discard)
+	onObs       func(addr, obs string) // test hook: bound data + obs addresses
 }
 
 func run(o nodeOptions) error {
@@ -90,7 +98,7 @@ func run(o nodeOptions) error {
 	// The observability bundle is always built (a nil bundle would also
 	// work, but one bundle keeps the audit trail available for the final
 	// report); the HTTP endpoint is opt-in.
-	obsCfg := obs.Config{}
+	obsCfg := obs.Config{SampleEvery: o.traceSample}
 	if o.logTo != nil {
 		obsCfg.LogWriter = o.logTo
 	}
@@ -160,7 +168,7 @@ func run(o nodeOptions) error {
 	// for the node's whole life.
 	var obsAddr string
 	if o.obsListen != "" {
-		osrv, err := obs.Serve(o.obsListen, ob)
+		osrv, err := obs.ServeWith(o.obsListen, ob, obs.HandlerOptions{Ready: eng.Ready})
 		if err != nil {
 			return err
 		}
@@ -203,7 +211,9 @@ func run(o nodeOptions) error {
 			}
 			cli.Close()
 		}()
-		eg, err := eng.AddProcessorStage("egress", 0, transport.NewEgress(cli), pipeline.StageConfig{DisableAdaptation: true})
+		egress := transport.NewEgress(cli)
+		egress.Tracer = ob.Tracer
+		eg, err := eng.AddProcessorStage("egress", 0, egress, pipeline.StageConfig{DisableAdaptation: true})
 		if err != nil {
 			return err
 		}

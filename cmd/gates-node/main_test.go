@@ -122,10 +122,14 @@ func TestNodeObservabilityEndpoints(t *testing.T) {
 	}
 
 	// Play the upstream node: send data packets the analyzer will consume.
+	// The node broadcasts §4 load exceptions back on this connection; drain
+	// them so no unread reverse frames accumulate (see Client.CloseWrite on
+	// why that matters at shutdown).
 	cli, err := transport.Dial(dataAddr)
 	if err != nil {
 		t.Fatal(err)
 	}
+	go cli.ReadLoop(func(transport.Message) {})
 	const packets, itemsEach = 20, 5
 	for i := 0; i < packets; i++ {
 		pkt := &pipeline.Packet{Seq: uint64(i), Value: float64(i), Items: itemsEach}
@@ -186,11 +190,17 @@ func TestNodeObservabilityEndpoints(t *testing.T) {
 		t.Errorf("/snapshot missing stage counters: %s", snap)
 	}
 
-	// End the stream; the node must drain and exit cleanly.
+	// End the stream; the node must drain and exit cleanly. Half-close
+	// rather than Close: a full close with reverse exception frames still
+	// queued unread resets the connection, and the reset can destroy the
+	// final marker before the node reads it.
 	if err := cli.Send(transport.PacketMessage(&pipeline.Packet{Final: true})); err != nil {
 		t.Fatal(err)
 	}
-	cli.Close()
+	if err := cli.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
 	select {
 	case err := <-nodeDone:
 		if err != nil {

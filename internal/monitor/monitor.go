@@ -46,6 +46,11 @@ type StageSample struct {
 	// moved backwards (stage restart) contributes its post-reset value, not
 	// a negative delta.
 	ArrivalRate, ServiceRate float64
+	// E2EP99 is the 99th-percentile source-to-here latency in virtual
+	// seconds, read from the stage's gates_stage_e2e_latency_seconds
+	// histogram; zero when the stage has observed no lineage-stamped
+	// packets yet.
+	E2EP99 float64
 	// Params holds the current value of every adjustment parameter.
 	Params map[string]float64
 }
@@ -213,6 +218,9 @@ func (m *Monitor) Sample() Snapshot {
 			ItemsOut: uint64(itemsOut),
 			Params:   make(map[string]float64),
 		}
+		if p99, ok := m.reg.HistogramQuantile(obs.MetricE2ELatency, w.labels, 0.99); ok {
+			s.E2EP99 = p99
+		}
 		for _, p := range st.Controller().Params() {
 			s.Params[p.Spec().Name] = p.Value()
 		}
@@ -316,7 +324,7 @@ func (m *Monitor) Render(w io.Writer) {
 	}
 	fmt.Fprintf(w, "monitor snapshot @ %s\n", snap.At.Format("15:04:05.000"))
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "stage\tnode\tqueue\td~\tλ/s\tμ/s\tparams")
+	fmt.Fprintln(tw, "stage\tnode\tqueue\td~\tλ/s\tμ/s\te2e-p99\tparams")
 	for _, s := range snap.Stages {
 		params := ""
 		names := make([]string, 0, len(s.Params))
@@ -330,8 +338,12 @@ func (m *Monitor) Render(w io.Writer) {
 			}
 			params += fmt.Sprintf("%s=%.3g", name, s.Params[name])
 		}
-		fmt.Fprintf(tw, "%s/%d\t%s\t%d\t%.1f\t%.1f\t%.1f\t%s\n",
-			s.Stage, s.Instance, s.Node, s.QueueLen, s.DTilde, s.ArrivalRate, s.ServiceRate, params)
+		e2e := "-"
+		if s.E2EP99 > 0 {
+			e2e = fmt.Sprintf("%.3gs", s.E2EP99)
+		}
+		fmt.Fprintf(tw, "%s/%d\t%s\t%d\t%.1f\t%.1f\t%.1f\t%s\t%s\n",
+			s.Stage, s.Instance, s.Node, s.QueueLen, s.DTilde, s.ArrivalRate, s.ServiceRate, e2e, params)
 	}
 	tw.Flush()
 	if len(snap.Links) > 0 {

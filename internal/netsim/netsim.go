@@ -13,9 +13,11 @@ package netsim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/obs"
 )
 
 // Common bandwidth constants, in bytes per (virtual) second, matching the
@@ -84,6 +86,12 @@ type LinkStats struct {
 type Link struct {
 	cfg LinkConfig
 	clk clock.Clock
+
+	// transferSec, when instrumented, records each batch's total
+	// transfer time (pacing wait + latency) — the per-edge contribution
+	// to end-to-end latency. Atomic so Instrument can attach it while
+	// traffic flows.
+	transferSec atomic.Pointer[obs.Histogram]
 
 	mu       sync.Mutex
 	nextFree time.Time
@@ -170,6 +178,21 @@ func (l *Link) TransferBatch(n, msgs int) time.Duration {
 	if msgs < 1 {
 		msgs = 1
 	}
+	// Co-located fast path: an unlimited, zero-latency link (the lazy
+	// loopback edges between stages sharing a node) imposes no pacing, so
+	// the shaper reservation is skipped and accounting takes one lock
+	// round-trip instead of two.
+	l.mu.Lock()
+	if l.cfg.Bandwidth == 0 && l.cfg.Latency == 0 {
+		l.stats.Messages += int64(msgs)
+		l.stats.Bytes += int64(n)
+		l.mu.Unlock()
+		if h := l.transferSec.Load(); h != nil {
+			h.Observe(0)
+		}
+		return 0
+	}
+	l.mu.Unlock()
 	wait := l.reserve(n)
 	total := wait + l.cfg.Latency
 	if total > 0 && (wait >= l.cfg.Quantum || l.cfg.Latency > 0) {
@@ -180,6 +203,9 @@ func (l *Link) TransferBatch(n, msgs int) time.Duration {
 	l.stats.Bytes += int64(n)
 	l.stats.Waited += wait
 	l.mu.Unlock()
+	if h := l.transferSec.Load(); h != nil {
+		h.Observe(total.Seconds())
+	}
 	return total
 }
 

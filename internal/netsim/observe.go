@@ -23,6 +23,9 @@ func (l *Link) Instrument(reg *obs.Registry, name string) {
 	reg.CounterFunc("gates_link_waited_seconds_total",
 		"Cumulative virtual time senders were paced by the link shaper.", lb,
 		func() float64 { return l.Stats().Waited.Seconds() })
+	l.transferSec.Store(reg.Histogram("gates_link_transfer_seconds",
+		"Virtual time one coalesced batch spent on the link (pacing wait + propagation latency).",
+		obs.LatencyBuckets, lb))
 }
 
 // Instrument publishes every installed link into reg, labeled by route. A

@@ -6,21 +6,46 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"time"
+	"net/http/pprof"
 )
+
+// HandlerOptions extends the observability surface with deployment-aware
+// endpoints. The zero value is valid and serves the plain per-node
+// surface.
+type HandlerOptions struct {
+	// Ready reports whether the node is ready to serve (for gates-node
+	// and gates-launcher: all local stage instances in the Running
+	// state). Nil means /readyz always answers ready — a node with no
+	// engine has nothing to wait for.
+	Ready func() bool
+	// Aggregator, when set, serves the merged pipeline-wide view at
+	// /cluster (the launcher's role); /cluster answers 404 without it.
+	Aggregator *Aggregator
+}
 
 // Handler returns the observability HTTP surface of a node:
 //
 //	/metrics      Prometheus text exposition of the registry
-//	/snapshot     JSON snapshot of every metric series
+//	/snapshot     JSON node snapshot: metrics + adaptation, migration,
+//	              and lifecycle trails (everything a cluster aggregator
+//	              needs in one scrape)
 //	/adaptations  JSON audit trail of adaptation decisions
 //	/migrations   JSON migration events and stage lifecycle transitions
 //	/traces       JSON of the retained sampled spans
+//	/healthz      liveness (200 once the process serves HTTP)
+//	/readyz       readiness (503 until every local stage is Running)
+//	/cluster      merged cluster view (launcher only; see HandlerOptions)
+//	/debug/pprof  Go runtime profiling
 //	/             plain-text index of the above
 //
 // Endpoints degrade gracefully when a facility is absent from o (e.g. a
 // disabled tracer serves an empty span list).
 func Handler(o *Observability) http.Handler {
+	return HandlerWith(o, HandlerOptions{})
+}
+
+// HandlerWith is Handler with deployment-aware endpoints enabled.
+func HandlerWith(o *Observability, opt HandlerOptions) http.Handler {
 	if o == nil {
 		panic("obs: Handler requires an Observability bundle")
 	}
@@ -32,15 +57,33 @@ func Handler(o *Observability) http.Handler {
 		}
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		var points []MetricPoint
-		if o.Registry != nil {
-			points = o.Registry.Snapshot()
-		}
-		writeJSON(w, struct {
-			At      time.Time     `json:"at"`
-			Metrics []MetricPoint `json:"metrics"`
-		}{At: o.Clock.Now(), Metrics: points})
+		writeJSON(w, o.NodeSnapshot())
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if opt.Ready != nil && !opt.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "not ready: stages not all running")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		if opt.Aggregator == nil {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, opt.Aggregator.Collect())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/adaptations", func(w http.ResponseWriter, r *http.Request) {
 		events := o.Audit.Events()
 		if events == nil {
@@ -86,10 +129,16 @@ func Handler(o *Observability) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "GATES observability endpoints:")
 		fmt.Fprintln(w, "  /metrics      Prometheus text format")
-		fmt.Fprintln(w, "  /snapshot     JSON metric snapshot")
+		fmt.Fprintln(w, "  /snapshot     JSON node snapshot (metrics + event trails)")
 		fmt.Fprintln(w, "  /adaptations  adaptation audit trail")
 		fmt.Fprintln(w, "  /migrations   stage migrations and lifecycle transitions")
 		fmt.Fprintln(w, "  /traces       sampled hot-path spans")
+		fmt.Fprintln(w, "  /healthz      liveness probe")
+		fmt.Fprintln(w, "  /readyz       readiness probe (all stages running)")
+		if opt.Aggregator != nil {
+			fmt.Fprintln(w, "  /cluster      merged pipeline-wide view")
+		}
+		fmt.Fprintln(w, "  /debug/pprof  runtime profiles")
 	})
 	return mux
 }
@@ -113,13 +162,18 @@ type Server struct {
 // Serve exposes o's Handler at addr (":0" picks a free port) and returns
 // once the listener is bound, so the endpoint is queryable immediately.
 func Serve(addr string, o *Observability) (*Server, error) {
+	return ServeWith(addr, o, HandlerOptions{})
+}
+
+// ServeWith is Serve with deployment-aware endpoints enabled.
+func ServeWith(addr string, o *Observability, opt HandlerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	s := &Server{
 		ln:   ln,
-		srv:  &http.Server{Handler: Handler(o)},
+		srv:  &http.Server{Handler: HandlerWith(o, opt)},
 		done: make(chan struct{}),
 	}
 	go func() {

@@ -20,9 +20,41 @@ package obs
 import (
 	"io"
 	"log/slog"
+	"os"
+	"strconv"
 
 	"github.com/gates-middleware/gates/internal/clock"
 )
+
+// TraceSampleEnv is the environment variable consulted for the default
+// trace-sampling period when a binary's -trace-sample flag is left at its
+// default. The value is the user-facing N of "record one trace in every N
+// hot-path operations"; 0 disables tracing.
+const TraceSampleEnv = "GATES_TRACE_SAMPLE"
+
+// DefaultTraceSample returns the user-facing trace-sampling default: the
+// value of GATES_TRACE_SAMPLE when it parses as a non-negative integer,
+// otherwise DefaultSampleEvery. The result uses flag semantics (0 =
+// disabled); feed it through SampleEveryFor before storing into
+// Config.SampleEvery.
+func DefaultTraceSample() int {
+	if v := os.Getenv(TraceSampleEnv); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			return n
+		}
+	}
+	return DefaultSampleEvery
+}
+
+// SampleEveryFor maps a user-facing -trace-sample value (N > 0 records one
+// in every N operations, 0 disables tracing) onto Config.SampleEvery
+// semantics, where zero means "default" and negative means "disabled".
+func SampleEveryFor(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return n
+}
 
 // Config tunes an Observability bundle. The zero value selects defaults:
 // 1-in-DefaultSampleEvery trace sampling, DefaultTraceCapacity retained

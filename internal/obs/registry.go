@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -306,6 +307,22 @@ type MetricPoint struct {
 	Value   JSONFloat         `json:"value"`
 	Sum     JSONFloat         `json:"sum,omitempty"`
 	Buckets []BucketCount     `json:"buckets,omitempty"`
+	// Quantiles carries interpolated percentiles (p50/p95/p99) for
+	// histogram series, so snapshot consumers need not re-derive them.
+	Quantiles map[string]JSONFloat `json:"quantiles,omitempty"`
+}
+
+// pointQuantiles derives the exposition percentiles from cumulative
+// buckets; nil for empty histograms.
+func pointQuantiles(buckets []BucketCount, count uint64) map[string]JSONFloat {
+	if count == 0 {
+		return nil
+	}
+	out := make(map[string]JSONFloat, len(quantilePoints))
+	for _, qp := range quantilePoints {
+		out[qp.Key] = JSONFloat(QuantileFromBuckets(buckets, count, qp.Q))
+	}
+	return out
 }
 
 // Snapshot evaluates every series (including callbacks) and returns them
@@ -332,6 +349,7 @@ func (r *Registry) Snapshot() []MetricPoint {
 				p.Value = JSONFloat(count)
 				p.Sum = JSONFloat(sum)
 				p.Buckets = buckets
+				p.Quantiles = pointQuantiles(buckets, count)
 			} else {
 				p.Value = JSONFloat(s.value())
 			}
@@ -405,8 +423,18 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, formatLabels(s.labels, "", 0), formatValue(sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, formatLabels(s.labels, "", 0), count)
-	return err
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, formatLabels(s.labels, "", 0), count); err != nil {
+		return err
+	}
+	// Interpolated percentiles ride along as plain samples so a curl of
+	// /metrics answers "what is the p99" without a query engine.
+	for _, qp := range quantilePoints {
+		v := QuantileFromBuckets(buckets, count, qp.Q)
+		if _, err := fmt.Fprintf(w, "%s_%s%s %s\n", f.name, qp.Key, formatLabels(s.labels, "", 0), formatValue(v)); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func formatLabels(pairs []labelPair, le string, bound float64) string {
@@ -507,7 +535,14 @@ type Histogram struct {
 	bounds  []float64 // strictly increasing upper bounds; +Inf is implicit
 	counts  []atomic.Uint64
 	sumBits atomic.Uint64
-	count   atomic.Uint64
+
+	// nsBounds are the bounds in integer nanoseconds (saturating), and
+	// expStart[bits.Len64(ns)] is the first bucket a duration of that
+	// binary magnitude can land in — together they bucket a duration
+	// with integer compares and a scan bounded by one binary octave,
+	// instead of a float binary search per observation.
+	nsBounds []int64
+	expStart [65]int16
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -519,14 +554,63 @@ func newHistogram(bounds []float64) *Histogram {
 			panic("obs: histogram buckets must be strictly increasing")
 		}
 	}
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	h.nsBounds = make([]int64, len(bounds))
+	for i, b := range bounds {
+		switch ns := b * 1e9; {
+		case ns >= math.MaxInt64:
+			h.nsBounds[i] = math.MaxInt64
+		case ns <= math.MinInt64:
+			h.nsBounds[i] = math.MinInt64
+		default:
+			h.nsBounds[i] = int64(math.Floor(ns))
+		}
+	}
+	for l := 1; l <= 64; l++ {
+		lo := uint64(1) << (l - 1)
+		i := sort.Search(len(h.nsBounds), func(i int) bool {
+			b := h.nsBounds[i]
+			return b > 0 && uint64(b) >= lo
+		})
+		h.expStart[l] = int16(i)
+	}
+	return h
+}
+
+// bucketIndexNS returns the bucket a duration of ns nanoseconds lands in,
+// matching Observe's "first bound >= value" convention.
+func (h *Histogram) bucketIndexNS(ns int64) int {
+	nb := h.nsBounds
+	if len(nb) == 0 || ns <= nb[0] {
+		return 0
+	}
+	if ns > nb[len(nb)-1] {
+		return len(nb) // the implicit +Inf bucket
+	}
+	if ns <= 0 {
+		// Negative-bound buckets; off the hot path.
+		for i, b := range nb {
+			if b >= ns {
+				return i
+			}
+		}
+		return len(nb)
+	}
+	i := int(h.expStart[bits.Len64(uint64(ns))])
+	for nb[i] < ns {
+		i++
+	}
+	return i
 }
 
 // Observe records v.
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
-	h.count.Add(1)
+	h.addSum(v)
+}
+
+func (h *Histogram) addSum(v float64) {
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -534,6 +618,63 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// Scratch is a goroutine-local observation buffer over one histogram.
+// Per-packet hot loops cannot afford the shared histogram's atomics, so a
+// stage buckets every observation here — an integer subtract, a table
+// lookup, a bounded scan, no atomics — and Flush folds the accumulated
+// counts into the histogram with one atomic add per *touched* bucket per
+// batch. Every observation is still recorded individually; only the
+// cross-goroutine hand-off is coalesced. Not safe for concurrent use: one
+// Scratch belongs to one goroutine.
+type Scratch struct {
+	h       *Histogram
+	counts  []uint32
+	touched []int32
+	sumNS   int64
+}
+
+// Scratch returns a new observation buffer feeding this histogram.
+func (h *Histogram) Scratch() *Scratch {
+	return &Scratch{h: h, counts: make([]uint32, len(h.bounds)+1)}
+}
+
+// ObserveNS records a duration in nanoseconds.
+func (s *Scratch) ObserveNS(ns int64) {
+	s.observeAt(s.h.bucketIndexNS(ns), ns)
+}
+
+func (s *Scratch) observeAt(i int, ns int64) {
+	if s.counts[i] == 0 {
+		s.touched = append(s.touched, int32(i))
+	}
+	s.counts[i]++
+	s.sumNS += ns
+}
+
+// ObserveNSBoth records one duration into both scratches, bucketing it
+// once. Valid only when both scratches' histograms share identical bounds
+// — as a stage's hop/e2e latency pair does — where the first hop past a
+// source observes the same value twice.
+func ObserveNSBoth(a, b *Scratch, ns int64) {
+	i := a.h.bucketIndexNS(ns)
+	a.observeAt(i, ns)
+	b.observeAt(i, ns)
+}
+
+// Flush publishes the buffered observations into the shared histogram.
+func (s *Scratch) Flush() {
+	if len(s.touched) == 0 {
+		return
+	}
+	for _, i := range s.touched {
+		s.h.counts[i].Add(uint64(s.counts[i]))
+		s.counts[i] = 0
+	}
+	s.touched = s.touched[:0]
+	s.h.addSum(float64(s.sumNS) * 1e-9)
+	s.sumNS = 0
 }
 
 // State returns the sum, total count, and cumulative buckets (ending with
@@ -549,7 +690,7 @@ func (h *Histogram) State() (sum float64, count uint64, buckets []BucketCount) {
 		}
 		buckets[i] = BucketCount{UpperBound: JSONFloat(bound), Count: cum}
 	}
-	return math.Float64frombits(h.sumBits.Load()), h.count.Load(), buckets
+	return math.Float64frombits(h.sumBits.Load()), cum, buckets
 }
 
 // SinceSeconds returns the virtual seconds elapsed since start on clk — the

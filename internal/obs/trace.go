@@ -83,6 +83,11 @@ func (t *Tracer) Start(name string) Span {
 type Op struct {
 	t    *Tracer
 	name string
+	// pow2/mask turn the cadence check into a bitmask when every is a
+	// power of two (it is for the default 64 and the common overrides),
+	// sparing the unsampled fast path a runtime integer division.
+	pow2 bool
+	mask uint64
 	seq  atomic.Uint64
 	_    [48]byte // pad Op past a cache line; hot counters must not false-share
 }
@@ -94,6 +99,9 @@ func (t *Tracer) Op(name string) *Op {
 		return nil
 	}
 	op := &Op{t: t, name: name}
+	if t.every&(t.every-1) == 0 {
+		op.pow2, op.mask = true, t.every-1
+	}
 	t.mu.Lock()
 	t.ops = append(t.ops, op)
 	t.mu.Unlock()
@@ -107,10 +115,91 @@ func (o *Op) Start() Span {
 		return Span{}
 	}
 	n := o.seq.Add(1)
-	if (n-1)%o.t.every != 0 {
+	if o.pow2 {
+		if (n-1)&o.mask != 0 {
+			return Span{}
+		}
+	} else if (n-1)%o.t.every != 0 {
 		return Span{}
 	}
 	return Span{t: o.t, name: o.name, start: o.t.clk.Now()}
+}
+
+// StartTraced begins a forced-sampled span belonging to a propagated
+// distributed trace: the span is always recorded (no cadence check) and
+// carries the trace id and hop count, so the span trees of sampled batches
+// stay complete as they cross stages and nodes. The id/hop pair is what the
+// transport serializes; traceID 0 (unsampled lineage) degrades to an inert
+// span. Safe on a nil tracer.
+func (t *Tracer) StartTraced(name string, traceID uint64, hop uint8) Span {
+	if t == nil || traceID == 0 {
+		return Span{}
+	}
+	// Forced spans count as started too, keeping started >= sampled. The
+	// shared counter is fine here: this path already pays for a clock read
+	// and a ring write, and only fires on sampled lineages.
+	t.seq.Add(1)
+	return Span{t: t, name: name, start: t.clk.Now(), traceID: traceID, hop: hop}
+}
+
+// traceIDBase seeds process-unique trace ids; the per-process counter keeps
+// ids unique within a node, the mixing below spreads them across nodes.
+var traceIDBase atomic.Uint64
+
+// NewTraceID mints a non-zero trace id. Ids are sequence numbers passed
+// through a splitmix64 finalizer, so concurrently minted ids from distinct
+// tracers in one process never collide and ids from different processes
+// collide only by 64-bit accident.
+func NewTraceID() uint64 {
+	for {
+		x := traceIDBase.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// RootSampler decides, per source call site, which emitted packets become
+// trace roots. Unlike Op it is confined to the one goroutine running its
+// source stage, so the per-packet counter needs no atomics; concurrent
+// source stages each hold their own sampler and their independent
+// 1-in-every cadences never share state. A nil *RootSampler (disabled
+// tracer) never samples.
+type RootSampler struct {
+	t     *Tracer
+	seq   uint64
+	next  uint64 // seq value of the next sampled packet
+	every uint64
+}
+
+// RootSampler returns a trace-root sampling handle on this tracer's
+// cadence. The first packet through is sampled, then one in every
+// SampleEvery.
+func (t *Tracer) RootSampler() *RootSampler {
+	if t == nil {
+		return nil
+	}
+	return &RootSampler{t: t, every: t.every}
+}
+
+// Sample returns a fresh trace id for 1-in-every packets, or (0, false)
+// between samples.
+func (r *RootSampler) Sample() (uint64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	n := r.seq
+	r.seq++
+	if n != r.next {
+		return 0, false
+	}
+	r.next += r.every
+	return NewTraceID(), true
 }
 
 // Counts returns how many spans were started (across Start and every Op)
@@ -172,16 +261,24 @@ type SpanRecord struct {
 	Start time.Time `json:"start"`
 	// Duration is the span's virtual elapsed time.
 	Duration time.Duration `json:"duration_ns"`
+	// TraceID links spans of one sampled batch's journey across stages
+	// and nodes; 0 for locally sampled spans outside any trace.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	// Hop is the number of node crossings since the trace root at the
+	// time the span ran.
+	Hop uint8 `json:"hop,omitempty"`
 	// Attrs are the annotations added during the span.
 	Attrs []SpanAttr `json:"attrs,omitempty"`
 }
 
 // Span is one in-flight trace span. The zero value is inert.
 type Span struct {
-	t     *Tracer
-	name  string
-	start time.Time
-	attrs []SpanAttr
+	t       *Tracer
+	name    string
+	start   time.Time
+	traceID uint64
+	hop     uint8
+	attrs   []SpanAttr
 }
 
 // Sampled reports whether this span will be recorded. Use it to gate any
@@ -203,7 +300,8 @@ func (s *Span) End() time.Duration {
 		return 0
 	}
 	d := s.t.clk.Now().Sub(s.start)
-	s.t.record(SpanRecord{Name: s.name, Start: s.start, Duration: d, Attrs: s.attrs})
+	s.t.record(SpanRecord{Name: s.name, Start: s.start, Duration: d,
+		TraceID: s.traceID, Hop: s.hop, Attrs: s.attrs})
 	s.t = nil
 	return d
 }

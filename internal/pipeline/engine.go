@@ -170,6 +170,27 @@ func (e *Engine) Stage(id string, instance int) (*Stage, bool) {
 	return nil, false
 }
 
+// Ready reports whether the engine has started and every registered stage
+// instance is in the Running state — the /readyz condition of a node: a
+// stage still initializing, paused for migration, or already stopped makes
+// the node not ready.
+func (e *Engine) Ready() bool {
+	e.mu.Lock()
+	started := e.started
+	stages := make([]*Stage, len(e.stages))
+	copy(stages, e.stages)
+	e.mu.Unlock()
+	if !started || len(stages) == 0 {
+		return false
+	}
+	for _, st := range stages {
+		if st.State() != StateRunning {
+			return false
+		}
+	}
+	return true
+}
+
 // validate checks the topology is runnable.
 func (e *Engine) validate() error {
 	if len(e.stages) == 0 {
@@ -221,6 +242,9 @@ func (e *Engine) Run(ctx context.Context) error {
 			st.procOp = e.o.Tracer.Op("stage.process")
 			st.batchOp = e.o.Tracer.Op("stage.batch")
 			st.flushOp = e.o.Tracer.Op("emitter.flush")
+			if st.src != nil {
+				st.rootSmp = e.o.Tracer.RootSampler()
+			}
 			st.Instrument(e.o.Registry)
 		}
 	}

@@ -82,6 +82,10 @@ func (s *Stage) Instrument(reg *obs.Registry) {
 		"Highest input-queue occupancy observed.", lb,
 		func() float64 { return float64(s.in.Stats().HighWater) })
 
+	reg.GaugeFunc(obs.MetricFanout,
+		"Number of downstream edges; 0 marks a pipeline sink.", lb,
+		func() float64 { return float64(len(s.outs)) })
+
 	reg.CounterFunc("gates_adaptations_total",
 		"Completed adjustment epochs (ΔP law applications).", lb,
 		func() float64 { return float64(s.ctrl.Adjustments()) })
@@ -99,9 +103,23 @@ func (s *Stage) Instrument(reg *obs.Registry) {
 	h := reg.Histogram("gates_stage_batch_seconds",
 		"Virtual time to process and flush one drained input batch (sampled).",
 		nil, lb)
+	hop := reg.Histogram(obs.MetricHopLatency,
+		"Virtual time from a packet's emission upstream to its consumption here (queue wait + link transfer).",
+		obs.LatencyBuckets, lb)
+	e2e := reg.Histogram(obs.MetricE2ELatency,
+		"Virtual time from a packet lineage's birth at a source to its consumption here (source-to-here latency).",
+		obs.LatencyBuckets, lb)
 	s.mu.Lock()
 	if s.batchSec == nil {
 		s.batchSec = h
+	}
+	if s.hopSec == nil {
+		s.hopSec = hop
+		s.hopScr = hop.Scratch()
+	}
+	if s.e2eSec == nil {
+		s.e2eSec = e2e
+		s.e2eScr = e2e.Scratch()
 	}
 	s.mu.Unlock()
 }

@@ -35,6 +35,23 @@ type Packet struct {
 	WireSize int
 	// Created is the virtual time the packet was emitted.
 	Created time.Time
+	// Birth is the virtual time the packet's lineage entered the
+	// pipeline at a source stage. Unlike Created it is preserved across
+	// re-emission: processors' outputs inherit the Birth of the input
+	// packet being processed, so sink-side Now()-Birth is the
+	// end-to-end latency of the paper's real-time constraint. Zero
+	// means "no lineage" (e.g. packets emitted outside any input, by an
+	// unobserved engine, or by tests that build packets directly).
+	Birth time.Time
+	// TraceID is the distributed trace this packet belongs to; 0 means
+	// unsampled. Source stages assign ids on the tracer's 1-in-N
+	// cadence, downstream emissions inherit them, and the transport
+	// carries them across nodes, so one sampled batch produces a span
+	// at every stage it crosses.
+	TraceID uint64
+	// TraceHops counts node crossings since the trace root; the remote
+	// ingress increments it.
+	TraceHops uint8
 }
 
 // ItemCount returns Items, treating zero as one.

@@ -119,15 +119,33 @@ type Stage struct {
 	in    *queue.Queue[*Packet]
 	ctrl  *adapt.Controller
 
-	// o, the trace ops, and batchSec are set before the stage goroutine
-	// starts (Engine.Run) and never change while running; nil means
-	// unobserved. Each stage gets its own trace ops so concurrent stages
-	// sample without sharing a counter cache line.
+	// o, the trace ops, and the owned histograms are set before the stage
+	// goroutine starts (Engine.Run) and never change while running; nil
+	// means unobserved. Each stage gets its own trace ops so concurrent
+	// stages sample without sharing a counter cache line.
 	o        *obs.Observability
 	procOp   *obs.Op
 	batchOp  *obs.Op
 	flushOp  *obs.Op
 	batchSec *obs.Histogram
+	// hopSec and e2eSec are the latency histograms: emission-upstream →
+	// consumption-here, and lineage-birth → consumption-here. The drain
+	// loop records through the goroutine-local scratches and flushes
+	// them once per drained batch, so the per-packet path never touches
+	// the shared histograms' atomics.
+	hopSec *obs.Histogram
+	e2eSec *obs.Histogram
+	hopScr *obs.Scratch
+	e2eScr *obs.Scratch
+	// rootSmp mints trace ids for source emissions on the tracer's
+	// cadence (nil for processor stages or unobserved engines).
+	rootSmp *obs.RootSampler
+	// curIn is the input packet currently being processed. Confined to
+	// the stage goroutine; emissions inherit its Birth/TraceID so
+	// end-to-end lineage survives processors that build new packets. It
+	// stays set through Finish, so flushes of accumulated state inherit
+	// the last consumed packet's lineage.
+	curIn *Packet
 
 	outs     []*edge
 	upstream []*Stage
@@ -342,6 +360,7 @@ func (e *Emitter) buffer(pkt *Packet, only int) error {
 	}
 	s.mu.Unlock()
 	pkt.Created = s.clk.Now()
+	s.stampLineage(pkt)
 
 	for i := range s.outs {
 		if only >= 0 && i != only {
@@ -401,6 +420,79 @@ func (e *Emitter) Flush() error {
 	return nil
 }
 
+// stampLineage gives a freshly emitted packet its end-to-end provenance.
+// Packets that already carry a Birth (remote packets re-emitted by a
+// transport ingress) pass through untouched — re-emission must not restart
+// the latency clock or re-root the trace. Otherwise a processor stage's
+// output inherits the lineage of the input packet being processed, and a
+// true source stamps Birth now and mints a trace id on the tracer's
+// sampling cadence. Runs on the stage goroutine only (curIn is confined to
+// it).
+func (s *Stage) stampLineage(pkt *Packet) {
+	if pkt.Final || !pkt.Birth.IsZero() {
+		return
+	}
+	if cur := s.curIn; cur != nil && !cur.Birth.IsZero() {
+		pkt.Birth = cur.Birth
+		pkt.TraceID = cur.TraceID
+		pkt.TraceHops = cur.TraceHops
+		return
+	}
+	if s.src != nil {
+		pkt.Birth = pkt.Created
+		if id, ok := s.rootSmp.Sample(); ok {
+			pkt.TraceID = id
+		}
+	}
+}
+
+// observeLatency records a consumed packet into the stage's latency
+// scratches at virtual time nowNS (Unix nanoseconds): the per-hop latency
+// (upstream emission → consumption here, i.e. queue wait plus link
+// transfer) and the source-to-here latency since the lineage's Birth.
+// flushLatency publishes the scratches; the drain loops call it once per
+// batch and runInner guarantees a final flush on exit.
+func (s *Stage) observeLatency(nowNS int64, pkt *Packet) {
+	hopOK := s.hopScr != nil && !pkt.Created.IsZero()
+	e2eOK := s.e2eScr != nil && !pkt.Birth.IsZero()
+	if hopOK && e2eOK && pkt.Birth == pkt.Created {
+		// First hop past the source: Birth is a field copy of Created,
+		// both series receive the same duration, so bucket it once.
+		// Deeper stages take the general path below.
+		obs.ObserveNSBoth(s.hopScr, s.e2eScr, nowNS-pkt.Created.UnixNano())
+		return
+	}
+	if hopOK {
+		s.hopScr.ObserveNS(nowNS - pkt.Created.UnixNano())
+	}
+	if e2eOK {
+		s.e2eScr.ObserveNS(nowNS - pkt.Birth.UnixNano())
+	}
+}
+
+func (s *Stage) flushLatency() {
+	if s.hopScr != nil {
+		s.hopScr.Flush()
+	}
+	if s.e2eScr != nil {
+		s.e2eScr.Flush()
+	}
+}
+
+// processTraced runs Process under a forced-sampled span when pkt belongs
+// to a distributed trace, so a sampled batch leaves a span at every stage
+// it crosses regardless of each stage's local sampling phase.
+func (s *Stage) processTraced(sctx *Context, pkt *Packet, em *Emitter) error {
+	if pkt.TraceID == 0 || s.o == nil {
+		return s.proc.Process(sctx, pkt, em)
+	}
+	sp := s.o.Tracer.StartTraced("stage.process", pkt.TraceID, pkt.TraceHops)
+	sp.Annotate("items", float64(pkt.ItemCount()))
+	err := s.proc.Process(sctx, pkt, em)
+	sp.End()
+	return err
+}
+
 func (s *Stage) emit(ctx context.Context, pkt *Packet, only int) error {
 	// Source stages pause at the emission boundary (processor stages
 	// pause in their drain loops, before any packet is in flight).
@@ -416,6 +508,7 @@ func (s *Stage) emit(ctx context.Context, pkt *Packet, only int) error {
 	s.emitSeq++
 	s.mu.Unlock()
 	pkt.Created = s.clk.Now()
+	s.stampLineage(pkt)
 
 	size := pkt.size(s.cfg.DefaultPacketSize)
 	for i, out := range s.outs {
@@ -464,6 +557,9 @@ func (s *Stage) runInner(ctx context.Context) error {
 	sctx := &Context{stage: s, ctx: ctx}
 	em := newEmitter(s, ctx)
 	defer s.pacer.Flush()
+	// Error paths can leave a partially drained batch's latency
+	// observations in the scratches; publish them on the way out.
+	defer s.flushLatency()
 
 	if s.src != nil {
 		if err := s.src.Run(sctx, em); err != nil {
@@ -535,8 +631,13 @@ func (s *Stage) drainOneByOne(ctx context.Context, sctx *Context, em *Emitter) e
 		s.stats.PacketsIn++
 		s.stats.ItemsIn += uint64(pkt.ItemCount())
 		s.mu.Unlock()
+		if s.hopScr != nil || s.e2eScr != nil {
+			s.observeLatency(s.clk.Now().UnixNano(), pkt)
+			s.flushLatency()
+		}
+		s.curIn = pkt
 		sp := s.procOp.Start()
-		if err := s.proc.Process(sctx, pkt, em); err != nil {
+		if err := s.processTraced(sctx, pkt, em); err != nil {
 			return fmt.Errorf("pipeline: process %s/%d: %w", s.id, s.instance, err)
 		}
 		if sp.Sampled() {
@@ -575,6 +676,14 @@ func (s *Stage) drainBatched(ctx context.Context, sctx *Context, em *Emitter) er
 		}
 		sp := s.batchOp.Start()
 		var pktsIn, itemsIn uint64
+		// One clock read covers the whole drained batch; the spread
+		// inside a batch is below the latency bucket resolution.
+		var arrivedNS int64
+		latOn := false
+		if (s.hopScr != nil || s.e2eScr != nil) && n > 0 {
+			arrivedNS = s.clk.Now().UnixNano()
+			latOn = true
+		}
 		done := false
 		for _, pkt := range batch[:n] {
 			if pkt.Final {
@@ -591,7 +700,11 @@ func (s *Stage) drainBatched(ctx context.Context, sctx *Context, em *Emitter) er
 			}
 			pktsIn++
 			itemsIn += uint64(pkt.ItemCount())
-			if err := s.proc.Process(sctx, pkt, em); err != nil {
+			if latOn {
+				s.observeLatency(arrivedNS, pkt)
+			}
+			s.curIn = pkt
+			if err := s.processTraced(sctx, pkt, em); err != nil {
 				return fmt.Errorf("pipeline: process %s/%d: %w", s.id, s.instance, err)
 			}
 		}
@@ -600,6 +713,9 @@ func (s *Stage) drainBatched(ctx context.Context, sctx *Context, em *Emitter) er
 			s.stats.PacketsIn += pktsIn
 			s.stats.ItemsIn += itemsIn
 			s.mu.Unlock()
+		}
+		if latOn {
+			s.flushLatency()
 		}
 		if err := em.Flush(); err != nil {
 			return err

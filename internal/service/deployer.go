@@ -47,6 +47,12 @@ func (d *Deployment) Stage(id string, i int) (*pipeline.Stage, bool) {
 	return insts[i], true
 }
 
+// Ready reports whether every deployed stage instance is running — the
+// deployment-level /readyz condition a host binary exposes.
+func (d *Deployment) Ready() bool {
+	return d.Engine.Ready()
+}
+
 // NodeFor returns the node hosting instance i of the named stage. The
 // lookup is an indexed O(1) read (it is called per-packet by
 // topology-aware paths) and tracks migrations.

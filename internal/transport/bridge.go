@@ -22,6 +22,10 @@ type Egress struct {
 	// Batch is the number of packets coalesced per flush. 0 or 1 sends
 	// every packet immediately.
 	Batch int
+	// Tracer, when non-nil, records a forced "egress.send" span for
+	// packets that carry a trace id — the sending end of a cross-node
+	// span tree.
+	Tracer *obs.Tracer
 
 	pending []Message // only touched by the owning stage goroutine
 }
@@ -40,6 +44,8 @@ func (e *Egress) Init(*pipeline.Context) error { return nil }
 
 // Process forwards one packet to the remote host, coalescing per Batch.
 func (e *Egress) Process(_ *pipeline.Context, pkt *pipeline.Packet, _ *pipeline.Emitter) error {
+	sp := e.Tracer.StartTraced("egress.send", pkt.TraceID, pkt.TraceHops)
+	defer sp.End()
 	if e.Batch <= 1 {
 		return e.client.Send(PacketMessage(pkt))
 	}
@@ -109,8 +115,13 @@ func NewIngress(expectFinals, buf int) *Ingress {
 func (i *Ingress) Deliver(m Message) {
 	switch m.Kind {
 	case KindPacket:
+		pkt := m.Packet()
+		if pkt.TraceID != 0 {
+			// One more node crossing on this packet's trace context.
+			pkt.TraceHops++
+		}
 		select {
-		case i.ch <- m.Packet():
+		case i.ch <- pkt:
 		case <-i.done:
 		}
 	case KindException:
@@ -138,7 +149,14 @@ func (i *Ingress) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
 				}
 				continue
 			}
-			sp := op.Start()
+			var sp obs.Span
+			if pkt.TraceID != 0 {
+				// Traced lineage: force the span so the cross-node
+				// span tree stays complete.
+				sp = i.Tracer.StartTraced("ingress.emit", pkt.TraceID, pkt.TraceHops)
+			} else {
+				sp = op.Start()
+			}
 			if err := out.Emit(pkt); err != nil {
 				return fmt.Errorf("transport: ingress emit: %w", err)
 			}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"time"
 
 	"github.com/gates-middleware/gates/internal/adapt"
 	"github.com/gates-middleware/gates/internal/pipeline"
@@ -35,6 +36,14 @@ type Message struct {
 	WireSize       int
 	Value          any
 
+	// Trace context (KindPacket): the packet lineage's virtual birth
+	// time, its distributed trace id (0 = unsampled), and the node-hop
+	// count — the compact context that lets a span tree follow a
+	// sampled batch across machines.
+	Birth     time.Time
+	TraceID   uint64
+	TraceHops uint8
+
 	// Exception (KindException).
 	Exception adapt.Exception
 }
@@ -50,6 +59,9 @@ func PacketMessage(p *pipeline.Packet) Message {
 		Items:          p.Items,
 		WireSize:       p.WireSize,
 		Value:          p.Value,
+		Birth:          p.Birth,
+		TraceID:        p.TraceID,
+		TraceHops:      p.TraceHops,
 	}
 }
 
@@ -68,6 +80,9 @@ func (m Message) Packet() *pipeline.Packet {
 		Items:          m.Items,
 		WireSize:       m.WireSize,
 		Value:          m.Value,
+		Birth:          m.Birth,
+		TraceID:        m.TraceID,
+		TraceHops:      m.TraceHops,
 	}
 }
 

@@ -34,6 +34,51 @@ go test -race -run 'Migration|Migrate|PlanApply|PauseResume|Relink' \
   ./internal/service ./internal/pipeline
 go run ./cmd/gates-experiments -exp migration -quick -scale 4000
 
+echo "== endpoint smoke =="
+# Observability-plane lane: a real gates-node must answer its probe and
+# metrics endpoints, and a real gates-launcher must serve the merged
+# /cluster view, over actual HTTP. Fixed high ports keep the lane
+# shell-only; the Go tests cover the same surface on ephemeral ports.
+if command -v curl >/dev/null 2>&1; then
+	smoke_tmp="$(mktemp -d)"
+	trap 'rm -rf "$smoke_tmp"' EXIT
+	go build -o "$smoke_tmp/gates-node" ./cmd/gates-node
+	go build -o "$smoke_tmp/gates-launcher" ./cmd/gates-launcher
+	node_obs=127.0.0.1:19771
+	launch_obs=127.0.0.1:19772
+
+	"$smoke_tmp/gates-node" -listen 127.0.0.1:19770 -stage compsteer/analyzer \
+	  -obs-listen "$node_obs" &
+	node_pid=$!
+	curl -sf --retry 20 --retry-connrefused --retry-delay 1 \
+	  "http://$node_obs/healthz" >/dev/null
+	curl -sf --retry 5 --retry-delay 1 "http://$node_obs/readyz" >/dev/null
+	curl -sf "http://$node_obs/metrics" | grep -q '^gates_'
+	kill "$node_pid" 2>/dev/null || true
+	wait "$node_pid" 2>/dev/null || true
+	echo "gates-node endpoints ok"
+
+	smoke_xml='<application name="smoke">
+	  <stage id="sim" code="compsteer/sim" source="true"/>
+	  <stage id="sampler" code="compsteer/sampler"/>
+	  <stage id="analysis" code="compsteer/analyzer"/>
+	  <connection from="sim" to="sampler"/>
+	  <connection from="sampler" to="analysis"/>
+	</application>'
+	# ~350 virtual seconds at 100x gives a few wall seconds to poll /cluster
+	# while the run is live.
+	"$smoke_tmp/gates-launcher" -config "$smoke_xml" -scale 100 \
+	  -obs-listen "$launch_obs" -slo-p99 1h >/dev/null &
+	launch_pid=$!
+	curl -sf --retry 20 --retry-connrefused --retry-delay 1 \
+	  "http://$launch_obs/healthz" >/dev/null
+	curl -sf "http://$launch_obs/cluster" | grep -q '"slo"'
+	wait "$launch_pid"
+	echo "gates-launcher /cluster ok"
+else
+	echo "curl not installed; skipping endpoint smoke"
+fi
+
 echo "== coverage =="
 go test -coverprofile=coverage.out -covermode=atomic ./...
 go tool cover -func=coverage.out | tail -1
@@ -43,25 +88,29 @@ go test -run '^$' -bench 'BenchmarkPipelineThroughput$|BenchmarkBatchSizeSweep|B
   -benchtime 100ms .
 
 echo "== observability overhead guard =="
-# The traced-but-unsampled hot path must stay within noise of the untraced
-# one: BenchmarkPipelineThroughputObserved runs the identical batch=16
-# pipeline with the full observability bundle attached (metrics callbacks
-# registered, tracer at its default 1-in-64 sampling). The acceptance target
-# is ~5% (see BENCH_pipeline.json); the guard threshold is 30% so scheduler
-# noise on loaded CI boxes does not flake the lane — a regression that
-# breaks this guard is a real one.
+# The observed hot path must stay close to the untraced one:
+# BenchmarkPipelineThroughputObserved runs the identical batch=16 pipeline
+# with the full observability bundle attached (metrics callbacks
+# registered, tracer at its default 1-in-64 sampling, per-packet e2e/hop
+# latency histograms recording through the batch-flushed scratches). The
+# expected cost is ~20% on this zero-work synthetic pipeline — almost all
+# of it the per-packet latency bucketing, see DESIGN.md §9 — and any real
+# stage work dilutes it; the guard threshold is 30% so a regression that
+# breaks it is a real one. Each side is the minimum over the
+# counted runs: noise from a loaded box only ever adds time, so min-of-N
+# is the robust per-op estimate and the ratio does not flake on one slow
+# iteration landing in a single series.
 guard_raw="$(go test -run '^$' \
   -bench 'BenchmarkBatchSizeSweep/batch=16$|BenchmarkPipelineThroughputObserved' \
-  -benchtime 500ms -count 3 .)"
+  -benchtime 500ms -count 5 .)"
 echo "$guard_raw"
 echo "$guard_raw" | awk '
-/^BenchmarkBatchSizeSweep/             { base += $3; nbase++ }
-/^BenchmarkPipelineThroughputObserved/ { obs += $3; nobs++ }
+/^BenchmarkBatchSizeSweep/             { if (!nbase || $3 < base) base = $3; nbase++ }
+/^BenchmarkPipelineThroughputObserved/ { if (!nobs || $3 < obs) obs = $3; nobs++ }
 END {
     if (nbase == 0 || nobs == 0) { print "guard: benchmarks missing"; exit 1 }
-    base /= nbase; obs /= nobs
     ratio = obs / base
-    printf "guard: untraced %.1f ns/op, observed %.1f ns/op, ratio %.3f\n", base, obs, ratio
+    printf "guard: untraced %.1f ns/op, observed %.1f ns/op, ratio %.3f (min of %d runs)\n", base, obs, ratio, nbase
     if (ratio > 1.30) { print "guard: observability overhead above 30% bound"; exit 1 }
 }'
 
