@@ -320,10 +320,10 @@ func BenchmarkQueueBatchPushPop(b *testing.B) {
 type benchSource struct{ n int }
 
 func (s *benchSource) Run(_ *pipeline.Context, out *pipeline.Emitter) error {
-	pkt := pipeline.Packet{WireSize: 64}
 	for i := 0; i < s.n; i++ {
-		p := pkt
-		if err := out.Emit(&p); err != nil {
+		pkt := out.GetPacket()
+		pkt.WireSize = 64
+		if err := out.Emit(pkt); err != nil {
 			return err
 		}
 	}

@@ -68,7 +68,32 @@ type (
 	// Engine is the in-process execution fabric, available directly for
 	// programs that wire stages without the XML/deployment layer.
 	Engine = pipeline.Engine
+	// QueueKind selects a stage's input-buffer implementation (see
+	// StageConfig.Queue); the default QueueAuto picks a lock-free ring
+	// sized to the edge cardinality.
+	QueueKind = pipeline.QueueKind
 )
+
+// Queue implementations for StageConfig.Queue.
+const (
+	QueueAuto  = pipeline.QueueAuto
+	QueueSPSC  = pipeline.QueueSPSC
+	QueueMPSC  = pipeline.QueueMPSC
+	QueueMutex = pipeline.QueueMutex
+)
+
+// GetPacket returns an empty packet from the global packet pool with one
+// reference owned by the caller; fill it and Emit (ownership transfers to
+// the engine) or Release it if never emitted. Sources on the hot path use
+// it to keep the per-packet allocation count at zero; &Packet{...} remains
+// fully supported and simply bypasses the pool.
+func GetPacket() *Packet { return pipeline.GetPacket() }
+
+// NewPacket returns a pooled packet carrying v with the given logical item
+// count and wire size.
+func NewPacket(v any, items, wireSize int) *Packet {
+	return pipeline.NewPacket(v, items, wireSize)
+}
 
 // Self-adaptation API (the paper's specifyPara/getSuggestedValue).
 type (

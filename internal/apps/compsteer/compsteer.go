@@ -81,7 +81,7 @@ func (s *SimulationSource) Run(ctx *pipeline.Context, out *pipeline.Emitter) err
 		default:
 		}
 		ctx.ChargeCompute(interval) // generation pacing
-		pkt := &pipeline.Packet{WireSize: pb, Items: 1}
+		pkt := pipeline.NewPacket(nil, 1, pb)
 		if s.Regions > 0 {
 			region := i % s.Regions
 			vals := make([]float64, pb/8+1)
@@ -144,7 +144,7 @@ func (s *Sampler) Process(_ *pipeline.Context, pkt *pipeline.Packet, out *pipeli
 		return nil
 	}
 	s.credit--
-	return out.Emit(&pipeline.Packet{WireSize: pkt.WireSize, Items: pkt.ItemCount(), Value: pkt.Value})
+	return out.Emit(pipeline.NewPacket(pkt.Value, pkt.ItemCount(), pkt.WireSize))
 }
 
 // Finish implements pipeline.Processor.
@@ -205,7 +205,7 @@ func (a *Analyzer) Process(ctx *pipeline.Context, pkt *pipeline.Packet, out *pip
 			if peak >= a.FeatureThreshold && out.Fanout() > 0 {
 				a.detected++
 				cmd := &SteeringCommand{Region: chunk.Region, Severity: peak - a.FeatureThreshold}
-				if err := out.Emit(&pipeline.Packet{Value: cmd, WireSize: 16, Items: 1}); err != nil {
+				if err := out.Emit(pipeline.NewPacket(cmd, 1, 16)); err != nil {
 					return err
 				}
 			}

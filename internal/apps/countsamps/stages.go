@@ -71,11 +71,7 @@ func (s *StreamSource) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
 		if s.PerItemCost > 0 {
 			ctx.ChargeCompute(time.Duration(len(chunk)) * s.PerItemCost)
 		}
-		pkt := &pipeline.Packet{
-			Value:    chunk,
-			Items:    len(chunk),
-			WireSize: len(chunk) * s.ItemWireSize,
-		}
+		pkt := pipeline.NewPacket(chunk, len(chunk), len(chunk)*s.ItemWireSize)
 		if err := out.Emit(pkt); err != nil {
 			return err
 		}
@@ -197,11 +193,7 @@ func (s *Summarizer) flush(ctx *pipeline.Context, out *pipeline.Emitter) error {
 		Entries:        s.sketch.TopK(s.size()),
 		Span:           s.sketch.Observed(),
 	}
-	return out.Emit(&pipeline.Packet{
-		Value:    sm,
-		Items:    len(sm.Entries),
-		WireSize: sm.WireSize(s.cfg.Cost.EntryWireSize),
-	})
+	return out.Emit(pipeline.NewPacket(sm, len(sm.Entries), sm.WireSize(s.cfg.Cost.EntryWireSize)))
 }
 
 // summarizerWire is the Summarizer's serialized migration state. The
@@ -373,11 +365,7 @@ func (m *SummaryMerger) relay(ctx *pipeline.Context, out *pipeline.Emitter) erro
 		Span:           m.merger.TotalSpan(),
 	}
 	m.mu.Unlock()
-	return out.Emit(&pipeline.Packet{
-		Value:    sm,
-		Items:    len(sm.Entries),
-		WireSize: sm.WireSize(m.Cost.EntryWireSize),
-	})
+	return out.Emit(pipeline.NewPacket(sm, len(sm.Entries), sm.WireSize(m.Cost.EntryWireSize)))
 }
 
 // TopK answers the continuous query from the merged summaries.

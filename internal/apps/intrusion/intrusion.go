@@ -85,11 +85,7 @@ func (s *LogSource) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
 		cp := make([]Conn, len(records))
 		copy(cp, records)
 		records = records[:0]
-		return out.Emit(&pipeline.Packet{
-			Value:    &ConnBatch{Site: s.Site, Records: cp},
-			Items:    len(cp),
-			WireSize: len(cp) * 16,
-		})
+		return out.Emit(pipeline.NewPacket(&ConnBatch{Site: s.Site, Records: cp}, len(cp), len(cp)*16))
 	}
 	for i := 0; i < total; i++ {
 		var c Conn
@@ -230,11 +226,7 @@ func (f *SiteFilter) flush(out *pipeline.Emitter) error {
 		Span:    f.sketch.Observed(),
 		Talkers: f.sketch.TopK(f.watchlist()),
 	}
-	return out.Emit(&pipeline.Packet{
-		Value:    rep,
-		Items:    len(rep.Talkers),
-		WireSize: rep.WireSize(),
-	})
+	return out.Emit(pipeline.NewPacket(rep, len(rep.Talkers), rep.WireSize()))
 }
 
 // Alert flags a suspicious host.

@@ -82,11 +82,7 @@ func (c *Camera) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
 				objs = append(objs, o)
 			}
 		}
-		pkt := &pipeline.Packet{
-			Value:    &Frame{Camera: c.ID, Seq: i, Objects: objs, Bytes: fb},
-			Items:    1,
-			WireSize: fb,
-		}
+		pkt := pipeline.NewPacket(&Frame{Camera: c.ID, Seq: i, Objects: objs, Bytes: fb}, 1, fb)
 		if err := out.Emit(pkt); err != nil {
 			return err
 		}
@@ -187,7 +183,7 @@ func (x *Extractor) Process(ctx *pipeline.Context, pkt *pipeline.Packet, out *pi
 	x.analyzed++
 	ctx.ChargeCompute(x.cfg.CostPerFrame)
 	det := &Detections{Camera: frame.Camera, Seq: frame.Seq, Objects: frame.Objects}
-	return out.Emit(&pipeline.Packet{Value: det, Items: 1, WireSize: det.WireSize()})
+	return out.Emit(pipeline.NewPacket(det, 1, det.WireSize()))
 }
 
 // Finish implements pipeline.Processor.

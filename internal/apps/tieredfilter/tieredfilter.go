@@ -102,11 +102,7 @@ func (s *DetectorSource) Run(ctx *pipeline.Context, out *pipeline.Emitter) error
 		cp := make([]Event, len(events))
 		copy(cp, events)
 		events = events[:0]
-		return out.Emit(&pipeline.Packet{
-			Value:    &EventBatch{Detector: s.Detector, Events: cp},
-			Items:    len(cp),
-			WireSize: len(cp) * wire,
-		})
+		return out.Emit(pipeline.NewPacket(&EventBatch{Detector: s.Detector, Events: cp}, len(cp), len(cp)*wire))
 	}
 	for i := 0; i < s.Events; i++ {
 		ev := Event{
@@ -252,11 +248,7 @@ func (f *Filter) Process(ctx *pipeline.Context, pkt *pipeline.Packet, out *pipel
 	if len(kept) == 0 {
 		return nil
 	}
-	return out.Emit(&pipeline.Packet{
-		Value:    &EventBatch{Detector: batch.Detector, Events: kept},
-		Items:    len(kept),
-		WireSize: len(kept) * f.cfg.OutWireSize,
-	})
+	return out.Emit(pipeline.NewPacket(&EventBatch{Detector: batch.Detector, Events: kept}, len(kept), len(kept)*f.cfg.OutWireSize))
 }
 
 // Finish implements pipeline.Processor.

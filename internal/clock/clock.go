@@ -16,6 +16,7 @@ package clock
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -116,10 +117,24 @@ func (s *Scaled) After(d time.Duration) <-chan time.Time {
 // Advance or AdvanceTo is called; sleepers whose deadlines are reached are
 // woken in deadline order. The zero value is not usable; construct with
 // NewManual.
+//
+// The current time is an atomic offset from Epoch so the hot-path Now()
+// (every packet stamp reads it) never contends with sleepers; the mutex
+// serializes only the waiter list and advances. The materialized time.Time
+// for the current offset is cached behind an atomic pointer: between
+// advances — the overwhelmingly common case on the packet path — Now() is
+// two atomic loads, with Epoch.Add's wall/monotonic arithmetic paid once
+// per advance instead of once per read.
 type Manual struct {
+	nowNS   atomic.Int64              // nanoseconds since Epoch
+	cached  atomic.Pointer[manualNow] // memoized Epoch.Add for the current offset
 	mu      sync.Mutex
-	now     time.Time
 	waiters []*manualWaiter
+}
+
+type manualNow struct {
+	ns int64
+	t  time.Time
 }
 
 type manualWaiter struct {
@@ -129,14 +144,20 @@ type manualWaiter struct {
 
 // NewManual returns a Manual clock positioned at Epoch.
 func NewManual() *Manual {
-	return &Manual{now: Epoch}
+	return &Manual{}
 }
 
-// Now implements Clock.
+// Now implements Clock. It is lock-free. Concurrent first reads after an
+// advance may each materialize and store the cache entry; every entry for
+// the same offset is identical, so last-writer-wins is harmless.
 func (m *Manual) Now() time.Time {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.now
+	ns := m.nowNS.Load()
+	if c := m.cached.Load(); c != nil && c.ns == ns {
+		return c.t
+	}
+	t := Epoch.Add(time.Duration(ns))
+	m.cached.Store(&manualNow{ns: ns, t: t})
+	return t
 }
 
 // Sleep implements Clock. It blocks until the clock has been advanced past
@@ -153,11 +174,12 @@ func (m *Manual) After(d time.Duration) <-chan time.Time {
 	ch := make(chan time.Time, 1)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	now := m.Now()
 	if d <= 0 {
-		ch <- m.now
+		ch <- now
 		return ch
 	}
-	m.waiters = append(m.waiters, &manualWaiter{deadline: m.now.Add(d), ch: ch})
+	m.waiters = append(m.waiters, &manualWaiter{deadline: now.Add(d), ch: ch})
 	return ch
 }
 
@@ -169,7 +191,7 @@ func (m *Manual) Advance(d time.Duration) {
 		panic("clock: Manual.Advance with negative duration")
 	}
 	m.mu.Lock()
-	m.advanceToLocked(m.now.Add(d))
+	m.advanceToLocked(m.Now().Add(d))
 	m.mu.Unlock()
 }
 
@@ -182,14 +204,14 @@ func (m *Manual) AdvanceTo(t time.Time) {
 }
 
 func (m *Manual) advanceToLocked(t time.Time) {
-	if !t.After(m.now) {
+	if !t.After(m.Now()) {
 		return
 	}
-	m.now = t
+	m.nowNS.Store(int64(t.Sub(Epoch)))
 	kept := m.waiters[:0]
 	for _, w := range m.waiters {
-		if !w.deadline.After(m.now) {
-			w.ch <- m.now
+		if !w.deadline.After(t) {
+			w.ch <- t
 		} else {
 			kept = append(kept, w)
 		}

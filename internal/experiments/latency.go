@@ -47,7 +47,7 @@ type LatencyResult struct {
 	// HotItems is the item count of each wall-clock overhead run.
 	HotItems int `json:"hotItems"`
 	// PacedItems is the item count of each virtual-latency run.
-	PacedItems int `json:"pacedItems"`
+	PacedItems int          `json:"pacedItems"`
 	Rows       []LatencyRow `json:"rows"`
 }
 
@@ -84,7 +84,7 @@ type latencySource struct {
 
 func (s *latencySource) Run(_ *pipeline.Context, out *pipeline.Emitter) error {
 	for i := 0; i < s.n; i++ {
-		if err := out.Emit(&pipeline.Packet{WireSize: s.wire}); err != nil {
+		if err := out.Emit(pipeline.NewPacket(nil, 0, s.wire)); err != nil {
 			return err
 		}
 	}
@@ -103,9 +103,9 @@ func (latencyRelay) Finish(*pipeline.Context, *pipeline.Emitter) error { return 
 // latencySink consumes packets.
 type latencySink struct{}
 
-func (latencySink) Init(*pipeline.Context) error                                  { return nil }
+func (latencySink) Init(*pipeline.Context) error                                         { return nil }
 func (latencySink) Process(*pipeline.Context, *pipeline.Packet, *pipeline.Emitter) error { return nil }
-func (latencySink) Finish(*pipeline.Context, *pipeline.Emitter) error             { return nil }
+func (latencySink) Finish(*pipeline.Context, *pipeline.Emitter) error                    { return nil }
 
 // latencyHotRun pushes items through an uncontended source→sink pipeline on
 // a manual clock and returns wall nanoseconds per item plus the tracer's

@@ -63,24 +63,27 @@ func (s *Stage) Instrument(reg *obs.Registry) {
 		"Virtual compute time charged by the stage's processing code.", lb,
 		func() float64 { return s.Stats().ComputeCharged.Seconds() })
 
+	// Queue series read through inq(): Engine.Run may still be swapping in
+	// the resolved ring when an external monitor instruments a stage, and
+	// scrapes must follow the live buffer either way.
 	reg.GaugeFunc("gates_queue_depth",
 		"Current input-queue occupancy d.", lb,
-		func() float64 { return float64(s.in.Len()) })
+		func() float64 { return float64(s.QueueLen()) })
 	reg.CounterFunc("gates_queue_pushed_total",
 		"Packets accepted into the input queue.", lb,
-		func() float64 { return float64(s.in.Stats().Pushed) })
+		func() float64 { return float64(s.QueueStats().Pushed) })
 	reg.CounterFunc("gates_queue_popped_total",
 		"Packets drained from the input queue.", lb,
-		func() float64 { return float64(s.in.Stats().Popped) })
+		func() float64 { return float64(s.QueueStats().Popped) })
 	reg.CounterFunc("gates_queue_blocked_pushes_total",
 		"Pushes that blocked on a full queue (backpressure events).", lb,
-		func() float64 { return float64(s.in.Stats().BlockedPushes) })
+		func() float64 { return float64(s.QueueStats().BlockedPushes) })
 	reg.CounterFunc("gates_queue_blocked_pops_total",
 		"Pops that blocked on an empty queue.", lb,
-		func() float64 { return float64(s.in.Stats().BlockedPops) })
+		func() float64 { return float64(s.QueueStats().BlockedPops) })
 	reg.GaugeFunc("gates_queue_high_water",
 		"Highest input-queue occupancy observed.", lb,
-		func() float64 { return float64(s.in.Stats().HighWater) })
+		func() float64 { return float64(s.QueueStats().HighWater) })
 
 	reg.GaugeFunc(obs.MetricFanout,
 		"Number of downstream edges; 0 marks a pipeline sink.", lb,
@@ -136,7 +139,7 @@ func (s *Stage) recordAdjustment(now time.Time, res adapt.AdjustResult, lambda, 
 		Stage:    s.id,
 		Instance: s.instance,
 		Node:     s.Node(),
-		QueueLen: s.in.Len(),
+		QueueLen: s.QueueLen(),
 		DTilde:   res.DTilde,
 		Lambda:   lambda,
 		Mu:       mu,

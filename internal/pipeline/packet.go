@@ -21,8 +21,6 @@ type Packet struct {
 	SourceInstance int
 	// Seq is the per-emitter sequence number.
 	Seq uint64
-	// Final marks an end-of-stream control packet; it carries no value.
-	Final bool
 	// Value is the in-process payload. Applications crossing a TCP edge
 	// must use gob-encodable values.
 	Value any
@@ -49,9 +47,25 @@ type Packet struct {
 	// carries them across nodes, so one sampled batch produces a span
 	// at every stage it crosses.
 	TraceID uint64
+	// Final marks an end-of-stream control packet; it carries no value.
+	// (Declared here with the other sub-word fields so the whole struct
+	// packs into two cache lines — recycled packets migrate between the
+	// producing and consuming cores on every reuse cycle, and the transfer
+	// cost is per line.)
+	Final bool
 	// TraceHops counts node crossings since the trace root; the remote
 	// ingress increments it.
 	TraceHops uint8
+
+	// pooled marks a packet owned by the packet pool (see GetPacket);
+	// refs counts its outstanding owners. refs is a plain int32 operated
+	// on with sync/atomic so Packet values stay copyable (an embedded
+	// atomic type would trip go vet's copylocks on existing by-value
+	// uses); packets built with &Packet{...} leave both zero and skip
+	// the pool lifecycle entirely. Pooled packets must not be copied by
+	// value: the copy would inherit the reference count.
+	pooled bool
+	refs   int32
 }
 
 // ItemCount returns Items, treating zero as one.

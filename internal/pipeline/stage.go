@@ -36,10 +36,51 @@ type Source interface {
 	Run(ctx *Context, out *Emitter) error
 }
 
+// QueueKind selects a stage's input-buffer implementation.
+type QueueKind int
+
+const (
+	// QueueAuto (the zero value) lets the engine decide at Run time:
+	// a lock-free SPSC ring when exactly one upstream stage feeds the
+	// instance, a lock-free MPSC ring otherwise. The service Planner
+	// makes the same decision at Plan time from the wire cardinality
+	// and records it in the Plan.
+	QueueAuto QueueKind = iota
+	// QueueSPSC is the single-producer single-consumer ring. Selecting
+	// it for a stage with more than one upstream stage is unsafe; the
+	// engine falls back to MPSC rather than corrupt the ring.
+	QueueSPSC
+	// QueueMPSC is the multi-producer single-consumer ring.
+	QueueMPSC
+	// QueueMutex is the original mutex+condvar queue (any producer and
+	// consumer cardinality). Sources keep it as an inert placeholder;
+	// it remains available as an explicit opt-out of the rings.
+	QueueMutex
+)
+
+// String renders the queue kind name.
+func (k QueueKind) String() string {
+	switch k {
+	case QueueAuto:
+		return "auto"
+	case QueueSPSC:
+		return "spsc"
+	case QueueMPSC:
+		return "mpsc"
+	case QueueMutex:
+		return "mutex"
+	default:
+		return fmt.Sprintf("queuekind(%d)", int(k))
+	}
+}
+
 // StageConfig tunes one stage instance.
 type StageConfig struct {
 	// QueueCapacity is C, the capacity of the input buffer. Default 200.
 	QueueCapacity int
+	// Queue selects the input-buffer implementation; see QueueKind. The
+	// zero value (QueueAuto) picks per-edge-cardinality at Run time.
+	Queue QueueKind
 	// Adapt configures the §4 algorithm for this stage. Zero-valued
 	// fields default per adapt.Defaults with the stage's queue capacity.
 	Adapt adapt.Options
@@ -116,8 +157,13 @@ type Stage struct {
 	cfg   StageConfig
 	clk   clock.Clock
 	pacer *clock.Pacer
-	in    *queue.Queue[*Packet]
-	ctrl  *adapt.Controller
+	// in is the stage's input buffer. Registered as a mutex Queue, then
+	// replaced (under mu) by Engine.Run with the ring implementation the
+	// resolved QueueKind selects, before any stage goroutine exists. Hot
+	// loops read it directly (they start after the swap); external
+	// observers go through inq().
+	in   queue.Buffer[*Packet]
+	ctrl *adapt.Controller
 
 	// o, the trace ops, and the owned histograms are set before the stage
 	// goroutine starts (Engine.Run) and never change while running; nil
@@ -140,12 +186,31 @@ type Stage struct {
 	// rootSmp mints trace ids for source emissions on the tracer's
 	// cadence (nil for processor stages or unobserved engines).
 	rootSmp *obs.RootSampler
-	// curIn is the input packet currently being processed. Confined to
-	// the stage goroutine; emissions inherit its Birth/TraceID so
-	// end-to-end lineage survives processors that build new packets. It
-	// stays set through Finish, so flushes of accumulated state inherit
-	// the last consumed packet's lineage.
-	curIn *Packet
+	// curIn identifies the input packet currently inside Process, and
+	// curForwarded records that the processor re-emitted that same
+	// packet downstream (its reference then belongs to the downstream
+	// queue, so the drain loop must not recycle it). The lineage of the
+	// current input is copied into curBirth/curTraceID/curTraceHops at
+	// consumption — value copies, not a packet reference — so emissions
+	// inherit it even after the input packet has been recycled, and it
+	// stays set through Finish so flushes of accumulated state inherit
+	// the last consumed packet's lineage. All five are confined to the
+	// stage goroutine.
+	curIn        *Packet
+	curForwarded bool
+	curBirth     time.Time
+	curTraceID   uint64
+	curTraceHops uint8
+
+	// recycle is the drain loop's local cache of fully released packets,
+	// returned to the shared pool in bulk (flushRecycle) so consuming a
+	// batch costs one ring CAS instead of one per packet. Confined to the
+	// stage goroutine.
+	recycle []*Packet
+
+	// emitSeq numbers this stage's emissions. Only the stage goroutine's
+	// emit paths touch it, so it needs no lock.
+	emitSeq uint64
 
 	outs     []*edge
 	upstream []*Stage
@@ -170,7 +235,6 @@ type Stage struct {
 	doneCh  chan struct{}
 	adaptCh chan struct{}
 	err     error
-	emitSeq uint64
 }
 
 // edge is a directed connection to a downstream stage, optionally through an
@@ -206,11 +270,29 @@ func (s *Stage) SetNode(node string) {
 // Controller returns the stage's adaptation controller.
 func (s *Stage) Controller() *adapt.Controller { return s.ctrl }
 
+// inq returns the stage's input buffer for external observers. The buffer
+// reference is swapped once by Engine.Run (resolveQueue) before the stage
+// goroutines start; reading it under mu keeps observers that instrument a
+// stage concurrently with engine startup (monitor, migration) race-free.
+func (s *Stage) inq() queue.Buffer[*Packet] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.in
+}
+
 // QueueLen returns the current input-queue occupancy.
-func (s *Stage) QueueLen() int { return s.in.Len() }
+func (s *Stage) QueueLen() int { return s.inq().Len() }
 
 // QueueStats returns the input queue's counters.
-func (s *Stage) QueueStats() queue.Stats { return s.in.Stats() }
+func (s *Stage) QueueStats() queue.Stats { return s.inq().Stats() }
+
+// ResolvedQueue reports which input-buffer implementation the stage ended up
+// with (meaningful after Engine.Run has started the stage).
+func (s *Stage) ResolvedQueue() QueueKind {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Queue
+}
 
 // Stats returns a snapshot of the stage's activity counters.
 func (s *Stage) Stats() StageStats {
@@ -294,6 +376,89 @@ type Emitter struct {
 	batch    int         // <= 1 means unbuffered
 	pending  [][]*Packet // per outbound edge, only when batch > 1
 	buffered int         // total pending entries across edges
+
+	// Emission stats accumulate goroutine-locally and flush to the shared
+	// StageStats under one lock acquisition per Flush instead of one per
+	// packet (flushStats).
+	pktsOut, itemsOut, bytesOut uint64
+
+	// free is the emitter-local packet cache: GetPacket pops from it and
+	// refills it from the shared pool in bulk (one CAS per localCacheSize
+	// packets instead of one per packet). Confined to the stage goroutine
+	// like the rest of the Emitter.
+	free []*Packet
+}
+
+// GetPacket returns a pooled packet exactly like the package-level
+// GetPacket, but draws from the emitter-local cache so a source's
+// per-packet pool cost is a slice pop instead of a shared-ring CAS.
+func (e *Emitter) GetPacket() *Packet {
+	n := len(e.free)
+	if n == 0 {
+		if cap(e.free) == 0 {
+			e.free = make([]*Packet, localCacheSize)
+		}
+		e.free = e.free[:cap(e.free)]
+		n = packetPool.getN(e.free)
+		e.free = e.free[:n]
+	}
+	var p *Packet
+	if n > 0 {
+		p = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		// Recycled packets arrive as the consumer left them (see
+		// recycleLocal); the reset at handout is what guarantees no
+		// trace/lineage state survives into the next use.
+		p.reset()
+	} else {
+		p = new(Packet)
+	}
+	p.pooled = true
+	// The common recycle cycle leaves refs at 1 (recycleLocal's sole-owner
+	// path never writes it), so publishing the fresh reference is usually
+	// free; packets from Release or the allocator arrive at 0 and pay the
+	// store.
+	if atomic.LoadInt32(&p.refs) != 1 {
+		atomic.StoreInt32(&p.refs, 1)
+	}
+	return p
+}
+
+// NewPacket is the emitter-local analog of the package-level NewPacket.
+func (e *Emitter) NewPacket(v any, items, wireSize int) *Packet {
+	p := e.GetPacket()
+	p.Value = v
+	p.Items = items
+	p.WireSize = wireSize
+	return p
+}
+
+// releaseFree returns the unused cached packets to the shared pool; the
+// engine calls it when the stage goroutine exits. Pool storage tolerates
+// un-reset packets — GetPacket resets at handout — so they go straight
+// back.
+func (e *Emitter) releaseFree() {
+	if len(e.free) == 0 {
+		return
+	}
+	packetPool.putN(e.free) // overflow drops to the GC
+	e.free = nil
+}
+
+// flushStats publishes the batch-local emission counters to the stage's
+// shared stats. No-op when nothing accumulated.
+func (e *Emitter) flushStats() {
+	if e.pktsOut == 0 && e.itemsOut == 0 && e.bytesOut == 0 {
+		return
+	}
+	s := e.stage
+	s.mu.Lock()
+	s.stats.PacketsOut += e.pktsOut
+	s.stats.ItemsOut += e.itemsOut
+	s.stats.BytesOut += e.bytesOut
+	s.mu.Unlock()
+	e.pktsOut, e.itemsOut, e.bytesOut = 0, 0, 0
 }
 
 func newEmitter(s *Stage, ctx context.Context) *Emitter {
@@ -330,9 +495,12 @@ func (e *Emitter) EmitTo(i int, pkt *Packet) error {
 	return e.stage.emit(e.ctx, pkt, i)
 }
 
-// EmitValue wraps v in a packet of the given wire size and emits it.
+// EmitValue wraps v in a pooled packet of the given wire size and emits it.
 func (e *Emitter) EmitValue(v any, wireSize int) error {
-	return e.Emit(&Packet{Value: v, WireSize: wireSize})
+	p := e.GetPacket()
+	p.Value = v
+	p.WireSize = wireSize
+	return e.Emit(p)
 }
 
 // buffer stamps pkt and parks it on the targeted edges, flushing once the
@@ -348,26 +516,41 @@ func (e *Emitter) buffer(pkt *Packet, only int) error {
 		}
 	}
 	size := pkt.size(s.cfg.DefaultPacketSize)
-	s.mu.Lock()
 	pkt.SourceStage = s.id
 	pkt.SourceInstance = s.instance
 	pkt.Seq = s.emitSeq
 	s.emitSeq++
-	if !pkt.Final {
-		s.stats.PacketsOut++
-		s.stats.ItemsOut += uint64(pkt.ItemCount())
-		s.stats.BytesOut += uint64(size)
-	}
-	s.mu.Unlock()
 	pkt.Created = s.clk.Now()
 	s.stampLineage(pkt)
+	if pkt == s.curIn {
+		s.curForwarded = true
+	}
+	if !pkt.Final {
+		e.pktsOut++
+		e.itemsOut += uint64(pkt.ItemCount())
+		e.bytesOut += uint64(size)
+	}
 
+	targets := 0
 	for i := range s.outs {
 		if only >= 0 && i != only {
 			continue
 		}
 		e.pending[i] = append(e.pending[i], pkt)
 		e.buffered++
+		targets++
+	}
+	if pkt.pooled {
+		if targets == 0 {
+			// No edge will carry it (a sink emitted): recycle now,
+			// nothing downstream will ever release it.
+			pkt.Release()
+		} else if targets > 1 {
+			// One reference per edge so each downstream consumer can
+			// release independently (the caller's reference covers the
+			// first edge).
+			pkt.retain(int32(targets - 1))
+		}
 	}
 	if e.buffered >= e.batch {
 		return e.Flush()
@@ -407,11 +590,16 @@ func (e *Emitter) Flush() error {
 		e.pending[i] = pend[:0]
 		if err != nil && !errors.Is(err, queue.ErrClosed) {
 			// ErrClosed means the downstream already finished: drop,
-			// exactly as the unbatched path does.
+			// exactly as the unbatched path does. Pooled references for
+			// the dropped packets are deliberately NOT released — the
+			// batch push may have delivered a prefix before the close,
+			// and double-releasing a delivered packet would corrupt the
+			// pool; leaking the remainder to the GC is harmless.
 			return fmt.Errorf("pipeline: %s/%d -> %s/%d: %w",
 				s.id, s.instance, out.to.id, out.to.instance, err)
 		}
 	}
+	e.flushStats()
 	if sp.Sampled() {
 		sp.Annotate("packets", float64(sentPkts))
 		sp.Annotate("bytes", float64(sentBytes))
@@ -426,16 +614,17 @@ func (e *Emitter) Flush() error {
 // the latency clock or re-root the trace. Otherwise a processor stage's
 // output inherits the lineage of the input packet being processed, and a
 // true source stamps Birth now and mints a trace id on the tracer's
-// sampling cadence. Runs on the stage goroutine only (curIn is confined to
-// it).
+// sampling cadence. The inherited lineage comes from the curBirth value
+// copies, not the input packet itself, which may already be recycled. Runs
+// on the stage goroutine only (the cur* fields are confined to it).
 func (s *Stage) stampLineage(pkt *Packet) {
 	if pkt.Final || !pkt.Birth.IsZero() {
 		return
 	}
-	if cur := s.curIn; cur != nil && !cur.Birth.IsZero() {
-		pkt.Birth = cur.Birth
-		pkt.TraceID = cur.TraceID
-		pkt.TraceHops = cur.TraceHops
+	if !s.curBirth.IsZero() {
+		pkt.Birth = s.curBirth
+		pkt.TraceID = s.curTraceID
+		pkt.TraceHops = s.curTraceHops
 		return
 	}
 	if s.src != nil {
@@ -501,16 +690,34 @@ func (s *Stage) emit(ctx context.Context, pkt *Packet, only int) error {
 			return err
 		}
 	}
-	s.mu.Lock()
 	pkt.SourceStage = s.id
 	pkt.SourceInstance = s.instance
 	pkt.Seq = s.emitSeq
 	s.emitSeq++
-	s.mu.Unlock()
 	pkt.Created = s.clk.Now()
 	s.stampLineage(pkt)
+	if pkt == s.curIn {
+		s.curForwarded = true
+	}
 
+	// Everything the accounting below needs is captured before the first
+	// push: once the last edge holds the packet, a downstream sink may
+	// consume and recycle it at any moment.
 	size := pkt.size(s.cfg.DefaultPacketSize)
+	final := pkt.Final
+	items := uint64(pkt.ItemCount())
+
+	targets := len(s.outs)
+	if only >= 0 {
+		targets = 1
+	}
+	if pkt.pooled {
+		if targets == 0 {
+			pkt.Release() // a sink emitted: no edge will ever release it
+		} else if targets > 1 {
+			pkt.retain(int32(targets - 1)) // one reference per edge
+		}
+	}
 	for i, out := range s.outs {
 		if only >= 0 && i != only {
 			continue
@@ -523,16 +730,20 @@ func (s *Stage) emit(ctx context.Context, pkt *Packet, only int) error {
 		}
 		if err := out.to.in.PushCtx(ctx, pkt); err != nil {
 			if errors.Is(err, queue.ErrClosed) {
-				continue // downstream already finished; drop
+				// Downstream already finished; drop. This edge's
+				// reference was never handed over, so releasing it here
+				// cannot race with the delivered edges' consumers.
+				pkt.Release()
+				continue
 			}
 			return fmt.Errorf("pipeline: %s/%d -> %s/%d: %w",
 				s.id, s.instance, out.to.id, out.to.instance, err)
 		}
 	}
-	if !pkt.Final {
+	if !final {
 		s.mu.Lock()
 		s.stats.PacketsOut++
-		s.stats.ItemsOut += uint64(pkt.ItemCount())
+		s.stats.ItemsOut += items
 		s.stats.BytesOut += uint64(size)
 		s.mu.Unlock()
 	}
@@ -557,6 +768,12 @@ func (s *Stage) runInner(ctx context.Context) error {
 	sctx := &Context{stage: s, ctx: ctx}
 	em := newEmitter(s, ctx)
 	defer s.pacer.Flush()
+	// Return the goroutine-local packet caches to the shared pool.
+	defer em.releaseFree()
+	defer s.flushRecycle()
+	// Unbatched emitters charge stats inline, buffered ones accumulate
+	// locally; publish whatever is still pending on the way out.
+	defer em.flushStats()
 	// Error paths can leave a partially drained batch's latency
 	// observations in the scratches; publish them on the way out.
 	defer s.flushLatency()
@@ -584,16 +801,55 @@ func (s *Stage) runInner(ctx context.Context) error {
 	return s.finishStream(em)
 }
 
+// recycleLocal drops the drain loop's reference to a consumed packet,
+// parking it in the stage-local recycle cache when that was the last
+// reference. The sole-owner fast path (refs == 1) is deliberately
+// read-only on the packet: retains happen strictly before the first
+// enqueue, so once this consumer observes refs == 1 no other goroutine
+// can touch the count, and skipping both the atomic RMW and the field
+// reset (deferred to the producer-side GetPacket) keeps the packet's
+// cache lines in shared state instead of bouncing them to this core and
+// back. The drain loop releases each reference exactly once by
+// construction; the strict double-release panic lives in Release, which
+// still guards the shared fan-out path.
+func (s *Stage) recycleLocal(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	if atomic.LoadInt32(&p.refs) == 1 {
+		s.recycle = append(s.recycle, p)
+		return
+	}
+	p.Release()
+}
+
+// flushRecycle returns the recycle cache to the shared pool in one batched
+// ring operation; whatever does not fit drops to the GC.
+func (s *Stage) flushRecycle() {
+	if len(s.recycle) == 0 {
+		return
+	}
+	packetPool.putN(s.recycle)
+	for i := range s.recycle {
+		s.recycle[i] = nil
+	}
+	s.recycle = s.recycle[:0]
+}
+
 // finishStream emits the end-of-stream marker, flushing any buffered
 // packets ahead of it so the marker stays the last thing downstream sees.
+// The marker is pooled like any data packet; Release's reset guard clears
+// Final before reuse, so a recycled marker cannot end a later stream.
 func (s *Stage) finishStream(em *Emitter) error {
+	fin := GetPacket()
+	fin.Final = true
 	if em.batch > 1 {
-		if err := em.buffer(&Packet{Final: true}, -1); err != nil {
+		if err := em.buffer(fin, -1); err != nil {
 			return err
 		}
 		return em.Flush()
 	}
-	return s.emit(em.ctx, &Packet{Final: true}, -1)
+	return s.emit(em.ctx, fin, -1)
 }
 
 // drainOneByOne is the strict per-packet pop-process loop (BatchSize 1).
@@ -622,26 +878,46 @@ func (s *Stage) drainOneByOne(ctx context.Context, sctx *Context, em *Emitter) e
 			s.finals++
 			done := s.finals >= s.inbound
 			s.mu.Unlock()
+			s.recycleLocal(pkt)
 			if done {
 				return nil
 			}
 			continue
 		}
+		items := uint64(pkt.ItemCount())
 		s.mu.Lock()
 		s.stats.PacketsIn++
-		s.stats.ItemsIn += uint64(pkt.ItemCount())
+		s.stats.ItemsIn += items
 		s.mu.Unlock()
 		if s.hopScr != nil || s.e2eScr != nil {
 			s.observeLatency(s.clk.Now().UnixNano(), pkt)
 			s.flushLatency()
 		}
+		// The cur* value copies survive the packet's recycling; they stay
+		// set through Finish so flushed state inherits the last consumed
+		// packet's lineage.
 		s.curIn = pkt
+		s.curBirth, s.curTraceID, s.curTraceHops = pkt.Birth, pkt.TraceID, pkt.TraceHops
+		s.curForwarded = false
 		sp := s.procOp.Start()
-		if err := s.processTraced(sctx, pkt, em); err != nil {
-			return fmt.Errorf("pipeline: process %s/%d: %w", s.id, s.instance, err)
+		perr := s.processTraced(sctx, pkt, em)
+		if s.curForwarded {
+			// The processor re-emitted its input; the reference now
+			// belongs to the downstream queue (or was already released
+			// on a zero-target emit).
+			s.curForwarded = false
+		} else {
+			s.recycleLocal(pkt)
+		}
+		s.curIn = nil
+		if len(s.recycle) >= localCacheSize {
+			s.flushRecycle()
+		}
+		if perr != nil {
+			return fmt.Errorf("pipeline: process %s/%d: %w", s.id, s.instance, perr)
 		}
 		if sp.Sampled() {
-			sp.Annotate("items", float64(pkt.ItemCount()))
+			sp.Annotate("items", float64(items))
 			if d := sp.End(); s.batchSec != nil {
 				s.batchSec.Observe(d.Seconds())
 			}
@@ -691,6 +967,7 @@ func (s *Stage) drainBatched(ctx context.Context, sctx *Context, em *Emitter) er
 				s.finals++
 				done = s.finals >= s.inbound
 				s.mu.Unlock()
+				s.recycleLocal(pkt)
 				if done {
 					// The final marker is each upstream's last emission,
 					// so nothing relevant can follow the last one.
@@ -704,10 +981,24 @@ func (s *Stage) drainBatched(ctx context.Context, sctx *Context, em *Emitter) er
 				s.observeLatency(arrivedNS, pkt)
 			}
 			s.curIn = pkt
-			if err := s.processTraced(sctx, pkt, em); err != nil {
-				return fmt.Errorf("pipeline: process %s/%d: %w", s.id, s.instance, err)
+			s.curBirth, s.curTraceID, s.curTraceHops = pkt.Birth, pkt.TraceID, pkt.TraceHops
+			s.curForwarded = false
+			perr := s.processTraced(sctx, pkt, em)
+			if s.curForwarded {
+				// Re-emitted input: its reference moved to the emit
+				// buffers (released or handed downstream at flush).
+				s.curForwarded = false
+			} else {
+				s.recycleLocal(pkt)
+			}
+			s.curIn = nil
+			if perr != nil {
+				return fmt.Errorf("pipeline: process %s/%d: %w", s.id, s.instance, perr)
 			}
 		}
+		// One batched ring operation returns the whole drained batch's
+		// packets to the pool.
+		s.flushRecycle()
 		if pktsIn > 0 {
 			s.mu.Lock()
 			s.stats.PacketsIn += pktsIn
@@ -747,7 +1038,7 @@ func (s *Stage) adaptLoop(ctx context.Context) {
 			return
 		case <-s.clk.After(s.cfg.AdaptInterval):
 		}
-		ob := s.ctrl.Observe(s.in.Len())
+		ob := s.ctrl.Observe(s.QueueLen())
 		if s.cfg.OnObserve != nil {
 			s.cfg.OnObserve(s, s.clk.Now(), ob)
 		}

@@ -1,0 +1,409 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ringVariants(t *testing.T, cap int) map[string]*Ring[int] {
+	t.Helper()
+	return map[string]*Ring[int]{
+		"spsc": NewSPSC[int](cap),
+		"mpsc": NewMPSC[int](cap),
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	for name, r := range ringVariants(t, 7) { // non-power-of-two capacity
+		t.Run(name, func(t *testing.T) {
+			if r.Cap() != 7 {
+				t.Fatalf("Cap = %d, want 7", r.Cap())
+			}
+			// Several laps around the physical ring to exercise wraparound.
+			next := 0
+			for lap := 0; lap < 5; lap++ {
+				for i := 0; i < 7; i++ {
+					if err := r.Push(lap*7 + i); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if r.Len() != 7 {
+					t.Fatalf("Len = %d, want 7", r.Len())
+				}
+				if err := r.TryPush(99); !errors.Is(err, ErrFull) {
+					t.Fatalf("TryPush on full ring: %v, want ErrFull", err)
+				}
+				for i := 0; i < 7; i++ {
+					v, err := r.Pop()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if v != next {
+						t.Fatalf("popped %d, want %d", v, next)
+					}
+					next++
+				}
+			}
+			if _, err := r.TryPop(); !errors.Is(err, ErrEmpty) {
+				t.Fatalf("TryPop on empty ring: %v, want ErrEmpty", err)
+			}
+			st := r.Stats()
+			if st.Pushed != 35 || st.Popped != 35 || st.Dropped != 5 || st.HighWater != 7 {
+				t.Fatalf("stats = %+v", st)
+			}
+		})
+	}
+}
+
+func TestRingBatchOps(t *testing.T) {
+	for name, r := range ringVariants(t, 8) {
+		t.Run(name, func(t *testing.T) {
+			in := []int{1, 2, 3, 4, 5}
+			if err := r.PushBatch(in); err != nil {
+				t.Fatal(err)
+			}
+			got := r.Snapshot()
+			if len(got) != 5 {
+				t.Fatalf("snapshot %v", got)
+			}
+			for i, v := range got {
+				if v != i+1 {
+					t.Fatalf("snapshot[%d] = %d", i, v)
+				}
+			}
+			dst := make([]int, 8)
+			n, err := r.PopBatch(dst, 3)
+			if err != nil || n != 3 {
+				t.Fatalf("PopBatch = %d, %v", n, err)
+			}
+			if dst[0] != 1 || dst[2] != 3 {
+				t.Fatalf("PopBatch contents %v", dst[:n])
+			}
+			n, err = r.PopBatch(dst, 0) // 0 means len(dst)
+			if err != nil || n != 2 {
+				t.Fatalf("PopBatch rest = %d, %v", n, err)
+			}
+		})
+	}
+}
+
+func TestRingClose(t *testing.T) {
+	for name, r := range ringVariants(t, 4) {
+		t.Run(name, func(t *testing.T) {
+			if err := r.Push(1); err != nil {
+				t.Fatal(err)
+			}
+			r.Close()
+			r.Close() // idempotent
+			if !r.Closed() {
+				t.Fatal("Closed = false after Close")
+			}
+			if err := r.Push(2); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Push after close: %v", err)
+			}
+			if err := r.PushBatch([]int{2}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("PushBatch after close: %v", err)
+			}
+			// Close drains: queued item still pops, then ErrClosed.
+			if v, err := r.Pop(); err != nil || v != 1 {
+				t.Fatalf("Pop after close = %d, %v", v, err)
+			}
+			if _, err := r.Pop(); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Pop on drained closed ring: %v", err)
+			}
+			if _, err := r.TryPop(); !errors.Is(err, ErrClosed) {
+				t.Fatalf("TryPop on drained closed ring: %v", err)
+			}
+		})
+	}
+}
+
+func TestRingCloseWakesBlocked(t *testing.T) {
+	for name, r := range ringVariants(t, 1) {
+		t.Run(name, func(t *testing.T) {
+			if err := r.Push(1); err != nil {
+				t.Fatal(err)
+			}
+			errs := make(chan error, 2)
+			go func() { errs <- r.Push(2) }() // blocks: full
+			empty := NewMPSC[int](1)
+			go func() {
+				_, err := empty.Pop() // blocks: empty
+				errs <- err
+			}()
+			time.Sleep(20 * time.Millisecond)
+			r.Close()
+			empty.Close()
+			if err := <-errs; !errors.Is(err, ErrClosed) {
+				t.Fatalf("blocked op after Close: %v", err)
+			}
+			if err := <-errs; !errors.Is(err, ErrClosed) {
+				t.Fatalf("blocked op after Close: %v", err)
+			}
+		})
+	}
+}
+
+func TestRingCtxCancel(t *testing.T) {
+	for name, r := range ringVariants(t, 1) {
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+
+			// Blocked pop: cancellation returns ctx.Err without consuming.
+			popErr := make(chan error, 1)
+			go func() {
+				_, err := r.PopCtx(ctx)
+				popErr <- err
+			}()
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+			if err := <-popErr; !errors.Is(err, context.Canceled) {
+				t.Fatalf("PopCtx after cancel: %v", err)
+			}
+
+			// Blocked push: ring full, cancellation unblocks.
+			if err := r.Push(1); err != nil {
+				t.Fatal(err)
+			}
+			ctx2, cancel2 := context.WithCancel(context.Background())
+			pushErr := make(chan error, 1)
+			go func() { pushErr <- r.PushCtx(ctx2, 2) }()
+			time.Sleep(20 * time.Millisecond)
+			cancel2()
+			if err := <-pushErr; !errors.Is(err, context.Canceled) {
+				t.Fatalf("PushCtx after cancel: %v", err)
+			}
+			// The queued item survived both cancellations.
+			if v, err := r.TryPop(); err != nil || v != 1 {
+				t.Fatalf("TryPop = %d, %v", v, err)
+			}
+		})
+	}
+}
+
+// TestRingReplaceablePopCtx models the stage Pause/Resume pattern: a pop
+// blocked on an empty ring is woken by canceling its pop context, consumes
+// nothing, and a later pop with a fresh context picks up exactly where the
+// stream left off.
+func TestRingReplaceablePopCtx(t *testing.T) {
+	for name, r := range ringVariants(t, 8) {
+		t.Run(name, func(t *testing.T) {
+			for epoch := 0; epoch < 3; epoch++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				woke := make(chan error, 1)
+				go func() {
+					_, err := r.PopCtx(ctx)
+					woke <- err
+				}()
+				time.Sleep(10 * time.Millisecond)
+				cancel() // pause: wake the pop without consuming
+				if err := <-woke; !errors.Is(err, context.Canceled) {
+					t.Fatalf("epoch %d: %v", epoch, err)
+				}
+				if err := r.Push(epoch); err != nil {
+					t.Fatal(err)
+				}
+				// resume: fresh context sees the pushed item.
+				v, err := r.PopCtx(context.Background())
+				if err != nil || v != epoch {
+					t.Fatalf("epoch %d: resumed pop = %d, %v", epoch, v, err)
+				}
+			}
+		})
+	}
+}
+
+// TestRingSPSCConcurrent pushes a long strictly ordered stream through a
+// small SPSC ring under the race detector and asserts perfect order.
+func TestRingSPSCConcurrent(t *testing.T) {
+	const total = 100_000
+	r := NewSPSC[int](64)
+	go func() {
+		buf := make([]int, 17)
+		i := 0
+		for i < total {
+			k := len(buf)
+			if total-i < k {
+				k = total - i
+			}
+			for j := 0; j < k; j++ {
+				buf[j] = i + j
+			}
+			if err := r.PushBatch(buf[:k]); err != nil {
+				panic(err)
+			}
+			i += k
+		}
+		r.Close()
+	}()
+	dst := make([]int, 23)
+	next := 0
+	for {
+		n, err := r.PopBatch(dst, len(dst))
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range dst[:n] {
+			if v != next {
+				t.Fatalf("got %d, want %d", v, next)
+			}
+			next++
+		}
+	}
+	if next != total {
+		t.Fatalf("consumed %d, want %d", next, total)
+	}
+}
+
+// TestRingMPSCConcurrent hammers an MPSC ring with several producers mixing
+// single and batch pushes, asserting every item arrives exactly once and
+// per-producer order is preserved.
+func TestRingMPSCConcurrent(t *testing.T) {
+	const (
+		producers = 4
+		perProd   = 25_000
+	)
+	r := NewMPSC[[2]int](32)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			buf := make([][2]int, 5)
+			i := 0
+			for i < perProd {
+				if i%2 == 0 {
+					if err := r.Push([2]int{p, i}); err != nil {
+						panic(err)
+					}
+					i++
+					continue
+				}
+				k := len(buf)
+				if perProd-i < k {
+					k = perProd - i
+				}
+				for j := 0; j < k; j++ {
+					buf[j] = [2]int{p, i + j}
+				}
+				if err := r.PushBatch(buf[:k]); err != nil {
+					panic(err)
+				}
+				i += k
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		r.Close()
+	}()
+	nextPer := make([]int, producers)
+	seen := 0
+	dst := make([][2]int, 11)
+	for {
+		n, err := r.PopBatch(dst, len(dst))
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range dst[:n] {
+			p, i := v[0], v[1]
+			if i != nextPer[p] {
+				t.Fatalf("producer %d: got %d, want %d", p, i, nextPer[p])
+			}
+			nextPer[p]++
+			seen++
+		}
+	}
+	if seen != producers*perProd {
+		t.Fatalf("consumed %d, want %d", seen, producers*perProd)
+	}
+}
+
+// TestRingSnapshotWithLiveProducers exercises the migration pattern under
+// the race detector: the consumer is quiescent (paused), producers keep
+// pushing until backpressure parks them, and Snapshot/Len/Stats are sampled
+// concurrently.
+func TestRingSnapshotWithLiveProducers(t *testing.T) {
+	for _, mode := range []string{"spsc", "mpsc"} {
+		t.Run(mode, func(t *testing.T) {
+			var r *Ring[int]
+			producers := 1
+			if mode == "mpsc" {
+				r = NewMPSC[int](16)
+				producers = 3
+			} else {
+				r = NewSPSC[int](16)
+			}
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						if err := r.Push(p*1_000_000 + i); err != nil {
+							return // ErrClosed ends the producer
+						}
+					}
+				}(p)
+			}
+			// Consumer paused: only observe.
+			deadline := time.Now().Add(50 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				snap := r.Snapshot()
+				if len(snap) > r.Cap() {
+					t.Fatalf("snapshot longer than capacity: %d", len(snap))
+				}
+				_ = r.Len()
+				_ = r.Stats()
+			}
+			// Snapshot agrees with what a resumed consumer pops.
+			snap := r.Snapshot()
+			for i, want := range snap {
+				v, err := r.Pop()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != want {
+					t.Fatalf("pop %d = %d, want snapshot value %d", i, v, want)
+				}
+			}
+			r.Close()
+			wg.Wait()
+			if st := r.Stats(); st.BlockedPushes == 0 {
+				t.Fatalf("expected backpressure on paused consumer, stats %+v", st)
+			}
+		})
+	}
+}
+
+// TestRingBlockedCounters checks the wait-episode accounting matches the
+// Queue semantics: one event per wait episode.
+func TestRingBlockedCounters(t *testing.T) {
+	r := NewMPSC[int](1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err := r.Pop() // blocks: empty
+		if err != nil || v != 7 {
+			panic("bad pop")
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := r.Push(7); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	st := r.Stats()
+	if st.BlockedPops != 1 {
+		t.Fatalf("BlockedPops = %d, want 1", st.BlockedPops)
+	}
+}

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/gates-middleware/gates/internal/pipeline"
+)
+
+const linearConfigXML = `
+<application name="linear-test">
+  <stage id="producer" code="test/ints" source="true">
+    <nearSource>stream-1</nearSource>
+  </stage>
+  <stage id="filter" code="test/count"/>
+  <stage id="sink" code="test/count"/>
+  <connection from="producer" to="filter"/>
+  <connection from="filter" to="sink"/>
+</application>`
+
+// TestPlanQueueChoices checks the Plan-time half of ring selection: a
+// fan-in consumer gets MPSC, single-feeder consumers get SPSC, and source
+// stages carry no choice at all.
+func TestPlanQueueChoices(t *testing.T) {
+	clk, dir, _, net, _ := testFabric(t)
+	_ = clk
+
+	planner, err := NewPlanner(dir, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4 producer instances all feed merge/0: MPSC.
+	cfg, err := ParseConfigString(testConfigXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := planner.Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer planner.Release(plan)
+	if len(plan.Queues) != 1 {
+		t.Fatalf("plan.Queues = %+v, want exactly the merge consumer", plan.Queues)
+	}
+	if k, ok := plan.QueueKindFor("merge", 0); !ok || k != pipeline.QueueMPSC {
+		t.Fatalf("merge/0 queue = %v (ok=%v), want mpsc", k, ok)
+	}
+	if _, ok := plan.QueueKindFor("producer", 0); ok {
+		t.Fatal("source stage carries a queue choice")
+	}
+	if _, ok := plan.QueueKindFor("ghost", 0); ok {
+		t.Fatal("unknown stage carries a queue choice")
+	}
+
+	// Linear 1:1 chain: every consumer is SPSC.
+	lin, err := ParseConfigString(linearConfigXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linPlan, err := planner.Plan(lin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer planner.Release(linPlan)
+	for _, stage := range []string{"filter", "sink"} {
+		if k, ok := linPlan.QueueKindFor(stage, 0); !ok || k != pipeline.QueueSPSC {
+			t.Fatalf("%s/0 queue = %v (ok=%v), want spsc", stage, k, ok)
+		}
+	}
+}
+
+// TestPlanQueuesJSONRoundTrip: plans are serialized for inspection and
+// diffing; the queue choices must survive the trip and old plans without
+// them must still load.
+func TestPlanQueuesJSONRoundTrip(t *testing.T) {
+	_, dir, _, net, _ := testFabric(t)
+	planner, err := NewPlanner(dir, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ParseConfigString(testConfigXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := planner.Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer planner.Release(plan)
+
+	b, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := back.QueueKindFor("merge", 0); !ok || k != pipeline.QueueMPSC {
+		t.Fatalf("round-tripped merge/0 queue = %v (ok=%v), want mpsc", k, ok)
+	}
+
+	// A plan serialized before queue planning existed has no queues field;
+	// QueueKindFor must report absence, not invent a kind.
+	var legacy Plan
+	if err := json.Unmarshal([]byte(`{"app":"old","assignments":[],"wires":[]}`), &legacy); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := legacy.QueueKindFor("merge", 0); ok {
+		t.Fatal("legacy plan reported a queue choice")
+	}
+}

@@ -59,7 +59,7 @@ func (e *Egress) Process(_ *pipeline.Context, pkt *pipeline.Packet, _ *pipeline.
 // Finish flushes any coalesced packets and forwards the end-of-stream
 // marker in the same write.
 func (e *Egress) Finish(*pipeline.Context, *pipeline.Emitter) error {
-	e.pending = append(e.pending, PacketMessage(&pipeline.Packet{Final: true}))
+	e.pending = append(e.pending, Message{Kind: KindPacket, Final: true})
 	return e.flush()
 }
 
@@ -115,7 +115,8 @@ func NewIngress(expectFinals, buf int) *Ingress {
 func (i *Ingress) Deliver(m Message) {
 	switch m.Kind {
 	case KindPacket:
-		pkt := m.Packet()
+		pkt := pipeline.GetPacket()
+		m.PacketInto(pkt)
 		if pkt.TraceID != 0 {
 			// One more node crossing on this packet's trace context.
 			pkt.TraceHops++
@@ -123,6 +124,7 @@ func (i *Ingress) Deliver(m Message) {
 		select {
 		case i.ch <- pkt:
 		case <-i.done:
+			pkt.Release() // stream already ended: recycle the drop
 		}
 	case KindException:
 		if i.OnException != nil {
@@ -144,6 +146,7 @@ func (i *Ingress) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
 		case pkt := <-i.ch:
 			if pkt.Final {
 				finals++
+				pkt.Release()
 				if finals >= i.ExpectFinals {
 					return nil
 				}
@@ -157,11 +160,14 @@ func (i *Ingress) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
 			} else {
 				sp = op.Start()
 			}
+			// Emit transfers ownership; a local sink may recycle the
+			// packet immediately, so read everything the span needs first.
+			items := float64(pkt.ItemCount())
 			if err := out.Emit(pkt); err != nil {
 				return fmt.Errorf("transport: ingress emit: %w", err)
 			}
 			if sp.Sampled() {
-				sp.Annotate("items", float64(pkt.ItemCount()))
+				sp.Annotate("items", items)
 				sp.End()
 			}
 		}

@@ -2,8 +2,10 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/gates-middleware/gates/internal/adapt"
@@ -70,20 +72,27 @@ func ExceptionMessage(e adapt.Exception) Message {
 	return Message{Kind: KindException, Exception: e}
 }
 
-// Packet converts a KindPacket message back to a pipeline packet.
+// Packet converts a KindPacket message back to a freshly allocated pipeline
+// packet. The hot ingress path uses PacketInto with a pooled packet instead.
 func (m Message) Packet() *pipeline.Packet {
-	return &pipeline.Packet{
-		SourceStage:    m.SourceStage,
-		SourceInstance: m.SourceInstance,
-		Seq:            m.Seq,
-		Final:          m.Final,
-		Items:          m.Items,
-		WireSize:       m.WireSize,
-		Value:          m.Value,
-		Birth:          m.Birth,
-		TraceID:        m.TraceID,
-		TraceHops:      m.TraceHops,
-	}
+	p := &pipeline.Packet{}
+	m.PacketInto(p)
+	return p
+}
+
+// PacketInto fills p (typically drawn from the pipeline packet pool) with
+// the message's packet fields.
+func (m Message) PacketInto(p *pipeline.Packet) {
+	p.SourceStage = m.SourceStage
+	p.SourceInstance = m.SourceInstance
+	p.Seq = m.Seq
+	p.Final = m.Final
+	p.Items = m.Items
+	p.WireSize = m.WireSize
+	p.Value = m.Value
+	p.Birth = m.Birth
+	p.TraceID = m.TraceID
+	p.TraceHops = m.TraceHops
 }
 
 // Encode serializes m as a self-contained gob blob.
@@ -93,6 +102,43 @@ func Encode(m Message) ([]byte, error) {
 		return nil, fmt.Errorf("transport: encode message: %w", err)
 	}
 	return buf.Bytes(), nil
+}
+
+// encBufPool recycles frame-encode buffers so steady-state sends allocate
+// no buffer memory: a frame write is one pooled buffer plus one coalesced
+// conn.Write. The residual allocation is gob's per-Encoder state — gob
+// streams are stateful (type descriptors are sent once per encoder), so a
+// reusable encoder would change the wire format; each frame stays a
+// self-contained blob instead.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getEncBuf() *bytes.Buffer {
+	b := encBufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putEncBuf(b *bytes.Buffer) { encBufPool.Put(b) }
+
+// appendFrame appends one length-prefixed frame carrying m to buf — the
+// 4-byte header is reserved up front and backfilled after encoding, so the
+// buffer holds header and payload contiguously and a sequence of
+// appendFrame calls is byte-identical to the corresponding
+// WriteFrame(Encode(m)) sequence. Returns the payload size in bytes.
+func appendFrame(buf *bytes.Buffer, m Message) (int, error) {
+	start := buf.Len()
+	buf.Write([]byte{0, 0, 0, 0})
+	if err := gob.NewEncoder(buf).Encode(m); err != nil {
+		buf.Truncate(start)
+		return 0, fmt.Errorf("transport: encode message: %w", err)
+	}
+	n := buf.Len() - start - 4
+	if n > MaxFrameSize {
+		buf.Truncate(start)
+		return 0, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	binary.BigEndian.PutUint32(buf.Bytes()[start:start+4], uint32(n))
+	return n, nil
 }
 
 // Decode deserializes a blob produced by Encode.

@@ -71,6 +71,29 @@ func WriteFrames(w io.Writer, payloads [][]byte) error {
 	return nil
 }
 
+// readFrameReuse reads one length-prefixed frame into *scratch, growing it
+// only when a frame exceeds its capacity, and returns the payload aliasing
+// *scratch. Steady-state reads therefore allocate nothing. The caller must
+// fully consume (or copy from) the payload before the next call.
+func readFrameReuse(r io.Reader, scratch *[]byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean stream end
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if uint32(cap(*scratch)) < n {
+		*scratch = make([]byte, n)
+	}
+	payload := (*scratch)[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("transport: short frame payload: %w", err)
+	}
+	return payload, nil
+}
+
 // ReadFrame reads one length-prefixed frame written by WriteFrame.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte

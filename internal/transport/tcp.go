@@ -76,8 +76,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	// One reusable frame buffer per connection: Decode's gob layer copies
+	// everything it keeps, so the scratch can back the very next frame.
+	var scratch []byte
 	for {
-		frame, err := ReadFrame(conn)
+		frame, err := readFrameReuse(conn, &scratch)
 		if err != nil {
 			return // EOF or broken peer: connection ends
 		}
@@ -96,7 +99,11 @@ func (s *Server) serveConn(conn net.Conn) {
 // exceptions "to the sending server" on the connections that feed it.
 // Broken peers are dropped silently (their read side ends the connection).
 func (s *Server) Broadcast(m Message) error {
-	b, err := Encode(m)
+	// Encode once into a pooled buffer (header + payload contiguous) and
+	// write the same bytes to every connection in one Write each.
+	buf := getEncBuf()
+	defer putEncBuf(buf)
+	n, err := appendFrame(buf, m)
 	if err != nil {
 		return err
 	}
@@ -108,14 +115,14 @@ func (s *Server) Broadcast(m Message) error {
 	s.mu.Unlock()
 	for _, c := range conns {
 		s.writeMu.Lock()
-		err := WriteFrame(c, b)
+		_, err := c.Write(buf.Bytes())
 		s.writeMu.Unlock()
 		if err != nil {
 			c.Close()
 			continue
 		}
 		s.framesOut.Add(1)
-		s.bytesOut.Add(uint64(len(b)))
+		s.bytesOut.Add(uint64(n))
 	}
 	return nil
 }
@@ -163,8 +170,9 @@ func (c *Client) ReadLoop(handler Handler) {
 	if conn == nil || handler == nil {
 		return
 	}
+	var scratch []byte
 	for {
-		frame, err := ReadFrame(conn)
+		frame, err := readFrameReuse(conn, &scratch)
 		if err != nil {
 			return
 		}
@@ -185,9 +193,12 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn}, nil
 }
 
-// Send encodes and frames one message.
+// Send encodes and frames one message: one pooled buffer, one coalesced
+// conn.Write carrying header and payload together.
 func (c *Client) Send(m Message) error {
-	b, err := Encode(m)
+	buf := getEncBuf()
+	defer putEncBuf(buf)
+	n, err := appendFrame(buf, m)
 	if err != nil {
 		return err
 	}
@@ -196,43 +207,40 @@ func (c *Client) Send(m Message) error {
 	if c.conn == nil {
 		return errors.New("transport: client closed")
 	}
-	if err := WriteFrame(c.conn, b); err != nil {
-		return err
+	if _, err := c.conn.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("transport: write frame: %w", err)
 	}
 	c.framesOut.Add(1)
-	c.bytesOut.Add(uint64(len(b)))
+	c.bytesOut.Add(uint64(n))
 	return nil
 }
 
-// SendBatch encodes and frames every message, flushing them all in one
-// coalesced (writev-style) write under a single lock acquisition. Peers
-// decode the result exactly as a sequence of Send calls; order is
-// preserved.
+// SendBatch encodes every message into one pooled buffer and flushes all
+// frames in a single write under a single lock acquisition. Peers decode
+// the result exactly as a sequence of Send calls; order is preserved.
 func (c *Client) SendBatch(msgs []Message) error {
 	if len(msgs) == 0 {
 		return nil
 	}
-	payloads := make([][]byte, len(msgs))
-	for i, m := range msgs {
-		b, err := Encode(m)
+	buf := getEncBuf()
+	defer putEncBuf(buf)
+	var total uint64
+	for _, m := range msgs {
+		n, err := appendFrame(buf, m)
 		if err != nil {
 			return err
 		}
-		payloads[i] = b
+		total += uint64(n)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return errors.New("transport: client closed")
 	}
-	if err := WriteFrames(c.conn, payloads); err != nil {
-		return err
+	if _, err := c.conn.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("transport: write frames: %w", err)
 	}
-	var total uint64
-	for _, p := range payloads {
-		total += uint64(len(p))
-	}
-	c.framesOut.Add(uint64(len(payloads)))
+	c.framesOut.Add(uint64(len(msgs)))
 	c.bytesOut.Add(total)
 	return nil
 }

@@ -2,20 +2,43 @@
 # Runs the pipeline hot-path benchmarks and emits BENCH_pipeline.json:
 # one record per benchmark with name, ns/op, B/op, and allocs/op.
 #
+# When the output file already exists, each record also carries the
+# previous run's numbers as prev_ns_per_op / prev_allocs_per_op, so the
+# committed artifact shows the before/after trajectory of the last
+# regeneration instead of silently overwriting it.
+#
 # Usage: scripts/bench.sh [output.json]
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_pipeline.json}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+prev="$(mktemp)"
+trap 'rm -f "$raw" "$prev"' EXIT
+
+# Harvest the previous numbers (name, ns/op, allocs/op) from an existing
+# artifact. The record format is one object per line; the quoted field
+# names cannot collide with their prev_ variants.
+if [ -f "$out" ]; then
+	sed -n 's/.*"name": "\([^"]*\)".*"ns_per_op": \([0-9.]*\).*"allocs_per_op": \([0-9]*\).*/\1 \2 \3/p' \
+		"$out" > "$prev"
+fi
 
 go test -run '^$' \
   -bench 'BenchmarkPipelineThroughput|BenchmarkBatchSizeSweep|BenchmarkQueuePushPop|BenchmarkQueueBatchPushPop|BenchmarkLinkTransfer' \
   -benchmem -benchtime 1s . | tee "$raw"
 
-awk '
-BEGIN { print "[" ; first = 1 }
+awk -v prevfile="$prev" '
+BEGIN {
+    while ((getline line < prevfile) > 0) {
+        split(line, f, " ")
+        prevns[f[1]] = f[2]
+        prevallocs[f[1]] = f[3]
+    }
+    close(prevfile)
+    print "["
+    first = 1
+}
 /^Benchmark/ {
     name = $1
     nsop = ""; bop = ""; allocs = ""
@@ -27,8 +50,11 @@ BEGIN { print "[" ; first = 1 }
     if (nsop == "") next
     if (!first) printf ",\n"
     first = 0
-    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
         name, nsop, (bop == "" ? "null" : bop), (allocs == "" ? "null" : allocs)
+    if (name in prevns)
+        printf ", \"prev_ns_per_op\": %s, \"prev_allocs_per_op\": %s", prevns[name], prevallocs[name]
+    printf "}"
 }
 END { print "\n]" }
 ' "$raw" > "$out"

@@ -87,19 +87,45 @@ echo "== short benchmarks =="
 go test -run '^$' -bench 'BenchmarkPipelineThroughput$|BenchmarkBatchSizeSweep|BenchmarkQueue' \
   -benchtime 100ms .
 
+echo "== zero-alloc guard =="
+# The pooled hot path must stay allocation-free: the steady state of
+# BenchmarkPipelineThroughput and every BenchmarkBatchSizeSweep size runs
+# entirely on recycled packets and ring slots, so any allocs/op above zero
+# means a pooling regression (a new per-packet allocation or a packet
+# escaping its recycle point). Benchtime is long enough that per-run setup
+# (engine construction inside the timed region) amortizes to zero.
+alloc_raw="$(go test -run '^$' -bench 'BenchmarkPipelineThroughput$|BenchmarkBatchSizeSweep' \
+  -benchmem -benchtime 500ms .)"
+echo "$alloc_raw"
+echo "$alloc_raw" | awk '
+/^Benchmark/ {
+    for (i = 2; i <= NF; i++) if ($i == "allocs/op") {
+        n++
+        if ($(i - 1) + 0 > 0) { printf "guard: %s reports %s allocs/op\n", $1, $(i - 1); bad = 1 }
+    }
+}
+END {
+    if (n == 0) { print "guard: no allocs/op columns found"; exit 1 }
+    if (bad) { print "guard: hot path must be allocation-free"; exit 1 }
+    printf "guard: %d hot-path benchmarks at 0 allocs/op\n", n
+}'
+
 echo "== observability overhead guard =="
 # The observed hot path must stay close to the untraced one:
 # BenchmarkPipelineThroughputObserved runs the identical batch=16 pipeline
 # with the full observability bundle attached (metrics callbacks
 # registered, tracer at its default 1-in-64 sampling, per-packet e2e/hop
-# latency histograms recording through the batch-flushed scratches). The
-# expected cost is ~20% on this zero-work synthetic pipeline — almost all
-# of it the per-packet latency bucketing, see DESIGN.md §9 — and any real
-# stage work dilutes it; the guard threshold is 30% so a regression that
-# breaks it is a real one. Each side is the minimum over the
-# counted runs: noise from a loaded box only ever adds time, so min-of-N
-# is the robust per-op estimate and the ratio does not flake on one slow
-# iteration landing in a single series.
+# latency histograms recording through the batch-flushed scratches).
+# Observability's absolute cost is ~16 ns/packet — almost all of it the
+# per-packet latency bucketing, see DESIGN.md §9 — and has not moved; what
+# moved is the denominator: packet pooling and the per-edge rings took the
+# untraced batch=16 path from ~123 ns to ~48 ns, so the same absolute cost
+# is now ~35% relative. Any real stage work dilutes it; the guard
+# threshold is 50% so a regression that breaks it is a real one (a leaked
+# always-on span, bucketing gone per-item instead of batch-flushed). Each
+# side is the minimum over the counted runs: noise from a loaded box only
+# ever adds time, so min-of-N is the robust per-op estimate and the ratio
+# does not flake on one slow iteration landing in a single series.
 guard_raw="$(go test -run '^$' \
   -bench 'BenchmarkBatchSizeSweep/batch=16$|BenchmarkPipelineThroughputObserved' \
   -benchtime 500ms -count 5 .)"
@@ -111,7 +137,7 @@ END {
     if (nbase == 0 || nobs == 0) { print "guard: benchmarks missing"; exit 1 }
     ratio = obs / base
     printf "guard: untraced %.1f ns/op, observed %.1f ns/op, ratio %.3f (min of %d runs)\n", base, obs, ratio, nbase
-    if (ratio > 1.30) { print "guard: observability overhead above 30% bound"; exit 1 }
+    if (ratio > 1.50) { print "guard: observability overhead above 50% bound"; exit 1 }
 }'
 
 echo "CI lane green"
