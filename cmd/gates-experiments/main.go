@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	gates-experiments [-exp all|fig5|fig6|fig7|fig8|fig9|ablations|ext|migration|latency] [-quick] [-scale N] [-seed N] [-parallel N]
+//	gates-experiments [-exp all|fig5|fig6|fig7|fig8|fig9|ablations|ext|migration|latency|constriction] [-quick] [-scale N] [-seed N] [-parallel N]
 //
 // -exp latency sweeps the trace sampling rate, measuring the hot-path
 // observability tax and the end-to-end latency quantiles, and writes the
-// BENCH_latency.json artifact alongside the rendered table.
+// BENCH_latency.json artifact alongside the rendered table. -exp
+// constriction runs a pipeline with one deliberately slow stage and checks
+// that the backpressure attribution engine names it.
 //
 // Absolute times are virtual seconds on the emulated grid; the shapes (who
 // wins, by what factor, where adaptation converges) are the reproduction
@@ -24,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "which artifact to regenerate: all, fig5, fig6, fig7, fig8, fig9, ablations, ext, migration, latency")
+		exp     = flag.String("exp", "all", "which artifact to regenerate: all, fig5, fig6, fig7, fig8, fig9, ablations, ext, migration, latency, constriction")
 		quick   = flag.Bool("quick", false, "shrink workloads ~4x (shapes survive, absolute numbers shift)")
 		scale   = flag.Float64("scale", 0, "virtual seconds per wall second (0 = per-experiment default)")
 		seed    = flag.Int64("seed", 0, "workload seed (0 = default)")
@@ -152,6 +154,9 @@ func run(exp string, cfg experiments.Config) error {
 			return err
 		}
 		res.Render(out)
+		// Carry the existing artifact's numbers as prev* fields, the same
+		// before/after record scripts/bench.sh keeps for BENCH_pipeline.json.
+		res.MergePrev(experiments.LoadLatencyResult("BENCH_latency.json"))
 		f, err := os.Create("BENCH_latency.json")
 		if err != nil {
 			return err
@@ -162,8 +167,15 @@ func run(exp string, cfg experiments.Config) error {
 		}
 		fmt.Fprintln(out, "wrote BENCH_latency.json")
 	}
+	if exp == "constriction" {
+		res, err := experiments.ExpConstriction(cfg)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	}
 	switch exp {
-	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "ext", "migration", "latency":
+	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "ext", "migration", "latency", "constriction":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -32,9 +32,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -47,16 +49,18 @@ import (
 
 func main() {
 	var (
-		config    = flag.String("config", "", "application descriptor: http(s) URL, file path, or literal XML (required)")
-		scale     = flag.Float64("scale", 500, "virtual seconds per wall second")
-		bandwidth = flag.Int64("bandwidth", 100_000, "cross-node link bandwidth, bytes per virtual second")
-		monitorIv = flag.Duration("monitor", 0, "sample the running stages every this much virtual time, streaming dashboards to stderr while running and printing a final one to stdout (0 = off)")
-		obsListen = flag.String("obs-listen", "", "HTTP address serving /metrics, /snapshot, /cluster, /adaptations, /traces, /healthz, /readyz, /debug/pprof for the run (\":0\" picks a port; omit to disable)")
-		scrape    = flag.String("scrape", "", "comma-separated observability addresses of remote gates-node processes whose /snapshot feeds the /cluster view")
-		sloP99    = flag.Duration("slo-p99", 0, "end-to-end latency SLO: flag a violation when the merged sink-side p99 exceeds this much virtual time (0 = no latency target; queue-growth detection stays on)")
-		topIv     = flag.Duration("top", 0, "render the cluster-wide dashboard to stderr every this much virtual time, plus a final one to stdout (0 = off)")
-		trace     = flag.Int("trace-sample", obs.DefaultTraceSample(), "record one trace span in every N hot-path operations; 0 disables tracing entirely (default from GATES_TRACE_SAMPLE)")
-		verbose   = flag.Bool("v", false, "log structured middleware events to stderr")
+		config     = flag.String("config", "", "application descriptor: http(s) URL, file path, or literal XML (required)")
+		scale      = flag.Float64("scale", 500, "virtual seconds per wall second")
+		bandwidth  = flag.Int64("bandwidth", 100_000, "cross-node link bandwidth, bytes per virtual second")
+		monitorIv  = flag.Duration("monitor", 0, "sample the running stages every this much virtual time, streaming dashboards to stderr while running and printing a final one to stdout (0 = off)")
+		obsListen  = flag.String("obs-listen", "", "HTTP address serving /metrics, /snapshot, /cluster, /adaptations, /traces, /healthz, /readyz, /debug/pprof for the run (\":0\" picks a port; omit to disable)")
+		scrape     = flag.String("scrape", "", "comma-separated observability addresses of remote gates-node processes whose /snapshot feeds the /cluster view")
+		sloP99     = flag.Duration("slo-p99", 0, "end-to-end latency SLO: flag a violation when the merged sink-side p99 exceeds this much virtual time (0 = no latency target; queue-growth detection stays on)")
+		topIv      = flag.Duration("top", 0, "render the cluster-wide dashboard to stderr every this much virtual time, plus a final one to stdout (0 = off)")
+		trace      = flag.Int("trace-sample", obs.DefaultTraceSample(), "record one trace span in every N hot-path operations; 0 disables tracing entirely (default from GATES_TRACE_SAMPLE)")
+		flightSize = flag.Int("flight-recorder-size", obs.DefaultFlightCapacity, "events retained by the in-memory flight recorder")
+		flightDump = flag.String("flight-dump", "", "file path the flight recorder snapshots to on SLO violation or SIGQUIT (omit to disable disk dumps)")
+		verbose    = flag.Bool("v", false, "log structured middleware events to stderr")
 	)
 	flag.Parse()
 	if *config == "" {
@@ -72,6 +76,8 @@ func main() {
 		sloP99:      *sloP99,
 		topIv:       *topIv,
 		traceSample: obs.SampleEveryFor(*trace),
+		flightSize:  *flightSize,
+		flightDump:  *flightDump,
 	}
 	if *verbose {
 		opts.logTo = os.Stderr
@@ -97,15 +103,17 @@ func splitScrape(s string) []string {
 // launcherOptions carries one run's configuration; flags populate it in main
 // and tests construct it directly. The zero value is a plain headless run.
 type launcherOptions struct {
-	scale       float64       // virtual seconds per wall second (<=0 = 1)
-	bandwidth   int64         // cross-node bandwidth, bytes per virtual second
-	monitorIv   time.Duration // per-stage monitor interval (0 = off)
-	obsListen   string        // HTTP observability address ("" = disabled)
-	scrape      []string      // remote node obs addresses feeding /cluster
-	sloP99      time.Duration // end-to-end p99 target (0 = none)
-	topIv       time.Duration // cluster dashboard interval (0 = off)
-	traceSample int           // obs.Config.SampleEvery semantics (0 = default, <0 = off)
-	logTo       *os.File      // structured log destination (nil = discard)
+	scale       float64           // virtual seconds per wall second (<=0 = 1)
+	bandwidth   int64             // cross-node bandwidth, bytes per virtual second
+	monitorIv   time.Duration     // per-stage monitor interval (0 = off)
+	obsListen   string            // HTTP observability address ("" = disabled)
+	scrape      []string          // remote node obs addresses feeding /cluster
+	sloP99      time.Duration     // end-to-end p99 target (0 = none)
+	topIv       time.Duration     // cluster dashboard interval (0 = off)
+	traceSample int               // obs.Config.SampleEvery semantics (0 = default, <0 = off)
+	flightSize  int               // flight-recorder ring capacity (0 = default)
+	flightDump  string            // flight-recorder dump path ("" = no disk dumps)
+	logTo       *os.File          // structured log destination (nil = discard)
 	onObs       func(addr string) // test hook: bound observability address
 }
 
@@ -131,18 +139,36 @@ func run(config string, o launcherOptions) error {
 	// deployed stages publish into its registry, adaptation epochs land in
 	// its audit trail, and the monitor derives its rates from the same
 	// registry instead of keeping private counters.
-	obsCfg := obs.Config{SampleEvery: o.traceSample}
+	obsCfg := obs.Config{SampleEvery: o.traceSample, FlightCapacity: o.flightSize}
 	if o.logTo != nil {
 		obsCfg.LogWriter = o.logTo
 	}
 	ob := obs.New(clk, obsCfg)
 	deployer.SetObservability(ob)
+	if o.flightDump != "" {
+		ob.Flight.SetDumpPath(o.flightDump)
+	}
+	// SIGQUIT snapshots the flight recorder to disk (when -flight-dump is
+	// set) without ending the run.
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	defer signal.Stop(sigq)
+	go func() {
+		for range sigq {
+			if path, err := ob.Flight.DumpToDisk("sigquit"); err != nil {
+				fmt.Fprintln(os.Stderr, "gates-launcher: flight dump:", err)
+			} else if path != "" {
+				fmt.Fprintln(os.Stderr, "gates-launcher: flight recorder dumped to", path)
+			}
+		}
+	}()
 
 	// The cluster aggregator merges this process's snapshot (the launcher
 	// runs every in-process stage) with any scraped remote nodes, and its
 	// SLO monitor re-evaluates on every collection. The violation flag is
 	// itself a metric, so a scrape of /metrics sees the detector's state.
 	agg := obs.NewAggregator(clk, obs.SLOConfig{TargetP99: o.sloP99.Seconds()})
+	agg.SetFlightRecorder(ob.Flight)
 	agg.AddSource("launcher", obs.LocalSource(ob))
 	for _, addr := range o.scrape {
 		agg.AddSource(addr, obs.HTTPSource(nil, addr))

@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/gates-middleware/gates/internal/adapt"
@@ -49,6 +51,8 @@ func main() {
 	flag.Float64Var(&opts.scale, "scale", 1, "virtual seconds per wall second")
 	flag.StringVar(&opts.obsListen, "obs-listen", "", "HTTP address serving /metrics, /snapshot, /adaptations, /traces, /healthz, /readyz, /debug/pprof (\":0\" picks a port; omit to disable)")
 	traceSample := flag.Int("trace-sample", obs.DefaultTraceSample(), "record one trace span in every N hot-path operations; 0 disables tracing entirely (default from GATES_TRACE_SAMPLE)")
+	flag.IntVar(&opts.flightSize, "flight-recorder-size", obs.DefaultFlightCapacity, "events retained by the in-memory flight recorder")
+	flag.StringVar(&opts.flightDump, "flight-dump", "", "file path the flight recorder snapshots to on SLO violation or SIGQUIT (omit to disable disk dumps)")
 	verbose := flag.Bool("v", false, "log structured middleware events to stderr")
 	flag.Parse()
 	opts.traceSample = obs.SampleEveryFor(*traceSample)
@@ -77,6 +81,8 @@ type nodeOptions struct {
 
 	obsListen   string                 // HTTP observability address ("" = disabled)
 	traceSample int                    // obs.Config.SampleEvery semantics (0 = default, <0 = off)
+	flightSize  int                    // flight-recorder ring capacity (0 = default)
+	flightDump  string                 // flight-recorder dump path ("" = no disk dumps)
 	logTo       *os.File               // structured log destination (nil = discard)
 	onObs       func(addr, obs string) // test hook: bound data + obs addresses
 }
@@ -98,11 +104,29 @@ func run(o nodeOptions) error {
 	// The observability bundle is always built (a nil bundle would also
 	// work, but one bundle keeps the audit trail available for the final
 	// report); the HTTP endpoint is opt-in.
-	obsCfg := obs.Config{SampleEvery: o.traceSample}
+	obsCfg := obs.Config{SampleEvery: o.traceSample, FlightCapacity: o.flightSize}
 	if o.logTo != nil {
 		obsCfg.LogWriter = o.logTo
 	}
 	ob := obs.New(clk, obsCfg)
+	if o.flightDump != "" {
+		ob.Flight.SetDumpPath(o.flightDump)
+	}
+	// SIGQUIT snapshots the flight recorder to disk (when -flight-dump is
+	// set) without killing the process — the classic "what just happened"
+	// escape hatch on a live node.
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	defer signal.Stop(sigq)
+	go func() {
+		for range sigq {
+			if path, err := ob.Flight.DumpToDisk("sigquit"); err != nil {
+				fmt.Fprintln(os.Stderr, "gates-node: flight dump:", err)
+			} else if path != "" {
+				fmt.Fprintln(os.Stderr, "gates-node: flight recorder dumped to", path)
+			}
+		}
+	}()
 
 	eng := pipeline.New(clk)
 	eng.SetObservability(ob)

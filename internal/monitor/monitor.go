@@ -51,8 +51,20 @@ type StageSample struct {
 	// histogram; zero when the stage has observed no lineage-stamped
 	// packets yet.
 	E2EP99 float64
+	// PushStallS is the stage's lifetime inbound-backpressure counter at
+	// sample time: wall-clock seconds producers spent parked on its full
+	// input buffer (gates_queue_push_stall_seconds_total).
+	PushStallS float64
+	// BackpressureFrac is the fraction of the wall-clock time since the
+	// previous sample that producers spent parked pushing into this stage
+	// — the dashboard's slice of the attribution engine's inbound signal.
+	// Wall, not virtual: a parked goroutine advances no virtual schedule.
+	// Zero on the first sample.
+	BackpressureFrac float64
 	// Params holds the current value of every adjustment parameter.
 	Params map[string]float64
+
+	wallAt time.Time // wall-clock sample time, for BackpressureFrac deltas
 }
 
 // LinkSample is one observation of one link.
@@ -207,16 +219,19 @@ func (m *Monitor) Sample() Snapshot {
 		key := fmt.Sprintf("%s/%d", st.ID(), st.Instance())
 		itemsIn := m.stageValue("gates_stage_items_in_total", w)
 		itemsOut := m.stageValue("gates_stage_items_out_total", w)
+		pushStall := m.stageValue(obs.MetricQueuePushStall, w)
 		s := StageSample{
-			At:       now,
-			Stage:    st.ID(),
-			Instance: st.Instance(),
-			Node:     st.Node(),
-			QueueLen: int(m.stageValue("gates_queue_depth", w)),
-			DTilde:   st.Controller().DTilde(),
-			ItemsIn:  uint64(itemsIn),
-			ItemsOut: uint64(itemsOut),
-			Params:   make(map[string]float64),
+			At:         now,
+			Stage:      st.ID(),
+			Instance:   st.Instance(),
+			Node:       st.Node(),
+			QueueLen:   int(m.stageValue("gates_queue_depth", w)),
+			DTilde:     st.Controller().DTilde(),
+			ItemsIn:    uint64(itemsIn),
+			ItemsOut:   uint64(itemsOut),
+			PushStallS: pushStall,
+			Params:     make(map[string]float64),
+			wallAt:     time.Now(),
 		}
 		if p99, ok := m.reg.HistogramQuantile(obs.MetricE2ELatency, w.labels, 0.99); ok {
 			s.E2EP99 = p99
@@ -228,6 +243,16 @@ func (m *Monitor) Sample() Snapshot {
 			if dt := now.Sub(prev.At).Seconds(); dt > 0 {
 				s.ArrivalRate = counterDelta(itemsIn, float64(prev.ItemsIn)) / dt
 				s.ServiceRate = counterDelta(itemsOut, float64(prev.ItemsOut)) / dt
+			}
+			// Stall counters advance on the wall clock, so the fraction
+			// is taken against the wall interval between samples, not the
+			// (possibly compressed) virtual one.
+			if dw := s.wallAt.Sub(prev.wallAt).Seconds(); dw > 0 {
+				f := counterDelta(pushStall, prev.PushStallS) / dw
+				if f > 1 {
+					f = 1
+				}
+				s.BackpressureFrac = f
 			}
 		}
 		m.prev[key] = s
@@ -324,7 +349,7 @@ func (m *Monitor) Render(w io.Writer) {
 	}
 	fmt.Fprintf(w, "monitor snapshot @ %s\n", snap.At.Format("15:04:05.000"))
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "stage\tnode\tqueue\td~\tλ/s\tμ/s\te2e-p99\tparams")
+	fmt.Fprintln(tw, "stage\tnode\tqueue\tbackpr\td~\tλ/s\tμ/s\te2e-p99\tparams")
 	for _, s := range snap.Stages {
 		params := ""
 		names := make([]string, 0, len(s.Params))
@@ -342,8 +367,12 @@ func (m *Monitor) Render(w io.Writer) {
 		if s.E2EP99 > 0 {
 			e2e = fmt.Sprintf("%.3gs", s.E2EP99)
 		}
-		fmt.Fprintf(tw, "%s/%d\t%s\t%d\t%.1f\t%.1f\t%.1f\t%s\t%s\n",
-			s.Stage, s.Instance, s.Node, s.QueueLen, s.DTilde, s.ArrivalRate, s.ServiceRate, e2e, params)
+		backpr := "-"
+		if s.BackpressureFrac > 0 {
+			backpr = fmt.Sprintf("%d%%", int(s.BackpressureFrac*100+0.5))
+		}
+		fmt.Fprintf(tw, "%s/%d\t%s\t%d\t%s\t%.1f\t%.1f\t%.1f\t%s\t%s\n",
+			s.Stage, s.Instance, s.Node, s.QueueLen, backpr, s.DTilde, s.ArrivalRate, s.ServiceRate, e2e, params)
 	}
 	tw.Flush()
 	if len(snap.Links) > 0 {

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+func stallPoint(name, stage string, seconds float64) MetricPoint {
+	return MetricPoint{Name: name, Kind: "counter",
+		Labels: map[string]string{"stage": stage, "instance": "0"},
+		Value:  JSONFloat(seconds)}
+}
+
+func edgePoint(from, to string) MetricPoint {
+	return MetricPoint{Name: MetricEdge, Kind: "gauge",
+		Labels: map[string]string{"from": from, "to": to},
+		Value:  1}
+}
+
+// constrictedPoints models a src → relay → slow → sink pipeline after
+// `epoch` seconds: producers parked on slow's full input almost the whole
+// epoch, relay passing the same pressure along, sink starved.
+func constrictedPoints(epoch float64) []MetricPoint {
+	return []MetricPoint{
+		edgePoint("src", "relay"),
+		edgePoint("relay", "slow"),
+		edgePoint("slow", "sink"),
+		stallPoint(MetricQueuePushStall, "slow", 0.9*epoch),
+		stallPoint(MetricEmitStall, "slow", 0),
+		stallPoint(MetricQueuePushStall, "relay", 0.85*epoch),
+		stallPoint(MetricEmitStall, "relay", 0.9*epoch),
+		stallPoint(MetricEmitStall, "src", 0.85*epoch),
+		stallPoint(MetricQueuePopStall, "sink", 0.95*epoch),
+		{Name: MetricQueueCapacity, Kind: "gauge",
+			Labels: map[string]string{"stage": "slow", "instance": "0"}, Value: 64},
+		{Name: "gates_queue_depth", Kind: "gauge",
+			Labels: map[string]string{"stage": "slow", "instance": "0"}, Value: 64},
+	}
+}
+
+func TestAttributionNamesBottleneck(t *testing.T) {
+	clk := clock.NewManual()
+	a := NewAttribution(clk)
+	var wall int64
+	a.SetNowFunc(func() int64 { return wall })
+
+	wall = int64(10 * time.Second)
+	rep := a.Observe(constrictedPoints(10))
+	if rep.Bottleneck != "slow/0" {
+		t.Fatalf("bottleneck = %q, want slow/0; verdicts %+v", rep.Bottleneck, rep.Verdicts)
+	}
+	top := rep.Verdicts[0]
+	if !top.Bottleneck || top.Stage != "slow" {
+		t.Fatalf("top verdict = %+v, want stage slow flagged", top)
+	}
+	if got := float64(top.InboundStallFrac); got < 0.85 || got > 0.95 {
+		t.Fatalf("inbound stall frac = %g, want ~0.9", got)
+	}
+	if float64(top.EmitStallFrac) != 0 {
+		t.Fatalf("slow emit stall frac = %g, want 0 (sink keeps up)", float64(top.EmitStallFrac))
+	}
+	if float64(top.QueueFrac) != 1 {
+		t.Fatalf("queue frac = %g, want full", float64(top.QueueFrac))
+	}
+	if !strings.Contains(rep.Summary, "stage slow is the bottleneck") {
+		t.Fatalf("summary = %q", rep.Summary)
+	}
+	// Downstream idleness is read through the topology edges: sink is
+	// slow's only downstream and sat starved 95% of the epoch.
+	if !strings.Contains(rep.Summary, "downstream idle 95%") {
+		t.Fatalf("summary missing downstream idle evidence: %q", rep.Summary)
+	}
+	// A relay that passes pressure on must rank below the absorber.
+	for _, v := range rep.Verdicts[1:] {
+		if v.Bottleneck {
+			t.Fatalf("second bottleneck flagged: %+v", v)
+		}
+	}
+}
+
+func TestAttributionEpochDeltas(t *testing.T) {
+	clk := clock.NewManual()
+	a := NewAttribution(clk)
+	var wall int64
+	a.SetNowFunc(func() int64 { return wall })
+
+	// First epoch: 9s of stall over 10s.
+	wall = int64(10 * time.Second)
+	rep := a.Observe(constrictedPoints(10))
+	if rep.Bottleneck == "" {
+		t.Fatalf("first epoch found nothing: %+v", rep)
+	}
+	if got := float64(rep.EpochWallSeconds); got != 10 {
+		t.Fatalf("epoch = %gs, want 10", got)
+	}
+
+	// Second epoch: the cumulative counters did not move, so the deltas
+	// are zero and the verdict clears — stale pressure never lingers.
+	wall = int64(20 * time.Second)
+	rep = a.Observe(constrictedPoints(10))
+	if rep.Bottleneck != "" {
+		t.Fatalf("unchanged counters still flagged: %+v", rep)
+	}
+	if !strings.Contains(rep.Summary, "no bottleneck") {
+		t.Fatalf("summary = %q", rep.Summary)
+	}
+	if got := a.Last(); got.Summary != rep.Summary {
+		t.Fatalf("Last() = %+v, want most recent report", got)
+	}
+}
+
+func TestAttributionNilAndEmpty(t *testing.T) {
+	var a *Attribution
+	if rep := a.Last(); rep == nil || rep.Summary == "" {
+		t.Fatal("nil attribution must report a placeholder")
+	}
+	if rep := a.Observe(nil); rep == nil {
+		t.Fatal("nil attribution Observe must not panic")
+	}
+	if rep := a.ObserveRegistry(nil); rep == nil {
+		t.Fatal("nil registry must not panic")
+	}
+
+	clk := clock.NewManual()
+	real := NewAttribution(clk)
+	var wall int64 = int64(time.Second)
+	real.SetNowFunc(func() int64 { return wall })
+	wall = int64(2 * time.Second)
+	rep := real.Observe(nil)
+	if rep.Bottleneck != "" || len(rep.Verdicts) != 0 {
+		t.Fatalf("empty snapshot produced verdicts: %+v", rep)
+	}
+}
+
+func TestAttributionFractionsClamped(t *testing.T) {
+	clk := clock.NewManual()
+	a := NewAttribution(clk)
+	var wall int64
+	a.SetNowFunc(func() int64 { return wall })
+
+	// Two producers parked simultaneously accumulate 2x the epoch in
+	// stall-seconds; the fraction must clamp to 1, not read as 200%.
+	wall = int64(10 * time.Second)
+	rep := a.Observe([]MetricPoint{
+		stallPoint(MetricQueuePushStall, "slow", 20),
+	})
+	if got := float64(rep.Verdicts[0].InboundStallFrac); got != 1 {
+		t.Fatalf("fraction = %g, want clamped to 1", got)
+	}
+}

@@ -103,12 +103,20 @@ func MergeMetrics(snaps []NodeSnapshot) ([]MetricPoint, error) {
 	var mergeErr error
 	for _, snap := range snaps {
 		for _, p := range snap.Metrics {
-			labels := make(map[string]string, len(p.Labels))
+			// Pool stats are per-process resources, not per-stage work:
+			// summing them across nodes would hide which node's pool is
+			// exhausted, so their node label survives the merge (injected
+			// from the source name when the series has none).
+			keepNode := strings.HasPrefix(p.Name, "gates_pool_")
+			labels := make(map[string]string, len(p.Labels)+1)
 			for k, v := range p.Labels {
-				if k == "node" {
+				if k == "node" && !keepNode {
 					continue
 				}
 				labels[k] = v
+			}
+			if keepNode && labels["node"] == "" && snap.Node != "" {
+				labels["node"] = snap.Node
 			}
 			key, _ := canonical(labels)
 			key = p.Name + "{" + key + "}"
@@ -201,6 +209,9 @@ type ClusterView struct {
 	SLO SLOStatus `json:"slo"`
 	// SLOEvents are the retained flag transitions.
 	SLOEvents []SLOEvent `json:"slo_events,omitempty"`
+	// Bottlenecks is the cluster-wide backpressure attribution verdict
+	// for this collection epoch, ranked over the merged series.
+	Bottlenecks *AttributionReport `json:"bottlenecks,omitempty"`
 	// Adaptations and Migrations are the most recent events across all
 	// nodes, newest last.
 	Adaptations []AdaptationEvent `json:"adaptations,omitempty"`
@@ -225,10 +236,13 @@ type Aggregator struct {
 	// LocalSource scrape happens while Collect holds mu.
 	violated atomic.Bool
 
-	mu      sync.Mutex
-	sources []aggSource
-	slo     *SLOMonitor
-	last    *ClusterView
+	mu        sync.Mutex
+	sources   []aggSource
+	slo       *SLOMonitor
+	attr      *Attribution
+	flight    *FlightRecorder
+	sloPrimed bool
+	last      *ClusterView
 }
 
 type aggSource struct {
@@ -242,7 +256,17 @@ func NewAggregator(clk clock.Clock, slo SLOConfig) *Aggregator {
 	if clk == nil {
 		panic("obs: NewAggregator requires a clock")
 	}
-	return &Aggregator{clk: clk, slo: NewSLOMonitor(slo, 0)}
+	return &Aggregator{clk: clk, slo: NewSLOMonitor(slo, 0), attr: NewAttribution(clk)}
+}
+
+// SetFlightRecorder attaches the flight recorder SLO transitions are
+// recorded into; a transition into violation also triggers DumpToDisk
+// ("slo-violation"), so the recorder's dump path decides whether a snapshot
+// lands on disk. Nil detaches.
+func (a *Aggregator) SetFlightRecorder(f *FlightRecorder) {
+	a.mu.Lock()
+	a.flight = f
+	a.mu.Unlock()
 }
 
 // AddSource registers one node snapshot source under name.
@@ -281,9 +305,26 @@ func (a *Aggregator) Collect() *ClusterView {
 	view.Metrics = merged
 	view.Placements = placements(snaps)
 	view.Latency = latencySummaries(merged)
+	prevViolated := a.violated.Load()
 	view.SLO = a.slo.Evaluate(now, merged)
 	a.violated.Store(view.SLO.Violated)
 	view.SLOEvents = a.slo.Events()
+	view.Bottlenecks = a.attr.Observe(merged)
+	if view.SLO.Violated != prevViolated || (!a.sloPrimed && view.SLO.Violated) {
+		detail := "recovered"
+		if view.SLO.Violated {
+			detail = strings.Join(view.SLO.Reasons, "; ")
+		}
+		a.flight.Record(FlightEvent{
+			Kind: FlightSLO, Detail: detail, Value: float64(view.SLO.SinkP99),
+		})
+		if view.SLO.Violated {
+			// Best-effort post-mortem snapshot; the recorder remembers
+			// the error in its JSON envelope if the write fails.
+			_, _ = a.flight.DumpToDisk("slo-violation")
+		}
+	}
+	a.sloPrimed = true
 	for _, snap := range snaps {
 		view.Adaptations = append(view.Adaptations, snap.Adaptations...)
 		view.Migrations = append(view.Migrations, snap.Migrations...)
@@ -412,9 +453,22 @@ func (v *ClusterView) Render(w io.Writer) {
 		fmt.Fprintf(w, "node %-12s %s\n", n.Name, mark)
 	}
 	if len(v.Placements) > 0 {
-		fmt.Fprintf(w, "%-14s %-4s %-12s %8s\n", "STAGE", "INST", "NODE", "QUEUE")
+		verdicts := make(map[string]StageVerdict)
+		if v.Bottlenecks != nil {
+			for _, sv := range v.Bottlenecks.Verdicts {
+				verdicts[sv.Stage+"/"+sv.Instance] = sv
+			}
+		}
+		fmt.Fprintf(w, "%-14s %-4s %-12s %8s %8s\n", "STAGE", "INST", "NODE", "QUEUE", "BACKPR")
 		for _, p := range v.Placements {
-			fmt.Fprintf(w, "%-14s %-4s %-12s %8.0f\n", p.Stage, p.Instance, p.Node, p.Depth)
+			backpr := "-"
+			if sv, ok := verdicts[p.Stage+"/"+p.Instance]; ok {
+				backpr = fmt.Sprintf("%d%%", pct(float64(sv.InboundStallFrac)))
+				if sv.Bottleneck {
+					backpr += " *"
+				}
+			}
+			fmt.Fprintf(w, "%-14s %-4s %-12s %8.0f %8s\n", p.Stage, p.Instance, p.Node, p.Depth, backpr)
 		}
 	}
 	if len(v.Latency) > 0 {
@@ -437,6 +491,9 @@ func (v *ClusterView) Render(w io.Writer) {
 	default:
 		fmt.Fprintf(w, "slo: ok (sink p99 %.3gs, max d-tilde %.3g)\n",
 			float64(v.SLO.SinkP99), float64(v.SLO.MaxDTilde))
+	}
+	if v.Bottlenecks != nil {
+		fmt.Fprintf(w, "bottleneck: %s\n", v.Bottlenecks.Summary)
 	}
 	for _, ev := range v.Adaptations {
 		fmt.Fprintf(w, "adapt %s %s/%d d̃=%.3g ΔP=%.3g\n",

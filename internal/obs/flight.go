@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+// DefaultFlightCapacity is the default retained flight-event ring size.
+const DefaultFlightCapacity = 2048
+
+// FlightKind classifies a flight-recorder event.
+type FlightKind string
+
+// The event kinds the middleware records. The set is deliberately small:
+// the flight recorder keeps rare, state-changing moments (what happened
+// around an incident), not per-packet telemetry (that is the registry's
+// job).
+const (
+	// FlightLifecycle is a stage lifecycle transition (running → draining
+	// → paused → running ...).
+	FlightLifecycle FlightKind = "lifecycle"
+	// FlightAdaptation is an adaptation epoch that actually moved at
+	// least one parameter.
+	FlightAdaptation FlightKind = "adaptation"
+	// FlightMigration is a completed live re-deployment of an instance.
+	FlightMigration FlightKind = "migration"
+	// FlightSLO is an SLO state transition (violated or recovered).
+	FlightSLO FlightKind = "slo"
+	// FlightPoolExhausted is the onset of packet-pool exhaustion: a
+	// refill found the pool empty and the allocator took over.
+	FlightPoolExhausted FlightKind = "pool-exhausted"
+	// FlightStallOnset is the onset of an emit stall: an emission found a
+	// downstream input buffer full after a period of free flow.
+	FlightStallOnset FlightKind = "stall-onset"
+	// FlightDump marks a disk snapshot of the recorder itself (SLO
+	// violation or SIGQUIT), so a later dump shows when earlier ones ran.
+	FlightDump FlightKind = "dump"
+)
+
+// FlightEvent is one recorded moment. Events are plain values — recording
+// one is a struct copy into a preallocated ring slot, no allocation.
+type FlightEvent struct {
+	// Seq numbers events in record order across the recorder's lifetime.
+	Seq uint64 `json:"seq"`
+	// At is the virtual time of the event (stamped at Record).
+	At time.Time `json:"at"`
+	// Kind classifies the event.
+	Kind FlightKind `json:"kind"`
+	// Stage, Instance, Node identify the instance involved, when any.
+	Stage    string `json:"stage,omitempty"`
+	Instance int    `json:"instance,omitempty"`
+	Node     string `json:"node,omitempty"`
+	// Detail is a short human-readable description ("emit blocked: input
+	// buffer of sink full", "running → draining", ...).
+	Detail string `json:"detail,omitempty"`
+	// Value carries an optional numeric payload (e.g. an adjusted
+	// parameter's new value).
+	Value float64 `json:"value,omitempty"`
+}
+
+// FlightRecorder is the bounded in-memory event ring behind /flightrecorder:
+// always on, allocation-free on the record path, safe for concurrent use. A
+// nil *FlightRecorder is valid and records nothing, so unobserved code paths
+// need no checks.
+type FlightRecorder struct {
+	clk clock.Clock
+	r   *ring[FlightEvent]
+
+	mu       sync.Mutex
+	dumpPath string
+	dumps    uint64
+	lastErr  string
+}
+
+// NewFlightRecorder returns a recorder retaining up to capacity events (<=0
+// selects DefaultFlightCapacity), timestamping on clk.
+func NewFlightRecorder(clk clock.Clock, capacity int) *FlightRecorder {
+	return &FlightRecorder{
+		clk: clk,
+		r: newRing(capacity, DefaultFlightCapacity,
+			func(ev *FlightEvent, n uint64) { ev.Seq = n }),
+	}
+}
+
+// Record appends ev, stamping Seq and — when the caller left it zero — At
+// with the current virtual time. A no-op on a nil recorder.
+func (f *FlightRecorder) Record(ev FlightEvent) {
+	if f == nil {
+		return
+	}
+	if ev.At.IsZero() {
+		ev.At = f.clk.Now()
+	}
+	f.r.record(ev)
+}
+
+// Total returns how many events were ever recorded (retained or evicted).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.r.totalCount()
+}
+
+// Events returns the retained events, oldest first.
+func (f *FlightRecorder) Events() []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	return f.r.events()
+}
+
+// SetDumpPath sets the file DumpToDisk writes. Empty (the default)
+// disables disk snapshots.
+func (f *FlightRecorder) SetDumpPath(path string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.dumpPath = path
+	f.mu.Unlock()
+}
+
+// flightDump is the JSON envelope /flightrecorder and disk snapshots share.
+type flightDump struct {
+	Total    uint64        `json:"total"`
+	Capacity int           `json:"capacity"`
+	Dumps    uint64        `json:"dumps"`
+	DumpErr  string        `json:"dumpErr,omitempty"`
+	Events   []FlightEvent `json:"events"`
+}
+
+func (f *FlightRecorder) dump() flightDump {
+	d := flightDump{
+		Total:    f.Total(),
+		Capacity: len(f.r.buf),
+		Events:   f.Events(),
+	}
+	f.mu.Lock()
+	d.Dumps = f.dumps
+	d.DumpErr = f.lastErr
+	f.mu.Unlock()
+	return d
+}
+
+// WriteJSON writes the recorder contents as indented JSON — the same
+// envelope /flightrecorder serves and DumpToDisk snapshots.
+func (f *FlightRecorder) WriteJSON(w io.Writer) error {
+	if f == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f.dump())
+}
+
+// DumpToDisk snapshots the recorder to the configured dump path,
+// prepending a FlightDump event naming the reason ("slo-violation",
+// "sigquit"). It returns the path written, or "" when no path is
+// configured. Errors are remembered (exposed in the JSON envelope) as well
+// as returned: the callers are signal handlers and the aggregator loop,
+// which have nowhere good to put them.
+func (f *FlightRecorder) DumpToDisk(reason string) (string, error) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock()
+	path := f.dumpPath
+	f.mu.Unlock()
+	if path == "" {
+		return "", nil
+	}
+	f.Record(FlightEvent{Kind: FlightDump, Detail: reason})
+	// Write-then-rename in the target directory (same filesystem) so a
+	// crash mid-dump never leaves a truncated snapshot at the path.
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".gates-flight-*")
+	if err == nil {
+		err = f.WriteJSON(tmp)
+		if cerr := tmp.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp.Name(), path)
+		}
+		if err != nil {
+			os.Remove(tmp.Name())
+		}
+	}
+	f.mu.Lock()
+	if err != nil {
+		f.lastErr = err.Error()
+	} else {
+		f.dumps++
+		f.lastErr = ""
+	}
+	f.mu.Unlock()
+	if err != nil {
+		return "", fmt.Errorf("obs: flight dump %s: %w", path, err)
+	}
+	return path, nil
+}

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	clk := clock.NewManual()
+	f := NewFlightRecorder(clk, 4)
+	for i := 0; i < 10; i++ {
+		clk.Advance(time.Second)
+		f.Record(FlightEvent{Kind: FlightLifecycle, Stage: "s", Instance: i})
+	}
+	if got := f.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	evs := f.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want capacity 4", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(6 + i)
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d seq = %d, want %d (oldest evicted first)", i, ev.Seq, wantSeq)
+		}
+		if ev.Instance != 6+i {
+			t.Fatalf("event %d instance = %d, want %d", i, ev.Instance, 6+i)
+		}
+		if ev.At.IsZero() {
+			t.Fatalf("event %d missing virtual timestamp", i)
+		}
+	}
+	if evs[0].At.After(evs[3].At) {
+		t.Fatalf("timestamps out of order: %v then %v", evs[0].At, evs[3].At)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightEvent{Kind: FlightSLO}) // must not panic
+	if f.Total() != 0 || f.Events() != nil {
+		t.Fatal("nil recorder should report nothing")
+	}
+	if path, err := f.DumpToDisk("x"); path != "" || err != nil {
+		t.Fatalf("nil DumpToDisk = (%q, %v)", path, err)
+	}
+}
+
+func TestFlightRecorderDumpToDisk(t *testing.T) {
+	clk := clock.NewManual()
+	f := NewFlightRecorder(clk, 8)
+	f.Record(FlightEvent{Kind: FlightStallOnset, Stage: "relay", Detail: "emit blocked"})
+
+	// No path configured: a silent no-op, not an error.
+	if path, err := f.DumpToDisk("sigquit"); path != "" || err != nil {
+		t.Fatalf("dump without path = (%q, %v), want no-op", path, err)
+	}
+
+	target := filepath.Join(t.TempDir(), "flight.json")
+	f.SetDumpPath(target)
+	path, err := f.DumpToDisk("sigquit")
+	if err != nil || path != target {
+		t.Fatalf("DumpToDisk = (%q, %v), want %q", path, err, target)
+	}
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Total  uint64        `json:"total"`
+		Dumps  uint64        `json:"dumps"`
+		Events []FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatalf("dump is not JSON: %v", err)
+	}
+	// The dump itself is recorded, so the snapshot contains its own cause.
+	if d.Total != 2 || len(d.Events) != 2 {
+		t.Fatalf("dump carries %d/%d events, want 2 (stall + dump marker)", d.Total, len(d.Events))
+	}
+	if d.Events[1].Kind != FlightDump || d.Events[1].Detail != "sigquit" {
+		t.Fatalf("last event = %+v, want the dump marker", d.Events[1])
+	}
+
+	// A failing dump is remembered in the envelope, not just returned.
+	f.SetDumpPath(filepath.Join(t.TempDir(), "no-such-dir", "x", "flight.json"))
+	if _, err := f.DumpToDisk("sigquit"); err == nil {
+		t.Fatal("dump into a missing directory should fail")
+	}
+	var sb strings.Builder
+	if err := f.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dumpErr") {
+		t.Fatalf("envelope does not remember the dump error: %s", sb.String())
+	}
+}
+
+// TestAggregatorDumpsFlightOnViolation drives the aggregator's SLO detector
+// into violation on a manual clock and asserts the transition lands in the
+// flight recorder and on disk.
+func TestAggregatorDumpsFlightOnViolation(t *testing.T) {
+	clk := clock.NewManual()
+	f := NewFlightRecorder(clk, 32)
+	target := filepath.Join(t.TempDir(), "flight.json")
+	f.SetDumpPath(target)
+
+	agg := NewAggregator(clk, SLOConfig{})
+	agg.SetFlightRecorder(f)
+	agg.AddSource("n1", func() (NodeSnapshot, error) {
+		return NodeSnapshot{
+			At:      clk.Now(),
+			Metrics: []MetricPoint{dTildePoint("hot", "n1", 2.5)},
+		}, nil
+	})
+
+	// d-tilde must stay positive for DefaultSLOGrowthEpochs consecutive
+	// evaluations before the detector trips.
+	for i := 0; i < DefaultSLOGrowthEpochs; i++ {
+		clk.Advance(time.Second)
+		view := agg.Collect()
+		if i < DefaultSLOGrowthEpochs-1 && view.SLO.Violated {
+			t.Fatalf("tripped after %d epochs, want %d", i+1, DefaultSLOGrowthEpochs)
+		}
+	}
+	if !agg.Violated() {
+		t.Fatal("detector did not trip after growth epochs")
+	}
+
+	var slo *FlightEvent
+	for _, ev := range f.Events() {
+		if ev.Kind == FlightSLO {
+			cp := ev
+			slo = &cp
+		}
+	}
+	if slo == nil {
+		t.Fatalf("no FlightSLO event recorded; events: %+v", f.Events())
+	}
+	if !strings.Contains(slo.Detail, "queue growth") {
+		t.Fatalf("SLO event detail = %q, want the violation reason", slo.Detail)
+	}
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatalf("violation did not dump to disk: %v", err)
+	}
+	if !strings.Contains(string(data), "slo-violation") {
+		t.Fatal("disk dump missing the slo-violation marker")
+	}
+
+	// Recovery records the matching transition but does not dump again.
+	before, _ := os.Stat(target)
+	agg2src := func() (NodeSnapshot, error) {
+		return NodeSnapshot{
+			At:      clk.Now(),
+			Metrics: []MetricPoint{dTildePoint("hot", "n1", -1)},
+		}, nil
+	}
+	agg.mu.Lock()
+	agg.sources[0].fn = agg2src
+	agg.mu.Unlock()
+	clk.Advance(time.Second)
+	if view := agg.Collect(); view.SLO.Violated {
+		t.Fatal("detector did not recover")
+	}
+	last := f.Events()[len(f.Events())-1]
+	if last.Kind != FlightSLO || last.Detail != "recovered" {
+		t.Fatalf("last event = %+v, want the recovery transition", last)
+	}
+	after, _ := os.Stat(target)
+	if !after.ModTime().Equal(before.ModTime()) || after.Size() != before.Size() {
+		t.Fatal("recovery should not rewrite the disk dump")
+	}
+}
+
+// TestSLOMonitorConcurrentEvaluateStatus exercises the detector under the
+// race detector: evaluations mutate the growth map while scrapes read the
+// status — the /metrics-while-collecting pattern.
+func TestSLOMonitorConcurrentEvaluateStatus(t *testing.T) {
+	m := NewSLOMonitor(SLOConfig{TargetP99: 0.5}, 0)
+	points := []MetricPoint{
+		fanoutPoint("sink", "0", 0),
+		e2ePoint("sink", "", 0, 100, 0),
+		dTildePoint("hot", "n1", 1),
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = m.Status()
+					_ = m.Events()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		m.Evaluate(sloBase.Add(time.Duration(i)*time.Second), points)
+	}
+	close(stop)
+	wg.Wait()
+	if st := m.Status(); !st.Evaluated || !st.Violated {
+		t.Fatalf("status after concurrent evaluations = %+v", st)
+	}
+}
+
+// TestAggregatorConcurrentScrape collects in a loop while other goroutines
+// scrape the aggregator and the bundle's registry — the live /cluster,
+// /metrics, /bottlenecks, and /flightrecorder surfaces all at once.
+func TestAggregatorConcurrentScrape(t *testing.T) {
+	clk := clock.NewManual()
+	ob := New(clk, Config{SampleEvery: -1})
+	ob.Registry.GaugeFunc(MetricDTilde, "d~", map[string]string{
+		"stage": "hot", "instance": "0", "node": "n1",
+	}, func() float64 { return 1 })
+
+	agg := NewAggregator(clk, SLOConfig{})
+	agg.SetFlightRecorder(ob.Flight)
+	agg.AddSource("local", LocalSource(ob))
+	ob.Registry.GaugeFunc("gates_slo_violation", "flag", nil, func() float64 {
+		if agg.Violated() {
+			return 1
+		}
+		return 0
+	})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	scrape := func(fn func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					fn()
+				}
+			}
+		}()
+	}
+	scrape(func() { _ = agg.SLOStatus() })
+	scrape(func() { _ = agg.View() })
+	scrape(func() { _ = agg.Violated() })
+	scrape(func() { _ = ob.Registry.Snapshot() })
+	scrape(func() { _ = ob.Attr().Last() })
+	scrape(func() {
+		ob.Flight.Record(FlightEvent{Kind: FlightStallOnset, Stage: "hot"})
+		_ = ob.Flight.Events()
+	})
+	for i := 0; i < 100; i++ {
+		clk.Advance(time.Second)
+		agg.Collect()
+	}
+	close(stop)
+	wg.Wait()
+	if view := agg.View(); view.Bottlenecks == nil {
+		t.Fatal("cluster view missing the attribution report")
+	}
+}

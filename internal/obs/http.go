@@ -109,6 +109,18 @@ func HandlerWith(o *Observability, opt HandlerOptions) http.Handler {
 			Lifecycle []LifecycleEvent `json:"lifecycle"`
 		}{Total: o.Migrations.Total(), Events: events, Lifecycle: lifecycle})
 	})
+	mux.HandleFunc("/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := o.FlightRec().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/bottlenecks", func(w http.ResponseWriter, r *http.Request) {
+		// Each request is one attribution epoch over the local registry:
+		// stall-counter deltas since the previous request (or process
+		// start), so two curls bracket exactly the window between them.
+		writeJSON(w, o.Attr().ObserveRegistry(o.Reg()))
+	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		spans := o.Tracer.Spans()
 		if spans == nil {
@@ -133,6 +145,8 @@ func HandlerWith(o *Observability, opt HandlerOptions) http.Handler {
 		fmt.Fprintln(w, "  /adaptations  adaptation audit trail")
 		fmt.Fprintln(w, "  /migrations   stage migrations and lifecycle transitions")
 		fmt.Fprintln(w, "  /traces       sampled hot-path spans")
+		fmt.Fprintln(w, "  /flightrecorder  bounded ring of lifecycle/SLO/stall events")
+		fmt.Fprintln(w, "  /bottlenecks  backpressure attribution verdict")
 		fmt.Fprintln(w, "  /healthz      liveness probe")
 		fmt.Fprintln(w, "  /readyz       readiness probe (all stages running)")
 		if opt.Aggregator != nil {

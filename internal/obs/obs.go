@@ -76,6 +76,9 @@ type Config struct {
 	// LifecycleCapacity bounds the retained lifecycle-transition ring.
 	// Zero selects DefaultLifecycleCapacity.
 	LifecycleCapacity int
+	// FlightCapacity bounds the retained flight-recorder ring (the
+	// -flight-recorder-size flag). Zero selects DefaultFlightCapacity.
+	FlightCapacity int
 	// LogWriter receives structured log lines. Nil discards them.
 	LogWriter io.Writer
 	// LogLevel is the minimum level emitted. Nil means slog.LevelInfo.
@@ -98,6 +101,11 @@ type Observability struct {
 	Migrations *MigrationTrail
 	// Lifecycle records every stage lifecycle transition.
 	Lifecycle *LifecycleTrail
+	// Flight is the always-on flight recorder behind /flightrecorder.
+	Flight *FlightRecorder
+	// Attribution is the backpressure-attribution engine behind
+	// /bottlenecks, evaluated lazily over this bundle's registry.
+	Attribution *Attribution
 	// Logger is the structured log stream (never nil after New).
 	Logger *slog.Logger
 }
@@ -125,13 +133,15 @@ func New(clk clock.Clock, cfg Config) *Observability {
 		logger = NewLogger(cfg.LogWriter, clk, cfg.LogLevel)
 	}
 	return &Observability{
-		Clock:      clk,
-		Registry:   reg,
-		Tracer:     tr,
-		Audit:      NewAuditTrail(cfg.AuditCapacity),
-		Migrations: NewMigrationTrail(cfg.MigrationCapacity),
-		Lifecycle:  NewLifecycleTrail(cfg.LifecycleCapacity),
-		Logger:     logger,
+		Clock:       clk,
+		Registry:    reg,
+		Tracer:      tr,
+		Audit:       NewAuditTrail(cfg.AuditCapacity),
+		Migrations:  NewMigrationTrail(cfg.MigrationCapacity),
+		Lifecycle:   NewLifecycleTrail(cfg.LifecycleCapacity),
+		Flight:      NewFlightRecorder(clk, cfg.FlightCapacity),
+		Attribution: NewAttribution(clk),
+		Logger:      logger,
 	}
 }
 
@@ -186,4 +196,22 @@ func (o *Observability) LifecycleTrail() *LifecycleTrail {
 		return nil
 	}
 	return o.Lifecycle
+}
+
+// FlightRec returns the bundle's flight recorder, or nil when unobserved. A
+// nil *FlightRecorder is itself safe to Record into.
+func (o *Observability) FlightRec() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Flight
+}
+
+// Attr returns the bundle's attribution engine, or nil when unobserved. A
+// nil *Attribution is itself safe to Observe with.
+func (o *Observability) Attr() *Attribution {
+	if o == nil {
+		return nil
+	}
+	return o.Attribution
 }

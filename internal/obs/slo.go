@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -94,11 +95,14 @@ type SLOEvent struct {
 //
 // Transitions are recorded in a bounded trail so operators can see when
 // the pipeline fell behind and when the adaptation controller recovered
-// it. Not safe for concurrent Evaluate calls; serialize on the caller
-// (the aggregator's collect loop).
+// it. Safe for concurrent use: Evaluate serializes against itself and
+// against Status, so a scrape (Status from an HTTP handler or gauge
+// callback) can race an aggregator collect without tearing the status.
 type SLOMonitor struct {
-	cfg    SLOConfig
-	trail  *ring[SLOEvent]
+	cfg   SLOConfig
+	trail *ring[SLOEvent]
+
+	mu     sync.Mutex
 	growth map[string]int // series key → consecutive positive epochs
 	cur    SLOStatus
 }
@@ -119,6 +123,8 @@ func NewSLOMonitor(cfg SLOConfig, capacity int) *SLOMonitor {
 // Evaluate runs one detection epoch over a metric snapshot and returns the
 // updated status. now is the snapshot's virtual timestamp.
 func (m *SLOMonitor) Evaluate(now time.Time, points []MetricPoint) SLOStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	sinkP99 := SinkP99(points)
 
 	var reasons []string
@@ -193,6 +199,8 @@ func (m *SLOMonitor) Status() SLOStatus {
 	if m == nil {
 		return SLOStatus{}
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.cur
 }
 

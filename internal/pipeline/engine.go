@@ -252,6 +252,9 @@ func (e *Engine) Run(ctx context.Context) error {
 	o := e.o
 	e.mu.Unlock()
 
+	if o != nil {
+		instrumentPool(o.Registry)
+	}
 	o.Log().Info("pipeline run starting", "stages", len(stages))
 
 	ctx, cancel := context.WithCancel(ctx)

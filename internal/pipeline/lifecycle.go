@@ -93,6 +93,13 @@ func (s *Stage) toState(to StageState) {
 		From:     from.String(),
 		To:       to.String(),
 	})
+	s.o.FlightRec().Record(obs.FlightEvent{
+		Kind:     obs.FlightLifecycle,
+		Stage:    s.id,
+		Instance: s.instance,
+		Node:     s.Node(),
+		Detail:   from.String() + " → " + to.String(),
+	})
 	s.o.Log().Debug("stage lifecycle",
 		"stage", s.id, "instance", s.instance, "node", s.Node(),
 		"from", from.String(), "to", to.String())
@@ -110,6 +117,13 @@ func (s *Stage) markStarted() {
 			Node:     s.Node(),
 			From:     StateInit.String(),
 			To:       StateRunning.String(),
+		})
+		s.o.FlightRec().Record(obs.FlightEvent{
+			Kind:     obs.FlightLifecycle,
+			Stage:    s.id,
+			Instance: s.instance,
+			Node:     s.Node(),
+			Detail:   StateInit.String() + " → " + StateRunning.String(),
 		})
 	}
 }

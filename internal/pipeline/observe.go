@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"fmt"
 	"strconv"
 	"time"
 
@@ -84,6 +85,36 @@ func (s *Stage) Instrument(reg *obs.Registry) {
 	reg.GaugeFunc("gates_queue_high_water",
 		"Highest input-queue occupancy observed.", lb,
 		func() float64 { return float64(s.QueueStats().HighWater) })
+	reg.CounterFunc(obs.MetricQueueDropped,
+		"Items rejected by TryPush on a full input queue.", lb,
+		func() float64 { return float64(s.QueueStats().Dropped) })
+	reg.GaugeFunc(obs.MetricQueueCapacity,
+		"Input buffer capacity C.", lb,
+		func() float64 { return float64(s.inq().Cap()) })
+
+	// Backpressure stall series for the attribution engine. These are
+	// wall-clock seconds (see queue.Stats): a parked goroutine advances no
+	// virtual schedule, so /bottlenecks compares them to a wall epoch.
+	reg.CounterFunc(obs.MetricQueuePushStall,
+		"Wall-clock seconds producers spent parked on this stage's full input buffer.", lb,
+		func() float64 { return float64(s.QueueStats().PushStallNS) / 1e9 })
+	reg.CounterFunc(obs.MetricQueuePopStall,
+		"Wall-clock seconds the drain loop spent parked on an empty input buffer.", lb,
+		func() float64 { return float64(s.QueueStats().PopStallNS) / 1e9 })
+	reg.CounterFunc(obs.MetricEmitStall,
+		"Wall-clock seconds the stage's emit paths spent blocked on full downstream buffers.", lb,
+		func() float64 { return s.Stats().EmitStall.Seconds() })
+
+	// Topology gauges: one constant series per outbound edge so the
+	// attribution engine (and any scraper) can walk the deployed graph.
+	// outs is fixed by the builder before Run, so reading it here is as
+	// safe as the fanout callback below.
+	for _, out := range s.outs {
+		reg.GaugeFunc(obs.MetricEdge,
+			"Deployed topology edge (constant 1).",
+			map[string]string{"from": s.id, "to": out.to.id},
+			func() float64 { return 1 })
+	}
 
 	reg.GaugeFunc(obs.MetricFanout,
 		"Number of downstream edges; 0 marks a pipeline sink.", lb,
@@ -151,6 +182,16 @@ func (s *Stage) recordAdjustment(now time.Time, res adapt.AdjustResult, lambda, 
 		ev.Params = append(ev.Params, obs.ParamDelta{Param: adj.Param, Old: adj.Old, New: adj.New})
 	}
 	s.o.Trail().Record(ev)
+	if len(res.Adjustments) > 0 {
+		s.o.FlightRec().Record(obs.FlightEvent{
+			Kind:     obs.FlightAdaptation,
+			Stage:    s.id,
+			Instance: s.instance,
+			Node:     s.Node(),
+			Detail:   fmt.Sprintf("ΔP=%.3g adjusted %d param(s)", res.DeltaP, len(res.Adjustments)),
+			Value:    res.DeltaP,
+		})
+	}
 	s.o.Log().Debug("adaptation adjusted",
 		"stage", s.id, "instance", s.instance, "node", s.Node(),
 		"d_tilde", res.DTilde, "t1", res.T1, "t2", res.T2,

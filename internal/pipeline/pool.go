@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/gates-middleware/gates/internal/obs"
 )
 
 // The packet pool removes the last per-item allocation from the hot path:
@@ -43,6 +45,81 @@ var packetPool = newPacketStack(4096)
 type packetStack struct {
 	mu   sync.Mutex
 	free []*Packet
+	// Lifetime counters, maintained inside the critical sections the
+	// bulk operations already hold, so instrumentation adds no extra
+	// synchronization to the hot path. misses lives outside the stack
+	// (see poolMisses): the allocator fallback happens after the stack
+	// reported empty, at the caller.
+	gets     uint64 // packets handed out of the pool
+	recycled uint64 // packets stored back
+	overflow uint64 // packets that arrived with the pool full (dropped to GC)
+}
+
+// poolMisses counts allocator fallbacks: a caller wanted a pooled packet,
+// the pool was empty, and new(Packet) ran instead. A steadily growing miss
+// count means the working set exceeds the pool bound — the pool-exhaustion
+// signal the flight recorder and attribution engine surface.
+var poolMisses atomic.Uint64
+
+// PoolStats is a snapshot of the shared packet pool's lifetime counters.
+type PoolStats struct {
+	// Gets counts packets handed out of the pool (allocator fallbacks not
+	// included); Misses counts those fallbacks.
+	Gets   uint64
+	Misses uint64
+	// Recycled counts packets returned to the pool; Overflow counts
+	// returns that found the pool full and dropped the packet to the GC.
+	Recycled uint64
+	Overflow uint64
+	// Free and Capacity describe the freelist right now.
+	Free     int
+	Capacity int
+}
+
+// ReadPoolStats snapshots the shared packet pool's counters. Safe from any
+// goroutine; one mutex acquisition.
+func ReadPoolStats() PoolStats {
+	r := packetPool
+	r.mu.Lock()
+	s := PoolStats{
+		Gets:     r.gets,
+		Recycled: r.recycled,
+		Overflow: r.overflow,
+		Free:     len(r.free),
+		Capacity: cap(r.free),
+	}
+	r.mu.Unlock()
+	s.Misses = poolMisses.Load()
+	return s
+}
+
+// instrumentPool publishes the process-wide packet-pool counters into reg as
+// scrape-time callbacks; registration is idempotent, so every observed
+// Engine.Run may call it. The gates_pool_ name prefix is load-bearing:
+// obs.MergeMetrics preserves (or injects) the node label for exactly that
+// prefix, so per-node pool health survives the cluster-wide merge.
+func instrumentPool(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("gates_pool_gets_total",
+		"Packets handed out of the shared packet pool.", nil,
+		func() float64 { return float64(ReadPoolStats().Gets) })
+	reg.CounterFunc("gates_pool_misses_total",
+		"Allocator fallbacks: pool empty when a packet was wanted.", nil,
+		func() float64 { return float64(ReadPoolStats().Misses) })
+	reg.CounterFunc("gates_pool_recycled_total",
+		"Packets returned to the pool's freelist.", nil,
+		func() float64 { return float64(ReadPoolStats().Recycled) })
+	reg.CounterFunc("gates_pool_overflow_total",
+		"Packet returns that found the pool full (dropped to GC).", nil,
+		func() float64 { return float64(ReadPoolStats().Overflow) })
+	reg.GaugeFunc("gates_pool_free",
+		"Packets currently on the pool's freelist.", nil,
+		func() float64 { return float64(ReadPoolStats().Free) })
+	reg.GaugeFunc("gates_pool_capacity",
+		"Bound of the pool's freelist.", nil,
+		func() float64 { return float64(ReadPoolStats().Capacity) })
 }
 
 func newPacketStack(capacity int) *packetStack {
@@ -59,6 +136,7 @@ func (r *packetStack) get() *Packet {
 	p := r.free[n-1]
 	r.free[n-1] = nil
 	r.free = r.free[:n-1]
+	r.gets++
 	r.mu.Unlock()
 	return p
 }
@@ -66,10 +144,12 @@ func (r *packetStack) get() *Packet {
 func (r *packetStack) put(p *Packet) bool {
 	r.mu.Lock()
 	if len(r.free) == cap(r.free) {
+		r.overflow++
 		r.mu.Unlock()
 		return false // full: caller drops the packet to the GC
 	}
 	r.free = append(r.free, p)
+	r.recycled++
 	r.mu.Unlock()
 	return true
 }
@@ -91,6 +171,7 @@ func (r *packetStack) getN(dst []*Packet) int {
 			tail[i] = nil
 		}
 		r.free = r.free[:base]
+		r.gets += uint64(n)
 	}
 	r.mu.Unlock()
 	return n
@@ -106,6 +187,8 @@ func (r *packetStack) putN(ps []*Packet) int {
 		n = len(ps)
 	}
 	r.free = append(r.free, ps[:n]...)
+	r.recycled += uint64(n)
+	r.overflow += uint64(len(ps) - n)
 	r.mu.Unlock()
 	return n
 }
@@ -129,6 +212,7 @@ const localCacheSize = 64
 func GetPacket() *Packet {
 	p := packetPool.get()
 	if p == nil {
+		poolMisses.Add(1)
 		p = new(Packet)
 	} else {
 		p.reset()

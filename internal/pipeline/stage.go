@@ -142,6 +142,12 @@ type StageStats struct {
 	// ComputeCharged is the total virtual compute time charged via
 	// Context.ChargeCompute.
 	ComputeCharged time.Duration
+	// EmitStall is the cumulative wall-clock time this stage's emit paths
+	// spent pushing into a downstream buffer that was full at the moment
+	// of the push — the blocked-emit side of backpressure attribution.
+	// Only maintained when the stage is observed (Engine observability
+	// attached); the untraced hot path never checks downstream occupancy.
+	EmitStall time.Duration
 }
 
 // Stage is one deployed stage instance: the paper's "instance of the GATES
@@ -211,6 +217,12 @@ type Stage struct {
 	// emitSeq numbers this stage's emissions. Only the stage goroutine's
 	// emit paths touch it, so it needs no lock.
 	emitSeq uint64
+
+	// emitStalled is the edge-trigger latch for stall-onset flight
+	// events: set on the first emission that finds a downstream buffer
+	// full, cleared by the next one that finds space. Confined to the
+	// stage goroutine like the emit paths themselves.
+	emitStalled bool
 
 	outs     []*edge
 	upstream []*Stage
@@ -379,8 +391,15 @@ type Emitter struct {
 
 	// Emission stats accumulate goroutine-locally and flush to the shared
 	// StageStats under one lock acquisition per Flush instead of one per
-	// packet (flushStats).
+	// packet (flushStats). emitStallNS accumulates the wall time flushes
+	// spent pushing into a full downstream buffer (observed engines only).
 	pktsOut, itemsOut, bytesOut uint64
+	emitStallNS                 uint64
+
+	// poolMissed is the edge-trigger latch for pool-exhaustion flight
+	// events: set on the first refill that comes back empty, cleared by
+	// the next one that finds pooled packets. Stage-goroutine confined.
+	poolMissed bool
 
 	// free is the emitter-local packet cache: GetPacket pops from it and
 	// refills it from the shared pool in bulk (one CAS per localCacheSize
@@ -411,7 +430,17 @@ func (e *Emitter) GetPacket() *Packet {
 		// recycleLocal); the reset at handout is what guarantees no
 		// trace/lineage state survives into the next use.
 		p.reset()
+		e.poolMissed = false
 	} else {
+		poolMisses.Add(1)
+		if s := e.stage; s != nil && s.o != nil && !e.poolMissed {
+			e.poolMissed = true
+			s.o.FlightRec().Record(obs.FlightEvent{
+				Kind: obs.FlightPoolExhausted, Stage: s.id,
+				Instance: s.instance, Node: s.Node(),
+				Detail: "packet pool empty: falling back to allocator",
+			})
+		}
 		p = new(Packet)
 	}
 	p.pooled = true
@@ -449,7 +478,7 @@ func (e *Emitter) releaseFree() {
 // flushStats publishes the batch-local emission counters to the stage's
 // shared stats. No-op when nothing accumulated.
 func (e *Emitter) flushStats() {
-	if e.pktsOut == 0 && e.itemsOut == 0 && e.bytesOut == 0 {
+	if e.pktsOut == 0 && e.itemsOut == 0 && e.bytesOut == 0 && e.emitStallNS == 0 {
 		return
 	}
 	s := e.stage
@@ -457,8 +486,9 @@ func (e *Emitter) flushStats() {
 	s.stats.PacketsOut += e.pktsOut
 	s.stats.ItemsOut += e.itemsOut
 	s.stats.BytesOut += e.bytesOut
+	s.stats.EmitStall += time.Duration(e.emitStallNS)
 	s.mu.Unlock()
-	e.pktsOut, e.itemsOut, e.bytesOut = 0, 0, 0
+	e.pktsOut, e.itemsOut, e.bytesOut, e.emitStallNS = 0, 0, 0, 0
 }
 
 func newEmitter(s *Stage, ctx context.Context) *Emitter {
@@ -583,7 +613,25 @@ func (e *Emitter) Flush() error {
 		if l := out.link.Load(); l != nil {
 			l.TransferBatch(sum, len(pend))
 		}
+		// Blocked-emit accounting, observed engines only: the occupancy
+		// pre-check keeps the untraced path byte-identical, and timing
+		// only pushes that start against a full buffer keeps the clock
+		// reads off the flowing path. A push that blocks mid-batch
+		// (batch larger than the free space) is still charged exactly by
+		// the downstream queue's PushStallNS; this series is the
+		// upstream-side attribution of the same pressure.
+		full := s.o != nil && out.to.in.Len() >= out.to.in.Cap()
+		var stallStart time.Time
+		if full {
+			s.noteEmitStall(out.to)
+			stallStart = time.Now()
+		}
 		err := out.to.in.PushBatchCtx(e.ctx, pend)
+		if full {
+			e.emitStallNS += uint64(time.Since(stallStart))
+		} else if s.o != nil {
+			s.emitStalled = false
+		}
 		sentPkts += len(pend)
 		sentBytes += sum
 		e.buffered -= len(pend)
@@ -718,6 +766,7 @@ func (s *Stage) emit(ctx context.Context, pkt *Packet, only int) error {
 			pkt.retain(int32(targets - 1)) // one reference per edge
 		}
 	}
+	var stallNS uint64
 	for i, out := range s.outs {
 		if only >= 0 && i != only {
 			continue
@@ -728,7 +777,21 @@ func (s *Stage) emit(ctx context.Context, pkt *Packet, only int) error {
 		if l := out.link.Load(); l != nil {
 			l.Transfer(size)
 		}
-		if err := out.to.in.PushCtx(ctx, pkt); err != nil {
+		// Blocked-emit accounting as in Emitter.Flush: observed engines
+		// only, clock reads only when the buffer is already full.
+		full := s.o != nil && out.to.in.Len() >= out.to.in.Cap()
+		var stallStart time.Time
+		if full {
+			s.noteEmitStall(out.to)
+			stallStart = time.Now()
+		}
+		err := out.to.in.PushCtx(ctx, pkt)
+		if full {
+			stallNS += uint64(time.Since(stallStart))
+		} else if s.o != nil {
+			s.emitStalled = false
+		}
+		if err != nil {
 			if errors.Is(err, queue.ErrClosed) {
 				// Downstream already finished; drop. This edge's
 				// reference was never handed over, so releasing it here
@@ -740,14 +803,33 @@ func (s *Stage) emit(ctx context.Context, pkt *Packet, only int) error {
 				s.id, s.instance, out.to.id, out.to.instance, err)
 		}
 	}
-	if !final {
+	if !final || stallNS > 0 {
 		s.mu.Lock()
-		s.stats.PacketsOut++
-		s.stats.ItemsOut += items
-		s.stats.BytesOut += uint64(size)
+		if !final {
+			s.stats.PacketsOut++
+			s.stats.ItemsOut += items
+			s.stats.BytesOut += uint64(size)
+		}
+		s.stats.EmitStall += time.Duration(stallNS)
 		s.mu.Unlock()
 	}
 	return nil
+}
+
+// noteEmitStall records the stall-onset flight event: the first emission
+// after a period of free flow that finds downstream buffer dst full. The
+// emitStalled latch (stage-goroutine confined, like the emit paths) keeps a
+// sustained stall from flooding the recorder with one event per push.
+func (s *Stage) noteEmitStall(dst *Stage) {
+	if s.emitStalled {
+		return
+	}
+	s.emitStalled = true
+	s.o.FlightRec().Record(obs.FlightEvent{
+		Kind: obs.FlightStallOnset, Stage: s.id,
+		Instance: s.instance, Node: s.Node(),
+		Detail: "emit blocked: input buffer of " + dst.id + " full",
+	})
 }
 
 // run executes the stage to completion: source generation or the

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrClosed is returned by Push operations on a closed queue and by Pop
@@ -50,6 +51,14 @@ type Stats struct {
 	HighWater int
 	// Dropped counts items rejected by TryPush on a full queue.
 	Dropped uint64
+	// PushStallNS and PopStallNS are the cumulative wall-clock
+	// nanoseconds producers spent parked on a full buffer and the
+	// consumer spent parked on an empty one. Wall time, not virtual: a
+	// parked goroutine does not advance any virtual schedule, and the
+	// bottleneck-attribution engine compares these against a wall-clock
+	// epoch. Only the parked slow path pays the clock reads.
+	PushStallNS uint64
+	PopStallNS  uint64
 }
 
 // Queue is a bounded FIFO safe for any number of concurrent producers and
@@ -124,12 +133,17 @@ func (q *Queue[T]) Push(v T) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	blocked := false
+	var stall time.Time
 	for q.n == len(q.buf) && !q.closed {
 		if !blocked {
 			blocked = true
 			q.stats.BlockedPushes++
+			stall = time.Now()
 		}
 		q.notFull.Wait()
+	}
+	if blocked {
+		q.stats.PushStallNS += uint64(time.Since(stall))
 	}
 	if q.closed {
 		return ErrClosed
@@ -166,12 +180,17 @@ func (q *Queue[T]) pushCtxSlow(ctx context.Context, v T) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	blocked := false
+	var stall time.Time
 	for q.n == len(q.buf) && !q.closed && ctx.Err() == nil {
 		if !blocked {
 			blocked = true
 			q.stats.BlockedPushes++
+			stall = time.Now()
 		}
 		q.notFull.Wait()
+	}
+	if blocked {
+		q.stats.PushStallNS += uint64(time.Since(stall))
 	}
 	if err := ctx.Err(); err != nil {
 		// This waiter may have absorbed a Signal meant for another
@@ -239,12 +258,17 @@ func (q *Queue[T]) PushBatch(items []T) error {
 	for len(items) > 0 {
 		q.mu.Lock()
 		blocked := false
+		var stall time.Time
 		for q.n == len(q.buf) && !q.closed {
 			if !blocked {
 				blocked = true
 				q.stats.BlockedPushes++
+				stall = time.Now()
 			}
 			q.notFull.Wait()
+		}
+		if blocked {
+			q.stats.PushStallNS += uint64(time.Since(stall))
 		}
 		if q.closed {
 			q.mu.Unlock()
@@ -302,12 +326,17 @@ func (q *Queue[T]) waitNotFull(ctx context.Context) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	blocked := false
+	var stall time.Time
 	for q.n == len(q.buf) && !q.closed && ctx.Err() == nil {
 		if !blocked {
 			blocked = true
 			q.stats.BlockedPushes++
+			stall = time.Now()
 		}
 		q.notFull.Wait()
+	}
+	if blocked {
+		q.stats.PushStallNS += uint64(time.Since(stall))
 	}
 	if err := ctx.Err(); err != nil {
 		if q.n < len(q.buf) {
@@ -363,12 +392,17 @@ func (q *Queue[T]) Pop() (T, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	blocked := false
+	var stall time.Time
 	for q.n == 0 && !q.closed {
 		if !blocked {
 			blocked = true
 			q.stats.BlockedPops++
+			stall = time.Now()
 		}
 		q.notEmpty.Wait()
+	}
+	if blocked {
+		q.stats.PopStallNS += uint64(time.Since(stall))
 	}
 	var zero T
 	if q.n == 0 { // closed and drained
@@ -406,12 +440,17 @@ func (q *Queue[T]) popCtxSlow(ctx context.Context) (T, error) {
 	defer q.mu.Unlock()
 	var zero T
 	blocked := false
+	var stall time.Time
 	for q.n == 0 && !q.closed && ctx.Err() == nil {
 		if !blocked {
 			blocked = true
 			q.stats.BlockedPops++
+			stall = time.Now()
 		}
 		q.notEmpty.Wait()
+	}
+	if blocked {
+		q.stats.PopStallNS += uint64(time.Since(stall))
 	}
 	if err := ctx.Err(); err != nil {
 		if q.n > 0 {
@@ -456,12 +495,17 @@ func (q *Queue[T]) PopBatch(dst []T, max int) (int, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	blocked := false
+	var stall time.Time
 	for q.n == 0 && !q.closed {
 		if !blocked {
 			blocked = true
 			q.stats.BlockedPops++
+			stall = time.Now()
 		}
 		q.notEmpty.Wait()
+	}
+	if blocked {
+		q.stats.PopStallNS += uint64(time.Since(stall))
 	}
 	if q.n == 0 {
 		return 0, ErrClosed
@@ -511,12 +555,17 @@ func (q *Queue[T]) popBatchCtxSlow(ctx context.Context, dst []T, max int) (int, 
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	blocked := false
+	var stall time.Time
 	for q.n == 0 && !q.closed && ctx.Err() == nil {
 		if !blocked {
 			blocked = true
 			q.stats.BlockedPops++
+			stall = time.Now()
 		}
 		q.notEmpty.Wait()
+	}
+	if blocked {
+		q.stats.PopStallNS += uint64(time.Since(stall))
 	}
 	if err := ctx.Err(); err != nil {
 		if q.n > 0 {

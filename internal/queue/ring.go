@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Buffer is the contract a stage input buffer satisfies: the bounded,
@@ -86,6 +87,11 @@ type Ring[T any] struct {
 	blockedPushes atomic.Uint64
 	blockedPops   atomic.Uint64
 	dropped       atomic.Uint64
+	// pushStallNS/popStallNS accumulate wall nanoseconds spent parked in
+	// waitNotFull/waitNotEmpty — the backpressure signal the attribution
+	// engine reads. Only the parked slow path touches the wall clock.
+	pushStallNS atomic.Uint64
+	popStallNS  atomic.Uint64
 
 	// Parking slow path. pushWaiters/popWaiters are incremented under mu
 	// before re-checking the predicate (the condvar wait holds mu until
@@ -165,6 +171,8 @@ func (r *Ring[T]) Stats() Stats {
 		BlockedPops:   r.blockedPops.Load(),
 		HighWater:     int(r.highWater.Load()),
 		Dropped:       r.dropped.Load(),
+		PushStallNS:   r.pushStallNS.Load(),
+		PopStallNS:    r.popStallNS.Load(),
 	}
 }
 
@@ -441,12 +449,17 @@ func (r *Ring[T]) waitNotFull(ctx context.Context) error {
 	r.watch(ctx)
 	r.pushWaiters.Add(1)
 	waited := false
+	var stall time.Time
 	for r.full() && !r.closed.Load() && ctxLive(ctx) {
 		if !waited {
 			waited = true
 			r.blockedPushes.Add(1)
+			stall = time.Now()
 		}
 		r.notFull.Wait()
+	}
+	if waited {
+		r.pushStallNS.Add(uint64(time.Since(stall)))
 	}
 	r.pushWaiters.Add(-1)
 	r.mu.Unlock()
@@ -469,12 +482,17 @@ func (r *Ring[T]) waitNotEmpty(ctx context.Context) error {
 	r.watch(ctx)
 	r.popWaiters.Add(1)
 	waited := false
+	var stall time.Time
 	for r.emptyPublished() && !r.drained() && ctxLive(ctx) {
 		if !waited {
 			waited = true
 			r.blockedPops.Add(1)
+			stall = time.Now()
 		}
 		r.notEmpty.Wait()
+	}
+	if waited {
+		r.popStallNS.Add(uint64(time.Since(stall)))
 	}
 	r.popWaiters.Add(-1)
 	r.mu.Unlock()

@@ -133,6 +133,14 @@ func (d *Deployment) migrate(ctx context.Context, stageID string, instance int, 
 		QueuedBytes:   qBytes,
 		Reason:        reason,
 	})
+	dep.o.FlightRec().Record(obs.FlightEvent{
+		Kind:     obs.FlightMigration,
+		Stage:    stageID,
+		Instance: instance,
+		Node:     toNode,
+		Detail:   from + " → " + toNode + " (" + reason + ")",
+		Value:    float64(qPkts),
+	})
 	dep.o.Log().Info("stage migrated",
 		"stage", stageID, "instance", instance, "from", from, "to", toNode,
 		"drain", drain, "state_bytes", len(state),

@@ -1,10 +1,12 @@
 #!/bin/sh
 # Runs the pipeline hot-path benchmarks and emits BENCH_pipeline.json:
-# one record per benchmark with name, ns/op, B/op, and allocs/op.
+# one record per benchmark with name, ns/op, B/op, and allocs/op. Also
+# regenerates BENCH_latency.json via `gates-experiments -exp latency`.
 #
-# When the output file already exists, each record also carries the
-# previous run's numbers as prev_ns_per_op / prev_allocs_per_op, so the
-# committed artifact shows the before/after trajectory of the last
+# When an output file already exists, each record also carries the
+# previous run's numbers (prev_ns_per_op / prev_allocs_per_op in
+# BENCH_pipeline.json, prevNsPerItem / prevP99S in BENCH_latency.json), so
+# the committed artifacts show the before/after trajectory of the last
 # regeneration instead of silently overwriting it.
 #
 # Usage: scripts/bench.sh [output.json]
@@ -60,3 +62,7 @@ END { print "\n]" }
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+# Regenerate BENCH_latency.json; the experiment merges the existing
+# artifact's numbers into prevNsPerItem/prevP99S before overwriting.
+go run ./cmd/gates-experiments -exp latency

@@ -54,6 +54,8 @@ if command -v curl >/dev/null 2>&1; then
 	  "http://$node_obs/healthz" >/dev/null
 	curl -sf --retry 5 --retry-delay 1 "http://$node_obs/readyz" >/dev/null
 	curl -sf "http://$node_obs/metrics" | grep -q '^gates_'
+	curl -sf "http://$node_obs/flightrecorder" | grep -q '"events"'
+	curl -sf "http://$node_obs/bottlenecks" | grep -q '"summary"'
 	kill "$node_pid" 2>/dev/null || true
 	wait "$node_pid" 2>/dev/null || true
 	echo "gates-node endpoints ok"
@@ -73,11 +75,19 @@ if command -v curl >/dev/null 2>&1; then
 	curl -sf --retry 20 --retry-connrefused --retry-delay 1 \
 	  "http://$launch_obs/healthz" >/dev/null
 	curl -sf "http://$launch_obs/cluster" | grep -q '"slo"'
+	curl -sf "http://$launch_obs/flightrecorder" | grep -q '"events"'
+	curl -sf "http://$launch_obs/bottlenecks" | grep -q '"summary"'
 	wait "$launch_pid"
 	echo "gates-launcher /cluster ok"
 else
 	echo "curl not installed; skipping endpoint smoke"
 fi
+
+echo "== bottleneck attribution smoke =="
+# A pipeline with one deliberately slow stage; the backpressure attribution
+# engine must name it.
+go run ./cmd/gates-experiments -exp constriction -quick | tee /dev/stderr \
+  | grep -q 'bottleneck: constrict'
 
 echo "== coverage =="
 go test -coverprofile=coverage.out -covermode=atomic ./...
