@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	gates-experiments [-exp all|fig5|fig6|fig7|fig8|fig9|ablations|ext|migration|latency|constriction] [-quick] [-scale N] [-seed N] [-parallel N]
+//	gates-experiments [-exp all|fig5|fig6|fig7|fig8|fig9|ablations|ext|migration|latency|constriction|policy] [-quick] [-scale N] [-seed N] [-parallel N]
 //
 // -exp latency sweeps the trace sampling rate, measuring the hot-path
 // observability tax and the end-to-end latency quantiles, and writes the
 // BENCH_latency.json artifact alongside the rendered table. -exp
 // constriction runs a pipeline with one deliberately slow stage and checks
-// that the backpressure attribution engine names it.
+// that the backpressure attribution engine names it. -exp policy runs the
+// bandwidth-collapse scenario under a lax policy v1, hot-reloads a
+// tightened v2 mid-run, and shows the decision log proving which policy
+// version moved the placement.
 //
 // Absolute times are virtual seconds on the emulated grid; the shapes (who
 // wins, by what factor, where adaptation converges) are the reproduction
@@ -26,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "which artifact to regenerate: all, fig5, fig6, fig7, fig8, fig9, ablations, ext, migration, latency, constriction")
+		exp     = flag.String("exp", "all", "which artifact to regenerate: all, fig5, fig6, fig7, fig8, fig9, ablations, ext, migration, latency, constriction, policy")
 		quick   = flag.Bool("quick", false, "shrink workloads ~4x (shapes survive, absolute numbers shift)")
 		scale   = flag.Float64("scale", 0, "virtual seconds per wall second (0 = per-experiment default)")
 		seed    = flag.Int64("seed", 0, "workload seed (0 = default)")
@@ -174,8 +177,15 @@ func run(exp string, cfg experiments.Config) error {
 		}
 		res.Render(out)
 	}
+	if exp == "policy" {
+		res, err := experiments.ExpPolicy(cfg)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	}
 	switch exp {
-	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "ext", "migration", "latency", "constriction":
+	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "ext", "migration", "latency", "constriction", "policy":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -25,6 +25,13 @@
 // (/healthz, /readyz) and /debug/pprof are mounted on the same mux, and
 // -trace-sample / GATES_TRACE_SAMPLE tune hot-path trace sampling (0
 // disables it).
+//
+// The run is policy-driven: -policy loads a declarative control-plane
+// document (placement rules, rebalance thresholds, SLO objectives),
+// -policy-watch and POST /policy hot-reload it mid-run with
+// validation-and-rollback, and /decisions serves the decision log — every
+// placement, rebalance verdict, and SLO evaluation with the policy version
+// that produced it. -slo-p99 overrides the document's latency target.
 package main
 
 import (
@@ -32,55 +39,45 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sort"
 	"strings"
 	"sync/atomic"
-	"syscall"
 	"text/tabwriter"
 	"time"
 
 	"github.com/gates-middleware/gates/internal/builtin"
 	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/cliconf"
 	"github.com/gates-middleware/gates/internal/monitor"
 	"github.com/gates-middleware/gates/internal/obs"
+	"github.com/gates-middleware/gates/internal/policy"
 	"github.com/gates-middleware/gates/internal/service"
 )
 
 func main() {
 	var (
-		config     = flag.String("config", "", "application descriptor: http(s) URL, file path, or literal XML (required)")
-		scale      = flag.Float64("scale", 500, "virtual seconds per wall second")
-		bandwidth  = flag.Int64("bandwidth", 100_000, "cross-node link bandwidth, bytes per virtual second")
-		monitorIv  = flag.Duration("monitor", 0, "sample the running stages every this much virtual time, streaming dashboards to stderr while running and printing a final one to stdout (0 = off)")
-		obsListen  = flag.String("obs-listen", "", "HTTP address serving /metrics, /snapshot, /cluster, /adaptations, /traces, /healthz, /readyz, /debug/pprof for the run (\":0\" picks a port; omit to disable)")
-		scrape     = flag.String("scrape", "", "comma-separated observability addresses of remote gates-node processes whose /snapshot feeds the /cluster view")
-		sloP99     = flag.Duration("slo-p99", 0, "end-to-end latency SLO: flag a violation when the merged sink-side p99 exceeds this much virtual time (0 = no latency target; queue-growth detection stays on)")
-		topIv      = flag.Duration("top", 0, "render the cluster-wide dashboard to stderr every this much virtual time, plus a final one to stdout (0 = off)")
-		trace      = flag.Int("trace-sample", obs.DefaultTraceSample(), "record one trace span in every N hot-path operations; 0 disables tracing entirely (default from GATES_TRACE_SAMPLE)")
-		flightSize = flag.Int("flight-recorder-size", obs.DefaultFlightCapacity, "events retained by the in-memory flight recorder")
-		flightDump = flag.String("flight-dump", "", "file path the flight recorder snapshots to on SLO violation or SIGQUIT (omit to disable disk dumps)")
-		verbose    = flag.Bool("v", false, "log structured middleware events to stderr")
+		config    = flag.String("config", "", "application descriptor: http(s) URL, file path, or literal XML (required)")
+		scale     = flag.Float64("scale", 500, "virtual seconds per wall second")
+		bandwidth = flag.Int64("bandwidth", 100_000, "cross-node link bandwidth, bytes per virtual second")
+		monitorIv = flag.Duration("monitor", 0, "sample the running stages every this much virtual time, streaming dashboards to stderr while running and printing a final one to stdout (0 = off)")
+		scrape    = flag.String("scrape", "", "comma-separated observability addresses of remote gates-node processes whose /snapshot feeds the /cluster view")
+		sloP99    = flag.Duration("slo-p99", 0, "end-to-end latency SLO: flag a violation when the merged sink-side p99 exceeds this much virtual time (0 = no latency target; queue-growth detection stays on; overrides the policy document's slo.target_p99)")
+		topIv     = flag.Duration("top", 0, "render the cluster-wide dashboard to stderr every this much virtual time, plus a final one to stdout (0 = off)")
 	)
+	shared := cliconf.Register(flag.CommandLine)
 	flag.Parse()
 	if *config == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 	opts := launcherOptions{
-		scale:       *scale,
-		bandwidth:   *bandwidth,
-		monitorIv:   *monitorIv,
-		obsListen:   *obsListen,
-		scrape:      splitScrape(*scrape),
-		sloP99:      *sloP99,
-		topIv:       *topIv,
-		traceSample: obs.SampleEveryFor(*trace),
-		flightSize:  *flightSize,
-		flightDump:  *flightDump,
-	}
-	if *verbose {
-		opts.logTo = os.Stderr
+		scale:     *scale,
+		bandwidth: *bandwidth,
+		monitorIv: *monitorIv,
+		scrape:    splitScrape(*scrape),
+		sloP99:    *sloP99,
+		topIv:     *topIv,
+		conf:      *shared,
 	}
 	if err := run(*config, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gates-launcher:", err)
@@ -103,18 +100,14 @@ func splitScrape(s string) []string {
 // launcherOptions carries one run's configuration; flags populate it in main
 // and tests construct it directly. The zero value is a plain headless run.
 type launcherOptions struct {
-	scale       float64           // virtual seconds per wall second (<=0 = 1)
-	bandwidth   int64             // cross-node bandwidth, bytes per virtual second
-	monitorIv   time.Duration     // per-stage monitor interval (0 = off)
-	obsListen   string            // HTTP observability address ("" = disabled)
-	scrape      []string          // remote node obs addresses feeding /cluster
-	sloP99      time.Duration     // end-to-end p99 target (0 = none)
-	topIv       time.Duration     // cluster dashboard interval (0 = off)
-	traceSample int               // obs.Config.SampleEvery semantics (0 = default, <0 = off)
-	flightSize  int               // flight-recorder ring capacity (0 = default)
-	flightDump  string            // flight-recorder dump path ("" = no disk dumps)
-	logTo       *os.File          // structured log destination (nil = discard)
-	onObs       func(addr string) // test hook: bound observability address
+	scale     float64           // virtual seconds per wall second (<=0 = 1)
+	bandwidth int64             // cross-node bandwidth, bytes per virtual second
+	monitorIv time.Duration     // per-stage monitor interval (0 = off)
+	scrape    []string          // remote node obs addresses feeding /cluster
+	sloP99    time.Duration     // end-to-end p99 target (0 = policy document's)
+	topIv     time.Duration     // cluster dashboard interval (0 = off)
+	conf      cliconf.Flags     // shared observability + policy flags
+	onObs     func(addr string) // test hook: bound observability address
 }
 
 func run(config string, o launcherOptions) error {
@@ -138,36 +131,40 @@ func run(config string, o launcherOptions) error {
 	// One observability bundle backs everything downstream of here: the
 	// deployed stages publish into its registry, adaptation epochs land in
 	// its audit trail, and the monitor derives its rates from the same
-	// registry instead of keeping private counters.
-	obsCfg := obs.Config{SampleEvery: o.traceSample, FlightCapacity: o.flightSize}
-	if o.logTo != nil {
-		obsCfg.LogWriter = o.logTo
-	}
-	ob := obs.New(clk, obsCfg)
+	// registry instead of keeping private counters. SIGQUIT snapshots the
+	// flight recorder to disk when -flight-dump is set.
+	ob := o.conf.NewObservability(clk)
 	deployer.SetObservability(ob)
-	if o.flightDump != "" {
-		ob.Flight.SetDumpPath(o.flightDump)
+	defer cliconf.NotifyFlightDump(ob, "gates-launcher")()
+
+	// The policy engine is the declarative control plane behind every
+	// placement, rebalance, and SLO verdict of this run: -policy loads a
+	// document, -policy-watch and POST /policy hot-reload it, and each
+	// decision lands in /decisions citing the version that produced it.
+	// -slo-p99 survives as a flag override compiled into the document.
+	pol, stopWatch, err := o.conf.StartPolicy(clk, ob)
+	if err != nil {
+		return err
 	}
-	// SIGQUIT snapshots the flight recorder to disk (when -flight-dump is
-	// set) without ending the run.
-	sigq := make(chan os.Signal, 1)
-	signal.Notify(sigq, syscall.SIGQUIT)
-	defer signal.Stop(sigq)
-	go func() {
-		for range sigq {
-			if path, err := ob.Flight.DumpToDisk("sigquit"); err != nil {
-				fmt.Fprintln(os.Stderr, "gates-launcher: flight dump:", err)
-			} else if path != "" {
-				fmt.Fprintln(os.Stderr, "gates-launcher: flight recorder dumped to", path)
-			}
+	defer stopWatch()
+	if o.sloP99 > 0 {
+		doc := pol.Active().Doc
+		doc.SLO.TargetP99 = policy.Duration(o.sloP99)
+		doc.Version = ""
+		if err := pol.Load(doc, "flag:slo-p99"); err != nil {
+			return err
 		}
-	}()
+	}
+	deployer.SetPolicy(pol)
 
 	// The cluster aggregator merges this process's snapshot (the launcher
 	// runs every in-process stage) with any scraped remote nodes, and its
-	// SLO monitor re-evaluates on every collection. The violation flag is
-	// itself a metric, so a scrape of /metrics sees the detector's state.
-	agg := obs.NewAggregator(clk, obs.SLOConfig{TargetP99: o.sloP99.Seconds()})
+	// SLO monitor re-evaluates on every collection against the objectives
+	// the policy engine currently holds. The violation flag is itself a
+	// metric, so a scrape of /metrics sees the detector's state.
+	agg := obs.NewAggregator(clk, obs.SLOConfig{})
+	agg.SetSLOSource(pol.SLOSource())
+	agg.SetDecisionLog(ob.DecisionLog())
 	agg.SetFlightRecorder(ob.Flight)
 	agg.AddSource("launcher", obs.LocalSource(ob))
 	for _, addr := range o.scrape {
@@ -185,13 +182,14 @@ func run(config string, o launcherOptions) error {
 	// The endpoint binds before Launch so probes work for the whole run;
 	// readiness is wired in once the application exists.
 	var readyFn atomic.Value // of func() bool
-	if o.obsListen != "" {
-		osrv, err := obs.ServeWith(o.obsListen, ob, obs.HandlerOptions{
+	if o.conf.ObsListen != "" {
+		osrv, err := obs.ServeWith(o.conf.ObsListen, ob, obs.HandlerOptions{
 			Ready: func() bool {
 				f, _ := readyFn.Load().(func() bool)
 				return f != nil && f()
 			},
 			Aggregator: agg,
+			Policy:     pol.Handler(),
 		})
 		if err != nil {
 			return err

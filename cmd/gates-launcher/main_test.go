@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/gates-middleware/gates/internal/cliconf"
 	"github.com/gates-middleware/gates/internal/obs"
 )
 
@@ -45,7 +46,7 @@ func TestRunUnknownCode(t *testing.T) {
 func TestRunWithObservability(t *testing.T) {
 	// The endpoint itself is exercised end-to-end in cmd/gates-node; here
 	// we check the launcher can bind, serve, and tear down its surface.
-	opts := launcherOptions{scale: 20_000, bandwidth: 100_000, obsListen: "127.0.0.1:0"}
+	opts := launcherOptions{scale: 20_000, bandwidth: 100_000, conf: cliconf.Flags{ObsListen: "127.0.0.1:0"}}
 	if err := run(steeringXML, opts); err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestRunClusterEndpoint(t *testing.T) {
 	opts := launcherOptions{
 		scale:     1000,
 		bandwidth: 100_000,
-		obsListen: "127.0.0.1:0",
+		conf:      cliconf.Flags{ObsListen: "127.0.0.1:0"},
 		sloP99:    time.Hour, // never violated in a smoke run
 		onObs:     func(addr string) { obsCh <- addr },
 	}

@@ -21,6 +21,12 @@
 // GATES_TRACE_SAMPLE environment variable): tracing one in every N
 // operations keeps hot-path overhead to an occasional ring write, while
 // -trace-sample 0 removes even that.
+//
+// The node is also policy-driven: -policy loads a declarative control-plane
+// document (and -policy-watch hot-reloads it on change), GET/POST /policy
+// inspects and hot-reloads it over HTTP, and /decisions serves the decision
+// log — every control-plane verdict with the policy version that produced
+// it.
 package main
 
 import (
@@ -28,13 +34,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"github.com/gates-middleware/gates/internal/adapt"
 	"github.com/gates-middleware/gates/internal/builtin"
 	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/cliconf"
 	"github.com/gates-middleware/gates/internal/obs"
 	"github.com/gates-middleware/gates/internal/pipeline"
 	"github.com/gates-middleware/gates/internal/service"
@@ -49,19 +54,12 @@ func main() {
 	flag.StringVar(&opts.forward, "forward", "", "downstream node address to forward output to")
 	flag.IntVar(&opts.expect, "expect", 1, "number of upstream end-of-stream markers to wait for")
 	flag.Float64Var(&opts.scale, "scale", 1, "virtual seconds per wall second")
-	flag.StringVar(&opts.obsListen, "obs-listen", "", "HTTP address serving /metrics, /snapshot, /adaptations, /traces, /healthz, /readyz, /debug/pprof (\":0\" picks a port; omit to disable)")
-	traceSample := flag.Int("trace-sample", obs.DefaultTraceSample(), "record one trace span in every N hot-path operations; 0 disables tracing entirely (default from GATES_TRACE_SAMPLE)")
-	flag.IntVar(&opts.flightSize, "flight-recorder-size", obs.DefaultFlightCapacity, "events retained by the in-memory flight recorder")
-	flag.StringVar(&opts.flightDump, "flight-dump", "", "file path the flight recorder snapshots to on SLO violation or SIGQUIT (omit to disable disk dumps)")
-	verbose := flag.Bool("v", false, "log structured middleware events to stderr")
+	shared := cliconf.Register(flag.CommandLine)
 	flag.Parse()
-	opts.traceSample = obs.SampleEveryFor(*traceSample)
+	opts.conf = *shared
 	if opts.stage == "" {
 		flag.Usage()
 		os.Exit(2)
-	}
-	if *verbose {
-		opts.logTo = os.Stderr
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gates-node:", err)
@@ -79,12 +77,8 @@ type nodeOptions struct {
 	expect  int    // upstream end-of-stream markers to wait for
 	scale   float64
 
-	obsListen   string                 // HTTP observability address ("" = disabled)
-	traceSample int                    // obs.Config.SampleEvery semantics (0 = default, <0 = off)
-	flightSize  int                    // flight-recorder ring capacity (0 = default)
-	flightDump  string                 // flight-recorder dump path ("" = no disk dumps)
-	logTo       *os.File               // structured log destination (nil = discard)
-	onObs       func(addr, obs string) // test hook: bound data + obs addresses
+	conf  cliconf.Flags          // shared observability + policy flags
+	onObs func(addr, obs string) // test hook: bound data + obs addresses
 }
 
 func run(o nodeOptions) error {
@@ -103,30 +97,20 @@ func run(o nodeOptions) error {
 
 	// The observability bundle is always built (a nil bundle would also
 	// work, but one bundle keeps the audit trail available for the final
-	// report); the HTTP endpoint is opt-in.
-	obsCfg := obs.Config{SampleEvery: o.traceSample, FlightCapacity: o.flightSize}
-	if o.logTo != nil {
-		obsCfg.LogWriter = o.logTo
+	// report); the HTTP endpoint is opt-in. SIGQUIT snapshots the flight
+	// recorder to disk when -flight-dump is set.
+	ob := o.conf.NewObservability(clk)
+	defer cliconf.NotifyFlightDump(ob, "gates-node")()
+
+	// The policy engine backs /policy and the decision log even on a plain
+	// node: its stage hosts no planner, but operators can inspect and
+	// hot-reload the document that a co-resident launcher or a future
+	// control plane would consult, and policy loads land in /decisions.
+	pol, stopWatch, err := o.conf.StartPolicy(clk, ob)
+	if err != nil {
+		return err
 	}
-	ob := obs.New(clk, obsCfg)
-	if o.flightDump != "" {
-		ob.Flight.SetDumpPath(o.flightDump)
-	}
-	// SIGQUIT snapshots the flight recorder to disk (when -flight-dump is
-	// set) without killing the process — the classic "what just happened"
-	// escape hatch on a live node.
-	sigq := make(chan os.Signal, 1)
-	signal.Notify(sigq, syscall.SIGQUIT)
-	defer signal.Stop(sigq)
-	go func() {
-		for range sigq {
-			if path, err := ob.Flight.DumpToDisk("sigquit"); err != nil {
-				fmt.Fprintln(os.Stderr, "gates-node: flight dump:", err)
-			} else if path != "" {
-				fmt.Fprintln(os.Stderr, "gates-node: flight recorder dumped to", path)
-			}
-		}
-	}()
+	defer stopWatch()
 
 	eng := pipeline.New(clk)
 	eng.SetObservability(ob)
@@ -191,8 +175,11 @@ func run(o nodeOptions) error {
 	// Observability endpoint: bound before the engine runs, so scrapes work
 	// for the node's whole life.
 	var obsAddr string
-	if o.obsListen != "" {
-		osrv, err := obs.ServeWith(o.obsListen, ob, obs.HandlerOptions{Ready: eng.Ready})
+	if o.conf.ObsListen != "" {
+		osrv, err := obs.ServeWith(o.conf.ObsListen, ob, obs.HandlerOptions{
+			Ready:  eng.Ready,
+			Policy: pol.Handler(),
+		})
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/gates-middleware/gates/internal/cliconf"
 	"github.com/gates-middleware/gates/internal/pipeline"
 	"github.com/gates-middleware/gates/internal/transport"
 )
@@ -90,8 +91,8 @@ func TestNodeObservabilityEndpoints(t *testing.T) {
 	go func() {
 		nodeDone <- run(nodeOptions{
 			listen: "127.0.0.1:0", stage: "compsteer/analyzer", expect: 1, scale: 500,
-			obsListen: "127.0.0.1:0",
-			onObs:     func(data, obs string) { addrs <- [2]string{data, obs} },
+			conf:  cliconf.Flags{ObsListen: "127.0.0.1:0"},
+			onObs: func(data, obs string) { addrs <- [2]string{data, obs} },
 		})
 	}()
 	var dataAddr, obsAddr string

@@ -41,6 +41,7 @@ import (
 	"github.com/gates-middleware/gates/internal/netsim"
 	"github.com/gates-middleware/gates/internal/obs"
 	"github.com/gates-middleware/gates/internal/pipeline"
+	"github.com/gates-middleware/gates/internal/policy"
 	"github.com/gates-middleware/gates/internal/queuing"
 	"github.com/gates-middleware/gates/internal/service"
 )
@@ -193,6 +194,39 @@ func NewRebalancer(dep *Deployment, cfg RebalancerConfig) *Rebalancer {
 	return service.NewRebalancer(dep, cfg)
 }
 
+// Declarative control plane: one versioned policy document behind every
+// Planner placement, Rebalancer verdict, and SLO evaluation, with an
+// OPA-style decision log recording each verdict and the version that
+// produced it.
+type (
+	// PolicyDocument is one complete declarative policy (placement rules,
+	// rebalance thresholds, SLO objectives). The zero value normalizes to
+	// the middleware's historical defaults.
+	PolicyDocument = policy.Document
+	// PolicyEngine evaluates the active document and logs every decision;
+	// it supports validated hot reloads (Load, LoadFile, Watch, or POST
+	// /policy on the observability endpoint).
+	PolicyEngine = policy.Engine
+	// PlacementRule constrains or biases where one stage's instances run.
+	PlacementRule = policy.PlacementRule
+	// DecisionEvent is one decision-log entry (see /decisions).
+	DecisionEvent = obs.DecisionEvent
+)
+
+// ParsePolicy decodes a JSON or XML policy document and normalizes it.
+func ParsePolicy(b []byte) (PolicyDocument, error) { return policy.Parse(b) }
+
+// DefaultPolicy returns the built-in document — the constants the
+// middleware ran on before the policy layer existed.
+func DefaultPolicy() PolicyDocument { return policy.DefaultDocument() }
+
+// NewPolicyRebalancer returns a rebalancer over dep that reads every
+// control constant from eng at each sweep, so a hot reload changes the
+// very next decision.
+func NewPolicyRebalancer(dep *Deployment, eng *PolicyEngine) *Rebalancer {
+	return service.NewPolicyRebalancer(dep, eng)
+}
+
 // Clock is the virtual time base (see GridOptions.TimeScale).
 type Clock = clock.Clock
 
@@ -222,6 +256,7 @@ type Grid struct {
 	repo     *service.Repository
 	defBatch int
 	o        *obs.Observability
+	pol      *policy.Engine
 }
 
 // NewGrid returns an empty grid environment.
@@ -318,8 +353,28 @@ func (g *Grid) launcher() (*service.Launcher, error) {
 	if g.o != nil {
 		d.SetObservability(g.o)
 	}
+	if g.pol != nil {
+		d.SetPolicy(g.pol)
+	}
 	return service.NewLauncher(d)
 }
+
+// NewPolicyEngine builds a policy engine on the grid's clock (logging into
+// the attached observability bundle, when any) and attaches it: every
+// application launched from now on plans, rebalances, and judges SLOs
+// through it. Attach observability first so decisions are logged.
+func (g *Grid) NewPolicyEngine() *PolicyEngine {
+	e := policy.New(g.clk, g.o)
+	g.pol = e
+	return e
+}
+
+// SetPolicyEngine attaches an existing engine (e.g. one shared with an HTTP
+// surface). Nil detaches, reverting launches to the default policy.
+func (g *Grid) SetPolicyEngine(e *PolicyEngine) { g.pol = e }
+
+// PolicyEngine returns the attached engine, or nil when none is attached.
+func (g *Grid) PolicyEngine() *PolicyEngine { return g.pol }
 
 // NewEngine returns a bare stage engine on the grid's clock for programs
 // that wire stages directly, without the XML descriptor and deployment

@@ -281,6 +281,74 @@ func TestGridMonitor(t *testing.T) {
 	}
 }
 
+// TestGridPolicyEngine drives the declarative control plane through the
+// public API: a policy document with a named placement rule governs a
+// launch, and the decision log records each placement citing the rule and
+// the document version.
+func TestGridPolicyEngine(t *testing.T) {
+	g, sink := testGrid(t)
+	ob := g.NewObservability(gates.ObsConfig{})
+	eng := g.NewPolicyEngine()
+	if g.PolicyEngine() != eng {
+		t.Fatal("PolicyEngine accessor disagrees")
+	}
+	doc, err := gates.ParsePolicy([]byte(`{
+		"version": "facade-1",
+		"placement": {"rules": [{"name": "pin-sink", "stage": "sink", "min_cpu": 2}]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load(doc, "test"); err != nil {
+		t.Fatal(err)
+	}
+
+	app, err := g.Launch(context.Background(), apiXML, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reb := gates.NewPolicyRebalancer(app.Deployment, eng)
+	if err := app.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.count() != 100 {
+		t.Fatalf("sink saw %d packets, want 100", sink.count())
+	}
+	if reb.Migrations() != 0 {
+		t.Fatalf("idle rebalancer migrated %d instances", reb.Migrations())
+	}
+
+	var sinkDecision *gates.DecisionEvent
+	placements := 0
+	for _, ev := range ob.DecisionLog().Events() {
+		if ev.Kind != "placement" {
+			continue
+		}
+		placements++
+		if ev.Stage == "sink" {
+			sinkDecision = &ev
+		}
+	}
+	if placements != 3 {
+		t.Fatalf("%d placement decisions logged, want 3 (2 feeds + 1 sink)", placements)
+	}
+	if sinkDecision == nil {
+		t.Fatal("no placement decision for the sink")
+	}
+	if sinkDecision.Rule != "pin-sink" || sinkDecision.PolicyVersion != "facade-1" {
+		t.Fatalf("sink decision cites %s/%s, want facade-1/pin-sink",
+			sinkDecision.PolicyVersion, sinkDecision.Rule)
+	}
+	if sinkDecision.Node != "hub" || sinkDecision.Outcome != "placed" {
+		t.Fatalf("sink decision %+v", sinkDecision)
+	}
+
+	// DefaultPolicy is the documented baseline.
+	if def := gates.DefaultPolicy(); def.Version != "default" || def.Rebalance.Threshold != 2 {
+		t.Fatalf("DefaultPolicy = %+v", def)
+	}
+}
+
 func TestQueuingFacade(t *testing.T) {
 	n := gates.NewQueuingNetwork()
 	if err := n.AddStation(gates.QueuingStation{Name: "a"}); err != nil {

@@ -25,11 +25,12 @@ type NodeSnapshot struct {
 	At time.Time `json:"at"`
 	// Metrics is every series, histograms carried as buckets.
 	Metrics []MetricPoint `json:"metrics"`
-	// Adaptations, Migrations, Lifecycle are the node's retained event
-	// trails.
+	// Adaptations, Migrations, Lifecycle, Decisions are the node's
+	// retained event trails.
 	Adaptations []AdaptationEvent `json:"adaptations,omitempty"`
 	Migrations  []MigrationEvent  `json:"migrations,omitempty"`
 	Lifecycle   []LifecycleEvent  `json:"lifecycle,omitempty"`
+	Decisions   []DecisionEvent   `json:"decisions,omitempty"`
 }
 
 // NodeSnapshot assembles the bundle's current snapshot document.
@@ -41,6 +42,7 @@ func (o *Observability) NodeSnapshot() NodeSnapshot {
 	s.Adaptations = o.Audit.Events()
 	s.Migrations = o.Migrations.Events()
 	s.Lifecycle = o.Lifecycle.Events()
+	s.Decisions = o.Decisions.Events()
 	return s
 }
 
@@ -212,10 +214,11 @@ type ClusterView struct {
 	// Bottlenecks is the cluster-wide backpressure attribution verdict
 	// for this collection epoch, ranked over the merged series.
 	Bottlenecks *AttributionReport `json:"bottlenecks,omitempty"`
-	// Adaptations and Migrations are the most recent events across all
-	// nodes, newest last.
+	// Adaptations, Migrations, and Decisions are the most recent events
+	// across all nodes, newest last.
 	Adaptations []AdaptationEvent `json:"adaptations,omitempty"`
 	Migrations  []MigrationEvent  `json:"migrations,omitempty"`
+	Decisions   []DecisionEvent   `json:"decisions,omitempty"`
 	// MergeErr reports a histogram bucket misalignment, if any.
 	MergeErr string `json:"merge_err,omitempty"`
 }
@@ -257,6 +260,19 @@ func NewAggregator(clk clock.Clock, slo SLOConfig) *Aggregator {
 		panic("obs: NewAggregator requires a clock")
 	}
 	return &Aggregator{clk: clk, slo: NewSLOMonitor(slo, 0), attr: NewAttribution(clk)}
+}
+
+// SetSLOSource makes the aggregator's SLO detector resolve its objectives
+// through the given source (a policy engine's SLO view) on every
+// collection, instead of the static SLOConfig it was built with.
+func (a *Aggregator) SetSLOSource(src SLOSource) {
+	a.slo.SetSource(src)
+}
+
+// SetDecisionLog makes every SLO evaluation the aggregator runs record its
+// verdict into the given decision log.
+func (a *Aggregator) SetDecisionLog(t *DecisionTrail) {
+	a.slo.SetDecisionLog(t)
 }
 
 // SetFlightRecorder attaches the flight recorder SLO transitions are
@@ -328,14 +344,19 @@ func (a *Aggregator) Collect() *ClusterView {
 	for _, snap := range snaps {
 		view.Adaptations = append(view.Adaptations, snap.Adaptations...)
 		view.Migrations = append(view.Migrations, snap.Migrations...)
+		view.Decisions = append(view.Decisions, snap.Decisions...)
 	}
 	sort.Slice(view.Adaptations, func(i, j int) bool { return view.Adaptations[i].At.Before(view.Adaptations[j].At) })
 	sort.Slice(view.Migrations, func(i, j int) bool { return view.Migrations[i].At.Before(view.Migrations[j].At) })
+	sort.SliceStable(view.Decisions, func(i, j int) bool { return view.Decisions[i].At.Before(view.Decisions[j].At) })
 	if n := len(view.Adaptations); n > recentTail {
 		view.Adaptations = view.Adaptations[n-recentTail:]
 	}
 	if n := len(view.Migrations); n > recentTail {
 		view.Migrations = view.Migrations[n-recentTail:]
+	}
+	if n := len(view.Decisions); n > recentTail {
+		view.Decisions = view.Decisions[n-recentTail:]
 	}
 
 	a.last = view
@@ -502,6 +523,14 @@ func (v *ClusterView) Render(w io.Writer) {
 	for _, ev := range v.Migrations {
 		fmt.Fprintf(w, "moved %s %s/%d %s→%s drain=%s\n",
 			ev.At.Format("15:04:05.000"), ev.Stage, ev.Instance, ev.From, ev.To, ev.Drain)
+	}
+	for _, ev := range v.Decisions {
+		target := ev.Stage
+		if target != "" {
+			target = fmt.Sprintf(" %s/%d", ev.Stage, ev.Instance)
+		}
+		fmt.Fprintf(w, "decide %s %s%s %s [rule %s, policy %s]\n",
+			ev.At.Format("15:04:05.000"), ev.Kind, target, ev.Outcome, ev.Rule, ev.PolicyVersion)
 	}
 	if v.MergeErr != "" {
 		fmt.Fprintf(w, "merge error: %s\n", v.MergeErr)

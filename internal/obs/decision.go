@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+// DefaultDecisionCapacity is the default retained decision-log ring size.
+const DefaultDecisionCapacity = 1024
+
+// Decision kinds. Every control-plane verdict the middleware takes is one
+// of these; per-packet data-plane work is never logged here.
+const (
+	// DecisionPlacement is one Plan-time stage-instance placement.
+	DecisionPlacement = "placement"
+	// DecisionRebalance is one Rebalancer verdict: a move, or a reasoned
+	// skip (cooldown, below-threshold, budget).
+	DecisionRebalance = "rebalance"
+	// DecisionSLO is one SLO-detector evaluation verdict.
+	DecisionSLO = "slo"
+	// DecisionPolicy is a policy-document lifecycle event (a load, a
+	// rejected reload).
+	DecisionPolicy = "policy"
+)
+
+// DecisionEvent is one OPA-style decision-log entry: what was decided, the
+// policy version that produced it, the rule that fired, and the full input
+// context the rule saw — enough to replay or dispute the decision later.
+type DecisionEvent struct {
+	// Seq numbers events in record order across the whole log.
+	Seq uint64 `json:"seq"`
+	// At is the virtual time of the decision (stamped at Record when the
+	// caller left it zero).
+	At time.Time `json:"at"`
+	// Kind classifies the decision (Decision* constants).
+	Kind string `json:"kind"`
+	// PolicyVersion names the policy document version that produced the
+	// decision.
+	PolicyVersion string `json:"policy_version,omitempty"`
+	// Rule names the rule that fired ("threshold", "cooldown",
+	// "near-source", a named placement rule, ...).
+	Rule string `json:"rule,omitempty"`
+	// Stage, Instance, Node identify the instance the decision is about,
+	// when any.
+	Stage    string `json:"stage,omitempty"`
+	Instance int    `json:"instance,omitempty"`
+	Node     string `json:"node,omitempty"`
+	// Outcome is the verdict ("assigned", "move", "skip: cooldown",
+	// "violated", "ok", "loaded", ...).
+	Outcome string `json:"outcome"`
+	// Input is the full evaluation context the rule consumed (costs,
+	// thresholds, requirements, measured signals).
+	Input map[string]any `json:"input,omitempty"`
+}
+
+// DecisionTrail is the bounded decision log behind /decisions, safe for
+// concurrent use. A nil *DecisionTrail is valid and records nothing —
+// control-plane code never needs a nil check.
+type DecisionTrail struct {
+	clk clock.Clock
+	r   *ring[DecisionEvent]
+}
+
+// NewDecisionTrail returns a log retaining up to capacity decisions (<=0
+// selects DefaultDecisionCapacity), timestamping on clk.
+func NewDecisionTrail(clk clock.Clock, capacity int) *DecisionTrail {
+	return &DecisionTrail{
+		clk: clk,
+		r: newRing(capacity, DefaultDecisionCapacity,
+			func(ev *DecisionEvent, n uint64) { ev.Seq = n }),
+	}
+}
+
+// Record appends ev, stamping Seq and — when the caller left it zero — At
+// with the current virtual time. A no-op on a nil trail.
+func (t *DecisionTrail) Record(ev DecisionEvent) {
+	if t == nil {
+		return
+	}
+	if ev.At.IsZero() {
+		ev.At = t.clk.Now()
+	}
+	t.r.record(ev)
+}
+
+// Total returns how many decisions were ever recorded (retained or
+// evicted).
+func (t *DecisionTrail) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.r.totalCount()
+}
+
+// Events returns the retained decisions, oldest first.
+func (t *DecisionTrail) Events() []DecisionEvent {
+	if t == nil {
+		return nil
+	}
+	return t.r.events()
+}
+
+// Last returns the most recent decision, or false when the log is empty.
+func (t *DecisionTrail) Last() (DecisionEvent, bool) {
+	if t == nil {
+		return DecisionEvent{}, false
+	}
+	return t.r.last()
+}

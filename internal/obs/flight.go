@@ -42,6 +42,13 @@ const (
 	// FlightDump marks a disk snapshot of the recorder itself (SLO
 	// violation or SIGQUIT), so a later dump shows when earlier ones ran.
 	FlightDump FlightKind = "dump"
+	// FlightPolicy is a policy-document lifecycle moment: a version
+	// loaded (hot reload) or a reload rejected by validation.
+	FlightPolicy FlightKind = "policy"
+	// FlightDecision mirrors a state-changing control-plane decision
+	// (a placement, a rebalance move) from the decision log, so the
+	// recorder shows what the control plane did around an incident.
+	FlightDecision FlightKind = "decision"
 )
 
 // FlightEvent is one recorded moment. Events are plain values — recording

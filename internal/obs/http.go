@@ -21,6 +21,12 @@ type HandlerOptions struct {
 	// Aggregator, when set, serves the merged pipeline-wide view at
 	// /cluster (the launcher's role); /cluster answers 404 without it.
 	Aggregator *Aggregator
+	// Policy, when set, is mounted at /policy: GET returns the active
+	// policy document and its version, POST hot-reloads a new one
+	// (validation failures leave the active document in place). The
+	// handler comes from the policy engine so obs stays policy-agnostic;
+	// /policy answers 404 without it.
+	Policy http.Handler
 }
 
 // Handler returns the observability HTTP surface of a node:
@@ -121,6 +127,19 @@ func HandlerWith(o *Observability, opt HandlerOptions) http.Handler {
 		// start), so two curls bracket exactly the window between them.
 		writeJSON(w, o.Attr().ObserveRegistry(o.Reg()))
 	})
+	mux.HandleFunc("/decisions", func(w http.ResponseWriter, r *http.Request) {
+		events := o.Decisions.Events()
+		if events == nil {
+			events = []DecisionEvent{}
+		}
+		writeJSON(w, struct {
+			Total  uint64          `json:"total"`
+			Events []DecisionEvent `json:"events"`
+		}{Total: o.Decisions.Total(), Events: events})
+	})
+	if opt.Policy != nil {
+		mux.Handle("/policy", opt.Policy)
+	}
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
 		spans := o.Tracer.Spans()
 		if spans == nil {
@@ -147,6 +166,10 @@ func HandlerWith(o *Observability, opt HandlerOptions) http.Handler {
 		fmt.Fprintln(w, "  /traces       sampled hot-path spans")
 		fmt.Fprintln(w, "  /flightrecorder  bounded ring of lifecycle/SLO/stall events")
 		fmt.Fprintln(w, "  /bottlenecks  backpressure attribution verdict")
+		fmt.Fprintln(w, "  /decisions    control-plane decision log (placements, rebalances, SLO verdicts)")
+		if opt.Policy != nil {
+			fmt.Fprintln(w, "  /policy       active policy document (GET) / hot reload (POST)")
+		}
 		fmt.Fprintln(w, "  /healthz      liveness probe")
 		fmt.Fprintln(w, "  /readyz       readiness probe (all stages running)")
 		if opt.Aggregator != nil {

@@ -79,6 +79,9 @@ type Config struct {
 	// FlightCapacity bounds the retained flight-recorder ring (the
 	// -flight-recorder-size flag). Zero selects DefaultFlightCapacity.
 	FlightCapacity int
+	// DecisionCapacity bounds the retained decision-log ring. Zero
+	// selects DefaultDecisionCapacity.
+	DecisionCapacity int
 	// LogWriter receives structured log lines. Nil discards them.
 	LogWriter io.Writer
 	// LogLevel is the minimum level emitted. Nil means slog.LevelInfo.
@@ -103,6 +106,10 @@ type Observability struct {
 	Lifecycle *LifecycleTrail
 	// Flight is the always-on flight recorder behind /flightrecorder.
 	Flight *FlightRecorder
+	// Decisions is the bounded control-plane decision log behind
+	// /decisions: every placement, rebalance verdict, SLO evaluation, and
+	// policy load, with its input context and policy version.
+	Decisions *DecisionTrail
 	// Attribution is the backpressure-attribution engine behind
 	// /bottlenecks, evaluated lazily over this bundle's registry.
 	Attribution *Attribution
@@ -140,6 +147,7 @@ func New(clk clock.Clock, cfg Config) *Observability {
 		Migrations:  NewMigrationTrail(cfg.MigrationCapacity),
 		Lifecycle:   NewLifecycleTrail(cfg.LifecycleCapacity),
 		Flight:      NewFlightRecorder(clk, cfg.FlightCapacity),
+		Decisions:   NewDecisionTrail(clk, cfg.DecisionCapacity),
 		Attribution: NewAttribution(clk),
 		Logger:      logger,
 	}
@@ -214,4 +222,13 @@ func (o *Observability) Attr() *Attribution {
 		return nil
 	}
 	return o.Attribution
+}
+
+// DecisionLog returns the bundle's decision log, or nil when unobserved. A
+// nil *DecisionTrail is itself safe to Record into.
+func (o *Observability) DecisionLog() *DecisionTrail {
+	if o == nil {
+		return nil
+	}
+	return o.Decisions
 }

@@ -36,6 +36,11 @@ const DefaultSLOGrowthEpochs = 3
 const DefaultSLOCapacity = 128
 
 // SLOConfig tunes the violation detector.
+//
+// Deprecated shim: SLOConfig survives as the static way to hand the
+// detector its objectives; policy-driven deployments compile their policy
+// document into one of these per evaluation via SetSource, so the numbers
+// live in the (hot-reloadable) policy layer rather than here.
 type SLOConfig struct {
 	// TargetP99 is the sink-side end-to-end p99 latency objective in
 	// virtual seconds; <= 0 disables the latency check.
@@ -45,6 +50,12 @@ type SLOConfig struct {
 	// DefaultSLOGrowthEpochs).
 	GrowthEpochs int
 }
+
+// SLOSource supplies the detector's current objectives plus the policy
+// version they came from, consulted at every evaluation so a policy hot
+// reload changes the very next verdict. The obs layer stays policy-agnostic:
+// the policy engine provides this closure.
+type SLOSource func() (SLOConfig, string)
 
 // SLOStatus is the detector's verdict after one evaluation.
 type SLOStatus struct {
@@ -103,6 +114,8 @@ type SLOMonitor struct {
 	trail *ring[SLOEvent]
 
 	mu     sync.Mutex
+	src    SLOSource      // nil = static cfg
+	dec    *DecisionTrail // nil = verdicts not decision-logged
 	growth map[string]int // series key → consecutive positive epochs
 	cur    SLOStatus
 }
@@ -120,21 +133,52 @@ func NewSLOMonitor(cfg SLOConfig, capacity int) *SLOMonitor {
 	}
 }
 
+// SetSource installs the dynamic objective source the detector consults at
+// every evaluation (a policy engine's SLO view). Nil reverts to the static
+// SLOConfig the monitor was built with.
+func (m *SLOMonitor) SetSource(src SLOSource) {
+	m.mu.Lock()
+	m.src = src
+	m.mu.Unlock()
+}
+
+// SetDecisionLog makes every evaluation record its verdict — with the full
+// input context and the policy version that produced the objectives — into
+// the given decision log. Nil stops the recording.
+func (m *SLOMonitor) SetDecisionLog(t *DecisionTrail) {
+	m.mu.Lock()
+	m.dec = t
+	m.mu.Unlock()
+}
+
 // Evaluate runs one detection epoch over a metric snapshot and returns the
 // updated status. now is the snapshot's virtual timestamp.
 func (m *SLOMonitor) Evaluate(now time.Time, points []MetricPoint) SLOStatus {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	cfg, version := m.cfg, ""
+	if m.src != nil {
+		cfg, version = m.src()
+		if cfg.GrowthEpochs <= 0 {
+			cfg.GrowthEpochs = DefaultSLOGrowthEpochs
+		}
+	}
 	sinkP99 := SinkP99(points)
 
 	var reasons []string
-	if m.cfg.TargetP99 > 0 && sinkP99 > m.cfg.TargetP99 {
-		reasons = append(reasons, fmt.Sprintf("sink p99 %.3gs exceeds target %.3gs", sinkP99, m.cfg.TargetP99))
+	rule := "within-objectives"
+	if cfg.TargetP99 > 0 && sinkP99 > cfg.TargetP99 {
+		reasons = append(reasons, fmt.Sprintf("sink p99 %.3gs exceeds target %.3gs", sinkP99, cfg.TargetP99))
+		rule = "sink-p99"
 	}
 
-	maxDTilde, growing := m.trackGrowth(points)
+	maxDTilde, growing := m.trackGrowth(points, cfg.GrowthEpochs)
 	if len(growing) > 0 {
-		reasons = append(reasons, fmt.Sprintf("queue growth: d-tilde > 0 for %d+ epochs at %v", m.cfg.GrowthEpochs, growing))
+		reasons = append(reasons, fmt.Sprintf("queue growth: d-tilde > 0 for %d+ epochs at %v", cfg.GrowthEpochs, growing))
+		rule = "queue-growth"
+		if len(reasons) > 1 {
+			rule = "sink-p99+queue-growth"
+		}
 	}
 
 	violated := len(reasons) > 0
@@ -144,7 +188,7 @@ func (m *SLOMonitor) Evaluate(now time.Time, points []MetricPoint) SLOStatus {
 		Violated:  violated,
 		Reasons:   reasons,
 		SinkP99:   JSONFloat(sinkP99),
-		TargetP99: JSONFloat(m.cfg.TargetP99),
+		TargetP99: JSONFloat(cfg.TargetP99),
 		MaxDTilde: JSONFloat(maxDTilde),
 		Since:     prev.Since,
 	}
@@ -158,13 +202,34 @@ func (m *SLOMonitor) Evaluate(now time.Time, points []MetricPoint) SLOStatus {
 			MaxDTilde: JSONFloat(maxDTilde),
 		})
 	}
+	if m.dec != nil {
+		outcome := "ok"
+		if violated {
+			outcome = "violated"
+		}
+		m.dec.Record(DecisionEvent{
+			At:            now,
+			Kind:          DecisionSLO,
+			PolicyVersion: version,
+			Rule:          rule,
+			Outcome:       outcome,
+			Input: map[string]any{
+				"sink_p99":      sinkP99,
+				"target_p99":    cfg.TargetP99,
+				"max_d_tilde":   maxDTilde,
+				"growth_epochs": cfg.GrowthEpochs,
+				"growing":       growing,
+			},
+		})
+	}
 	return m.cur
 }
 
 // trackGrowth updates the per-stage consecutive-positive-epoch counters
 // and returns the max d-tilde plus the stages currently past the
-// threshold.
-func (m *SLOMonitor) trackGrowth(points []MetricPoint) (maxDTilde float64, growing []string) {
+// threshold. epochs is the currently effective GrowthEpochs objective
+// (policy-resolved, so a hot reload tightens or loosens it mid-run).
+func (m *SLOMonitor) trackGrowth(points []MetricPoint, epochs int) (maxDTilde float64, growing []string) {
 	seen := make(map[string]bool)
 	for _, p := range points {
 		if p.Name != MetricDTilde {
@@ -178,7 +243,7 @@ func (m *SLOMonitor) trackGrowth(points []MetricPoint) (maxDTilde float64, growi
 		}
 		if v > 0 {
 			m.growth[key]++
-			if m.growth[key] >= m.cfg.GrowthEpochs {
+			if m.growth[key] >= epochs {
 				growing = append(growing, p.Labels["stage"])
 			}
 		} else {

@@ -1,0 +1,264 @@
+// Package policy is the declarative control plane of the middleware: one
+// versioned document that holds every knob the Planner, Rebalancer, and SLO
+// detector previously hard-wired — placement constraints and affinities,
+// link-cost weights, rebalance threshold/cooldown/budget, and latency
+// objectives — plus the engine that evaluates it and logs every decision it
+// produces.
+//
+// The GATES paper (hpdc 2004) bakes its self-adaptation constants into the
+// middleware; this package inverts that: control numbers live in a small
+// JSON or XML document that can be inspected, diffed, versioned, and
+// hot-reloaded mid-run (file watch or POST /policy), and every control-plane
+// verdict — a Plan placement, a Rebalancer move or skip, an SLO evaluation —
+// lands in the bounded decision log (obs.DecisionTrail, served at
+// /decisions) with its full input context and the policy version that
+// produced it, OPA decision-log style.
+//
+// Evaluation is pure and cheap: consumers read an immutable snapshot via an
+// atomic pointer, so the data-plane hot path is never touched — policy is
+// consulted only at control-plane epochs (a Plan, a rebalance sweep, an SLO
+// evaluation).
+package policy
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/obs"
+)
+
+// Defaults: the values the middleware ran on before the policy layer
+// existed, now in exactly one place.
+const (
+	// DefaultRebalanceInterval is the virtual time between rebalance
+	// sweeps.
+	DefaultRebalanceInterval = 2 * time.Second
+	// DefaultRebalanceThreshold is how much worse (ratio) the current
+	// placement's link cost must be than the best alternative before a
+	// move is worth its disruption.
+	DefaultRebalanceThreshold = 2.0
+	// DefaultLinkCostWeight scales the 1/bandwidth link-cost terms.
+	DefaultLinkCostWeight = 1.0
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("2s", "1.5h") in both JSON and XML documents.
+type Duration time.Duration
+
+// MarshalText renders the duration in time.Duration notation.
+func (d Duration) MarshalText() ([]byte, error) {
+	return []byte(time.Duration(d).String()), nil
+}
+
+// UnmarshalText parses time.Duration notation.
+func (d *Duration) UnmarshalText(b []byte) error {
+	v, err := time.ParseDuration(string(b))
+	if err != nil {
+		return err
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// Std returns the duration as a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// PlacementRule constrains or biases where instances of a stage may run —
+// the declarative form of the paper's "first stage near the sources" rule
+// and of ad-hoc Requirement tweaks. Rules merge into the stage's own
+// requirement at Plan time: Site/NearSource apply when the stage left them
+// empty, MinCPU/MinMemoryMB raise (never lower) the stage's floor.
+type PlacementRule struct {
+	// Name identifies the rule in decision logs.
+	Name string `xml:"name,attr" json:"name"`
+	// Stage is the stage id the rule applies to; "" or "*" means every
+	// stage.
+	Stage string `xml:"stage,attr" json:"stage,omitempty"`
+	// Site restricts candidates to one administrative domain.
+	Site string `xml:"site,attr" json:"site,omitempty"`
+	// MinCPU and MinMemoryMB raise the stage's resource floor.
+	MinCPU      float64 `xml:"minCPU,attr" json:"min_cpu,omitempty"`
+	MinMemoryMB int     `xml:"minMemoryMB,attr" json:"min_memory_mb,omitempty"`
+	// NearSource prefers the node hosting the named data source.
+	NearSource string `xml:"nearSource,attr" json:"near_source,omitempty"`
+}
+
+// empty reports whether the rule constrains nothing.
+func (r PlacementRule) empty() bool {
+	return r.Site == "" && r.MinCPU == 0 && r.MinMemoryMB == 0 && r.NearSource == ""
+}
+
+// Matches reports whether the rule applies to the named stage.
+func (r PlacementRule) Matches(stage string) bool {
+	return r.Stage == "" || r.Stage == "*" || r.Stage == stage
+}
+
+// PlacementPolicy governs Plan-time matching.
+type PlacementPolicy struct {
+	// TopologyAware makes planning consider link bandwidth between
+	// communicating instances in addition to requirements.
+	TopologyAware bool `xml:"topologyAware,attr" json:"topology_aware,omitempty"`
+	// LinkCostWeight scales every 1/bandwidth term in placement-cost
+	// evaluation; 0 selects DefaultLinkCostWeight.
+	LinkCostWeight float64 `xml:"linkCostWeight,attr" json:"link_cost_weight,omitempty"`
+	// Rules are the per-stage constraints and affinities.
+	Rules []PlacementRule `xml:"rule" json:"rules,omitempty"`
+}
+
+// RebalancePolicy governs the standing re-placement loop.
+type RebalancePolicy struct {
+	// Interval is the virtual time between placement sweeps; 0 selects
+	// DefaultRebalanceInterval.
+	Interval Duration `xml:"interval,attr" json:"interval,omitempty"`
+	// Threshold is the cost ratio past which a move is worth its
+	// disruption; 0 selects DefaultRebalanceThreshold.
+	Threshold float64 `xml:"threshold,attr" json:"threshold,omitempty"`
+	// Cooldown is the minimum virtual time between two migrations of the
+	// same instance; 0 selects Interval.
+	Cooldown Duration `xml:"cooldown,attr" json:"cooldown,omitempty"`
+	// MigrationBudget caps total moves; 0 means unlimited.
+	MigrationBudget int `xml:"migrationBudget,attr" json:"migration_budget,omitempty"`
+	// Stages restricts sweeps to the named stage ids; empty means every
+	// non-source stage.
+	Stages []string `xml:"stage" json:"stages,omitempty"`
+}
+
+// SLOPolicy holds the service-level objectives the detector judges.
+type SLOPolicy struct {
+	// TargetP99 is the sink-side end-to-end p99 latency objective in
+	// virtual time; 0 disables the latency check.
+	TargetP99 Duration `xml:"targetP99,attr" json:"target_p99,omitempty"`
+	// GrowthEpochs is how many consecutive d-tilde > 0 evaluations
+	// constitute "falling behind"; 0 selects obs.DefaultSLOGrowthEpochs.
+	GrowthEpochs int `xml:"growthEpochs,attr" json:"growth_epochs,omitempty"`
+}
+
+// Document is one complete policy: everything the control plane consults.
+// The zero value normalizes to the middleware's historical defaults.
+type Document struct {
+	XMLName xml.Name `xml:"policy" json:"-"`
+	// Version labels the document; empty versions are stamped "v<seq>"
+	// at load time.
+	Version   string          `xml:"version,attr" json:"version,omitempty"`
+	Placement PlacementPolicy `xml:"placement" json:"placement,omitempty"`
+	Rebalance RebalancePolicy `xml:"rebalance" json:"rebalance,omitempty"`
+	SLO       SLOPolicy       `xml:"slo" json:"slo,omitempty"`
+}
+
+// DefaultDocument returns the policy the middleware ships with — the exact
+// constants that were previously hard-wired into RebalancerConfig,
+// SLOConfig, and the Planner.
+func DefaultDocument() Document {
+	doc := Document{Version: "default"}
+	doc.Normalize()
+	return doc
+}
+
+// Normalize fills zero fields with their documented defaults, in place.
+func (d *Document) Normalize() {
+	if d.Placement.LinkCostWeight == 0 {
+		d.Placement.LinkCostWeight = DefaultLinkCostWeight
+	}
+	if d.Rebalance.Interval <= 0 {
+		d.Rebalance.Interval = Duration(DefaultRebalanceInterval)
+	}
+	if d.Rebalance.Threshold == 0 {
+		d.Rebalance.Threshold = DefaultRebalanceThreshold
+	}
+	if d.Rebalance.Cooldown <= 0 {
+		d.Rebalance.Cooldown = d.Rebalance.Interval
+	}
+	if d.SLO.GrowthEpochs == 0 {
+		d.SLO.GrowthEpochs = obs.DefaultSLOGrowthEpochs
+	}
+}
+
+// Validate rejects documents that would wedge the control plane. It is
+// called on every load; a failing document never becomes active
+// (validation-with-rollback).
+func (d *Document) Validate() error {
+	if d.Placement.LinkCostWeight < 0 {
+		return fmt.Errorf("policy: placement.link_cost_weight %g must be positive", d.Placement.LinkCostWeight)
+	}
+	for i, r := range d.Placement.Rules {
+		if r.Name == "" {
+			return fmt.Errorf("policy: placement rule %d needs a name (decision logs cite it)", i)
+		}
+		if r.empty() {
+			return fmt.Errorf("policy: placement rule %q constrains nothing", r.Name)
+		}
+		if r.MinCPU < 0 || r.MinMemoryMB < 0 {
+			return fmt.Errorf("policy: placement rule %q: negative resource floor", r.Name)
+		}
+	}
+	if d.Rebalance.Interval < 0 {
+		return fmt.Errorf("policy: rebalance.interval %s must be positive", d.Rebalance.Interval.Std())
+	}
+	if d.Rebalance.Threshold < 0 {
+		return fmt.Errorf("policy: rebalance.threshold %g must be positive", d.Rebalance.Threshold)
+	}
+	if d.Rebalance.Cooldown < 0 {
+		return fmt.Errorf("policy: rebalance.cooldown %s must be positive", d.Rebalance.Cooldown.Std())
+	}
+	if d.Rebalance.MigrationBudget < 0 {
+		return fmt.Errorf("policy: rebalance.migration_budget %d must not be negative", d.Rebalance.MigrationBudget)
+	}
+	if d.SLO.TargetP99 < 0 {
+		return fmt.Errorf("policy: slo.target_p99 %s must not be negative", d.SLO.TargetP99.Std())
+	}
+	if d.SLO.GrowthEpochs < 0 {
+		return fmt.Errorf("policy: slo.growth_epochs %d must not be negative", d.SLO.GrowthEpochs)
+	}
+	return nil
+}
+
+// RuleFor returns the first placement rule matching the named stage.
+func (p PlacementPolicy) RuleFor(stage string) (PlacementRule, bool) {
+	for _, r := range p.Rules {
+		if r.Matches(stage) {
+			return r, true
+		}
+	}
+	return PlacementRule{}, false
+}
+
+// SLOConfig compiles the objectives into the obs detector's config shim.
+func (s SLOPolicy) SLOConfig() obs.SLOConfig {
+	return obs.SLOConfig{
+		TargetP99:    s.TargetP99.Std().Seconds(),
+		GrowthEpochs: s.GrowthEpochs,
+	}
+}
+
+// Parse decodes a policy document from JSON or XML (sniffed on the first
+// non-space byte) and normalizes it. Unknown JSON fields are rejected, so a
+// typoed knob fails loudly instead of silently keeping its default.
+func Parse(b []byte) (Document, error) {
+	var doc Document
+	trimmed := bytes.TrimSpace(b)
+	if len(trimmed) == 0 {
+		return doc, fmt.Errorf("policy: empty document")
+	}
+	if trimmed[0] == '<' {
+		if err := xml.Unmarshal(trimmed, &doc); err != nil {
+			return doc, fmt.Errorf("policy: parse XML: %w", err)
+		}
+	} else {
+		dec := json.NewDecoder(bytes.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&doc); err != nil {
+			return doc, fmt.Errorf("policy: parse JSON: %w", err)
+		}
+	}
+	doc.Normalize()
+	return doc, nil
+}
+
+// Marshal renders the document as indented JSON (the canonical on-disk and
+// on-wire form; XML stays accepted on input for grid-era tooling).
+func (d Document) Marshal() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}

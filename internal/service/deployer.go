@@ -10,6 +10,7 @@ import (
 	"github.com/gates-middleware/gates/internal/netsim"
 	"github.com/gates-middleware/gates/internal/obs"
 	"github.com/gates-middleware/gates/internal/pipeline"
+	"github.com/gates-middleware/gates/internal/policy"
 )
 
 // Deployment is a fully wired, ready-to-run application: the paper's set of
@@ -102,6 +103,7 @@ type Deployer struct {
 	topologyAware bool
 	defBatch      int
 	o             *obs.Observability
+	pol           *policy.Engine
 }
 
 // SetObservability attaches an observability bundle installed on every
@@ -119,7 +121,19 @@ func (d *Deployer) SetDefaultBatchSize(n int) { d.defBatch = n }
 // communicating instances (grid.PlanTopology) in addition to requirements
 // and near-source hints: stages that exchange data gravitate to the same
 // site when the wide-area links are slow.
+//
+// Deprecated shim: prefer declaring placement.topology_aware in the policy
+// document handed to SetPolicy; either source enables it.
 func (d *Deployer) SetTopologyAware(on bool) { d.topologyAware = on }
+
+// SetPolicy installs the policy engine that drives every placement this
+// deployer plans (see Planner.SetPolicy) and that policy-driven
+// rebalancers share. Nil (the default) means default-policy behavior with
+// no decision logging.
+func (d *Deployer) SetPolicy(eng *policy.Engine) { d.pol = eng }
+
+// Policy returns the installed policy engine (nil when none).
+func (d *Deployer) Policy() *policy.Engine { return d.pol }
 
 // NewDeployer returns a deployer over the given fabric. All dependencies
 // are required.
@@ -131,10 +145,11 @@ func NewDeployer(clk clock.Clock, dir *grid.Directory, repo *Repository, net *ne
 }
 
 // Planner returns a planner over the deployer's fabric, inheriting its
-// topology-awareness.
+// topology-awareness and policy engine.
 func (d *Deployer) Planner() *Planner {
 	p, _ := NewPlanner(d.dir, d.net) // deps were validated at NewDeployer
 	p.SetTopologyAware(d.topologyAware)
+	p.SetPolicy(d.pol)
 	return p
 }
 

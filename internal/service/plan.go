@@ -6,7 +6,9 @@ import (
 
 	"github.com/gates-middleware/gates/internal/grid"
 	"github.com/gates-middleware/gates/internal/netsim"
+	"github.com/gates-middleware/gates/internal/obs"
 	"github.com/gates-middleware/gates/internal/pipeline"
+	"github.com/gates-middleware/gates/internal/policy"
 )
 
 // Assignment pins one stage instance to a grid node, carrying the
@@ -137,10 +139,17 @@ func (p *Plan) Diff(next *Plan) []Move {
 // directory (and optionally the network topology) and reserves capacity
 // for every instance of a descriptor. It is the pure decision half of the
 // Deployer; Apply is the execution half.
+//
+// Placement behavior is policy-driven: topology awareness and per-stage
+// constraint rules come from the policy engine's active document, and
+// every assignment the planner makes is recorded in the decision log with
+// the rule that selected it and the policy version in force. A planner
+// without an engine behaves as the default policy, silently.
 type Planner struct {
 	dir           *grid.Directory
 	net           *netsim.Network
 	topologyAware bool
+	pol           *policy.Engine
 }
 
 // NewPlanner returns a planner over the given directory and network.
@@ -154,7 +163,15 @@ func NewPlanner(dir *grid.Directory, net *netsim.Network) (*Planner, error) {
 // SetTopologyAware makes planning consider link bandwidth between
 // communicating instances (grid.PlanTopology) in addition to requirements
 // and near-source hints.
+//
+// Deprecated shim: prefer declaring placement.topology_aware in the policy
+// document; either source enables it.
 func (p *Planner) SetTopologyAware(on bool) { p.topologyAware = on }
+
+// SetPolicy installs the engine whose active document drives placement
+// (topology awareness, constraint rules) and receives the decision log.
+// Nil reverts to default-policy behavior.
+func (p *Planner) SetPolicy(eng *policy.Engine) { p.pol = eng }
 
 // Plan matches every instance of cfg against the directory, reserving
 // directory capacity as it goes (release an unapplied plan with Release).
@@ -168,10 +185,12 @@ func (p *Planner) Plan(cfg *AppConfig) (*Plan, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	reqs := instanceRequests(cfg)
+	plc, version := p.pol.Placement()
+	aware := p.topologyAware || plc.TopologyAware
+	reqs, ruleNames := instanceRequests(cfg, plc)
 	var placements []grid.Placement
 	var err error
-	if p.topologyAware {
+	if aware {
 		placements, err = p.dir.PlanTopology(reqs, instanceEdges(cfg), func(a, b string) int64 {
 			return p.net.Link(a, b).Config().Bandwidth
 		})
@@ -183,7 +202,7 @@ func (p *Planner) Plan(cfg *AppConfig) (*Plan, error) {
 	}
 	plan := &Plan{
 		App:           cfg.Name,
-		TopologyAware: p.topologyAware,
+		TopologyAware: aware,
 		Assignments:   make([]Assignment, len(placements)),
 		Wires:         resolveWires(cfg),
 	}
@@ -195,8 +214,41 @@ func (p *Planner) Plan(cfg *AppConfig) (*Plan, error) {
 			Node:     pl.Node,
 			Req:      reqs[i].Req,
 		}
+		p.pol.RecordDecision(obs.DecisionEvent{
+			Kind:          obs.DecisionPlacement,
+			PolicyVersion: version,
+			Rule:          placementRule(ruleNames[i], reqs[i].Req, aware),
+			Stage:         pl.StageID,
+			Instance:      pl.Instance,
+			Node:          pl.Node,
+			Outcome:       "placed",
+			Input: map[string]any{
+				"app":            cfg.Name,
+				"site":           reqs[i].Req.Site,
+				"min_cpu":        reqs[i].Req.MinCPUPower,
+				"min_memory_mb":  reqs[i].Req.MinMemoryMB,
+				"near_source":    reqs[i].Req.NearSource,
+				"topology_aware": aware,
+			},
+		})
 	}
 	return plan, nil
+}
+
+// placementRule names the decision-log rule that selected an assignment:
+// an explicit policy rule when one matched, otherwise the implicit rule
+// that dominated the match.
+func placementRule(policyRule string, req grid.Requirement, aware bool) string {
+	switch {
+	case policyRule != "":
+		return policyRule
+	case req.NearSource != "":
+		return "near-source"
+	case aware:
+		return "topology-cost"
+	default:
+		return "requirement-match"
+	}
 }
 
 // Release returns a plan's directory reservations — the undo for a plan
@@ -212,11 +264,17 @@ func (p *Planner) Release(plan *Plan) {
 
 // instanceRequests expands the descriptor into one matching request per
 // instance, stages in declaration order so source-side stages claim
-// near-source nodes first.
-func instanceRequests(cfg *AppConfig) []grid.InstanceRequest {
+// near-source nodes first. Policy placement rules merge into each stage's
+// own requirement — Site and NearSource apply where the stage left them
+// empty, resource floors only ever rise — and the second return value
+// names the rule applied per request ("" where none matched) for the
+// decision log.
+func instanceRequests(cfg *AppConfig, plc policy.PlacementPolicy) ([]grid.InstanceRequest, []string) {
 	var reqs []grid.InstanceRequest
+	var ruleNames []string
 	for i := range cfg.Stages {
 		s := &cfg.Stages[i]
+		rule, hasRule := plc.RuleFor(s.ID)
 		for inst := 0; inst < s.EffectiveInstances(); inst++ {
 			req := grid.Requirement{
 				MinCPUPower: s.Requirement.MinCPU,
@@ -226,10 +284,27 @@ func instanceRequests(cfg *AppConfig) []grid.InstanceRequest {
 			if inst < len(s.NearSources) {
 				req.NearSource = s.NearSources[inst]
 			}
+			name := ""
+			if hasRule {
+				name = rule.Name
+				if req.Site == "" {
+					req.Site = rule.Site
+				}
+				if rule.MinCPU > req.MinCPUPower {
+					req.MinCPUPower = rule.MinCPU
+				}
+				if rule.MinMemoryMB > req.MinMemoryMB {
+					req.MinMemoryMB = rule.MinMemoryMB
+				}
+				if req.NearSource == "" {
+					req.NearSource = rule.NearSource
+				}
+			}
 			reqs = append(reqs, grid.InstanceRequest{StageID: s.ID, Instance: inst, Req: req})
+			ruleNames = append(ruleNames, name)
 		}
 	}
-	return reqs
+	return reqs, ruleNames
 }
 
 // queueChoices derives the input-buffer implementation for every consumer

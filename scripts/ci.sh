@@ -83,6 +83,60 @@ else
 	echo "curl not installed; skipping endpoint smoke"
 fi
 
+echo "== policy lane =="
+# Policy control-plane lane. Over real HTTP: GET the active document,
+# hot-reload a tightened one via POST, reject an invalid one (400, active
+# version rolls back to the survivor), and read the decision log; then a
+# launcher run driven by a policy file must log placement and SLO decisions
+# citing it. Finally the hot-reload experiment proves a mid-run reload
+# visibly changes placement, with the decision log naming the version that
+# fired.
+if command -v curl >/dev/null 2>&1; then
+	pol_obs=127.0.0.1:19773
+	"$smoke_tmp/gates-node" -listen 127.0.0.1:19774 -stage compsteer/analyzer \
+	  -obs-listen "$pol_obs" &
+	pol_pid=$!
+	curl -sf --retry 20 --retry-connrefused --retry-delay 1 \
+	  "http://$pol_obs/healthz" >/dev/null
+	curl -sf "http://$pol_obs/policy" | grep -q '"version": "default"'
+	curl -sf -X POST -d '{"version":"ci-v2","rebalance":{"threshold":3}}' \
+	  "http://$pol_obs/policy" | grep -q '"version": "ci-v2"'
+	bad_code="$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+	  -d '{"rebalance":{"threshold":-1}}' "http://$pol_obs/policy")"
+	[ "$bad_code" = "400" ] || { echo "policy guard: invalid reload got HTTP $bad_code, want 400"; exit 1; }
+	curl -sf "http://$pol_obs/policy" | grep -q '"version": "ci-v2"'
+	curl -sf "http://$pol_obs/decisions" | grep -q '"kind": "policy"'
+	kill "$pol_pid" 2>/dev/null || true
+	wait "$pol_pid" 2>/dev/null || true
+	echo "gates-node /policy hot-reload + rollback + /decisions ok"
+
+	cat > "$smoke_tmp/policy.json" <<-'EOF'
+	{"version": "ci-file", "placement": {"topology_aware": true}, "slo": {"target_p99": "1h"}}
+	EOF
+	"$smoke_tmp/gates-launcher" -config "$smoke_xml" -scale 100 \
+	  -obs-listen "$pol_obs" -policy "$smoke_tmp/policy.json" >/dev/null &
+	pol_launch_pid=$!
+	curl -sf --retry 20 --retry-connrefused --retry-delay 1 \
+	  "http://$pol_obs/healthz" >/dev/null
+	curl -sf "http://$pol_obs/policy" | grep -q '"version": "ci-file"'
+	# The endpoint binds before Launch plans, so give placement decisions a
+	# moment to land.
+	for _i in 1 2 3 4 5 6 7 8 9 10; do
+		curl -sf "http://$pol_obs/decisions" | grep -q '"kind": "placement"' && break
+		sleep 0.2
+	done
+	curl -sf "http://$pol_obs/decisions" | grep -q '"kind": "placement"'
+	curl -sf "http://$pol_obs/cluster" >/dev/null  # a collect evaluates the SLO under ci-file
+	curl -sf "http://$pol_obs/decisions" | grep -q '"kind": "slo"'
+	curl -sf "http://$pol_obs/decisions" | grep -q '"policy_version": "ci-file"'
+	wait "$pol_launch_pid"
+	echo "gates-launcher policy-driven decisions ok"
+else
+	echo "curl not installed; skipping policy endpoint smoke"
+fi
+go run ./cmd/gates-experiments -exp policy -quick -scale 4000 | tee /dev/stderr \
+  | grep -q 'policy-hotreload: placement changed src-1 -> helper under v2'
+
 echo "== bottleneck attribution smoke =="
 # A pipeline with one deliberately slow stage; the backpressure attribution
 # engine must name it.
