@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gates-experiments [-exp all|fig5|fig6|fig7|fig8|fig9|ablations|ext|migration|latency|constriction|policy] [-quick] [-scale N] [-seed N] [-parallel N]
+//	gates-experiments [-exp all|fig5|fig6|fig7|fig8|fig9|ablations|ext|migration|latency|constriction|policy|chaos] [-quick] [-scale N] [-seed N] [-parallel N]
 //
 // -exp latency sweeps the trace sampling rate, measuring the hot-path
 // observability tax and the end-to-end latency quantiles, and writes the
@@ -12,7 +12,9 @@
 // that the backpressure attribution engine names it. -exp policy runs the
 // bandwidth-collapse scenario under a lax policy v1, hot-reloads a
 // tightened v2 mid-run, and shows the decision log proving which policy
-// version moved the placement.
+// version moved the placement. -exp chaos kills the node hosting a
+// summarizer mid-stream under an armed checkpoint/recovery plane and
+// compares coverage and accuracy against a fault-free run.
 //
 // Absolute times are virtual seconds on the emulated grid; the shapes (who
 // wins, by what factor, where adaptation converges) are the reproduction
@@ -29,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "which artifact to regenerate: all, fig5, fig6, fig7, fig8, fig9, ablations, ext, migration, latency, constriction, policy")
+		exp     = flag.String("exp", "all", "which artifact to regenerate: all, fig5, fig6, fig7, fig8, fig9, ablations, ext, migration, latency, constriction, policy, chaos")
 		quick   = flag.Bool("quick", false, "shrink workloads ~4x (shapes survive, absolute numbers shift)")
 		scale   = flag.Float64("scale", 0, "virtual seconds per wall second (0 = per-experiment default)")
 		seed    = flag.Int64("seed", 0, "workload seed (0 = default)")
@@ -184,8 +186,15 @@ func run(exp string, cfg experiments.Config) error {
 		}
 		res.Render(out)
 	}
+	if exp == "chaos" {
+		res, err := experiments.ExpChaos(cfg)
+		if err != nil {
+			return err
+		}
+		res.Render(out)
+	}
 	switch exp {
-	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "ext", "migration", "latency", "constriction", "policy":
+	case "all", "fig5", "fig6", "fig7", "fig8", "fig9", "ablations", "ext", "migration", "latency", "constriction", "policy", "chaos":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -46,8 +46,8 @@ import (
 	"time"
 
 	"github.com/gates-middleware/gates/internal/builtin"
-	"github.com/gates-middleware/gates/internal/clock"
 	"github.com/gates-middleware/gates/internal/cliconf"
+	"github.com/gates-middleware/gates/internal/clock"
 	"github.com/gates-middleware/gates/internal/monitor"
 	"github.com/gates-middleware/gates/internal/obs"
 	"github.com/gates-middleware/gates/internal/policy"
@@ -157,6 +157,22 @@ func run(config string, o launcherOptions) error {
 	}
 	deployer.SetPolicy(pol)
 
+	// Fault plane: the policy document's faults section (or the explicit
+	// -checkpoint-interval / -replay-buffer flags) turns on per-edge
+	// replay rings — which must be sized before the engine is built —
+	// plus periodic checkpointing and the failure detector after launch.
+	ftDoc := pol.Active().Doc
+	ckIv, replayN, ftOn := o.conf.FaultTolerance(ftDoc)
+	if ftOn {
+		if replayN <= 0 {
+			replayN = policy.DefaultReplayBuffer
+		}
+		if ckIv <= 0 {
+			ckIv = policy.DefaultCheckpointInterval
+		}
+		deployer.SetReplayBuffer(replayN)
+	}
+
 	// The cluster aggregator merges this process's snapshot (the launcher
 	// runs every in-process stage) with any scraped remote nodes, and its
 	// SLO monitor re-evaluates on every collection against the objectives
@@ -212,6 +228,40 @@ func run(config string, o launcherOptions) error {
 		return err
 	}
 	readyFn.Store(app.Ready)
+	if ftOn {
+		store := service.NewCheckpointStore()
+		ck, err := service.NewCheckpointer(app.Deployment, store, ckIv)
+		if err != nil {
+			return err
+		}
+		ck.Start(context.Background())
+		defer ck.Stop()
+		he := ftDoc.Faults.HealthEvery.Std()
+		if he <= 0 {
+			he = policy.DefaultHealthEvery
+		}
+		da := ftDoc.Faults.DeadAfter
+		if da <= 0 {
+			da = policy.DefaultDeadAfter
+		}
+		rec, err := service.NewRecovery(app.Deployment, store, he, da)
+		if err != nil {
+			return err
+		}
+		rec.Start(context.Background())
+		defer rec.Stop()
+		fmt.Printf("fault tolerance on: checkpoints every %s, replay buffer %d, health epoch %s ×%d\n",
+			ckIv, replayN, he, da)
+	}
+	if len(ftDoc.Faults.Injections) > 0 {
+		fsch, err := service.NewFaultScheduler(clk, net, ftDoc.Faults.Injections, ob)
+		if err != nil {
+			return err
+		}
+		fsch.Start(context.Background())
+		defer fsch.Stop()
+		fmt.Printf("fault schedule armed: %d scripted injections\n", len(ftDoc.Faults.Injections))
+	}
 	fmt.Printf("launched %q on %d nodes; placements:\n", app.Config.Name, len(dir.List()))
 	for _, p := range app.Placements {
 		fmt.Printf("  %s/%d -> %s\n", p.StageID, p.Instance, p.Node)

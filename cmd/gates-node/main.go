@@ -38,10 +38,11 @@ import (
 
 	"github.com/gates-middleware/gates/internal/adapt"
 	"github.com/gates-middleware/gates/internal/builtin"
-	"github.com/gates-middleware/gates/internal/clock"
 	"github.com/gates-middleware/gates/internal/cliconf"
+	"github.com/gates-middleware/gates/internal/clock"
 	"github.com/gates-middleware/gates/internal/obs"
 	"github.com/gates-middleware/gates/internal/pipeline"
+	"github.com/gates-middleware/gates/internal/policy"
 	"github.com/gates-middleware/gates/internal/service"
 	"github.com/gates-middleware/gates/internal/transport"
 )
@@ -114,6 +115,18 @@ func run(o nodeOptions) error {
 
 	eng := pipeline.New(clk)
 	eng.SetObservability(ob)
+
+	// Fault tolerance: arm the per-edge replay rings and consumer-side
+	// watermarks when the flags or the policy document ask for them. The
+	// checkpoint and recovery controllers live with a launcher-owned
+	// deployment; a standalone node contributes the replayable edges and
+	// dedupe that recovery elsewhere depends on.
+	if _, replayN, ftOn := o.conf.FaultTolerance(pol.Active().Doc); ftOn {
+		if replayN <= 0 {
+			replayN = policy.DefaultReplayBuffer
+		}
+		eng.SetDefaultReplayBuffer(replayN)
+	}
 
 	// Local stage hosting the user code. When upstream nodes feed this
 	// host over TCP, its load exceptions are broadcast back to them on

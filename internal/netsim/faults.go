@@ -1,0 +1,317 @@
+// Fault injection: the failure surface of the emulated grid. The paper's
+// evaluation assumed every node stayed up for the life of a stream; a
+// production grid does not, so the network emulation grows the failure
+// primitives the recovery path is tested against — node kill (every link
+// touching the node black-holes), directed partitions, and per-link packet
+// loss and reordering behind a seeded deterministic RNG, so a chaos run
+// with the same seed produces the identical drop/reorder schedule every
+// time.
+//
+// Faults act at delivery points: the pipeline's emit paths ask the link for
+// a verdict before each transfer and drop or delay the packet accordingly.
+// A link with no fault state configured costs exactly one atomic pointer
+// load on that path.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// FaultAction is a link's verdict for one prospective packet delivery.
+type FaultAction int
+
+const (
+	// FaultDeliver lets the packet through unharmed.
+	FaultDeliver FaultAction = iota
+	// FaultDrop discards the packet silently (loss, or a black-holed
+	// link after a node kill or partition).
+	FaultDrop
+	// FaultHold delays the packet behind deliveries that follow it — the
+	// reorder primitive. The holder (the emitting stage) parks the packet
+	// and releases it after the configured depth of later deliveries.
+	FaultHold
+)
+
+// String renders the action name.
+func (a FaultAction) String() string {
+	switch a {
+	case FaultDeliver:
+		return "deliver"
+	case FaultDrop:
+		return "drop"
+	case FaultHold:
+		return "hold"
+	default:
+		return fmt.Sprintf("faultaction(%d)", int(a))
+	}
+}
+
+// FaultConfig describes the probabilistic fault behavior of one link.
+type FaultConfig struct {
+	// Seed seeds the link's private RNG; the same seed always yields the
+	// same verdict schedule. Zero selects seed 1 (a deterministic
+	// default, never wall-clock entropy).
+	Seed int64
+	// Loss is the probability in [0,1] that a delivery is dropped.
+	Loss float64
+	// Reorder is the probability in [0,1] that a delivery is held back
+	// behind later traffic.
+	Reorder float64
+	// Depth is how many subsequent delivery rounds a held packet waits
+	// before release (default 1).
+	Depth int
+}
+
+// linkFault is a link's installed fault state. The RNG draw is serialized
+// under mu so concurrent senders consume the schedule in a consistent
+// total order; black-holing shares the struct so a kill composes with an
+// active loss schedule without resetting it.
+type linkFault struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	loss      float64
+	reorder   float64
+	depth     int
+	blackhole bool
+}
+
+func (f *linkFault) clear() bool {
+	return f.loss == 0 && f.reorder == 0 && !f.blackhole
+}
+
+// InjectFaults installs (or replaces) the link's loss/reorder schedule,
+// preserving any black-hole state a node kill or partition already set.
+// Loss and Reorder of zero with no black-hole removes the fault state
+// entirely, restoring the zero-cost delivery path.
+func (l *Link) InjectFaults(cfg FaultConfig) {
+	if cfg.Loss < 0 || cfg.Loss > 1 || cfg.Reorder < 0 || cfg.Reorder > 1 {
+		panic(fmt.Sprintf("netsim: fault probabilities out of [0,1]: loss=%g reorder=%g", cfg.Loss, cfg.Reorder))
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	depth := cfg.Depth
+	if depth < 1 {
+		depth = 1
+	}
+	nf := &linkFault{
+		rng:     rand.New(rand.NewSource(seed)),
+		loss:    cfg.Loss,
+		reorder: cfg.Reorder,
+		depth:   depth,
+	}
+	if old := l.fault.Load(); old != nil {
+		old.mu.Lock()
+		nf.blackhole = old.blackhole
+		old.mu.Unlock()
+	}
+	if nf.clear() {
+		l.fault.Store(nil)
+		return
+	}
+	l.fault.Store(nf)
+}
+
+// ClearFaults removes the link's loss/reorder schedule, keeping any
+// black-hole state (a killed endpoint stays killed until healed).
+func (l *Link) ClearFaults() {
+	l.InjectFaults(FaultConfig{})
+}
+
+// SetBlackhole makes the link silently discard every delivery (true) or
+// stop doing so (false), preserving an installed loss/reorder schedule.
+// The Network's Kill/Heal/Partition primitives drive it; it is exported
+// for direct use in tests.
+func (l *Link) SetBlackhole(on bool) {
+	for {
+		old := l.fault.Load()
+		if old == nil {
+			if !on {
+				return
+			}
+			nf := &linkFault{blackhole: true, depth: 1}
+			if l.fault.CompareAndSwap(nil, nf) {
+				return
+			}
+			continue
+		}
+		old.mu.Lock()
+		old.blackhole = on
+		cleared := old.clear()
+		old.mu.Unlock()
+		if cleared {
+			// Nothing left to decide: drop the state so deliveries go
+			// back to the single-nil-check fast path.
+			l.fault.CompareAndSwap(old, nil)
+		}
+		return
+	}
+}
+
+// Faulty reports whether the link currently has fault state installed —
+// the cheap pre-check emit paths use before asking for a verdict.
+func (l *Link) Faulty() bool { return l.fault.Load() != nil }
+
+// FaultVerdict decides the fate of one prospective delivery and returns
+// the action plus, for FaultHold, the hold depth. Drops (loss or
+// black-hole) are counted in the link's Dropped statistic here, so every
+// discard is accounted exactly once however the caller reacts. With no
+// fault state installed the cost is one atomic load.
+func (l *Link) FaultVerdict() (FaultAction, int) {
+	f := l.fault.Load()
+	if f == nil {
+		return FaultDeliver, 0
+	}
+	f.mu.Lock()
+	if f.blackhole {
+		f.mu.Unlock()
+		l.countDrop()
+		return FaultDrop, 0
+	}
+	// One draw decides both faults so the schedule is a single
+	// reproducible stream: [0,loss) drops, [loss,loss+reorder) holds.
+	v := f.rng.Float64()
+	loss, reorder, depth := f.loss, f.reorder, f.depth
+	f.mu.Unlock()
+	switch {
+	case v < loss:
+		l.countDrop()
+		return FaultDrop, 0
+	case v < loss+reorder:
+		return FaultHold, depth
+	default:
+		return FaultDeliver, 0
+	}
+}
+
+func (l *Link) countDrop() {
+	l.mu.Lock()
+	l.stats.Dropped++
+	l.mu.Unlock()
+}
+
+// --- Network-level fault topology -----------------------------------------
+
+// Kill marks a node dead: every link touching it (existing and created
+// later) black-holes, modeling a fail-stop crash as seen from the rest of
+// the grid — in-flight and future traffic to or from the node vanishes on
+// the wire. Liveness listeners are notified. Killing a dead node is a
+// no-op. A link shared between several node pairs (InstallLink) black-holes
+// for all of them; model per-pair failures with per-pair links.
+func (n *Network) Kill(name string) {
+	n.mu.Lock()
+	if n.dead[name] {
+		n.mu.Unlock()
+		return
+	}
+	n.dead[name] = true
+	n.nodes[name] = true
+	n.refreshBlackholesLocked()
+	listeners := append([]func(string, bool){}, n.onLive...)
+	n.mu.Unlock()
+	for _, fn := range listeners {
+		fn(name, false)
+	}
+}
+
+// Heal revives a killed node: links touching it stop black-holing unless
+// their other endpoint is still dead or the pair is partitioned. Liveness
+// listeners are notified. Healing a live node is a no-op.
+func (n *Network) Heal(name string) {
+	n.mu.Lock()
+	if !n.dead[name] {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.dead, name)
+	n.refreshBlackholesLocked()
+	listeners := append([]func(string, bool){}, n.onLive...)
+	n.mu.Unlock()
+	for _, fn := range listeners {
+		fn(name, true)
+	}
+}
+
+// Alive reports whether the node is not currently killed. Unregistered
+// nodes are considered alive (they have simply never carried traffic).
+func (n *Network) Alive(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.dead[name]
+}
+
+// Partition severs the pair in both directions: traffic between a and b
+// black-holes until HealPartition, independent of node liveness.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.parts[a+"->"+b] = true
+	n.parts[b+"->"+a] = true
+	// Materialize the pair's links so the black-hole has something to
+	// bite on even before first traffic.
+	n.linkLocked(a, b)
+	n.linkLocked(b, a)
+	n.refreshBlackholesLocked()
+}
+
+// HealPartition restores the pair severed by Partition.
+func (n *Network) HealPartition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.parts, a+"->"+b)
+	delete(n.parts, b+"->"+a)
+	n.refreshBlackholesLocked()
+}
+
+// Partitioned reports whether traffic from a to b is currently severed by
+// an explicit partition (node death is reported by Alive, not here).
+func (n *Network) Partitioned(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.parts[a+"->"+b]
+}
+
+// OnLiveness registers a listener called (outside the network's lock) on
+// every Kill and Heal with the node name and its new liveness. The health
+// monitor of the recovery controller subscribes here.
+func (n *Network) OnLiveness(fn func(node string, alive bool)) {
+	if fn == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onLive = append(n.onLive, fn)
+}
+
+// InjectFaults installs a loss/reorder schedule on the from->to link,
+// creating the link (loopback/default rules as in Link) if needed.
+func (n *Network) InjectFaults(from, to string, cfg FaultConfig) {
+	n.mu.Lock()
+	l := n.linkLocked(from, to)
+	n.mu.Unlock()
+	l.InjectFaults(cfg)
+}
+
+// severedLocked reports whether the directed pair must black-hole.
+func (n *Network) severedLocked(from, to string) bool {
+	return n.dead[from] || n.dead[to] || n.parts[from+"->"+to]
+}
+
+// refreshBlackholesLocked re-derives every link's black-hole state from
+// the dead-node set and the partition set. A link installed on several
+// pairs black-holes if any of its pairs is severed.
+func (n *Network) refreshBlackholesLocked() {
+	severed := make(map[*Link]bool, len(n.links))
+	for key, l := range n.links {
+		ends := n.ends[key]
+		if n.severedLocked(ends[0], ends[1]) {
+			severed[l] = true
+		}
+	}
+	for _, l := range n.links {
+		l.SetBlackhole(severed[l])
+	}
+}

@@ -1,0 +1,228 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+// verdictTrace renders n verdicts of a link as one character each:
+// D drop, H hold, . deliver.
+func verdictTrace(l *Link, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		switch act, _ := l.FaultVerdict(); act {
+		case FaultDrop:
+			b.WriteByte('D')
+		case FaultHold:
+			b.WriteByte('H')
+		default:
+			b.WriteByte('.')
+		}
+	}
+	return b.String()
+}
+
+// The seeded schedule is frozen: the same seed must produce this exact
+// drop/hold pattern on every run, on every machine. If this test ever
+// fails without an intentional RNG change, chaos runs stopped being
+// reproducible.
+func TestFaultScheduleGoldenTrace(t *testing.T) {
+	const golden = "HD.DDH.HH..DHD......DHHD.D.D.DH...D...D...HD...."
+	clk := clock.NewManual()
+	l := NewLink(clk, LinkConfig{})
+	l.InjectFaults(FaultConfig{Seed: 42, Loss: 0.25, Reorder: 0.15, Depth: 2})
+	got := verdictTrace(l, len(golden))
+	if got != golden {
+		t.Fatalf("fault schedule diverged from golden trace:\n got  %s\n want %s", got, golden)
+	}
+	if st := l.Stats(); st.Dropped != int64(strings.Count(golden, "D")) {
+		t.Fatalf("Dropped = %d, want %d", st.Dropped, strings.Count(golden, "D"))
+	}
+}
+
+func TestFaultScheduleSameSeedIdentical(t *testing.T) {
+	clk := clock.NewManual()
+	cfg := FaultConfig{Seed: 7, Loss: 0.3, Reorder: 0.2, Depth: 3}
+	a := NewLink(clk, LinkConfig{})
+	b := NewLink(clk, LinkConfig{})
+	a.InjectFaults(cfg)
+	b.InjectFaults(cfg)
+	ta, tb := verdictTrace(a, 256), verdictTrace(b, 256)
+	if ta != tb {
+		t.Fatalf("same seed produced different schedules:\n a %s\n b %s", ta, tb)
+	}
+	c := NewLink(clk, LinkConfig{})
+	c.InjectFaults(FaultConfig{Seed: 8, Loss: 0.3, Reorder: 0.2, Depth: 3})
+	if verdictTrace(c, 256) == ta {
+		t.Fatal("different seeds produced the identical 256-draw schedule")
+	}
+}
+
+func TestFaultHoldDepthAndDefaults(t *testing.T) {
+	clk := clock.NewManual()
+	l := NewLink(clk, LinkConfig{})
+	l.InjectFaults(FaultConfig{Seed: 1, Reorder: 1}) // always hold, default depth
+	act, depth := l.FaultVerdict()
+	if act != FaultHold || depth != 1 {
+		t.Fatalf("verdict = %v depth %d, want hold depth 1", act, depth)
+	}
+	l.InjectFaults(FaultConfig{Seed: 1, Reorder: 1, Depth: 4})
+	if _, depth = l.FaultVerdict(); depth != 4 {
+		t.Fatalf("depth = %d, want 4", depth)
+	}
+}
+
+func TestClearFaultsRestoresFastPath(t *testing.T) {
+	clk := clock.NewManual()
+	l := NewLink(clk, LinkConfig{})
+	if l.Faulty() {
+		t.Fatal("new link should not be faulty")
+	}
+	l.InjectFaults(FaultConfig{Loss: 1})
+	if !l.Faulty() {
+		t.Fatal("link with loss installed should be faulty")
+	}
+	l.ClearFaults()
+	if l.Faulty() {
+		t.Fatal("ClearFaults should drop the fault state entirely")
+	}
+	if act, _ := l.FaultVerdict(); act != FaultDeliver {
+		t.Fatalf("cleared link verdict = %v, want deliver", act)
+	}
+}
+
+func TestBlackholeComposesWithLoss(t *testing.T) {
+	clk := clock.NewManual()
+	l := NewLink(clk, LinkConfig{})
+	l.InjectFaults(FaultConfig{Seed: 42, Loss: 0.25, Reorder: 0.15})
+
+	// Burn 10 draws, black-hole, verify everything drops, heal, and check
+	// the schedule resumes exactly where it left off (the black-hole
+	// window consumed no RNG draws).
+	ref := NewLink(clk, LinkConfig{})
+	ref.InjectFaults(FaultConfig{Seed: 42, Loss: 0.25, Reorder: 0.15})
+	refTrace := verdictTrace(ref, 40)
+
+	got := verdictTrace(l, 10)
+	l.SetBlackhole(true)
+	if !l.Faulty() {
+		t.Fatal("black-holed link must be faulty")
+	}
+	for i := 0; i < 5; i++ {
+		if act, _ := l.FaultVerdict(); act != FaultDrop {
+			t.Fatalf("black-holed verdict = %v, want drop", act)
+		}
+	}
+	l.SetBlackhole(false)
+	if !l.Faulty() {
+		t.Fatal("healing the black-hole must keep the loss schedule installed")
+	}
+	got += verdictTrace(l, 30)
+	if got != refTrace {
+		t.Fatalf("black-hole window perturbed the loss schedule:\n got  %s\n want %s", got, refTrace)
+	}
+
+	// Black-hole alone, then heal: fault state fully clears.
+	p := NewLink(clk, LinkConfig{})
+	p.SetBlackhole(true)
+	if act, _ := p.FaultVerdict(); act != FaultDrop {
+		t.Fatal("pure black-hole must drop")
+	}
+	p.SetBlackhole(false)
+	if p.Faulty() {
+		t.Fatal("healed pure black-hole should clear the fault state")
+	}
+}
+
+func TestNetworkKillHealBlackholesLinks(t *testing.T) {
+	clk := clock.NewManual()
+	n := NewNetwork(clk)
+	ab := n.Connect("a", "b", LinkConfig{})
+	ba := n.Connect("b", "a", LinkConfig{})
+	bc := n.Connect("b", "c", LinkConfig{})
+
+	if !n.Alive("b") {
+		t.Fatal("fresh node must be alive")
+	}
+	n.Kill("b")
+	if n.Alive("b") {
+		t.Fatal("killed node must not be alive")
+	}
+	for name, l := range map[string]*Link{"a->b": ab, "b->a": ba, "b->c": bc} {
+		if act, _ := l.FaultVerdict(); act != FaultDrop {
+			t.Fatalf("link %s should black-hole after Kill(b)", name)
+		}
+	}
+	// A link created lazily toward the dead node black-holes from birth.
+	cb := n.Link("c", "b")
+	if act, _ := cb.FaultVerdict(); act != FaultDrop {
+		t.Fatal("lazily created link toward a dead node should black-hole")
+	}
+	// Links not touching b are unaffected.
+	if act, _ := n.Link("a", "c").FaultVerdict(); act != FaultDeliver {
+		t.Fatal("a->c should be unaffected by Kill(b)")
+	}
+
+	n.Heal("b")
+	if !n.Alive("b") {
+		t.Fatal("healed node must be alive")
+	}
+	for name, l := range map[string]*Link{"a->b": ab, "b->a": ba, "b->c": bc, "c->b": cb} {
+		if act, _ := l.FaultVerdict(); act != FaultDeliver {
+			t.Fatalf("link %s should deliver after Heal(b)", name)
+		}
+	}
+}
+
+func TestNetworkPartition(t *testing.T) {
+	clk := clock.NewManual()
+	n := NewNetwork(clk)
+	n.AddNode("a")
+	n.AddNode("b")
+	n.Partition("a", "b")
+	if !n.Partitioned("a", "b") || !n.Partitioned("b", "a") {
+		t.Fatal("partition must sever both directions")
+	}
+	if act, _ := n.Link("a", "b").FaultVerdict(); act != FaultDrop {
+		t.Fatal("partitioned a->b should drop")
+	}
+	if act, _ := n.Link("b", "a").FaultVerdict(); act != FaultDrop {
+		t.Fatal("partitioned b->a should drop")
+	}
+	if !n.Alive("a") || !n.Alive("b") {
+		t.Fatal("partition must not kill the nodes")
+	}
+	n.HealPartition("a", "b")
+	if n.Partitioned("a", "b") {
+		t.Fatal("healed partition still reported")
+	}
+	if act, _ := n.Link("a", "b").FaultVerdict(); act != FaultDeliver {
+		t.Fatal("healed a->b should deliver")
+	}
+}
+
+func TestNetworkLivenessListeners(t *testing.T) {
+	clk := clock.NewManual()
+	n := NewNetwork(clk)
+	type ev struct {
+		node  string
+		alive bool
+	}
+	var got []ev
+	n.OnLiveness(func(node string, alive bool) { got = append(got, ev{node, alive}) })
+	n.Kill("x")
+	n.Kill("x") // idempotent: no second event
+	n.Heal("x")
+	n.Heal("x")
+	want := []ev{{"x", false}, {"x", true}}
+	if len(got) != len(want) {
+		t.Fatalf("liveness events = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("liveness events = %v, want %v", got, want)
+		}
+	}
+}

@@ -73,6 +73,11 @@ type LinkStats struct {
 	// Waited is the cumulative virtual time senders spent blocked on this
 	// link (transmission pacing only, excluding fixed latency).
 	Waited time.Duration
+	// Dropped is the number of deliveries discarded by fault injection on
+	// this link (probabilistic loss or a black-hole after a node kill or
+	// partition). Counted by FaultVerdict, so the figure is exact however
+	// the emitting side reacts to the verdict.
+	Dropped int64
 }
 
 // Link is a shared, emulated network link. Transfer blocks the caller for
@@ -92,6 +97,11 @@ type Link struct {
 	// to end-to-end latency. Atomic so Instrument can attach it while
 	// traffic flows.
 	transferSec atomic.Pointer[obs.Histogram]
+
+	// fault, when non-nil, is the installed fault-injection state (loss,
+	// reorder, black-hole — see faults.go). Atomic so the healthy path
+	// pays exactly one pointer load to learn there is nothing to decide.
+	fault atomic.Pointer[linkFault]
 
 	mu       sync.Mutex
 	nextFree time.Time
@@ -247,7 +257,11 @@ type Network struct {
 
 	mu      sync.Mutex
 	nodes   map[string]bool
-	links   map[string]*Link // key: "from->to"
+	links   map[string]*Link     // key: "from->to"
+	ends    map[string][2]string // link key -> {from, to}, for fault topology
+	dead    map[string]bool      // killed nodes (see Kill/Heal in faults.go)
+	parts   map[string]bool      // severed directed pairs, key "a->b"
+	onLive  []func(node string, alive bool)
 	defCfg  LinkConfig
 	hasDef  bool
 	created int
@@ -262,6 +276,9 @@ func NewNetwork(clk clock.Clock) *Network {
 		clk:   clk,
 		nodes: make(map[string]bool),
 		links: make(map[string]*Link),
+		ends:  make(map[string][2]string),
+		dead:  make(map[string]bool),
+		parts: make(map[string]bool),
 	}
 }
 
@@ -296,7 +313,7 @@ func (n *Network) Connect(from, to string, cfg LinkConfig) *Link {
 	n.nodes[from] = true
 	n.nodes[to] = true
 	l := NewLink(n.clk, cfg)
-	n.links[from+"->"+to] = l
+	n.registerLocked(from, to, l)
 	return l
 }
 
@@ -311,7 +328,18 @@ func (n *Network) InstallLink(from, to string, l *Link) {
 	defer n.mu.Unlock()
 	n.nodes[from] = true
 	n.nodes[to] = true
+	n.registerLocked(from, to, l)
+}
+
+// registerLocked records the link under its directed key and applies any
+// standing fault topology (a link created toward a dead node black-holes
+// from birth).
+func (n *Network) registerLocked(from, to string, l *Link) {
 	n.links[from+"->"+to] = l
+	n.ends[from+"->"+to] = [2]string{from, to}
+	if n.severedLocked(from, to) {
+		l.SetBlackhole(true)
+	}
 }
 
 // ConnectBidirectional installs links in both directions with the same
@@ -326,6 +354,10 @@ func (n *Network) ConnectBidirectional(from, to string, cfg LinkConfig) (*Link, 
 func (n *Network) Link(from, to string) *Link {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.linkLocked(from, to)
+}
+
+func (n *Network) linkLocked(from, to string) *Link {
 	key := from + "->" + to
 	if l, ok := n.links[key]; ok {
 		return l
@@ -335,7 +367,7 @@ func (n *Network) Link(from, to string) *Link {
 		cfg = n.defCfg
 	}
 	l := NewLink(n.clk, cfg)
-	n.links[key] = l
+	n.registerLocked(from, to, l)
 	n.created++
 	return l
 }

@@ -19,6 +19,9 @@ const (
 	DecisionRebalance = "rebalance"
 	// DecisionSLO is one SLO-detector evaluation verdict.
 	DecisionSLO = "slo"
+	// DecisionRecovery is one recovery-controller verdict: a dead node
+	// detected and its instances re-planned, restored, and replayed.
+	DecisionRecovery = "recovery"
 	// DecisionPolicy is a policy-document lifecycle event (a load, a
 	// rejected reload).
 	DecisionPolicy = "policy"

@@ -45,6 +45,15 @@ const (
 	// FlightPolicy is a policy-document lifecycle moment: a version
 	// loaded (hot reload) or a reload rejected by validation.
 	FlightPolicy FlightKind = "policy"
+	// FlightFault is a fault-plane event: a node kill or heal, a network
+	// partition, or a loss/reorder injection on a link.
+	FlightFault FlightKind = "fault"
+	// FlightCheckpoint is one completed checkpoint round (Value carries
+	// the number of instances captured).
+	FlightCheckpoint FlightKind = "checkpoint"
+	// FlightRecovery is a completed recovery of an instance from a dead
+	// node (Value carries the number of replayed packets).
+	FlightRecovery FlightKind = "recovery"
 	// FlightDecision mirrors a state-changing control-plane decision
 	// (a placement, a rebalance move) from the decision log, so the
 	// recorder shows what the control plane did around an incident.

@@ -20,11 +20,12 @@ import (
 type Engine struct {
 	clk clock.Clock
 
-	mu       sync.Mutex
-	stages   []*Stage
-	started  bool
-	defBatch int
-	o        *obs.Observability
+	mu        sync.Mutex
+	stages    []*Stage
+	started   bool
+	defBatch  int
+	defReplay int
+	o         *obs.Observability
 }
 
 // New returns an empty engine on the given clock.
@@ -49,6 +50,20 @@ func (e *Engine) SetDefaultBatchSize(n int) {
 		return
 	}
 	e.defBatch = n
+}
+
+// SetDefaultReplayBuffer sets the fault-tolerance replay-buffer depth
+// applied at Run to every stage whose StageConfig leaves ReplayBuffer zero
+// (see StageConfig.ReplayBuffer). Values of zero or below (and the initial
+// state) leave fault tolerance off. Calling it after Run has started has no
+// effect.
+func (e *Engine) SetDefaultReplayBuffer(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return
+	}
+	e.defReplay = n
 }
 
 // AddProcessorStage registers a packet-driven stage instance.
@@ -83,16 +98,17 @@ func (e *Engine) addStage(id string, instance int, p Processor, src Source, cfg 
 		}
 	}
 	st := &Stage{
-		id:       id,
-		instance: instance,
-		proc:     p,
-		src:      src,
-		cfg:      cfg,
-		clk:      e.clk,
-		pacer:    clock.NewPacer(e.clk, cfg.ComputeQuantum),
-		in:       queue.New[*Packet](cfg.QueueCapacity),
-		ctrl:     adapt.NewController(cfg.Adapt),
-		doneCh:   make(chan struct{}),
+		id:        id,
+		instance:  instance,
+		proc:      p,
+		src:       src,
+		cfg:       cfg,
+		clk:       e.clk,
+		pacer:     clock.NewPacer(e.clk, cfg.ComputeQuantum),
+		in:        queue.New[*Packet](cfg.QueueCapacity),
+		ctrl:      adapt.NewController(cfg.Adapt),
+		doneCh:    make(chan struct{}),
+		pauseWake: make(chan struct{}),
 	}
 	e.stages = append(e.stages, st)
 	return st, nil
@@ -236,6 +252,12 @@ func (e *Engine) Run(ctx context.Context) error {
 		}
 		if st.cfg.BatchSize < 1 {
 			st.cfg.BatchSize = 1
+		}
+		if st.cfg.ReplayBuffer == 0 {
+			st.cfg.ReplayBuffer = e.defReplay
+		}
+		if st.cfg.ReplayBuffer > 0 {
+			st.enableFT(st.cfg.ReplayBuffer)
 		}
 		st.resolveQueue()
 		if e.o != nil {

@@ -1,0 +1,291 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/gates-middleware/gates/internal/clock"
+	"github.com/gates-middleware/gates/internal/netsim"
+)
+
+func TestReplayRingRecordScanEvict(t *testing.T) {
+	r := newReplayRing(4)
+	if _, ok := r.oldest(); ok {
+		t.Fatal("empty ring should have no oldest")
+	}
+	for seq := uint64(0); seq < 3; seq++ {
+		r.record(seq, int(seq), 1, 8)
+	}
+	if r.evicted() {
+		t.Fatal("ring below capacity should not report evictions")
+	}
+	var got []uint64
+	r.scan(func(e replayEntry) { got = append(got, e.seq) })
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("scan = %v, want [0 1 2]", got)
+	}
+	for seq := uint64(3); seq < 10; seq++ {
+		r.record(seq, int(seq), 1, 8)
+	}
+	if !r.evicted() {
+		t.Fatal("overwritten ring should report evictions")
+	}
+	if o, ok := r.oldest(); !ok || o != 6 {
+		t.Fatalf("oldest = %d (%v), want 6", o, ok)
+	}
+	got = got[:0]
+	r.scan(func(e replayEntry) { got = append(got, e.seq) })
+	want := []uint64{6, 7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("scan after wrap = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan after wrap = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDropDupWatermark(t *testing.T) {
+	s := &Stage{id: "sink"}
+	s.marks = []UpstreamMark{{Stage: "up", Instance: 0}}
+	pkt := func(stage string, inst int, seq uint64) *Packet {
+		return &Packet{SourceStage: stage, SourceInstance: inst, Seq: seq}
+	}
+	if s.dropDup(pkt("up", 0, 0)) {
+		t.Fatal("first packet must not be a dup")
+	}
+	if !s.dropDup(pkt("up", 0, 0)) {
+		t.Fatal("re-delivered seq 0 must be dropped")
+	}
+	// Gap tolerance: jumping to 5 advances the mark past the hole.
+	if s.dropDup(pkt("up", 0, 5)) {
+		t.Fatal("seq 5 after a gap must pass")
+	}
+	if !s.dropDup(pkt("up", 0, 3)) {
+		t.Fatal("late seq 3 below the watermark must be dropped")
+	}
+	// A second instance of the same stage has its own watermark.
+	if s.dropDup(pkt("up", 1, 0)) {
+		t.Fatal("unknown emitter's first packet must pass")
+	}
+	if m := s.markFor("up", 1); m == nil || m.Next != 1 {
+		t.Fatalf("mark for up/1 = %+v, want Next 1", m)
+	}
+}
+
+// rangeSource emits ints [0, n) and then returns.
+type rangeSource struct{ n int }
+
+func (r *rangeSource) Run(ctx *Context, out *Emitter) error {
+	for i := 0; i < r.n; i++ {
+		if err := out.EmitValue(i, 8); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectSink records every received value (and its sequence) in order.
+type collectSink struct {
+	mu   sync.Mutex
+	vals []int
+	seqs []uint64
+}
+
+func (c *collectSink) Init(*Context) error { return nil }
+func (c *collectSink) Process(_ *Context, pkt *Packet, _ *Emitter) error {
+	c.mu.Lock()
+	c.vals = append(c.vals, pkt.Value.(int))
+	c.seqs = append(c.seqs, pkt.Seq)
+	c.mu.Unlock()
+	return nil
+}
+func (c *collectSink) Finish(*Context, *Emitter) error { return nil }
+
+func runLinked(t *testing.T, n, batch int, fault netsim.FaultConfig) *collectSink {
+	t.Helper()
+	clk := clock.NewManual()
+	eng := New(clk)
+	link := netsim.NewLink(clk, netsim.LinkConfig{})
+	if fault != (netsim.FaultConfig{}) {
+		link.InjectFaults(fault)
+	}
+	sink := &collectSink{}
+	src, err := eng.AddSourceStage("src", 0, &rangeSource{n: n}, StageConfig{BatchSize: batch, DisableAdaptation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := eng.AddProcessorStage("sink", 0, sink, StageConfig{BatchSize: batch, DisableAdaptation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Connect(src, dst, link); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return sink
+}
+
+// Injected loss must thin the stream without ever dropping the final
+// marker: the run terminates cleanly and the survivors arrive in order.
+func TestEmitLossThinsStreamButTerminates(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		sink := runLinked(t, 200, batch, netsim.FaultConfig{Seed: 42, Loss: 0.3})
+		if len(sink.vals) >= 200 || len(sink.vals) == 0 {
+			t.Fatalf("batch=%d: received %d of 200 under 30%% loss, want 0 < n < 200", batch, len(sink.vals))
+		}
+		for i := 1; i < len(sink.vals); i++ {
+			if sink.vals[i] <= sink.vals[i-1] {
+				t.Fatalf("batch=%d: survivors out of order at %d: %v", batch, i, sink.vals[i-3:i+1])
+			}
+		}
+	}
+}
+
+// Reorder injection must deliver every packet — holds delay, never drop —
+// and produce at least one true inversion in the arrival order.
+func TestEmitReorderDeliversAllOutOfOrder(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		sink := runLinked(t, 200, batch, netsim.FaultConfig{Seed: 7, Reorder: 0.2, Depth: 2})
+		if len(sink.vals) != 200 {
+			t.Fatalf("batch=%d: received %d of 200 under reorder-only faults", batch, len(sink.vals))
+		}
+		seen := make(map[int]bool, len(sink.vals))
+		inverted := false
+		for i, v := range sink.vals {
+			if seen[v] {
+				t.Fatalf("batch=%d: duplicate value %d", batch, v)
+			}
+			seen[v] = true
+			if i > 0 && v < sink.vals[i-1] {
+				inverted = true
+			}
+		}
+		if !inverted {
+			t.Fatalf("batch=%d: reorder injection produced no inversion", batch)
+		}
+	}
+}
+
+// gatedSource emits ints [0, n) and then holds the stream open until the
+// gate closes, so a test can pause downstream stages mid-stream.
+type gatedSource struct {
+	n    int
+	gate chan struct{}
+}
+
+func (g *gatedSource) Run(_ *Context, out *Emitter) error {
+	for i := 0; i < g.n; i++ {
+		if err := out.EmitValue(i, 8); err != nil {
+			return err
+		}
+	}
+	<-g.gate
+	return nil
+}
+
+// With fault tolerance on, a replayed interval that overlaps already
+// consumed sequences is absorbed by the watermark: ReplayInto re-injects,
+// the sink drops the overlap, and DupsDropped accounts for it.
+func TestReplayIntoDedupe(t *testing.T) {
+	clk := clock.NewManual()
+	eng := New(clk)
+	eng.SetDefaultReplayBuffer(64)
+	gate := make(chan struct{})
+	sink := &collectSink{}
+	src, err := eng.AddSourceStage("src", 0, &gatedSource{n: 50, gate: gate}, StageConfig{DisableAdaptation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := eng.AddProcessorStage("sink", 0, sink, StageConfig{DisableAdaptation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Connect(src, dst, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the sink consume the whole prefix (the gate keeps the stream
+	// open), pause it, replay the full recorded interval into it, and let
+	// it finish: every replayed packet sits below the watermark and must
+	// be dropped as a duplicate.
+	done := make(chan error, 1)
+	go func() { done <- eng.Run(context.Background()) }()
+	for sink.len() < 50 {
+	}
+	if err := dst.Pause(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	replayed, gap, err := src.ReplayInto(context.Background(), dst, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap {
+		t.Fatal("64-deep ring over 50 emissions cannot have a gap")
+	}
+	if replayed != 50 {
+		t.Fatalf("replayed = %d, want 50", replayed)
+	}
+	if err := dst.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.len(); got != 50 {
+		t.Fatalf("sink consumed %d distinct packets, want 50", got)
+	}
+	seen := make(map[int]bool)
+	sink.mu.Lock()
+	for _, v := range sink.vals {
+		if seen[v] {
+			t.Fatalf("duplicate value %d reached Process", v)
+		}
+		seen[v] = true
+	}
+	sink.mu.Unlock()
+	if st := dst.Stats(); st.DupsDropped == 0 {
+		t.Fatal("expected watermark dedupe to drop replayed duplicates")
+	}
+}
+
+func (c *collectSink) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.vals)
+}
+
+// Replay is only safe (and only meaningful) against the recorded window;
+// asking for sequences the ring has evicted must flag the gap.
+func TestReplayIntoReportsGap(t *testing.T) {
+	clk := clock.NewManual()
+	eng := New(clk)
+	sink := &collectSink{}
+	src, _ := eng.AddSourceStage("src", 0, &rangeSource{n: 100}, StageConfig{ReplayBuffer: 8, DisableAdaptation: true})
+	dst, _ := eng.AddProcessorStage("sink", 0, sink, StageConfig{ReplayBuffer: 8, DisableAdaptation: true})
+	if err := eng.Connect(src, dst, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Pause(context.Background()); err == nil {
+		t.Fatal("pausing a stopped stage should fail")
+	}
+	// Both stages stopped: the ring state is stable and readable.
+	if _, gap, err := src.ReplayInto(context.Background(), dst, 0, 100); err != nil {
+		t.Fatal(err)
+	} else if !gap {
+		t.Fatal("replaying past an 8-deep ring's retention must report a gap")
+	}
+	if _, gap, err := src.ReplayInto(context.Background(), dst, 95, 100); err != nil {
+		t.Fatal(err)
+	} else if gap {
+		t.Fatal("replaying inside the retained window must not report a gap")
+	}
+}

@@ -2,10 +2,17 @@ package pipeline
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"github.com/gates-middleware/gates/internal/obs"
 )
+
+// ErrPausePending is wrapped by Pause when a pause is already in flight
+// (the stage is Draining or Paused). Callers that race other pausers — the
+// checkpointer against the recovery controller, say — match it with
+// errors.Is and retry instead of failing.
+var ErrPausePending = errors.New("pause already pending")
 
 // StageState is one phase of a stage instance's lifecycle. A stage is born
 // Init, becomes Running when the engine starts it, and ends Stopped. A
@@ -142,11 +149,16 @@ func (s *Stage) Pause(ctx context.Context) error {
 		return fmt.Errorf("pipeline: pause %s/%d: stage already stopped", s.id, s.instance)
 	case StateDraining, StatePaused:
 		s.pauseMu.Unlock()
-		return fmt.Errorf("pipeline: pause %s/%d: pause already pending", s.id, s.instance)
+		return fmt.Errorf("pipeline: pause %s/%d: %w", s.id, s.instance, ErrPausePending)
 	}
 	s.pausedCh = make(chan struct{})
 	s.resumeCh = make(chan struct{})
 	s.pauseReq.Store(true)
+	if s.pauseWake != nil {
+		// Wake sources blocked outside the emit path; the channel stays
+		// closed — observably "pause pending" — until Resume re-arms it.
+		close(s.pauseWake)
+	}
 	if s.popCancel != nil {
 		// Wake a pop blocked on an empty queue; the queue removes
 		// nothing on cancellation, so no packet is lost.
@@ -174,6 +186,7 @@ func (s *Stage) Resume() error {
 		return fmt.Errorf("pipeline: resume %s/%d: stage is not paused", s.id, s.instance)
 	}
 	s.pauseReq.Store(false)
+	s.pauseWake = make(chan struct{}) // re-arm the cooperative wake-up
 	if s.runCtx != nil {
 		s.popCtx, s.popCancel = context.WithCancel(s.runCtx)
 	}

@@ -191,3 +191,70 @@ func TestRelinkSwapsLiveEdges(t *testing.T) {
 		t.Fatalf("delivered %v", got)
 	}
 }
+
+// TestPauseWakesBlockedBatchedPush pins the batched twin of the
+// pushPausable guarantee: a source wedged mid-Flush against the full queue
+// of a paused downstream must still be pausable (the blocked batch push is
+// a pause boundary), and after both stages resume the retried suffix
+// delivers every value exactly once, in order.
+func TestPauseWakesBlockedBatchedPush(t *testing.T) {
+	clk := clock.NewManual()
+	eng := New(clk)
+	values := make([]int, 64)
+	for i := range values {
+		values[i] = i
+	}
+	src := &testSource{values: values}
+	sink := &collector{}
+	s1, _ := eng.AddSourceStage("src", 0, src, StageConfig{DisableAdaptation: true, BatchSize: 8})
+	s2, _ := eng.AddProcessorStage("sink", 0, sink, StageConfig{DisableAdaptation: true, QueueCapacity: 4})
+	if err := eng.Connect(s1, s2, nil); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- eng.Run(context.Background()) }()
+
+	// Hold the sink paused: its 4-slot queue fills and the source's
+	// 8-packet flush necessarily blocks mid-batch with packets in hand.
+	if err := s2.Pause(context.Background()); err != nil {
+		t.Fatalf("pause sink: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s2.inq().Len() < s2.inq().Cap() {
+		if time.Now().After(deadline) {
+			t.Fatal("sink queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The regression: before pushBatchPausable this Pause hung forever —
+	// the source could not reach a pause boundary while blocked inside
+	// PushBatchCtx, and nobody was draining the paused sink.
+	pctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s1.Pause(pctx); err != nil {
+		t.Fatalf("pause of a source blocked in a batched flush: %v", err)
+	}
+	if !s1.PausedMidEmit() {
+		t.Error("source parked mid-flush not flagged PausedMidEmit")
+	}
+
+	if err := s1.Resume(); err != nil {
+		t.Fatalf("resume source: %v", err)
+	}
+	if err := s2.Resume(); err != nil {
+		t.Fatalf("resume sink: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	got := sink.values()
+	if len(got) != len(values) {
+		t.Fatalf("delivered %d values, want %d (retried suffix lost or duplicated)", len(got), len(values))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("value %d = %d, out of order after mid-batch park", i, v)
+		}
+	}
+}

@@ -108,6 +108,14 @@ type StageConfig struct {
 	// the stage blocks once its accumulated virtual work reaches this
 	// much. Zero sleeps on every charge.
 	ComputeQuantum time.Duration
+	// ReplayBuffer, when positive, turns the stage's fault-tolerance
+	// surface on: every outbound edge keeps a bounded ring of the last
+	// ReplayBuffer emitted data packets for sequence replay after a
+	// downstream recovery, and the drain loops deduplicate received
+	// packets by per-upstream sequence watermark (see ft.go). Zero
+	// inherits the engine default (Engine.SetDefaultReplayBuffer);
+	// negative disables explicitly.
+	ReplayBuffer int
 	// OnAdjust, when non-nil, observes every parameter adjustment —
 	// the hook behind the Figure 8/9 convergence traces.
 	OnAdjust func(st *Stage, now time.Time, adjs []adapt.Adjustment)
@@ -148,6 +156,10 @@ type StageStats struct {
 	// Only maintained when the stage is observed (Engine observability
 	// attached); the untraced hot path never checks downstream occupancy.
 	EmitStall time.Duration
+	// DupsDropped counts received packets discarded by the fault-tolerance
+	// watermark dedupe (replay overlap or re-delivery). Always zero when
+	// fault tolerance is off for the stage.
+	DupsDropped uint64
 }
 
 // Stage is one deployed stage instance: the paper's "instance of the GATES
@@ -218,6 +230,14 @@ type Stage struct {
 	// emit paths touch it, so it needs no lock.
 	emitSeq uint64
 
+	// marks is the per-upstream consumed-sequence watermark table; non-nil
+	// means fault tolerance is on for this stage (see ft.go). Confined to
+	// the stage goroutine, except for the paused-only accessors that ride
+	// the pause handshake's happens-before edge. replayOn caches "any
+	// outbound edge records a replay ring" for the emit paths.
+	marks    []UpstreamMark
+	replayOn bool
+
 	// emitStalled is the edge-trigger latch for stall-onset flight
 	// events: set on the first emission that finds a downstream buffer
 	// full, cleared by the next one that finds space. Confined to the
@@ -235,6 +255,11 @@ type Stage struct {
 	pauseMu   sync.Mutex
 	pausedCh  chan struct{}
 	resumeCh  chan struct{}
+	pauseWake chan struct{} // closed while a pause is pending; re-armed by Resume
+	// midEmit marks the goroutine parked inside emit with a stamped packet
+	// still in hand — a liveness boundary, not a consistent cut. Snapshot
+	// and restore controllers must treat such a pause as uncheckpointable.
+	midEmit   atomic.Bool
 	runCtx    context.Context
 	popCtx    context.Context
 	popCancel context.CancelFunc
@@ -251,10 +276,17 @@ type Stage struct {
 
 // edge is a directed connection to a downstream stage, optionally through an
 // emulated link. The link pointer is atomic so live re-deployment can rewire
-// a moved stage while upstream emitters keep flowing.
+// a moved stage while upstream emitters keep flowing. replay, held, and
+// scratch are the fault-tolerance surface (see ft.go): the bounded record of
+// recent emissions, packets parked by reorder injection, and the flush-path
+// delivery scratch — all confined to the emitting stage goroutine except
+// replay, which the recovery controller reads while the emitter is paused.
 type edge struct {
-	link atomic.Pointer[netsim.Link]
-	to   *Stage
+	link    atomic.Pointer[netsim.Link]
+	to      *Stage
+	replay  *replayRing
+	held    []heldPacket
+	scratch []*Packet
 }
 
 // ID returns the stage's identifier within the application.
@@ -360,6 +392,24 @@ func (c *Context) Param(name string) (*adapt.Param, bool) {
 
 // BatchSize returns the stage's resolved drain/coalesce batch size (>= 1).
 func (c *Context) BatchSize() int { return c.stage.cfg.BatchSize }
+
+// PauseRequested returns a channel that is closed while a pause of this
+// stage is pending — a cooperative wake-up for sources that block outside
+// the emit path (a network ingress waiting for frames, a poller sleeping on
+// an external feed). A woken source calls PauseBoundary to park; Resume
+// re-arms the channel, so select on a fresh call each loop iteration.
+func (c *Context) PauseRequested() <-chan struct{} {
+	s := c.stage
+	s.pauseMu.Lock()
+	defer s.pauseMu.Unlock()
+	return s.pauseWake
+}
+
+// PauseBoundary parks the calling source goroutine when a pause is pending
+// (a no-op otherwise), returning once the stage is resumed. It returns the
+// run context's error when the run is canceled while parked — the source
+// should return that error from Run.
+func (c *Context) PauseBoundary() error { return c.stage.parkIfRequested(c.ctx) }
 
 // ChargeCompute charges d of virtual processing time for the current work
 // item, blocking per the stage's ComputeQuantum batching. The paper's
@@ -566,6 +616,9 @@ func (e *Emitter) buffer(pkt *Packet, only int) error {
 		if only >= 0 && i != only {
 			continue
 		}
+		if s.replayOn && !pkt.Final {
+			s.outs[i].replay.record(pkt.Seq, pkt.Value, pkt.ItemCount(), size)
+		}
 		e.pending[i] = append(e.pending[i], pkt)
 		e.buffered++
 		targets++
@@ -606,12 +659,25 @@ func (e *Emitter) Flush() error {
 			continue
 		}
 		out := s.outs[i]
+		l := out.link.Load()
+		deliver := pend
+		if l != nil && l.Faulty() {
+			// The link's fault schedule decides each packet's fate; what
+			// survives (plus any reorder holds come due) is delivered in
+			// one batch as usual. The pending buffer empties either way.
+			deliver = s.flushFaulty(out, l, pend)
+			e.buffered -= len(pend)
+			e.pending[i] = pend[:0]
+			if len(deliver) == 0 {
+				continue
+			}
+		}
 		sum := 0
-		for _, p := range pend {
+		for _, p := range deliver {
 			sum += p.size(s.cfg.DefaultPacketSize)
 		}
-		if l := out.link.Load(); l != nil {
-			l.TransferBatch(sum, len(pend))
+		if l != nil {
+			l.TransferBatch(sum, len(deliver))
 		}
 		// Blocked-emit accounting, observed engines only: the occupancy
 		// pre-check keeps the untraced path byte-identical, and timing
@@ -626,16 +692,18 @@ func (e *Emitter) Flush() error {
 			s.noteEmitStall(out.to)
 			stallStart = time.Now()
 		}
-		err := out.to.in.PushBatchCtx(e.ctx, pend)
+		err := s.pushBatchPausable(e.ctx, out.to, deliver)
 		if full {
 			e.emitStallNS += uint64(time.Since(stallStart))
 		} else if s.o != nil {
 			s.emitStalled = false
 		}
-		sentPkts += len(pend)
+		sentPkts += len(deliver)
 		sentBytes += sum
-		e.buffered -= len(pend)
-		e.pending[i] = pend[:0]
+		if len(e.pending[i]) != 0 { // already emptied on the faulty path
+			e.buffered -= len(pend)
+			e.pending[i] = pend[:0]
+		}
 		if err != nil && !errors.Is(err, queue.ErrClosed) {
 			// ErrClosed means the downstream already finished: drop,
 			// exactly as the unbatched path does. Pooled references for
@@ -771,10 +839,27 @@ func (s *Stage) emit(ctx context.Context, pkt *Packet, only int) error {
 		if only >= 0 && i != only {
 			continue
 		}
+		if s.replayOn && !final {
+			// Record before the push: once the packet is downstream a
+			// sink may release it, and while broadcast references keep
+			// the fields alive here, recording first needs no such
+			// reasoning.
+			out.replay.record(pkt.Seq, pkt.Value, int(items), size)
+		}
+		l := out.link.Load()
+		if l != nil && l.Faulty() {
+			// Injected faults: the link decides drop/hold/deliver and
+			// the helper carries the consequences (held-packet release,
+			// final-marker protection).
+			if err := s.emitFaulty(ctx, out, l, pkt, size); err != nil {
+				return err
+			}
+			continue
+		}
 		// Broadcast shares one packet struct: stages must not mutate
 		// received packets. Link pacing first (transmission), then
 		// enqueue (may block on downstream backpressure).
-		if l := out.link.Load(); l != nil {
+		if l != nil {
 			l.Transfer(size)
 		}
 		// Blocked-emit accounting as in Emitter.Flush: observed engines
@@ -785,7 +870,7 @@ func (s *Stage) emit(ctx context.Context, pkt *Packet, only int) error {
 			s.noteEmitStall(out.to)
 			stallStart = time.Now()
 		}
-		err := out.to.in.PushCtx(ctx, pkt)
+		err := s.pushPausable(ctx, out.to, pkt)
 		if full {
 			stallNS += uint64(time.Since(stallStart))
 		} else if s.o != nil {
@@ -815,6 +900,67 @@ func (s *Stage) emit(ctx context.Context, pkt *Packet, only int) error {
 	}
 	return nil
 }
+
+// pushPausable delivers pkt into dst's input queue, making a blocked push a
+// pause boundary. The wait runs under the pause-epoch context — Pause
+// cancels it — so a stage wedged against a full queue nobody is draining (a
+// crashed downstream held paused by the recovery controller, say) can still
+// park for the checkpointer or the recovery controller instead of
+// deadlocking the pauser. After resume the push retries: pushCtx inserts
+// nothing on cancellation, and the packet was stamped and ring-recorded
+// before delivery, so if a recovery replayed its sequence interval while
+// this stage was parked, the consumer-side watermark drops the late
+// original as a duplicate. The park is flagged midEmit: state controllers
+// must not snapshot or restore across it (see PausedMidEmit).
+func (s *Stage) pushPausable(ctx context.Context, dst *Stage, pkt *Packet) error {
+	for {
+		err := dst.in.PushCtx(s.currentPopCtx(), pkt)
+		if err == nil || errors.Is(err, queue.ErrClosed) || ctx.Err() != nil {
+			return err
+		}
+		// Woken by a pause request, not run cancellation: park with the
+		// packet in hand, then retry under the fresh epoch context.
+		s.midEmit.Store(true)
+		perr := s.parkIfRequested(ctx)
+		s.midEmit.Store(false)
+		if perr != nil {
+			return perr
+		}
+	}
+}
+
+// pushBatchPausable is pushPausable for the batched flush path: the same
+// pause-epoch wait and park-with-packets-in-hand retry, with PushBatchN
+// reporting the accepted prefix so only the suffix that never entered the
+// queue is retried after resume. Replay rings recorded every packet at
+// emit time, so a recovery replaying the interval while this stage is
+// parked hands the consumer-side watermark the duplicates to drop.
+func (s *Stage) pushBatchPausable(ctx context.Context, dst *Stage, items []*Packet) error {
+	for {
+		n, err := dst.in.PushBatchN(s.currentPopCtx(), items)
+		items = items[n:]
+		if len(items) == 0 && err == nil {
+			return nil
+		}
+		if errors.Is(err, queue.ErrClosed) || ctx.Err() != nil {
+			return err
+		}
+		s.midEmit.Store(true)
+		perr := s.parkIfRequested(ctx)
+		s.midEmit.Store(false)
+		if perr != nil {
+			return perr
+		}
+	}
+}
+
+// PausedMidEmit reports whether the stage's goroutine is parked inside an
+// emission with a stamped packet in hand. Such a pause is a liveness
+// boundary only: the user code may be mid-Process, so its state is not a
+// consistent cut — the checkpointer skips the round and the recovery
+// controller falls back to zombie (at-least-once) recovery rather than
+// restoring state under the live stack. Paused-only, like EmitSeq.
+func (s *Stage) PausedMidEmit() bool { return s.midEmit.Load() }
 
 // noteEmitStall records the stall-onset flight event: the first emission
 // after a period of free flow that finds downstream buffer dst full. The
@@ -853,6 +999,8 @@ func (s *Stage) runInner(ctx context.Context) error {
 	// Return the goroutine-local packet caches to the shared pool.
 	defer em.releaseFree()
 	defer s.flushRecycle()
+	// Packets parked by reorder injection must not outlive the run.
+	defer s.releaseHeld()
 	// Unbatched emitters charge stats inline, buffered ones accumulate
 	// locally; publish whatever is still pending on the way out.
 	defer em.flushStats()
@@ -966,6 +1114,16 @@ func (s *Stage) drainOneByOne(ctx context.Context, sctx *Context, em *Emitter) e
 			}
 			continue
 		}
+		if s.marks != nil && s.dropDup(pkt) {
+			// Replay overlap or re-delivery: already consumed per the
+			// upstream watermark. Dropping here, before the stats and
+			// Process, is what makes redelivered intervals effectively-once.
+			s.mu.Lock()
+			s.stats.DupsDropped++
+			s.mu.Unlock()
+			s.recycleLocal(pkt)
+			continue
+		}
 		items := uint64(pkt.ItemCount())
 		s.mu.Lock()
 		s.stats.PacketsIn++
@@ -1055,6 +1213,13 @@ func (s *Stage) drainBatched(ctx context.Context, sctx *Context, em *Emitter) er
 					// so nothing relevant can follow the last one.
 					break
 				}
+				continue
+			}
+			if s.marks != nil && s.dropDup(pkt) {
+				s.mu.Lock()
+				s.stats.DupsDropped++
+				s.mu.Unlock()
+				s.recycleLocal(pkt)
 				continue
 			}
 			pktsIn++

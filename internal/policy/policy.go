@@ -42,6 +42,18 @@ const (
 	DefaultRebalanceThreshold = 2.0
 	// DefaultLinkCostWeight scales the 1/bandwidth link-cost terms.
 	DefaultLinkCostWeight = 1.0
+	// DefaultCheckpointInterval is the virtual time between checkpoint
+	// rounds when fault tolerance is on.
+	DefaultCheckpointInterval = 2 * time.Second
+	// DefaultReplayBuffer is the per-edge replay-ring depth when fault
+	// tolerance is on.
+	DefaultReplayBuffer = 4096
+	// DefaultHealthEvery is the virtual time between failure-detector
+	// health epochs.
+	DefaultHealthEvery = 500 * time.Millisecond
+	// DefaultDeadAfter is how many consecutive missed health epochs
+	// declare a node dead.
+	DefaultDeadAfter = 3
 )
 
 // Duration is a time.Duration that marshals as a human-readable string
@@ -136,6 +148,80 @@ type SLOPolicy struct {
 	GrowthEpochs int `xml:"growthEpochs,attr" json:"growth_epochs,omitempty"`
 }
 
+// FaultInjection is one scripted fault for the netsim fault plane: at
+// virtual time At (from scheduler start) either kill or heal a node, sever
+// or heal a partition between two nodes, or install a seeded loss/reorder
+// schedule on the directed link From→To. Exactly one action per injection.
+type FaultInjection struct {
+	// Name identifies the injection in decision logs and flight events.
+	Name string `xml:"name,attr" json:"name"`
+	// At is the virtual time offset the injection fires at.
+	At Duration `xml:"at,attr" json:"at"`
+	// Kill names a node whose links all black-hole from At on.
+	Kill string `xml:"kill,attr" json:"kill,omitempty"`
+	// Heal names a previously killed node to revive.
+	Heal string `xml:"heal,attr" json:"heal,omitempty"`
+	// From and To name the directed link (or node pair) the injection
+	// targets.
+	From string `xml:"from,attr" json:"from,omitempty"`
+	To   string `xml:"to,attr" json:"to,omitempty"`
+	// Partition severs both directions between From and To; HealPartition
+	// restores them.
+	Partition     bool `xml:"partition,attr" json:"partition,omitempty"`
+	HealPartition bool `xml:"healPartition,attr" json:"heal_partition,omitempty"`
+	// Loss and Reorder are per-packet probabilities for the From→To link;
+	// Depth is how many delivery rounds a reordered packet is held (0
+	// selects 1); Seed seeds the deterministic fault schedule (0 selects
+	// 1). Loss+Reorder == 0 with From/To set clears the link's faults.
+	Loss    float64 `xml:"loss,attr" json:"loss,omitempty"`
+	Reorder float64 `xml:"reorder,attr" json:"reorder,omitempty"`
+	Depth   int     `xml:"depth,attr" json:"depth,omitempty"`
+	Seed    int64   `xml:"seed,attr" json:"seed,omitempty"`
+}
+
+// FaultPolicy governs the fault-tolerance plane: periodic checkpointing,
+// the failure detector, the replay-ring depth, and scripted injections.
+type FaultPolicy struct {
+	// Enabled turns checkpointing and recovery on; the remaining knobs
+	// normalize to defaults only when it is set.
+	Enabled bool `xml:"enabled,attr" json:"enabled,omitempty"`
+	// CheckpointInterval is the virtual time between checkpoint rounds;
+	// 0 selects DefaultCheckpointInterval.
+	CheckpointInterval Duration `xml:"checkpointInterval,attr" json:"checkpoint_interval,omitempty"`
+	// ReplayBuffer is the per-edge replay-ring depth; 0 selects
+	// DefaultReplayBuffer.
+	ReplayBuffer int `xml:"replayBuffer,attr" json:"replay_buffer,omitempty"`
+	// HealthEvery is the failure detector's epoch length; 0 selects
+	// DefaultHealthEvery.
+	HealthEvery Duration `xml:"healthEvery,attr" json:"health_every,omitempty"`
+	// DeadAfter is how many consecutive missed epochs declare a node
+	// dead; 0 selects DefaultDeadAfter.
+	DeadAfter int `xml:"deadAfter,attr" json:"dead_after,omitempty"`
+	// Injections is the scripted fault schedule.
+	Injections []FaultInjection `xml:"injection" json:"injections,omitempty"`
+}
+
+// actions counts how many distinct actions the injection specifies.
+func (f FaultInjection) actions() int {
+	n := 0
+	if f.Kill != "" {
+		n++
+	}
+	if f.Heal != "" {
+		n++
+	}
+	if f.Partition {
+		n++
+	}
+	if f.HealPartition {
+		n++
+	}
+	if f.From != "" && !f.Partition && !f.HealPartition {
+		n++ // link loss/reorder injection (or a clear)
+	}
+	return n
+}
+
 // Document is one complete policy: everything the control plane consults.
 // The zero value normalizes to the middleware's historical defaults.
 type Document struct {
@@ -146,6 +232,7 @@ type Document struct {
 	Placement PlacementPolicy `xml:"placement" json:"placement,omitempty"`
 	Rebalance RebalancePolicy `xml:"rebalance" json:"rebalance,omitempty"`
 	SLO       SLOPolicy       `xml:"slo" json:"slo,omitempty"`
+	Faults    FaultPolicy     `xml:"faults" json:"faults,omitempty"`
 }
 
 // DefaultDocument returns the policy the middleware ships with — the exact
@@ -173,6 +260,20 @@ func (d *Document) Normalize() {
 	}
 	if d.SLO.GrowthEpochs == 0 {
 		d.SLO.GrowthEpochs = obs.DefaultSLOGrowthEpochs
+	}
+	if d.Faults.Enabled {
+		if d.Faults.CheckpointInterval <= 0 {
+			d.Faults.CheckpointInterval = Duration(DefaultCheckpointInterval)
+		}
+		if d.Faults.ReplayBuffer == 0 {
+			d.Faults.ReplayBuffer = DefaultReplayBuffer
+		}
+		if d.Faults.HealthEvery <= 0 {
+			d.Faults.HealthEvery = Duration(DefaultHealthEvery)
+		}
+		if d.Faults.DeadAfter <= 0 {
+			d.Faults.DeadAfter = DefaultDeadAfter
+		}
 	}
 }
 
@@ -211,6 +312,35 @@ func (d *Document) Validate() error {
 	}
 	if d.SLO.GrowthEpochs < 0 {
 		return fmt.Errorf("policy: slo.growth_epochs %d must not be negative", d.SLO.GrowthEpochs)
+	}
+	if d.Faults.CheckpointInterval < 0 {
+		return fmt.Errorf("policy: faults.checkpoint_interval %s must not be negative", d.Faults.CheckpointInterval.Std())
+	}
+	if d.Faults.HealthEvery < 0 {
+		return fmt.Errorf("policy: faults.health_every %s must not be negative", d.Faults.HealthEvery.Std())
+	}
+	if d.Faults.DeadAfter < 0 {
+		return fmt.Errorf("policy: faults.dead_after %d must not be negative", d.Faults.DeadAfter)
+	}
+	for i, inj := range d.Faults.Injections {
+		if inj.Name == "" {
+			return fmt.Errorf("policy: fault injection %d needs a name (decision logs cite it)", i)
+		}
+		if inj.At < 0 {
+			return fmt.Errorf("policy: fault injection %q: at %s must not be negative", inj.Name, inj.At.Std())
+		}
+		if n := inj.actions(); n != 1 {
+			return fmt.Errorf("policy: fault injection %q specifies %d actions, want exactly one of kill, heal, partition, heal_partition, or a from/to link schedule", inj.Name, n)
+		}
+		if (inj.Partition || inj.HealPartition || (inj.From != "")) && (inj.From == "" || inj.To == "") {
+			return fmt.Errorf("policy: fault injection %q needs both from and to", inj.Name)
+		}
+		if inj.Loss < 0 || inj.Loss > 1 || inj.Reorder < 0 || inj.Reorder > 1 || inj.Loss+inj.Reorder > 1 {
+			return fmt.Errorf("policy: fault injection %q: loss %g / reorder %g must be probabilities summing to at most 1", inj.Name, inj.Loss, inj.Reorder)
+		}
+		if (inj.Loss > 0 || inj.Reorder > 0 || inj.Depth != 0 || inj.Seed != 0) && inj.From == "" {
+			return fmt.Errorf("policy: fault injection %q sets a loss schedule without a from/to link", inj.Name)
+		}
 	}
 	return nil
 }

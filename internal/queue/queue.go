@@ -288,19 +288,29 @@ func (q *Queue[T]) PushBatch(items []T) error {
 // PushBatchCtx is PushBatch with cancellation. On ctx cancellation a prefix
 // of the batch may already have been accepted.
 func (q *Queue[T]) PushBatchCtx(ctx context.Context, items []T) error {
+	_, err := q.PushBatchN(ctx, items)
+	return err
+}
+
+// PushBatchN is PushBatchCtx reporting how many leading items were
+// accepted. On cancellation or close the caller knows exactly which suffix
+// never entered the queue and can retry it — what makes a blocked batched
+// emit a resumable pause boundary rather than an all-or-nothing loss.
+func (q *Queue[T]) PushBatchN(ctx context.Context, items []T) (int, error) {
+	pushed := 0
 	for len(items) > 0 {
 		if err := ctx.Err(); err != nil {
-			return err
+			return pushed, err
 		}
 		q.mu.Lock()
 		if q.closed {
 			q.mu.Unlock()
-			return ErrClosed
+			return pushed, ErrClosed
 		}
 		if q.n == len(q.buf) {
 			q.mu.Unlock()
 			if err := q.waitNotFull(ctx); err != nil {
-				return err
+				return pushed, err
 			}
 			continue // re-check under a fresh lock
 		}
@@ -311,8 +321,9 @@ func (q *Queue[T]) PushBatchCtx(ctx context.Context, items []T) error {
 		q.enqueueLocked(items[:k])
 		q.mu.Unlock()
 		items = items[k:]
+		pushed += k
 	}
-	return nil
+	return pushed, nil
 }
 
 // waitNotFull blocks until the queue has space, is closed, or ctx is done.

@@ -25,6 +25,7 @@ type Buffer[T any] interface {
 	TryPush(v T) error
 	PushBatch(items []T) error
 	PushBatchCtx(ctx context.Context, items []T) error
+	PushBatchN(ctx context.Context, items []T) (int, error)
 
 	Pop() (T, error)
 	PopCtx(ctx context.Context) (T, error)
@@ -551,25 +552,40 @@ func (r *Ring[T]) PushBatchCtx(ctx context.Context, items []T) error {
 	return r.pushBatchCtx(ctx, items)
 }
 
+// PushBatchN is PushBatchCtx reporting how many leading items were
+// accepted, so on cancellation or close the caller can retry exactly the
+// suffix that never entered the ring (the resumable pause boundary of the
+// batched emit path).
+func (r *Ring[T]) PushBatchN(ctx context.Context, items []T) (int, error) {
+	return r.pushBatchN(ctx, items)
+}
+
 func (r *Ring[T]) pushBatchCtx(ctx context.Context, items []T) error {
+	_, err := r.pushBatchN(ctx, items)
+	return err
+}
+
+func (r *Ring[T]) pushBatchN(ctx context.Context, items []T) (int, error) {
+	pushed := 0
 	for len(items) > 0 {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
-				return err
+				return pushed, err
 			}
 		}
 		if r.closed.Load() {
-			return ErrClosed
+			return pushed, ErrClosed
 		}
 		if n := r.pushN(items); n > 0 {
 			items = items[n:]
+			pushed += n
 			continue
 		}
 		if err := r.waitNotFull(ctx); err != nil {
-			return err
+			return pushed, err
 		}
 	}
-	return nil
+	return pushed, nil
 }
 
 // Pop removes the oldest item, blocking while empty; ErrClosed once closed

@@ -102,9 +102,16 @@ type Deployer struct {
 
 	topologyAware bool
 	defBatch      int
+	defReplay     int
 	o             *obs.Observability
 	pol           *policy.Engine
 }
+
+// SetReplayBuffer sets the per-edge replay-ring depth the deployer installs
+// on every engine it builds (see pipeline.Engine.SetDefaultReplayBuffer).
+// Zero (the default) disables fault tolerance; per-stage
+// StageConfig.ReplayBuffer from tuning still wins.
+func (d *Deployer) SetReplayBuffer(n int) { d.defReplay = n }
 
 // SetObservability attaches an observability bundle installed on every
 // engine the deployer builds: deployments log placements, stages publish
@@ -198,6 +205,9 @@ func (d *Deployer) Apply(cfg *AppConfig, plan *Plan, tuning StageTuning) (*Deplo
 	eng := pipeline.New(d.clk)
 	if d.defBatch > 0 {
 		eng.SetDefaultBatchSize(d.defBatch)
+	}
+	if d.defReplay > 0 {
+		eng.SetDefaultReplayBuffer(d.defReplay)
 	}
 	if d.o != nil {
 		eng.SetObservability(d.o)

@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"github.com/gates-middleware/gates/internal/adapt"
 	"github.com/gates-middleware/gates/internal/obs"
@@ -76,6 +77,15 @@ func (e *Egress) flush() error {
 // network into a local engine. Construct it, point a Server's handler at
 // Deliver, and add it as a source stage. Run ends after ExpectFinals final
 // markers (one per remote upstream instance) have arrived.
+//
+// The wire does not stop when the engine side does: while the ingress stage
+// is paused — a checkpoint capture, or a recovery holding it across a Relink
+// — frames keep arriving. Deliver parks the overflow in a bounded pending
+// buffer (pendingFactor times the channel depth) instead of wedging the
+// connection's read loop, which would also stall exception traffic sharing
+// the socket; the parked frames drain in arrival order once the stage
+// resumes. Only with both the channel and the parking lot full does Deliver
+// block — backpressure is the last resort, not the first.
 type Ingress struct {
 	// ExpectFinals is how many Final markers end the stream. Zero means
 	// one.
@@ -90,7 +100,19 @@ type Ingress struct {
 
 	ch   chan *pipeline.Packet
 	done chan struct{} // closed when Run returns; Deliver stops blocking
+	kick chan struct{} // cap 1: tells Run the parking lot has frames
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signaled when the parking lot gains room or closes
+	pending []*pipeline.Packet
+	maxPend int
+	closed  bool // Run returned; park nothing further
 }
+
+// pendingFactor sizes the pause-overflow parking lot relative to the
+// engine-side channel: deep enough to ride out a checkpoint or recovery
+// re-wiring at line rate, small enough to stay a bounded buffer.
+const pendingFactor = 16
 
 // NewIngress returns an ingress expecting the given number of final markers,
 // buffering up to buf packets between the network and the engine.
@@ -101,11 +123,15 @@ func NewIngress(expectFinals, buf int) *Ingress {
 	if buf < 1 {
 		buf = 64
 	}
-	return &Ingress{
+	i := &Ingress{
 		ExpectFinals: expectFinals,
 		ch:           make(chan *pipeline.Packet, buf),
 		done:         make(chan struct{}),
+		kick:         make(chan struct{}, 1),
+		maxPend:      pendingFactor * buf,
 	}
+	i.cond = sync.NewCond(&i.mu)
+	return i
 }
 
 // Deliver is the Server handler: it routes packets into the engine and
@@ -121,10 +147,33 @@ func (i *Ingress) Deliver(m Message) {
 			// One more node crossing on this packet's trace context.
 			pkt.TraceHops++
 		}
-		select {
-		case i.ch <- pkt:
-		case <-i.done:
+		i.mu.Lock()
+		i.drainPendingLocked()
+		if len(i.pending) == 0 {
+			// Fast path: the channel has room and nothing is parked
+			// ahead of this frame.
+			select {
+			case i.ch <- pkt:
+				i.mu.Unlock()
+				return
+			default:
+			}
+		}
+		// Park behind whatever is already waiting; blocking only when the
+		// bounded lot is full keeps arrival order intact either way.
+		for len(i.pending) >= i.maxPend && !i.closed {
+			i.cond.Wait()
+		}
+		if i.closed {
+			i.mu.Unlock()
 			pkt.Release() // stream already ended: recycle the drop
+			return
+		}
+		i.pending = append(i.pending, pkt)
+		i.mu.Unlock()
+		select {
+		case i.kick <- struct{}{}:
+		default: // a wake-up is already queued
 		}
 	case KindException:
 		if i.OnException != nil {
@@ -133,43 +182,130 @@ func (i *Ingress) Deliver(m Message) {
 	}
 }
 
+// drainPendingLocked moves parked frames into the channel while both have
+// capacity, oldest first. Callers hold i.mu.
+func (i *Ingress) drainPendingLocked() {
+	moved := false
+	for len(i.pending) > 0 {
+		select {
+		case i.ch <- i.pending[0]:
+			i.pending[0] = nil
+			i.pending = i.pending[1:]
+			moved = true
+		default:
+			if moved {
+				i.cond.Broadcast()
+			}
+			return
+		}
+	}
+	if moved {
+		i.cond.Broadcast()
+	}
+	i.pending = nil
+}
+
+// takeParked pops the oldest parked frame, or nil when the lot is empty.
+func (i *Ingress) takeParked() *pipeline.Packet {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if len(i.pending) == 0 {
+		return nil
+	}
+	pkt := i.pending[0]
+	i.pending[0] = nil
+	i.pending = i.pending[1:]
+	if len(i.pending) == 0 {
+		i.pending = nil
+	}
+	i.cond.Broadcast()
+	return pkt
+}
+
 // Run implements pipeline.Source: it emits received packets until the
-// expected number of final markers has arrived.
+// expected number of final markers has arrived. It honors stage pauses even
+// while idle — Context.PauseRequested wakes it between frames, so a
+// checkpoint or recovery never waits on the next network delivery.
 func (i *Ingress) Run(ctx *pipeline.Context, out *pipeline.Emitter) error {
-	defer close(i.done)
+	defer func() {
+		i.mu.Lock()
+		i.closed = true
+		for _, pkt := range i.pending {
+			pkt.Release()
+		}
+		i.pending = nil
+		i.cond.Broadcast()
+		i.mu.Unlock()
+		close(i.done)
+	}()
 	op := i.Tracer.Op("ingress.emit")
 	finals := 0
 	for {
 		select {
 		case <-ctx.Done():
 			return context.Cause(ctx.Ctx())
+		case <-ctx.PauseRequested():
+			// Idle pause boundary: park here rather than inside a future
+			// emit, so a quiet wire never stalls a checkpoint or recovery.
+			if err := ctx.PauseBoundary(); err != nil {
+				return err
+			}
 		case pkt := <-i.ch:
-			if pkt.Final {
-				finals++
-				pkt.Release()
-				if finals >= i.ExpectFinals {
-					return nil
+			done, err := i.handle(ctx, out, op, pkt, &finals)
+			if done || err != nil {
+				return err
+			}
+		case <-i.kick:
+			// Drain the backlog: everything already in the channel is
+			// older than anything parked, so empty it first.
+			for {
+				select {
+				case pkt := <-i.ch:
+					done, err := i.handle(ctx, out, op, pkt, &finals)
+					if done || err != nil {
+						return err
+					}
+					continue
+				default:
 				}
-				continue
-			}
-			var sp obs.Span
-			if pkt.TraceID != 0 {
-				// Traced lineage: force the span so the cross-node
-				// span tree stays complete.
-				sp = i.Tracer.StartTraced("ingress.emit", pkt.TraceID, pkt.TraceHops)
-			} else {
-				sp = op.Start()
-			}
-			// Emit transfers ownership; a local sink may recycle the
-			// packet immediately, so read everything the span needs first.
-			items := float64(pkt.ItemCount())
-			if err := out.Emit(pkt); err != nil {
-				return fmt.Errorf("transport: ingress emit: %w", err)
-			}
-			if sp.Sampled() {
-				sp.Annotate("items", items)
-				sp.End()
+				pkt := i.takeParked()
+				if pkt == nil {
+					break
+				}
+				done, err := i.handle(ctx, out, op, pkt, &finals)
+				if done || err != nil {
+					return err
+				}
 			}
 		}
 	}
+}
+
+// handle emits one received frame into the engine, counting final markers.
+// It reports done when the expected number of finals has arrived.
+func (i *Ingress) handle(ctx *pipeline.Context, out *pipeline.Emitter, op *obs.Op, pkt *pipeline.Packet, finals *int) (bool, error) {
+	if pkt.Final {
+		*finals++
+		pkt.Release()
+		return *finals >= i.ExpectFinals, nil
+	}
+	var sp obs.Span
+	if pkt.TraceID != 0 {
+		// Traced lineage: force the span so the cross-node span tree
+		// stays complete.
+		sp = i.Tracer.StartTraced("ingress.emit", pkt.TraceID, pkt.TraceHops)
+	} else {
+		sp = op.Start()
+	}
+	// Emit transfers ownership; a local sink may recycle the packet
+	// immediately, so read everything the span needs first.
+	items := float64(pkt.ItemCount())
+	if err := out.Emit(pkt); err != nil {
+		return false, fmt.Errorf("transport: ingress emit: %w", err)
+	}
+	if sp.Sampled() {
+		sp.Annotate("items", items)
+		sp.End()
+	}
+	return false, nil
 }

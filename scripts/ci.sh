@@ -143,6 +143,22 @@ echo "== bottleneck attribution smoke =="
 go run ./cmd/gates-experiments -exp constriction -quick | tee /dev/stderr \
   | grep -q 'bottleneck: constrict'
 
+echo "== chaos lane =="
+# Fault-tolerance lane: the deterministic manual-clock kill/recover tests
+# and the concurrent fault-injection hammer under the race detector, then
+# the kill-at-t experiment end to end — the node hosting a summarizer dies
+# mid-stream and the recovery controller must detect, re-place, restore the
+# checkpointed sketch, and replay the black-holed interval. The verdict
+# line asserts exactly one recovery, a state restore, no ring-retention
+# gap, full sink sequence coverage, and accuracy within 0.1 of the
+# fault-free run.
+go test -race \
+  -run 'TestChaos|TestHealthMonitor|TestFault|TestReplay|TestDropDup|TestEmitLoss|TestEmitReorder|TestNetworkKill|TestNetworkPartition' \
+  ./internal/service ./internal/pipeline ./internal/netsim
+chaos_out="$(go run ./cmd/gates-experiments -exp chaos -quick | tee /dev/stderr)"
+echo "$chaos_out" | grep -q 'chaos-verdict: recoveries=1 restored=true gap=false coverage=1.000'
+echo "$chaos_out" | grep -q 'accuracy_ok=true'
+
 echo "== coverage =="
 go test -coverprofile=coverage.out -covermode=atomic ./...
 go tool cover -func=coverage.out | tail -1
