@@ -104,6 +104,115 @@ func TestFlightRecorderDumpToDisk(t *testing.T) {
 	}
 }
 
+// TestFlightDumpRoundTrip writes a dump and reads it back: every retained
+// event must survive the disk trip byte-identically (same order, same
+// payloads), with the dump marker appended as the final event.
+func TestFlightDumpRoundTrip(t *testing.T) {
+	clk := clock.NewManual()
+	f := NewFlightRecorder(clk, 16)
+	for i := 0; i < 5; i++ {
+		clk.Advance(time.Second)
+		f.Record(FlightEvent{Kind: FlightLifecycle, Stage: "s", Instance: i, Detail: "running"})
+	}
+	target := filepath.Join(t.TempDir(), "flight.json")
+	f.SetDumpPath(target)
+	if _, err := f.DumpToDisk("slo-violation"); err != nil {
+		t.Fatal(err)
+	}
+
+	want := f.Events() // includes the dump marker
+	data, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Total  uint64        `json:"total"`
+		Events []FlightEvent `json:"events"`
+	}
+	if err := json.Unmarshal(data, &d); err != nil {
+		t.Fatalf("dump is not JSON: %v", err)
+	}
+	if len(d.Events) != len(want) {
+		t.Fatalf("round-trip kept %d events, want %d", len(d.Events), len(want))
+	}
+	for i := range want {
+		g, w := d.Events[i], want[i]
+		if g.Seq != w.Seq || g.Kind != w.Kind || g.Stage != w.Stage ||
+			g.Instance != w.Instance || g.Detail != w.Detail || !g.At.Equal(w.At) {
+			t.Fatalf("event %d round-tripped as %+v, want %+v", i, g, w)
+		}
+	}
+	if last := d.Events[len(d.Events)-1]; last.Kind != FlightDump || last.Detail != "slo-violation" {
+		t.Fatalf("last event = %+v, want the slo-violation dump marker", last)
+	}
+}
+
+// TestFlightDumpConcurrentNoClobber hammers DumpToDisk from several
+// goroutines — the "second violation while the first dump is still being
+// written" race. The temp+rename protocol must keep every read of the
+// target a complete JSON document and leave no temp files behind.
+func TestFlightDumpConcurrentNoClobber(t *testing.T) {
+	clk := clock.NewManual()
+	f := NewFlightRecorder(clk, 64)
+	dir := t.TempDir()
+	target := filepath.Join(dir, "flight.json")
+	f.SetDumpPath(target)
+	if _, err := f.DumpToDisk("seed"); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				f.Record(FlightEvent{Kind: FlightSLO, Stage: "s", Instance: w, Detail: "violated"})
+				if _, err := f.DumpToDisk("slo-violation"); err != nil {
+					t.Errorf("dump %d/%d: %v", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Reader: every observation of the target must parse — a clobbered or
+	// half-written file fails Unmarshal.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := 0; i < 200; i++ {
+			data, err := os.ReadFile(target)
+			if err != nil {
+				t.Errorf("read during dumps: %v", err)
+				return
+			}
+			var d map[string]any
+			if err := json.Unmarshal(data, &d); err != nil {
+				t.Errorf("observed a torn dump (%d bytes): %v", len(data), err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+
+	// All temp files were renamed into place or cleaned up on error.
+	leftovers, err := filepath.Glob(filepath.Join(dir, ".gates-flight-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Fatalf("dump left temp files behind: %v", leftovers)
+	}
+	var sb strings.Builder
+	if err := f.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "\"dumps\": 101") {
+		t.Fatalf("envelope should count 101 successful dumps: %s", sb.String())
+	}
+}
+
 // TestAggregatorDumpsFlightOnViolation drives the aggregator's SLO detector
 // into violation on a manual clock and asserts the transition lands in the
 // flight recorder and on disk.

@@ -1,0 +1,429 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// Profiler is the per-stage CPU attribution engine: it periodically takes
+// a short CPU profile of the whole process, folds the samples by their
+// "stage" goroutine label (pprof.Do around every stage worker, source,
+// and transport loop), and accumulates cumulative per-stage CPU seconds —
+// published as gates_stage_cpu_seconds_total and fed into the time-series
+// plane. Samples from unlabeled goroutines (runtime, HTTP handlers, the
+// profiler itself) accumulate under the "" key, kept internal: the
+// metric answers "which stage is burning the node", not "what is the
+// process doing".
+//
+// Profiling runs on the wall clock — CPU burn is a wall phenomenon — with
+// a duty cycle set by the sampling period: each round profiles for half
+// the period (clamped to [50ms, 1s]). StartCPUProfile is process-global,
+// so a round quietly skips when another profile (e.g. /debug/pprof/profile)
+// is active, and the skip is counted.
+type Profiler struct {
+	every  time.Duration
+	window time.Duration
+
+	mu      sync.Mutex
+	reg     *Registry // lazily registers per-stage counter series
+	cum     map[string]float64
+	rate    map[string]float64 // EWMA cores-burned per stage
+	rounds  uint64
+	skips   uint64
+	lastErr string
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// DefaultProfileEvery is the default wall-clock period between CPU
+// profile rounds (the -profile-every flag).
+const DefaultProfileEvery = 2 * time.Second
+
+// rateAlpha is the EWMA weight of the newest round in the per-stage CPU
+// rate estimate.
+const rateAlpha = 0.5
+
+// NewProfiler returns a profiler sampling every period (<= 0 selects
+// DefaultProfileEvery). It is idle until Start.
+func NewProfiler(every time.Duration) *Profiler {
+	if every <= 0 {
+		every = DefaultProfileEvery
+	}
+	window := every / 2
+	if window < 50*time.Millisecond {
+		window = 50 * time.Millisecond
+	}
+	if window > time.Second {
+		window = time.Second
+	}
+	if window > every {
+		window = every
+	}
+	return &Profiler{
+		every:  every,
+		window: window,
+		cum:    make(map[string]float64),
+		rate:   make(map[string]float64),
+	}
+}
+
+// SetRegistry makes the profiler publish gates_stage_cpu_seconds_total
+// into reg, one series per stage label as stages appear in profiles.
+func (p *Profiler) SetRegistry(reg *Registry) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.reg = reg
+	p.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("gates_profiler_rounds_total",
+		"Completed CPU profile rounds folded into per-stage attribution.", nil,
+		func() float64 { p.mu.Lock(); defer p.mu.Unlock(); return float64(p.rounds) })
+	reg.CounterFunc("gates_profiler_skips_total",
+		"Profile rounds skipped because another CPU profile was active.", nil,
+		func() float64 { p.mu.Lock(); defer p.mu.Unlock(); return float64(p.skips) })
+}
+
+// Start launches the background sampling loop. A second Start is a no-op
+// until Stop.
+func (p *Profiler) Start() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.stop != nil {
+		p.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	p.stop, p.done = stop, done
+	p.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(p.every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				p.SampleOnce()
+			}
+		}
+	}()
+}
+
+// Stop ends the sampling loop and waits for it.
+func (p *Profiler) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// SampleOnce takes one profile round synchronously: profile for the
+// window, fold by stage label, accumulate. It returns the error of a
+// skipped round (another profile active) after counting it.
+func (p *Profiler) SampleOnce() error {
+	if p == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		p.mu.Lock()
+		p.skips++
+		p.lastErr = err.Error()
+		p.mu.Unlock()
+		return err
+	}
+	time.Sleep(p.window)
+	pprof.StopCPUProfile()
+	byStage, err := foldCPUProfile(buf.Bytes())
+	if err != nil {
+		p.mu.Lock()
+		p.lastErr = err.Error()
+		p.mu.Unlock()
+		return err
+	}
+	p.fold(byStage, p.window.Seconds())
+	return nil
+}
+
+// fold accumulates one round's per-stage CPU nanoseconds and refreshes
+// the EWMA rates against the profiled wall window.
+func (p *Profiler) fold(byStage map[string]int64, wallSec float64) {
+	p.mu.Lock()
+	var newStages []string
+	for stage, ns := range byStage {
+		if _, seen := p.cum[stage]; !seen && stage != "" {
+			newStages = append(newStages, stage)
+		}
+		p.cum[stage] += float64(ns) * 1e-9
+	}
+	if wallSec > 0 {
+		// Stages absent from this round decay toward zero; present ones
+		// blend in their cores-burned share of the profiled window.
+		for stage := range p.rate {
+			p.rate[stage] *= 1 - rateAlpha
+		}
+		for stage, ns := range byStage {
+			p.rate[stage] += rateAlpha * (float64(ns) * 1e-9 / wallSec)
+		}
+	}
+	p.rounds++
+	p.lastErr = ""
+	reg := p.reg
+	p.mu.Unlock()
+	if reg != nil {
+		for _, stage := range newStages {
+			stage := stage
+			reg.CounterFunc("gates_stage_cpu_seconds_total",
+				"CPU seconds attributed to this stage's labeled goroutines by the sampling profiler.",
+				map[string]string{"stage": stage},
+				func() float64 { return p.cpuFor(stage) })
+		}
+	}
+}
+
+func (p *Profiler) cpuFor(stage string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cum[stage]
+}
+
+// CPUSeconds returns the cumulative attributed CPU seconds per stage
+// (the "" key holds unattributed process time).
+func (p *Profiler) CPUSeconds() map[string]float64 {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]float64, len(p.cum))
+	for k, v := range p.cum {
+		out[k] = v
+	}
+	return out
+}
+
+// CPURates returns the smoothed cores-burned estimate per stage over
+// recent profile rounds (1.0 = one core saturated).
+func (p *Profiler) CPURates() map[string]float64 {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]float64, len(p.rate))
+	for k, v := range p.rate {
+		out[k] = v
+	}
+	return out
+}
+
+// Rounds returns how many profile rounds completed and how many were
+// skipped.
+func (p *Profiler) Rounds() (completed, skipped uint64) {
+	if p == nil {
+		return 0, 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rounds, p.skips
+}
+
+// foldCPUProfile parses a runtime/pprof CPU profile (gzipped protobuf)
+// and sums the cpu/nanoseconds sample value by each sample's "stage"
+// label (unlabeled samples land under ""). The decoder walks the
+// profile.proto wire format directly — four fields of a well-known
+// message — so the middleware carries no protobuf dependency.
+func foldCPUProfile(data []byte) (map[string]int64, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("obs: profile gunzip: %w", err)
+		}
+		data, err = io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: profile gunzip: %w", err)
+		}
+	}
+	// Pass 1 over the Profile message: collect the string table, the raw
+	// sample_type submessages, and the raw sample submessages (the string
+	// table may follow the samples in the stream).
+	var (
+		strs        []string
+		sampleTypes [][]byte
+		samples     [][]byte
+	)
+	rest := data
+	for len(rest) > 0 {
+		field, wire, v, payload, n, err := protoField(rest)
+		if err != nil {
+			return nil, err
+		}
+		_ = v
+		switch {
+		case field == 1 && wire == 2: // repeated ValueType sample_type
+			sampleTypes = append(sampleTypes, payload)
+		case field == 2 && wire == 2: // repeated Sample sample
+			samples = append(samples, payload)
+		case field == 6 && wire == 2: // repeated string string_table
+			strs = append(strs, string(payload))
+		}
+		rest = rest[n:]
+	}
+	str := func(i uint64) string {
+		if i < uint64(len(strs)) {
+			return strs[i]
+		}
+		return ""
+	}
+	// The value index of the ("cpu", "nanoseconds") sample type; a CPU
+	// profile's layout is [("samples","count"), ("cpu","nanoseconds")],
+	// but resolve it by name with last-index fallback.
+	cpuIdx := len(sampleTypes) - 1
+	for i, st := range sampleTypes {
+		var typ, unit uint64
+		r := st
+		for len(r) > 0 {
+			field, _, v, _, n, err := protoField(r)
+			if err != nil {
+				return nil, err
+			}
+			switch field {
+			case 1:
+				typ = v
+			case 2:
+				unit = v
+			}
+			r = r[n:]
+		}
+		if str(typ) == "cpu" && str(unit) == "nanoseconds" {
+			cpuIdx = i
+		}
+	}
+	if cpuIdx < 0 {
+		return nil, fmt.Errorf("obs: profile has no sample types")
+	}
+	out := make(map[string]int64)
+	for _, sm := range samples {
+		var vals []int64
+		stage := ""
+		r := sm
+		for len(r) > 0 {
+			field, wire, v, payload, n, err := protoField(r)
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case field == 2 && wire == 2: // packed repeated int64 value
+				pr := payload
+				for len(pr) > 0 {
+					u, m := uvarint(pr)
+					if m <= 0 {
+						return nil, fmt.Errorf("obs: profile sample value truncated")
+					}
+					vals = append(vals, int64(u))
+					pr = pr[m:]
+				}
+			case field == 2 && wire == 0: // unpacked value
+				vals = append(vals, int64(v))
+			case field == 3 && wire == 2: // Label label
+				var key, sv uint64
+				lr := payload
+				for len(lr) > 0 {
+					lf, _, lv, _, ln, err := protoField(lr)
+					if err != nil {
+						return nil, err
+					}
+					switch lf {
+					case 1:
+						key = lv
+					case 2:
+						sv = lv
+					}
+					lr = lr[ln:]
+				}
+				if str(key) == "stage" {
+					stage = str(sv)
+				}
+			}
+			r = r[n:]
+		}
+		if cpuIdx < len(vals) {
+			out[stage] += vals[cpuIdx]
+		}
+	}
+	return out, nil
+}
+
+// protoField decodes one protobuf field header plus its value from b:
+// varint fields return the value in v, length-delimited fields return the
+// payload; n is the total bytes consumed.
+func protoField(b []byte) (field, wire int, v uint64, payload []byte, n int, err error) {
+	tag, tn := uvarint(b)
+	if tn <= 0 {
+		return 0, 0, 0, nil, 0, fmt.Errorf("obs: profile field tag truncated")
+	}
+	field, wire = int(tag>>3), int(tag&7)
+	switch wire {
+	case 0: // varint
+		val, vn := uvarint(b[tn:])
+		if vn <= 0 {
+			return 0, 0, 0, nil, 0, fmt.Errorf("obs: profile varint truncated")
+		}
+		return field, wire, val, nil, tn + vn, nil
+	case 1: // fixed64
+		if len(b) < tn+8 {
+			return 0, 0, 0, nil, 0, fmt.Errorf("obs: profile fixed64 truncated")
+		}
+		return field, wire, 0, nil, tn + 8, nil
+	case 2: // length-delimited
+		l, ln := uvarint(b[tn:])
+		if ln <= 0 || uint64(len(b)) < uint64(tn+ln)+l {
+			return 0, 0, 0, nil, 0, fmt.Errorf("obs: profile payload truncated")
+		}
+		start := tn + ln
+		return field, wire, 0, b[start : start+int(l)], start + int(l), nil
+	case 5: // fixed32
+		if len(b) < tn+4 {
+			return 0, 0, 0, nil, 0, fmt.Errorf("obs: profile fixed32 truncated")
+		}
+		return field, wire, 0, nil, tn + 4, nil
+	default:
+		return 0, 0, 0, nil, 0, fmt.Errorf("obs: profile wire type %d unsupported", wire)
+	}
+}
+
+// uvarint decodes an unsigned varint, returning the value and bytes
+// consumed (0 when truncated).
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i]&0x80 == 0 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+// --- minimal profile.proto encoder for deterministic fold tests ---
+
+func pvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func ptag(b []byte, field, wire int) []byte {
+	return pvarint(b, uint64(field)<<3|uint64(wire))
+}
+
+func pbytes(b []byte, field int, payload []byte) []byte {
+	b = ptag(b, field, 2)
+	b = pvarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+func pint(b []byte, field int, v uint64) []byte {
+	b = ptag(b, field, 0)
+	return pvarint(b, v)
+}
+
+// testProfile encodes a CPU profile with the canonical two sample types
+// [("samples","count"), ("cpu","nanoseconds")] and the given samples, each
+// a (stageStringIndex, cpuNanos) pair; stage index 0 means unlabeled.
+func testProfile(t *testing.T, samples [][2]uint64, gzipped bool) []byte {
+	t.Helper()
+	// String table: index 0 must be "".
+	strs := []string{"", "samples", "count", "cpu", "nanoseconds", "stage", "worker", "other"}
+	var p []byte
+	// sample_type: {type, unit} pairs.
+	var st []byte
+	st = pint(nil, 1, 1) // "samples"
+	st = pint(st, 2, 2)  // "count"
+	p = pbytes(p, 1, st)
+	st = pint(nil, 1, 3) // "cpu"
+	st = pint(st, 2, 4)  // "nanoseconds"
+	p = pbytes(p, 1, st)
+	for _, s := range samples {
+		// Sample: packed values [count, cpuNanos] + optional stage label.
+		var vals []byte
+		vals = pvarint(vals, 1)
+		vals = pvarint(vals, s[1])
+		sm := pbytes(nil, 2, vals)
+		if s[0] != 0 {
+			lbl := pint(nil, 1, 5) // key = "stage"
+			lbl = pint(lbl, 2, s[0])
+			sm = pbytes(sm, 3, lbl)
+		}
+		p = pbytes(p, 2, sm)
+	}
+	// String table last, as runtime/pprof emits it.
+	for _, s := range strs {
+		p = pbytes(p, 6, []byte(s))
+	}
+	if !gzipped {
+		return p
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(p); err != nil {
+		t.Fatalf("gzip: %v", err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatalf("gzip close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestFoldCPUProfileHandEncoded(t *testing.T) {
+	for _, gz := range []bool{false, true} {
+		data := testProfile(t, [][2]uint64{
+			{6, 1_500_000}, // worker: 1.5ms
+			{6, 500_000},   // worker again: +0.5ms
+			{7, 250_000},   // other: 0.25ms
+			{0, 100_000},   // unlabeled
+		}, gz)
+		byStage, err := foldCPUProfile(data)
+		if err != nil {
+			t.Fatalf("fold (gzip=%v): %v", gz, err)
+		}
+		if byStage["worker"] != 2_000_000 {
+			t.Errorf("worker = %d ns, want 2000000 (gzip=%v)", byStage["worker"], gz)
+		}
+		if byStage["other"] != 250_000 {
+			t.Errorf("other = %d ns, want 250000 (gzip=%v)", byStage["other"], gz)
+		}
+		if byStage[""] != 100_000 {
+			t.Errorf("unlabeled = %d ns, want 100000 (gzip=%v)", byStage[""], gz)
+		}
+	}
+}
+
+func TestFoldCPUProfileTruncated(t *testing.T) {
+	data := testProfile(t, [][2]uint64{{6, 1000}}, false)
+	if _, err := foldCPUProfile(data[:len(data)-3]); err == nil {
+		t.Error("truncated profile must error, not fold garbage")
+	}
+}
+
+func TestProfilerFoldAccumulatesAndRegisters(t *testing.T) {
+	clk := clock.NewManual()
+	reg := NewRegistry(clk)
+	p := NewProfiler(time.Second)
+	p.SetRegistry(reg)
+
+	p.fold(map[string]int64{"worker": 500_000_000, "": 100_000_000}, 0.5)
+	p.fold(map[string]int64{"worker": 250_000_000}, 0.5)
+
+	cum := p.CPUSeconds()
+	if got := cum["worker"]; got < 0.749 || got > 0.751 {
+		t.Errorf("worker cumulative = %g s, want 0.75", got)
+	}
+	if got := cum[""]; got < 0.099 || got > 0.101 {
+		t.Errorf("unlabeled cumulative = %g s, want 0.1", got)
+	}
+	// The per-stage counter registers lazily and tracks the cumulative.
+	v, ok := reg.Value("gates_stage_cpu_seconds_total", map[string]string{"stage": "worker"})
+	if !ok || v < 0.749 || v > 0.751 {
+		t.Errorf("gates_stage_cpu_seconds_total{stage=worker} = %g, %v; want 0.75", v, ok)
+	}
+	// No "" series: the metric answers per-stage attribution only.
+	if _, ok := reg.Value("gates_stage_cpu_seconds_total", map[string]string{"stage": ""}); ok {
+		t.Error("unlabeled CPU must not register a metric series")
+	}
+	// EWMA rate: round 1 burned 1 core (0.5s over 0.5s), round 2 0.5 cores;
+	// with alpha 0.5 the blend is 0.5*1*(1-0.5)... just assert it is
+	// positive and at most a plausible core count.
+	rates := p.CPURates()
+	if r := rates["worker"]; r <= 0 || r > 2 {
+		t.Errorf("worker rate = %g, want in (0, 2]", r)
+	}
+	if rounds, _ := p.Rounds(); rounds != 2 {
+		t.Errorf("rounds = %d, want 2", rounds)
+	}
+}
+
+// TestProfilerLiveAttribution takes one real profile round while a labeled
+// goroutine burns CPU. Profile signal depends on OS timer delivery under
+// load, so absence of samples skips rather than fails; presence must fold
+// to the right stage.
+func TestProfilerLiveAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live CPU profiling round")
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go pprof.Do(context.Background(), pprof.Labels("stage", "burner"), func(context.Context) {
+		x := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				x++
+			}
+		}
+	})
+
+	p := NewProfiler(400 * time.Millisecond)
+	if err := p.SampleOnce(); err != nil {
+		t.Skipf("profile round unavailable: %v", err)
+	}
+	cum := p.CPUSeconds()
+	if cum["burner"] > 0 {
+		return
+	}
+	total := 0.0
+	for _, v := range cum {
+		total += v
+	}
+	if total == 0 {
+		t.Skip("no CPU samples captured at all (loaded box)")
+	}
+	t.Errorf("CPU captured (%.3fs total) but none attributed to the labeled burner: %v", total, cum)
+}

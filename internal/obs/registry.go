@@ -537,12 +537,14 @@ type Histogram struct {
 	sumBits atomic.Uint64
 
 	// nsBounds are the bounds in integer nanoseconds (saturating), and
-	// expStart[bits.Len64(ns)] is the first bucket a duration of that
-	// binary magnitude can land in — together they bucket a duration
-	// with integer compares and a scan bounded by one binary octave,
-	// instead of a float binary search per observation.
+	// lut[(len<<3)|sub] is the first bucket a duration can land in given
+	// its binary magnitude (bits.Len64) plus the three bits below the
+	// leading one — 8 sub-cells per octave. A cell spans a ratio of 9/8 =
+	// 1.125, below the ~1.155 growth of the latency buckets, so the
+	// trailing linear scan almost never needs more than one step; the scan
+	// remains for correctness with arbitrary (e.g. linear) bucket layouts.
 	nsBounds []int64
-	expStart [65]int16
+	lut [65 * 8]int16
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -567,12 +569,19 @@ func newHistogram(bounds []float64) *Histogram {
 		}
 	}
 	for l := 1; l <= 64; l++ {
-		lo := uint64(1) << (l - 1)
-		i := sort.Search(len(h.nsBounds), func(i int) bool {
-			b := h.nsBounds[i]
-			return b > 0 && uint64(b) >= lo
-		})
-		h.expStart[l] = int16(i)
+		for k := 0; k < 8; k++ {
+			// Lowest duration that maps to cell (l, k); octaves shorter
+			// than the 3 sub-bits collapse onto their octave floor.
+			cellLo := uint64(1) << (l - 1)
+			if l > 3 {
+				cellLo = uint64(8|k) << (l - 4)
+			}
+			i := sort.Search(len(h.nsBounds), func(i int) bool {
+				b := h.nsBounds[i]
+				return b > 0 && uint64(b) >= cellLo
+			})
+			h.lut[l<<3|k] = int16(i)
+		}
 	}
 	return h
 }
@@ -596,7 +605,13 @@ func (h *Histogram) bucketIndexNS(ns int64) int {
 		}
 		return len(nb)
 	}
-	i := int(h.expStart[bits.Len64(uint64(ns))])
+	u := uint64(ns)
+	l := bits.Len64(u)
+	k := 0
+	if l > 3 {
+		k = int(u>>(l-4)) & 7
+	}
+	i := int(h.lut[l<<3|k])
 	for nb[i] < ns {
 		i++
 	}

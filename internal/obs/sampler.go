@@ -1,0 +1,393 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+// Sampler fills a TSDB each control epoch from a metrics registry: per
+// stage, the arrival/throughput counter-delta rates, queue depth, the
+// wall-clock stall fraction, the utilization estimate ρ̂ = λ/μ read off
+// the adaptation trail (counter-rate fallback when a stage publishes no
+// adaptation epochs), the profiler's cumulative CPU attribution, and the
+// pipeline-wide sink p99. It is also the TrendReader the autoscaler
+// consumes (DESIGN.md §14). Safe for concurrent use: SampleNow serializes
+// against itself and against readers.
+type Sampler struct {
+	clk  clock.Clock
+	reg  *Registry
+	db   *TSDB
+	prof *Profiler   // nil = no CPU attribution
+	aud  *AuditTrail // nil = counter-rate ρ̂ only
+
+	mu       sync.Mutex
+	src      SLOSource // nil = no SLO headroom
+	prev     map[string]stageCum
+	prevVirt time.Time
+	prevWall time.Time
+	primed   bool
+	epochs   uint64
+}
+
+// stageCum is one stage's cumulative counters at the previous epoch.
+type stageCum struct {
+	in, out, stall float64
+}
+
+// NewSampler wires a sampler over reg into db. prof and aud may be nil.
+func NewSampler(clk clock.Clock, reg *Registry, db *TSDB, prof *Profiler, aud *AuditTrail) *Sampler {
+	if clk == nil {
+		panic("obs: NewSampler requires a clock")
+	}
+	if reg == nil || db == nil {
+		panic("obs: NewSampler requires a registry and a TSDB")
+	}
+	return &Sampler{clk: clk, reg: reg, db: db, prof: prof, aud: aud,
+		prev: make(map[string]stageCum)}
+}
+
+// DB returns the store the sampler fills.
+func (s *Sampler) DB() *TSDB { return s.db }
+
+// SetSLOSource supplies the latency objective SLO headroom is computed
+// against (a policy engine's SLO view). Nil leaves headroom unreported.
+func (s *Sampler) SetSLOSource(src SLOSource) {
+	s.mu.Lock()
+	s.src = src
+	s.mu.Unlock()
+}
+
+// Epochs returns how many sampling epochs have run.
+func (s *Sampler) Epochs() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epochs
+}
+
+// stageAgg accumulates one stage's registry series across instances and
+// nodes for one epoch.
+type stageAgg struct {
+	in, out, depth, stall float64
+	dtilde                float64
+	seen                  bool
+}
+
+// SampleNow takes one epoch: reads the registry, derives rates against
+// the previous epoch, and appends one sample to every per-stage series.
+// The binaries drive it from Run on the virtual clock; deterministic
+// tests call it directly after advancing a manual clock.
+func (s *Sampler) SampleNow() {
+	now := s.clk.Now()
+	wall := time.Now()
+	points := s.reg.Snapshot()
+
+	stages := make(map[string]*stageAgg)
+	touch := func(stage string) *stageAgg {
+		if stage == "" {
+			return nil
+		}
+		a, ok := stages[stage]
+		if !ok {
+			a = &stageAgg{}
+			stages[stage] = a
+		}
+		a.seen = true
+		return a
+	}
+	for _, p := range points {
+		stage := p.Labels["stage"]
+		switch p.Name {
+		case "gates_stage_items_in_total":
+			if a := touch(stage); a != nil {
+				a.in += float64(p.Value)
+			}
+		case "gates_stage_items_out_total":
+			if a := touch(stage); a != nil {
+				a.out += float64(p.Value)
+			}
+		case "gates_queue_depth":
+			if a := touch(stage); a != nil {
+				a.depth += float64(p.Value)
+			}
+		case MetricQueuePushStall:
+			if a := touch(stage); a != nil {
+				a.stall += float64(p.Value)
+			}
+		case MetricDTilde:
+			if a := touch(stage); a != nil && float64(p.Value) > a.dtilde {
+				a.dtilde = float64(p.Value)
+			}
+		}
+	}
+
+	var cpu map[string]float64
+	if s.prof != nil {
+		cpu = s.prof.CPUSeconds()
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dtVirt := now.Sub(s.prevVirt).Seconds()
+	dtWall := wall.Sub(s.prevWall).Seconds()
+
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := stages[name]
+		s.db.Series(name, TSDepth).Add(now, a.depth)
+		s.db.Series(name, TSDTilde).Add(now, a.dtilde)
+		prev, had := s.prev[name]
+		if s.primed && had && dtVirt > 0 {
+			lambda := counterRate(a.in, prev.in, dtVirt)
+			mu := counterRate(a.out, prev.out, dtVirt)
+			s.db.Series(name, TSArrival).Add(now, lambda)
+			s.db.Series(name, TSThroughput).Add(now, mu)
+			s.db.Series(name, TSUtilization).Add(now, s.rho(name, now, lambda, mu))
+			if dtWall > 0 {
+				f := counterRate(a.stall, prev.stall, dtWall)
+				if f > 1 {
+					f = 1
+				}
+				s.db.Series(name, TSStallFrac).Add(now, f)
+			}
+		}
+		s.prev[name] = stageCum{in: a.in, out: a.out, stall: a.stall}
+	}
+	for name, secs := range cpu {
+		if name == "" {
+			continue
+		}
+		s.db.Series(name, TSCPUSeconds).Add(now, secs)
+	}
+	if p99 := SinkP99(points); p99 > 0 {
+		s.db.Series("", TSSinkP99).Add(now, p99)
+	}
+	s.prevVirt, s.prevWall = now, wall
+	s.primed = true
+	s.epochs++
+}
+
+// counterRate is a monotone counter's per-second rate over dt; a counter
+// that moved backwards (instance restart) contributes its post-reset
+// value.
+func counterRate(cur, prev, dt float64) float64 {
+	d := cur - prev
+	if d < 0 {
+		d = cur
+	}
+	return d / dt
+}
+
+// rho resolves the utilization estimate for one stage at one epoch: the
+// latest adaptation event's λ/μ when the controller produced one recently
+// (within the trend window), else the sampler's own counter rates. Caller
+// holds s.mu.
+func (s *Sampler) rho(stage string, now time.Time, lambda, mu float64) float64 {
+	if s.aud != nil {
+		if ev, ok := latestFor(s.aud, stage); ok && ev.Mu > 0 &&
+			now.Sub(ev.At) <= time.Duration(trendEpochs)*s.db.Epoch() {
+			return clampRho(ev.Lambda / ev.Mu)
+		}
+	}
+	if mu > 0 {
+		return clampRho(lambda / mu)
+	}
+	if lambda > 0 {
+		return rhoCeil // arrivals with zero departures: saturated
+	}
+	return 0
+}
+
+// rhoCeil bounds the reported utilization estimate; beyond a few, "how
+// overloaded" carries no extra signal and one division by a tiny μ would
+// wreck every chart scale.
+const rhoCeil = 8.0
+
+func clampRho(r float64) float64 {
+	if r > rhoCeil {
+		return rhoCeil
+	}
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// latestFor returns the most recent adaptation event of any instance of
+// stage.
+func latestFor(aud *AuditTrail, stage string) (AdaptationEvent, bool) {
+	var best AdaptationEvent
+	found := false
+	for _, ev := range aud.Events() {
+		if ev.Stage == stage && (!found || ev.Seq > best.Seq) {
+			best, found = ev, true
+		}
+	}
+	return best, found
+}
+
+// Run samples every TSDB epoch of virtual time until stop is closed.
+func (s *Sampler) Run(stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-s.clk.After(s.db.Epoch()):
+			s.SampleNow()
+		}
+	}
+}
+
+// StageTrend is one stage's windowed trend summary — the per-stage row of
+// the autoscaler contract (DESIGN.md §14).
+type StageTrend struct {
+	// Stage names the stage; Node is filled by the cluster aggregator.
+	Stage string `json:"stage"`
+	Node  string `json:"node,omitempty"`
+	// Epochs is how many samples the depth series holds in the trend
+	// window (slopes over fewer than 2 are zero).
+	Epochs int `json:"epochs"`
+	// Arrival (λ) and Throughput (μ̂) are the last epoch's rates,
+	// items per virtual second.
+	Arrival    float64 `json:"arrival"`
+	Throughput float64 `json:"throughput"`
+	// Depth is the last sampled queue occupancy and BacklogSlope its
+	// least-squares trend in items per virtual second over the window;
+	// BacklogRising flags a persistently growing backlog (positive
+	// slope and a net depth increase across the window).
+	Depth         float64 `json:"depth"`
+	BacklogSlope  float64 `json:"backlog_slope"`
+	BacklogRising bool    `json:"backlog_rising"`
+	// Utilization is the last ρ̂ sample and UtilizationSlope its trend
+	// per virtual second.
+	Utilization      float64 `json:"utilization"`
+	UtilizationSlope float64 `json:"utilization_slope"`
+	// StallFrac is the last epoch's inbound-backpressure fraction.
+	StallFrac float64 `json:"stall_frac"`
+	// CPUSeconds is the cumulative profiler-attributed CPU and CPURate
+	// the fraction of one core burned over the trend window (wall
+	// clock, like the profiler's sampling).
+	CPUSeconds float64 `json:"cpu_seconds"`
+	CPURate    float64 `json:"cpu_rate"`
+	// DepthSpark is the depth series tail feeding dashboard sparklines.
+	DepthSpark []float64 `json:"depth_spark,omitempty"`
+}
+
+// TrendSummary is the TrendReader's full answer: per-stage trends plus
+// the pipeline-level SLO headroom.
+type TrendSummary struct {
+	// At is the virtual time of the summary.
+	At time.Time `json:"at"`
+	// Epochs is how many sampling epochs have run.
+	Epochs uint64 `json:"epochs"`
+	// SinkP99 is the last sampled sink-side e2e p99 (virtual seconds)
+	// and TargetP99 the active objective (0 = none configured).
+	SinkP99   JSONFloat `json:"sink_p99"`
+	TargetP99 JSONFloat `json:"target_p99,omitempty"`
+	// SLOHeadroom is (TargetP99 − SinkP99) / TargetP99: 1 = idle, 0 =
+	// at the objective, negative = violating. NaN (omitted in JSON)
+	// without a target.
+	SLOHeadroom JSONFloat `json:"slo_headroom,omitempty"`
+	// Stages is one trend row per stage, sorted by name.
+	Stages []StageTrend `json:"stages"`
+}
+
+// TrendReader is the typed trend surface the autoscaler consumes: who is
+// saturated (Utilization), who is structurally behind (BacklogRising),
+// and how much slack the latency objective has left (SLOHeadroom).
+type TrendReader interface {
+	Trends() TrendSummary
+}
+
+// Trends assembles the current trend summary from the store.
+func (s *Sampler) Trends() TrendSummary {
+	now := s.clk.Now()
+	s.mu.Lock()
+	src := s.src
+	epochs := s.epochs
+	s.mu.Unlock()
+
+	sum := TrendSummary{At: now, Epochs: epochs}
+	if p99, ok := s.db.Series("", TSSinkP99).Last(); ok {
+		sum.SinkP99 = JSONFloat(p99.V)
+	}
+	if src != nil {
+		cfg, _ := src()
+		if cfg.TargetP99 > 0 {
+			sum.TargetP99 = JSONFloat(cfg.TargetP99)
+			sum.SLOHeadroom = JSONFloat((cfg.TargetP99 - float64(sum.SinkP99)) / cfg.TargetP99)
+		}
+	}
+	var cpuRates map[string]float64
+	if s.prof != nil {
+		cpuRates = s.prof.CPURates()
+	}
+	for _, stage := range s.db.Stages() {
+		t := StageTrend{Stage: stage, CPURate: cpuRates[stage]}
+		depth := s.db.Series(stage, TSDepth)
+		t.Epochs = depth.Len()
+		if t.Epochs > trendEpochs {
+			t.Epochs = trendEpochs
+		}
+		if last, ok := depth.Last(); ok {
+			t.Depth = last.V
+		}
+		t.BacklogSlope = depth.SlopeLastN(trendEpochs)
+		t.BacklogRising = t.BacklogSlope > 0 && depth.DeltaLastN(trendEpochs) > 0
+		t.DepthSpark = depth.LastN(trendEpochs)
+		if last, ok := s.db.Series(stage, TSArrival).Last(); ok {
+			t.Arrival = last.V
+		}
+		if last, ok := s.db.Series(stage, TSThroughput).Last(); ok {
+			t.Throughput = last.V
+		}
+		util := s.db.Series(stage, TSUtilization)
+		if last, ok := util.Last(); ok {
+			t.Utilization = last.V
+		}
+		t.UtilizationSlope = util.SlopeLastN(trendEpochs)
+		if last, ok := s.db.Series(stage, TSStallFrac).Last(); ok {
+			t.StallFrac = last.V
+		}
+		if last, ok := s.db.Series(stage, TSCPUSeconds).Last(); ok {
+			t.CPUSeconds = last.V
+		}
+		sum.Stages = append(sum.Stages, t)
+	}
+	return sum
+}
+
+// TSDump is the /timeseries JSON document: the retained windowed series
+// plus the trend summary derived from them.
+type TSDump struct {
+	// At is the virtual time of the dump.
+	At time.Time `json:"at"`
+	// EpochSeconds is the sampling interval in virtual seconds and
+	// Epochs how many sampling epochs have run.
+	EpochSeconds float64 `json:"epoch_seconds"`
+	Epochs       uint64  `json:"epochs"`
+	// Trends is the TrendReader view over the same window.
+	Trends *TrendSummary `json:"trends,omitempty"`
+	// Series is every retained series, oldest sample first.
+	Series []SeriesDump `json:"series"`
+}
+
+// Dump renders the sampler's store for /timeseries, filtered to a
+// trailing window (0 = full retention) and one stage ("" = all).
+func (s *Sampler) Dump(window time.Duration, stage string) TSDump {
+	now := s.clk.Now()
+	trends := s.Trends()
+	return TSDump{
+		At:           now,
+		EpochSeconds: s.db.Epoch().Seconds(),
+		Epochs:       trends.Epochs,
+		Trends:       &trends,
+		Series:       s.db.Dump(now, window, stage),
+	}
+}

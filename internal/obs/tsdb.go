@@ -1,0 +1,395 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the windowed time-series plane behind /timeseries: a
+// bounded in-memory store (Series, TSDB) of per-epoch samples on the
+// virtual clock, a registry-driven Sampler that fills it each control
+// epoch, and the TrendReader view the autoscaler consumes (DESIGN.md §14).
+// Point-in-time endpoints (/metrics, /snapshot) answer "what is the state
+// now"; this plane answers "which way is it moving" — utilization,
+// backlog slope, per-stage CPU burn — over a bounded trailing window.
+
+// Default time-series plane knobs.
+const (
+	// DefaultTimeseriesEpoch is the virtual interval between samples.
+	DefaultTimeseriesEpoch = 500 * time.Millisecond
+	// DefaultTimeseriesWindow is the virtual time of history each series
+	// retains (the -timeseries-window flag).
+	DefaultTimeseriesWindow = 60 * time.Second
+	// trendEpochs is the trailing sample count trends (slopes, CPU
+	// rates, sparklines) are computed over.
+	trendEpochs = 16
+	// snapshotEpochs bounds the per-series tail carried inside a
+	// /snapshot document, so cluster scrapes stay small; /timeseries
+	// serves the full window.
+	snapshotEpochs = 32
+)
+
+// Per-stage series names the Sampler maintains. Consumers address series
+// as (stage, name); pipeline-wide series use stage "".
+const (
+	// TSArrival is λ: items entering the stage per virtual second.
+	TSArrival = "arrival"
+	// TSThroughput is μ̂: items leaving the stage per virtual second.
+	TSThroughput = "throughput"
+	// TSDepth is the stage's input-queue occupancy.
+	TSDepth = "depth"
+	// TSUtilization is ρ̂ = λ/μ from the adaptation trail (counter-rate
+	// fallback when the stage publishes no adaptation epochs).
+	TSUtilization = "utilization"
+	// TSStallFrac is the fraction of the wall-clock epoch producers
+	// spent parked pushing into the stage's full input buffer.
+	TSStallFrac = "stall_frac"
+	// TSCPUSeconds is the cumulative profiler-attributed CPU seconds
+	// burned by goroutines labeled with this stage.
+	TSCPUSeconds = "cpu_seconds"
+	// TSDTilde is the adaptation controller's smoothed queue-growth rate.
+	TSDTilde = "d_tilde"
+	// TSSinkP99 is the pipeline-wide sink-side e2e p99 (stage "").
+	TSSinkP99 = "sink_p99"
+)
+
+// TSample is one retained observation.
+type TSample struct {
+	At time.Time `json:"at"`
+	V  float64   `json:"v"`
+}
+
+// Series is a fixed-capacity ring of time-stamped samples. Add is O(1)
+// and allocation-free after construction; readers take a short lock. Safe
+// for concurrent use.
+type Series struct {
+	mu    sync.Mutex
+	at    []int64 // UnixNano, parallel to val
+	val   []float64
+	next  int // ring slot the next Add writes
+	n     int // live samples, <= cap
+	total uint64
+}
+
+// NewSeries returns a ring retaining up to capacity samples (minimum 2).
+func NewSeries(capacity int) *Series {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Series{at: make([]int64, capacity), val: make([]float64, capacity)}
+}
+
+// Add appends one sample, evicting the oldest when full.
+func (s *Series) Add(at time.Time, v float64) {
+	s.mu.Lock()
+	s.at[s.next] = at.UnixNano()
+	s.val[s.next] = v
+	s.next = (s.next + 1) % len(s.at)
+	if s.n < len(s.at) {
+		s.n++
+	}
+	s.total++
+	s.mu.Unlock()
+}
+
+// Len returns the number of retained samples.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Total returns how many samples were ever added (retained or evicted).
+func (s *Series) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// idx maps logical position i (0 = oldest) to a ring slot. Caller holds mu.
+func (s *Series) idx(i int) int {
+	return (s.next - s.n + i + len(s.at)) % len(s.at)
+}
+
+// Last returns the most recent sample.
+func (s *Series) Last() (TSample, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return TSample{}, false
+	}
+	j := s.idx(s.n - 1)
+	return TSample{At: time.Unix(0, s.at[j]), V: s.val[j]}, true
+}
+
+// Samples returns the retained samples at or after since, oldest first.
+// A zero since returns the whole window.
+func (s *Series) Samples(since time.Time) []TSample {
+	cut := int64(0)
+	if !since.IsZero() {
+		cut = since.UnixNano()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TSample, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		j := s.idx(i)
+		if s.at[j] < cut {
+			continue
+		}
+		out = append(out, TSample{At: time.Unix(0, s.at[j]), V: s.val[j]})
+	}
+	return out
+}
+
+// LastN returns up to the n most recent values, oldest first.
+func (s *Series) LastN(n int) []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.n {
+		n = s.n
+	}
+	out := make([]float64, 0, n)
+	for i := s.n - n; i < s.n; i++ {
+		out = append(out, s.val[s.idx(i)])
+	}
+	return out
+}
+
+// MinMax returns the extremes over the retained window.
+func (s *Series) MinMax() (min, max float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return 0, 0, false
+	}
+	j := s.idx(0)
+	min, max = s.val[j], s.val[j]
+	for i := 1; i < s.n; i++ {
+		v := s.val[s.idx(i)]
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max, true
+}
+
+// DeltaLastN returns last − first over the n most recent samples — the
+// counter-delta over that sub-window (0 with fewer than two samples).
+func (s *Series) DeltaLastN(n int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.n {
+		n = s.n
+	}
+	if n < 2 {
+		return 0
+	}
+	return s.val[s.idx(s.n-1)] - s.val[s.idx(s.n-n)]
+}
+
+// SlopeLastN returns the least-squares slope, in value units per virtual
+// second, over the n most recent samples (0 with fewer than two samples
+// or no time spread). This is the trend signal the autoscaler reads: a
+// persistently positive depth slope means the stage is structurally
+// behind its arrival rate, not just momentarily bursty.
+func (s *Series) SlopeLastN(n int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.n {
+		n = s.n
+	}
+	if n < 2 {
+		return 0
+	}
+	start := s.n - n
+	t0 := s.at[s.idx(start)]
+	var sumT, sumV, sumTT, sumTV float64
+	for i := start; i < s.n; i++ {
+		j := s.idx(i)
+		tt := float64(s.at[j]-t0) * 1e-9
+		sumT += tt
+		sumV += s.val[j]
+		sumTT += tt * tt
+		sumTV += tt * s.val[j]
+	}
+	fn := float64(n)
+	den := fn*sumTT - sumT*sumT
+	if den == 0 {
+		return 0
+	}
+	return (fn*sumTV - sumT*sumV) / den
+}
+
+// seriesKey addresses one series in a TSDB.
+type seriesKey struct{ stage, name string }
+
+// TSDB is the bounded collection of Series the Sampler fills: one ring
+// per (stage, name). Series are created on first touch and never removed
+// — the stage set of a deployment is small and stable. Safe for
+// concurrent use.
+type TSDB struct {
+	epoch time.Duration
+	cap   int
+
+	mu     sync.Mutex
+	series map[seriesKey]*Series
+	order  []seriesKey
+}
+
+// NewTSDB returns an empty store sampling every epoch of virtual time
+// with window/epoch slots per series (zero arguments select the
+// defaults).
+func NewTSDB(epoch, window time.Duration) *TSDB {
+	if epoch <= 0 {
+		epoch = DefaultTimeseriesEpoch
+	}
+	if window <= 0 {
+		window = DefaultTimeseriesWindow
+	}
+	capacity := int(window / epoch)
+	if capacity < 2 {
+		capacity = 2
+	}
+	if capacity > 4096 {
+		capacity = 4096
+	}
+	return &TSDB{epoch: epoch, cap: capacity, series: make(map[seriesKey]*Series)}
+}
+
+// Epoch returns the sampling interval (virtual time).
+func (db *TSDB) Epoch() time.Duration { return db.epoch }
+
+// Capacity returns the per-series ring size.
+func (db *TSDB) Capacity() int { return db.cap }
+
+// Series returns the (stage, name) series, creating it on first use.
+func (db *TSDB) Series(stage, name string) *Series {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	k := seriesKey{stage, name}
+	s, ok := db.series[k]
+	if !ok {
+		s = NewSeries(db.cap)
+		db.series[k] = s
+		db.order = append(db.order, k)
+	}
+	return s
+}
+
+// Get returns the (stage, name) series without creating it.
+func (db *TSDB) Get(stage, name string) (*Series, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.series[seriesKey{stage, name}]
+	return s, ok
+}
+
+// Stages returns the sorted stage names with at least one series
+// (excluding the pipeline-wide "" pseudo-stage).
+func (db *TSDB) Stages() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, k := range db.order {
+		if k.stage != "" && !seen[k.stage] {
+			seen[k.stage] = true
+			out = append(out, k.stage)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SeriesDump is one series in a /timeseries or /cluster document.
+type SeriesDump struct {
+	// Stage is the owning stage; empty for pipeline-wide series.
+	Stage string `json:"stage,omitempty"`
+	// Node is filled by the cluster aggregator (node-labeled merge);
+	// empty in a node's own /timeseries output.
+	Node string `json:"node,omitempty"`
+	// Name is the series name (TSDepth, TSUtilization, ...).
+	Name string `json:"name"`
+	// Samples is the retained window, oldest first.
+	Samples []TSample `json:"samples"`
+}
+
+// Dump renders the store as JSON-ready series, filtered to the trailing
+// window (0 = everything retained) and to one stage ("" = all; the
+// pipeline-wide "" series always survive the stage filter).
+func (db *TSDB) Dump(now time.Time, window time.Duration, stage string) []SeriesDump {
+	var since time.Time
+	if window > 0 {
+		since = now.Add(-window)
+	}
+	db.mu.Lock()
+	keys := make([]seriesKey, len(db.order))
+	copy(keys, db.order)
+	db.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].stage != keys[j].stage {
+			return keys[i].stage < keys[j].stage
+		}
+		return keys[i].name < keys[j].name
+	})
+	out := make([]SeriesDump, 0, len(keys))
+	for _, k := range keys {
+		if stage != "" && k.stage != "" && k.stage != stage {
+			continue
+		}
+		s, ok := db.Get(k.stage, k.name)
+		if !ok {
+			continue
+		}
+		out = append(out, SeriesDump{Stage: k.stage, Name: k.name, Samples: s.Samples(since)})
+	}
+	return out
+}
+
+// sparkRunes are the eight sparkline levels, lowest to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders vals as a fixed-height unicode strip, scaled to the
+// slice's own min..max (a flat series renders as its lowest level).
+func Sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		lvl := 0
+		if max > min {
+			lvl = int((v - min) / (max - min) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[lvl])
+	}
+	return b.String()
+}
+
+// TrendArrow summarizes a slope's direction: "↑" rising, "↓" falling,
+// "→" flat within eps.
+func TrendArrow(slope, eps float64) string {
+	switch {
+	case slope > eps:
+		return "↑"
+	case slope < -eps:
+		return "↓"
+	default:
+		return "→"
+	}
+}

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gates-middleware/gates/internal/clock"
+)
+
+func TestSeriesRingWrap(t *testing.T) {
+	s := NewSeries(4)
+	base := time.Unix(0, 0)
+	for i := 0; i < 6; i++ {
+		s.Add(base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+	if s.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", s.Total())
+	}
+	got := s.Samples(time.Time{})
+	want := []float64{2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Samples returned %d values, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].V != w {
+			t.Errorf("Samples[%d].V = %g, want %g", i, got[i].V, w)
+		}
+	}
+	if last, ok := s.Last(); !ok || last.V != 5 {
+		t.Errorf("Last = %+v, %v; want V=5", last, ok)
+	}
+	// The since filter trims the head of the window.
+	tail := s.Samples(base.Add(4 * time.Second))
+	if len(tail) != 2 || tail[0].V != 4 {
+		t.Errorf("Samples(since) = %+v, want the last two", tail)
+	}
+	if vals := s.LastN(2); len(vals) != 2 || vals[0] != 4 || vals[1] != 5 {
+		t.Errorf("LastN(2) = %v, want [4 5]", vals)
+	}
+}
+
+func TestSeriesSlopeDeltaMinMax(t *testing.T) {
+	s := NewSeries(16)
+	base := time.Unix(100, 0)
+	// depth(t) = 3*t + 7: slope must come back as 3 per virtual second.
+	for i := 0; i < 10; i++ {
+		s.Add(base.Add(time.Duration(i)*time.Second), 3*float64(i)+7)
+	}
+	if slope := s.SlopeLastN(10); slope < 2.999 || slope > 3.001 {
+		t.Errorf("SlopeLastN = %g, want 3", slope)
+	}
+	if d := s.DeltaLastN(10); d != 27 {
+		t.Errorf("DeltaLastN = %g, want 27", d)
+	}
+	min, max, ok := s.MinMax()
+	if !ok || min != 7 || max != 34 {
+		t.Errorf("MinMax = %g, %g, %v; want 7, 34, true", min, max, ok)
+	}
+	// Fewer than two samples: no slope, no delta.
+	s2 := NewSeries(4)
+	s2.Add(base, 42)
+	if s2.SlopeLastN(4) != 0 || s2.DeltaLastN(4) != 0 {
+		t.Error("single-sample series must report zero slope and delta")
+	}
+}
+
+func TestTSDBDumpFilters(t *testing.T) {
+	db := NewTSDB(time.Second, 10*time.Second)
+	if db.Capacity() != 10 {
+		t.Fatalf("Capacity = %d, want 10", db.Capacity())
+	}
+	now := time.Unix(1000, 0)
+	db.Series("alpha", TSDepth).Add(now, 1)
+	db.Series("beta", TSDepth).Add(now, 2)
+	db.Series("", TSSinkP99).Add(now, 0.5)
+
+	stages := db.Stages()
+	if len(stages) != 2 || stages[0] != "alpha" || stages[1] != "beta" {
+		t.Fatalf("Stages = %v, want [alpha beta]", stages)
+	}
+
+	all := db.Dump(now, 0, "")
+	if len(all) != 3 {
+		t.Fatalf("unfiltered Dump has %d series, want 3", len(all))
+	}
+	// Stage filter keeps the matching stage plus pipeline-wide "" series.
+	one := db.Dump(now, 0, "beta")
+	if len(one) != 2 {
+		t.Fatalf("stage-filtered Dump has %d series, want 2", len(one))
+	}
+	if one[0].Name != TSSinkP99 || one[1].Stage != "beta" {
+		t.Errorf("filtered Dump = %+v, want sink_p99 then beta", one)
+	}
+}
+
+func TestSparklineAndTrendArrow(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty sparkline = %q", got)
+	}
+	got := Sparkline([]float64{0, 1})
+	if !strings.HasPrefix(got, "▁") || !strings.HasSuffix(got, "█") {
+		t.Errorf("Sparkline([0 1]) = %q, want lowest then highest rune", got)
+	}
+	if got := Sparkline([]float64{5, 5, 5}); got != "▁▁▁" {
+		t.Errorf("flat sparkline = %q, want all-lowest", got)
+	}
+	if TrendArrow(1, 0.01) != "↑" || TrendArrow(-1, 0.01) != "↓" || TrendArrow(0.005, 0.01) != "→" {
+		t.Error("TrendArrow direction mapping wrong")
+	}
+}
+
+// sampleEpoch advances the manual clock one epoch and samples.
+func sampleEpoch(clk *clock.Manual, s *Sampler, epoch time.Duration) {
+	clk.Advance(epoch)
+	s.SampleNow()
+}
+
+// TestSamplerConstrictedStageTrend is the acceptance test of the trend
+// plane: a deliberately constricted stage — arrivals outpacing service,
+// queue growing every epoch — must be flagged BacklogRising by the
+// TrendReader within 3 epochs of the constriction appearing.
+func TestSamplerConstrictedStageTrend(t *testing.T) {
+	clk := clock.NewManual()
+	reg := NewRegistry(clk)
+	db := NewTSDB(DefaultTimeseriesEpoch, DefaultTimeseriesWindow)
+	s := NewSampler(clk, reg, db, nil, nil)
+
+	labels := map[string]string{"stage": "choke", "instance": "0"}
+	in := reg.Counter("gates_stage_items_in_total", "", labels)
+	out := reg.Counter("gates_stage_items_out_total", "", labels)
+	depth := reg.Gauge("gates_queue_depth", "", labels)
+
+	// Priming epoch: rates need a previous observation.
+	s.SampleNow()
+
+	// The constriction: 20 in, 10 out per epoch; the queue grows by 10.
+	for i := 1; i <= 3; i++ {
+		in.Add(20)
+		out.Add(10)
+		depth.Set(float64(10 * i))
+		sampleEpoch(clk, s, db.Epoch())
+	}
+
+	sum := s.Trends()
+	if len(sum.Stages) != 1 || sum.Stages[0].Stage != "choke" {
+		t.Fatalf("Trends.Stages = %+v, want one row for choke", sum.Stages)
+	}
+	tr := sum.Stages[0]
+	if !tr.BacklogRising {
+		t.Fatalf("BacklogRising = false after 3 epochs of growth; trend %+v", tr)
+	}
+	if tr.BacklogSlope <= 0 {
+		t.Errorf("BacklogSlope = %g, want > 0", tr.BacklogSlope)
+	}
+	if tr.Depth != 30 {
+		t.Errorf("Depth = %g, want 30", tr.Depth)
+	}
+	// Counter-rate fallback ρ̂ = λ/μ = 2 (no adaptation trail wired).
+	if tr.Utilization < 1.99 || tr.Utilization > 2.01 {
+		t.Errorf("Utilization = %g, want 2", tr.Utilization)
+	}
+	epoch := db.Epoch().Seconds()
+	wantRate := 20 / epoch
+	if tr.Arrival < wantRate*0.99 || tr.Arrival > wantRate*1.01 {
+		t.Errorf("Arrival = %g, want ~%g", tr.Arrival, wantRate)
+	}
+	if len(tr.DepthSpark) == 0 {
+		t.Error("DepthSpark empty, want the depth tail")
+	}
+}
+
+// TestSamplerPrefersAuditTrailRho: a fresh adaptation event's λ/μ beats the
+// sampler's own counter rates; a stale one falls back.
+func TestSamplerPrefersAuditTrailRho(t *testing.T) {
+	clk := clock.NewManual()
+	reg := NewRegistry(clk)
+	db := NewTSDB(time.Second, time.Minute)
+	aud := NewAuditTrail(16)
+	s := NewSampler(clk, reg, db, nil, aud)
+
+	labels := map[string]string{"stage": "worker", "instance": "0"}
+	in := reg.Counter("gates_stage_items_in_total", "", labels)
+	out := reg.Counter("gates_stage_items_out_total", "", labels)
+	reg.Gauge("gates_queue_depth", "", labels)
+
+	s.SampleNow()
+	// Counters say ρ = 1 (10 in, 10 out); the controller's epoch says 3.
+	in.Add(10)
+	out.Add(10)
+	aud.Record(AdaptationEvent{At: clk.Now(), Stage: "worker", Lambda: 30, Mu: 10})
+	sampleEpoch(clk, s, db.Epoch())
+
+	last, ok := db.Series("worker", TSUtilization).Last()
+	if !ok || last.V < 2.99 || last.V > 3.01 {
+		t.Fatalf("utilization = %v, %v; want 3 from the audit trail", last.V, ok)
+	}
+
+	// Let the event age out of the trend window; rates take over.
+	for i := 0; i < trendEpochs+1; i++ {
+		in.Add(10)
+		out.Add(10)
+		sampleEpoch(clk, s, db.Epoch())
+	}
+	last, ok = db.Series("worker", TSUtilization).Last()
+	if !ok || last.V < 0.99 || last.V > 1.01 {
+		t.Fatalf("utilization = %v, %v; want counter fallback 1 after the event went stale", last.V, ok)
+	}
+}
+
+func TestSamplerRhoSaturation(t *testing.T) {
+	clk := clock.NewManual()
+	reg := NewRegistry(clk)
+	db := NewTSDB(time.Second, time.Minute)
+	s := NewSampler(clk, reg, db, nil, nil)
+
+	labels := map[string]string{"stage": "stuck", "instance": "0"}
+	in := reg.Counter("gates_stage_items_in_total", "", labels)
+	reg.Counter("gates_stage_items_out_total", "", labels)
+	reg.Gauge("gates_queue_depth", "", labels)
+
+	s.SampleNow()
+	in.Add(100) // arrivals, zero departures: saturated
+	sampleEpoch(clk, s, db.Epoch())
+	last, ok := db.Series("stuck", TSUtilization).Last()
+	if !ok || last.V != rhoCeil {
+		t.Fatalf("utilization = %v, %v; want the ceiling %g", last.V, ok, rhoCeil)
+	}
+}
+
+func TestSamplerSLOHeadroom(t *testing.T) {
+	clk := clock.NewManual()
+	reg := NewRegistry(clk)
+	db := NewTSDB(time.Second, time.Minute)
+	s := NewSampler(clk, reg, db, nil, nil)
+	s.SetSLOSource(func() (SLOConfig, string) {
+		return SLOConfig{TargetP99: 2.0}, "test"
+	})
+	// Inject a sink p99 of 0.5s directly; headroom = (2 - 0.5) / 2.
+	db.Series("", TSSinkP99).Add(clk.Now(), 0.5)
+	sum := s.Trends()
+	if float64(sum.TargetP99) != 2.0 {
+		t.Fatalf("TargetP99 = %v, want 2", sum.TargetP99)
+	}
+	if h := float64(sum.SLOHeadroom); h < 0.749 || h > 0.751 {
+		t.Fatalf("SLOHeadroom = %v, want 0.75", h)
+	}
+}
+
+// TestSamplerDump exercises the /timeseries document shape end to end.
+func TestSamplerDump(t *testing.T) {
+	clk := clock.NewManual()
+	reg := NewRegistry(clk)
+	db := NewTSDB(time.Second, time.Minute)
+	s := NewSampler(clk, reg, db, nil, nil)
+
+	labels := map[string]string{"stage": "w", "instance": "0"}
+	reg.Gauge("gates_queue_depth", "", labels).Set(4)
+	s.SampleNow()
+	sampleEpoch(clk, s, db.Epoch())
+
+	d := s.Dump(0, "")
+	if d.Epochs != 2 {
+		t.Fatalf("Dump.Epochs = %d, want 2", d.Epochs)
+	}
+	if d.EpochSeconds != 1 {
+		t.Errorf("EpochSeconds = %g, want 1", d.EpochSeconds)
+	}
+	if d.Trends == nil || len(d.Trends.Stages) != 1 {
+		t.Fatalf("Dump.Trends = %+v, want one stage", d.Trends)
+	}
+	if len(d.Series) == 0 {
+		t.Fatal("Dump.Series empty")
+	}
+	for _, sd := range d.Series {
+		if sd.Stage == "w" && sd.Name == TSDepth && len(sd.Samples) == 2 {
+			return
+		}
+	}
+	t.Fatalf("Dump.Series %+v missing the w/depth series with 2 samples", d.Series)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 
 	"github.com/gates-middleware/gates/internal/adapt"
@@ -297,7 +298,11 @@ func (e *Engine) Run(ctx context.Context) error {
 			adaptWg.Add(1)
 			go func(st *Stage) {
 				defer adaptWg.Done()
-				st.adaptLoopFor(ctx)
+				// Adaptation shares the stage's CPU-attribution bucket: its
+				// epochs are work done on that stage's behalf.
+				pprof.Do(ctx, pprof.Labels("stage", st.id), func(ctx context.Context) {
+					st.adaptLoopFor(ctx)
+				})
 			}(st)
 		}
 		wg.Add(1)
@@ -307,7 +312,12 @@ func (e *Engine) Run(ctx context.Context) error {
 				"stage", st.id, "instance", st.instance, "node", st.Node(),
 				"batch", st.cfg.BatchSize)
 			st.markStarted()
-			err := st.run(ctx)
+			// The pprof label is what folds CPU profile samples back onto
+			// this stage in the obs.Profiler attribution (DESIGN.md §14).
+			var err error
+			pprof.Do(ctx, pprof.Labels("stage", st.id), func(ctx context.Context) {
+				err = st.run(ctx)
+			})
 			st.mu.Lock()
 			st.err = err
 			st.mu.Unlock()

@@ -125,6 +125,7 @@ func (c *Checkpointer) Start(ctx context.Context) {
 	clk := c.dep.deployer.clk
 	go func() {
 		defer close(c.done)
+		labelControlPlane()
 		c.CheckpointAll(ctx)
 		for {
 			select {

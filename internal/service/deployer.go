@@ -1,8 +1,10 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
 	"sync"
 
 	"github.com/gates-middleware/gates/internal/clock"
@@ -12,6 +14,14 @@ import (
 	"github.com/gates-middleware/gates/internal/pipeline"
 	"github.com/gates-middleware/gates/internal/policy"
 )
+
+// labelControlPlane tags the calling goroutine with stage=control-plane so
+// the obs.Profiler attributes checkpoint/recovery/rebalance/fault-schedule
+// CPU to the control plane rather than leaving it unlabeled.
+func labelControlPlane() {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("stage", "control-plane")))
+}
 
 // Deployment is a fully wired, ready-to-run application: the paper's set of
 // customized GATES grid-service instances plus their network connections.

@@ -55,6 +55,7 @@ func (f *FaultScheduler) Start(ctx context.Context) {
 	start := f.clk.Now()
 	go func() {
 		defer close(f.done)
+		labelControlPlane()
 		for _, inj := range f.injections {
 			due := start.Add(inj.At.Std())
 			if wait := due.Sub(f.clk.Now()); wait > 0 {

@@ -143,6 +143,7 @@ func (r *Rebalancer) Run(ctx context.Context) {
 	if r.dep == nil || r.dep.deployer == nil {
 		return
 	}
+	labelControlPlane()
 	clk := r.dep.deployer.clk
 	for {
 		// Re-read the interval every lap so a hot reload re-paces the loop.

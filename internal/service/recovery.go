@@ -116,6 +116,7 @@ func (r *Recovery) Start(ctx context.Context) {
 	clk := r.dep.deployer.clk
 	go func() {
 		defer close(r.done)
+		labelControlPlane()
 		for {
 			select {
 			case <-ctx.Done():

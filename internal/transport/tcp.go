@@ -1,12 +1,22 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 )
+
+// labelTransport tags the calling goroutine with stage=transport so the
+// obs.Profiler attributes framing/decoding CPU to the network plane rather
+// than leaving it unlabeled.
+func labelTransport() {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("stage", "transport")))
+}
 
 // Handler consumes messages arriving at a Server.
 type Handler func(Message)
@@ -50,6 +60,7 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
+	labelTransport()
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -70,6 +81,7 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	labelTransport()
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
@@ -170,6 +182,7 @@ func (c *Client) ReadLoop(handler Handler) {
 	if conn == nil || handler == nil {
 		return
 	}
+	labelTransport()
 	var scratch []byte
 	for {
 		frame, err := readFrameReuse(conn, &scratch)

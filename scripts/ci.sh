@@ -137,6 +137,48 @@ fi
 go run ./cmd/gates-experiments -exp policy -quick -scale 4000 | tee /dev/stderr \
   | grep -q 'policy-hotreload: placement changed src-1 -> helper under v2'
 
+echo "== timeseries lane =="
+# The autoscaler's eyes over real HTTP: a live launcher must serve a
+# windowed /timeseries document with at least two sampling epochs, fold
+# real CPU profile rounds into non-zero per-stage attribution, carry pprof
+# "stage" labels on its goroutines, and merge stage trends into /cluster.
+if command -v curl >/dev/null 2>&1; then
+	ts_obs=127.0.0.1:19775
+	"$smoke_tmp/gates-launcher" -config "$smoke_xml" -scale 50 \
+	  -obs-listen "$ts_obs" -profile-every 200ms -slo-p99 1h >/dev/null &
+	ts_pid=$!
+	curl -sf --retry 20 --retry-connrefused --retry-delay 1 \
+	  "http://$ts_obs/healthz" >/dev/null
+	# Sampling epochs are 500ms of virtual time (wall milliseconds at 50x),
+	# but CPU attribution needs a completed wall-clock profile round — poll.
+	ts_doc=""
+	for _i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15; do
+		ts_doc="$(curl -sf "http://$ts_obs/timeseries")" || ts_doc=""
+		echo "$ts_doc" | grep -Eq '"epochs": ([2-9]|[0-9]{2,})' \
+		  && echo "$ts_doc" | grep -Eq '"cpu_seconds": (0\.0*[1-9]|[1-9])' \
+		  && break
+		sleep 0.3
+	done
+	echo "$ts_doc" | grep -Eq '"epochs": ([2-9]|[0-9]{2,})' \
+	  || { echo "timeseries lane: fewer than 2 sampling epochs"; exit 1; }
+	echo "$ts_doc" | grep -q '"trends"' \
+	  || { echo "timeseries lane: /timeseries missing trends"; exit 1; }
+	echo "$ts_doc" | grep -Eq '"cpu_seconds": (0\.0*[1-9]|[1-9])' \
+	  || { echo "timeseries lane: no non-zero per-stage CPU attribution"; exit 1; }
+	# The window filter parses and still serves the document shape.
+	curl -sf "http://$ts_obs/timeseries?window=2s" | grep -q '"epoch_seconds"'
+	# Every stage and control loop runs under a pprof stage label.
+	curl -sf "http://$ts_obs/debug/pprof/goroutine?debug=1" | grep -q '"stage":' \
+	  || { echo "timeseries lane: no pprof stage labels on goroutines"; exit 1; }
+	# The merged cluster view carries node-stamped trends.
+	curl -sf "http://$ts_obs/cluster" | grep -q '"trends"' \
+	  || { echo "timeseries lane: /cluster missing merged trends"; exit 1; }
+	wait "$ts_pid"
+	echo "gates-launcher /timeseries + CPU attribution + pprof labels ok"
+else
+	echo "curl not installed; skipping timeseries lane"
+fi
+
 echo "== bottleneck attribution smoke =="
 # A pipeline with one deliberately slow stage; the backpressure attribution
 # engine must name it.
@@ -196,28 +238,33 @@ echo "== observability overhead guard =="
 # with the full observability bundle attached (metrics callbacks
 # registered, tracer at its default 1-in-64 sampling, per-packet e2e/hop
 # latency histograms recording through the batch-flushed scratches).
-# Observability's absolute cost is ~16 ns/packet — almost all of it the
-# per-packet latency bucketing, see DESIGN.md §9 — and has not moved; what
-# moved is the denominator: packet pooling and the per-edge rings took the
-# untraced batch=16 path from ~123 ns to ~48 ns, so the same absolute cost
-# is now ~35% relative. Any real stage work dilutes it; the guard
-# threshold is 50% so a regression that breaks it is a real one (a leaked
-# always-on span, bucketing gone per-item instead of batch-flushed). Each
-# side is the minimum over the counted runs: noise from a loaded box only
-# ever adds time, so min-of-N is the robust per-op estimate and the ratio
-# does not flake on one slow iteration landing in a single series.
+# Observability's absolute cost was ~16 ns/packet — almost all of it the
+# per-packet latency bucketing, see DESIGN.md §9; the sub-octave bucketing
+# LUT (8 cells per binary octave, so the trailing scan is at most one
+# step on the latency layout) cut it to ~12 ns, which is why the bound
+# below is 1.35 rather than the 1.50 it started at. Any real stage work
+# dilutes the relative cost further; a regression that breaks the bound is
+# a real one (a leaked always-on span, bucketing gone per-item instead of
+# batch-flushed). The estimate pairs the i-th run of each series and takes
+# the minimum *paired* ratio: box load drifts on a seconds scale, so
+# independent minima can pick a quiet-window base against a loaded-window
+# observed run and inflate the ratio; a paired quiet window cancels out.
 guard_raw="$(go test -run '^$' \
   -bench 'BenchmarkBatchSizeSweep/batch=16$|BenchmarkPipelineThroughputObserved' \
   -benchtime 500ms -count 5 .)"
 echo "$guard_raw"
 echo "$guard_raw" | awk '
-/^BenchmarkBatchSizeSweep/             { if (!nbase || $3 < base) base = $3; nbase++ }
-/^BenchmarkPipelineThroughputObserved/ { if (!nobs || $3 < obs) obs = $3; nobs++ }
+/^BenchmarkBatchSizeSweep/             { base[nbase++] = $3 }
+/^BenchmarkPipelineThroughputObserved/ { obs[nobs++] = $3 }
 END {
     if (nbase == 0 || nobs == 0) { print "guard: benchmarks missing"; exit 1 }
-    ratio = obs / base
-    printf "guard: untraced %.1f ns/op, observed %.1f ns/op, ratio %.3f (min of %d runs)\n", base, obs, ratio, nbase
-    if (ratio > 1.50) { print "guard: observability overhead above 50% bound"; exit 1 }
+    for (i = 0; i < nbase && i < nobs; i++) {
+        r = obs[i] / base[i]
+        if (!n || r < ratio) { ratio = r; base_at = base[i]; obs_at = obs[i] }
+        n++
+    }
+    printf "guard: untraced %.1f ns/op, observed %.1f ns/op, ratio %.3f (best of %d paired runs)\n", base_at, obs_at, ratio, n
+    if (ratio > 1.35) { print "guard: observability overhead above 35% bound"; exit 1 }
 }'
 
 echo "CI lane green"
